@@ -1,0 +1,120 @@
+// Experiment E9 — Section 6: access-pattern authorization views and
+// dependent joins.
+//
+// Part 1 (acceptance matrix): which query shapes the $$-instantiation and
+// dependent-join machinery admits for a clerk holding only
+//   account_by_id = select * from accounts where account-id = $$acct.
+//
+// Part 2 (cost): validity-checking latency for access-pattern checking as
+// the number of candidate constants in the query grows (instantiation
+// tries each, Section 6's "set of all instantiated versions").
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench/workload.h"
+
+namespace {
+
+using fgac::bench::TimeMs;
+using fgac::core::Database;
+using fgac::core::EnforcementMode;
+using fgac::core::SessionContext;
+
+void Verdict(Database& db, const SessionContext& ctx, const char* label,
+             const std::string& sql) {
+  auto report = db.CheckQueryValidity(sql, ctx);
+  const char* verdict = "ERROR";
+  std::string detail;
+  if (report.ok()) {
+    verdict = report.value().valid ? "ACCEPT" : "reject";
+    detail = report.value().valid ? report.value().justification : "";
+  }
+  std::printf("  %-34s | %-6s | %s\n", label, verdict, detail.c_str());
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  fgac::Status setup = db.ExecuteScript(R"sql(
+    create table customers (
+      customer-id varchar not null primary key,
+      name varchar not null);
+    create table accounts (
+      account-id varchar not null primary key,
+      customer-id varchar not null references customers,
+      balance double not null);
+    create authorization view account_by_id as
+      select * from accounts where account-id = $$acct;
+    create authorization view all_customers as
+      select * from customers;
+    grant select on account_by_id to clerk;
+    grant select on all_customers to clerk;
+  )sql");
+  if (!setup.ok()) {
+    std::printf("setup failed: %s\n", setup.ToString().c_str());
+    return 1;
+  }
+  // Data.
+  for (int i = 0; i < 200; ++i) {
+    std::string c = std::to_string(i);
+    if (!db.ExecuteAsAdmin("insert into customers values ('c" + c + "', 'n" +
+                           c + "')")
+             .ok() ||
+        !db.ExecuteAsAdmin("insert into accounts values ('a" + c + "', 'c" +
+                           c + "', " + std::to_string(100 + i) + ".0)")
+             .ok()) {
+      return 1;
+    }
+  }
+
+  SessionContext clerk("clerk");
+  clerk.set_mode(EnforcementMode::kNonTruman);
+
+  std::printf("E9 / Section 6: access-pattern views and dependent joins\n\n");
+  std::printf("  %-34s | %-6s | justification\n", "query shape", "verd.");
+  std::printf("  %s\n", std::string(76, '-').c_str());
+  Verdict(db, clerk, "keyed lookup ($$ instantiation)",
+          "select * from accounts where account-id = 'a17'");
+  Verdict(db, clerk, "keyed lookup, projection",
+          "select balance from accounts where account-id = 'a42'");
+  // Known incompleteness (Section 5.5): an IN list is a union of keyed
+  // lookups; admitting it needs a UNION-ALL rewriting our rule set (like
+  // the paper's) does not include, so it is rejected although derivable.
+  Verdict(db, clerk, "keyed IN list (incomplete: rejects)",
+          "select balance from accounts where account-id in ('a1', 'a2')");
+  Verdict(db, clerk, "dependent join (r valid, s keyed)",
+          "select customers.name, accounts.balance from customers, accounts "
+          "where accounts.account-id = customers.customer-id");
+  Verdict(db, clerk, "full scan (must reject)", "select * from accounts");
+  Verdict(db, clerk, "aggregate over all (must reject)",
+          "select sum(balance) from accounts");
+  Verdict(db, clerk, "unkeyed filter (must reject)",
+          "select * from accounts where balance > 1000");
+
+  // Part 2: instantiation cost vs number of candidate constants.
+  std::printf("\n  checking cost vs candidate constants in the query:\n");
+  std::printf("  %10s | %12s\n", "constants", "check ms");
+  for (int k : {1, 4, 8, 16, 32}) {
+    std::string in_list;
+    for (int i = 0; i < k; ++i) {
+      if (i > 0) in_list += ", ";
+      in_list += "'a" + std::to_string(i) + "'";
+    }
+    std::string sql =
+        "select balance from accounts where account-id in (" + in_list + ")";
+    double ms = TimeMs(20, [&] {
+      auto report = db.CheckQueryValidity(sql, clerk);
+      if (!report.ok()) std::abort();
+    });
+    std::printf("  %10d | %12.3f\n", k, ms);
+  }
+  std::printf(
+      "\nShape check: keyed shapes ACCEPT (rule U1 over instantiated views "
+      "or the dependent-join rule);\nwhole-table shapes reject; checking "
+      "cost grows with the candidate-constant count (bounded by the\n"
+      "instantiation cap).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Experiment E7 — Section 7 (and Section 1) claim: tuple-level access
+// control lists are "not scalable, and would be totally impractical in
+// systems with millions of tuples, and thousands or millions of users,
+// since it would require millions of access control specifications".
+//
+// Compares, sweeping tuples x users:
+//   * the ACL baseline: per-(tuple, user) grant entries, their count,
+//     construction time, and memory footprint;
+//   * the authorization-view approach: ONE parameterized view definition
+//     regardless of scale (plus one grant per user or a single public
+//     grant), with near-zero administration cost.
+//
+// Expected shape: ACL cost grows ~linearly in tuples x authorized-users;
+// the view column is flat.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/workload.h"
+#include "core/acl_baseline.h"
+
+namespace {
+
+using fgac::Value;
+using fgac::bench::TimeMs;
+using fgac::core::TupleAclStore;
+
+struct AclPoint {
+  size_t entries;
+  double build_ms;
+  double memory_mb;
+  double check_us;
+};
+
+int benchmark_dummy = 0;
+
+/// Grants each user their own grade tuples plus the tuples of everyone in
+/// a shared course (mimicking costudentgrades as an ACL would have to).
+AclPoint BuildAcl(int tuples, int users) {
+  TupleAclStore store;
+  auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < tuples; ++t) {
+    // Each tuple visible to its owner and to ~2 co-students.
+    std::string key = "g" + std::to_string(t);
+    int owner = t % users;
+    store.Grant("grades", Value::String(key), "s" + std::to_string(owner));
+    store.Grant("grades", Value::String(key),
+                "s" + std::to_string((owner + 1) % users));
+    store.Grant("grades", Value::String(key),
+                "s" + std::to_string((owner + 7) % users));
+  }
+  auto end = std::chrono::steady_clock::now();
+  AclPoint point;
+  point.entries = store.num_entries();
+  point.build_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  point.memory_mb =
+      static_cast<double>(store.ApproxMemoryBytes()) / (1024.0 * 1024.0);
+  point.check_us =
+      TimeMs(20000, [&] {
+        benchmark_dummy += store.Check("grades", Value::String("g17"), "s3");
+      }) *
+      1000.0;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E7 / Section 7: tuple-ACL baseline vs one parameterized "
+      "authorization view\n\n");
+  std::printf("%10s | %7s || %12s | %10s | %10s || %18s\n", "tuples", "users",
+              "ACL entries", "build ms", "memory MB", "view defs (const)");
+  std::printf("%s\n", std::string(90, '-').c_str());
+
+  const int kTupleScales[] = {10000, 100000, 1000000};
+  const int kUserScales[] = {100, 1000};
+  for (int tuples : kTupleScales) {
+    for (int users : kUserScales) {
+      AclPoint p = BuildAcl(tuples, users);
+      std::printf("%10d | %7d || %12zu | %10.1f | %10.1f || %18s\n", tuples,
+                  users, p.entries, p.build_ms, p.memory_mb,
+                  "1 view + 1 grant");
+    }
+  }
+
+  // The view side, measured concretely: administration cost is one CREATE
+  // VIEW and one GRANT regardless of scale, and per-query authorization is
+  // the validity check (measured in E4/E6), not a per-tuple lookup.
+  fgac::core::Database db;
+  fgac::bench::UniversityScale scale;
+  scale.students = 1000;
+  scale.courses = 50;
+  double admin_ms = TimeMs(1, [&] {
+    fgac::bench::LoadScaledUniversity(&db, scale);
+    if (!db.ExecuteScript(
+             "create authorization view mygrades as "
+             "select * from grades where student-id = $user-id;"
+             "grant select on mygrades to public")
+             .ok()) {
+      std::abort();
+    }
+  });
+  std::printf(
+      "\nView-based administration for %zu grade tuples and ANY number of "
+      "users: 2 statements, %.1f ms total\n(vs millions of ACL entries "
+      "above — the 'rule-based framework, where one view definition "
+      "applies across several users', Section 2).\n",
+      db.state().GetTable("grades")->num_rows(), admin_ms);
+  return 0;
+}

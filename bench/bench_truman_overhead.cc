@@ -1,0 +1,95 @@
+// Experiment E3 — Section 3.3 claim 3: "the rewritten query ... may have
+// very different execution characteristics ... redundant joins would
+// result in wasted execution time. The Non-Truman model does not suffer
+// from this problem."
+//
+// Measures end-to-end latency of the same user query under:
+//   * none          — no enforcement (lower bound),
+//   * truman_pred   — Truman policy via a predicate-only view (VPD-style
+//                     where-clause injection),
+//   * truman_join   — Truman policy via a joining view (costudentgrades):
+//                     the rewritten query carries a redundant join,
+//   * non_truman    — validity check (uncached) + the ORIGINAL query.
+//
+// Expected shape: truman_join >> none as data grows; non_truman pays a
+// near-constant checking overhead on top of none and does not scale with
+// the redundant join.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+
+namespace {
+
+using fgac::bench::LoadScaledUniversity;
+using fgac::bench::UniversityScale;
+using fgac::core::Database;
+using fgac::core::EnforcementMode;
+using fgac::core::SessionContext;
+
+constexpr const char* kQuery =
+    "select avg(grade) from grades where student-id = 's1'";
+
+Database* MakeDb(int students) {
+  auto* db = new Database();
+  UniversityScale scale;
+  scale.students = students;
+  scale.courses = 40;
+  LoadScaledUniversity(db, scale);
+  fgac::bench::CreateStandardViews(db);
+  if (!db->ExecuteScript("grant select on mygrades to public").ok()) {
+    std::abort();
+  }
+  db->options().enable_validity_cache = false;  // cache measured in E6
+  return db;
+}
+
+Database* DbForScale(int students) {
+  // One database per scale, reused across benchmark registrations.
+  static std::map<int, Database*>* dbs = new std::map<int, Database*>();
+  auto it = dbs->find(students);
+  if (it == dbs->end()) it = dbs->emplace(students, MakeDb(students)).first;
+  return it->second;
+}
+
+void RunMode(benchmark::State& state, EnforcementMode mode,
+             const char* truman_view) {
+  Database* db = DbForScale(static_cast<int>(state.range(0)));
+  if (truman_view != nullptr &&
+      !db->catalog().SetTrumanView("grades", truman_view).ok()) {
+    state.SkipWithError("policy setup failed");
+    return;
+  }
+  SessionContext ctx("s1");
+  ctx.set_mode(mode);
+  for (auto _ : state) {
+    auto result = db->Execute(kQuery, ctx);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result.value().relation.num_rows());
+  }
+}
+
+void BM_None(benchmark::State& state) {
+  RunMode(state, EnforcementMode::kNone, nullptr);
+}
+void BM_TrumanPredicateView(benchmark::State& state) {
+  RunMode(state, EnforcementMode::kTruman, "mygrades");
+}
+void BM_TrumanJoinView(benchmark::State& state) {
+  RunMode(state, EnforcementMode::kTruman, "costudentgrades");
+}
+void BM_NonTruman(benchmark::State& state) {
+  RunMode(state, EnforcementMode::kNonTruman, nullptr);
+}
+
+}  // namespace
+
+BENCHMARK(BM_None)->Arg(500)->Arg(2000)->Arg(8000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TrumanPredicateView)->Arg(500)->Arg(2000)->Arg(8000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TrumanJoinView)->Arg(500)->Arg(2000)->Arg(8000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NonTruman)->Arg(500)->Arg(2000)->Arg(8000)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

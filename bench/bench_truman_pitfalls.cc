@@ -1,0 +1,116 @@
+// Experiment E2 — Section 3.3's behavioural claims, quantified.
+//
+// For a population of students, compare the answer each enforcement mode
+// gives to the Section 3.3 queries, and report how often the Truman model
+// silently returns a value different from the truth ("misleading answers")
+// versus how often the Non-Truman model answers (always truthfully) or
+// rejects.
+//
+// Expected shape: Truman answers 100% of the queries but a large fraction
+// are wrong; Non-Truman never returns a wrong answer.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/workload.h"
+
+namespace {
+
+using fgac::core::Database;
+using fgac::core::EnforcementMode;
+using fgac::core::SessionContext;
+
+struct Answer {
+  bool answered = false;
+  double value = 0.0;
+};
+
+Answer Ask(Database& db, const SessionContext& ctx, const std::string& sql) {
+  auto result = db.Execute(sql, ctx);
+  Answer a;
+  if (!result.ok() || result.value().relation.num_rows() == 0) return a;
+  const fgac::Value& v = result.value().relation.rows()[0][0];
+  if (!v.is_numeric()) return a;
+  a.answered = true;
+  a.value = v.AsDouble();
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  fgac::bench::UniversityScale scale;
+  scale.students = 300;
+  scale.courses = 20;
+  fgac::bench::LoadScaledUniversity(&db, scale);
+  fgac::bench::CreateStandardViews(&db);
+  if (!db.catalog().SetTrumanView("grades", "mygrades").ok()) return 1;
+  // Grant the paper's student views to everyone (public).
+  if (!db.ExecuteScript("grant select on mygrades to public;"
+                        "grant select on avggrades to public")
+           .ok()) {
+    return 1;
+  }
+
+  const std::vector<std::pair<std::string, std::string>> queries = {
+      {"overall avg", "select avg(grade) from grades"},
+      {"course avg",
+       "select avg(grade) from grades where course-id = 'c7'"},
+      {"own avg", "select avg(grade) from grades where student-id = '$SID'"},
+      {"max grade", "select max(grade) from grades"},
+      {"graded rows", "select count(*) from grades"},
+  };
+
+  int users = 50;
+  std::printf("E2 / Section 3.3: answer quality per mode over %d users\n\n",
+              users);
+  std::printf("%-12s | %22s | %22s\n", "query",
+              "TRUMAN ans/wrong", "NON-TRUMAN ans/wrong/rej");
+  std::printf("%s\n", std::string(64, '-').c_str());
+
+  for (const auto& [label, tmpl] : queries) {
+    int truman_answered = 0, truman_wrong = 0;
+    int nt_answered = 0, nt_wrong = 0, nt_rejected = 0;
+    for (int u = 0; u < users; ++u) {
+      std::string sid = "s" + std::to_string(u);
+      std::string sql = tmpl;
+      size_t pos = sql.find("$SID");
+      if (pos != std::string::npos) sql.replace(pos, 4, sid);
+
+      SessionContext none(sid), truman(sid), nt(sid);
+      none.set_mode(EnforcementMode::kNone);
+      truman.set_mode(EnforcementMode::kTruman);
+      nt.set_mode(EnforcementMode::kNonTruman);
+
+      Answer truth = Ask(db, none, sql);
+      Answer t = Ask(db, truman, sql);
+      Answer n = Ask(db, nt, sql);
+      if (t.answered) {
+        ++truman_answered;
+        if (!truth.answered || std::fabs(t.value - truth.value) > 1e-9) {
+          ++truman_wrong;
+        }
+      }
+      if (n.answered) {
+        ++nt_answered;
+        if (!truth.answered || std::fabs(n.value - truth.value) > 1e-9) {
+          ++nt_wrong;
+        }
+      } else {
+        ++nt_rejected;
+      }
+    }
+    std::printf("%-12s | %10d/%-10d | %10d/%d/%d\n", label.c_str(),
+                truman_answered, truman_wrong, nt_answered, nt_wrong,
+                nt_rejected);
+  }
+  std::printf(
+      "\nShape check (paper Section 3.3): the Truman column shows silent\n"
+      "wrong answers on population-level queries; the Non-Truman 'wrong'\n"
+      "count must be 0 — it rejects instead of misleading, and answers\n"
+      "course/own averages correctly via AvgGrades/MyGrades.\n");
+  return 0;
+}

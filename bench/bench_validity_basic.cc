@@ -1,0 +1,120 @@
+// Experiment E4 — Section 5.6 claim: "Validity checking with the basic
+// inference rules does not require equivalence rules to be applied to the
+// views, and hence does not increase the cost significantly beyond normal
+// query optimization."
+//
+// Measures, as the number of granted authorization views grows:
+//   * optimize_only     — plain Volcano optimization of the query,
+//   * basic_check       — optimization + U1/U2 marking with unexpanded
+//                         view DAGs (Section 5.6.2),
+//   * basic_no_pruning  — same without the irrelevant-view filter.
+//
+// Expected shape: basic_check stays within a small factor of optimize_only
+// and grows only mildly with the view count (linear insert+mark work);
+// pruning flattens the growth further.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/binder.h"
+#include "bench/workload.h"
+#include "core/auth_view.h"
+#include "core/validity.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+
+namespace {
+
+using fgac::bench::CreateSyntheticViews;
+using fgac::bench::LoadScaledUniversity;
+using fgac::core::Database;
+using fgac::core::InstantiatedView;
+using fgac::core::SessionContext;
+
+constexpr const char* kQuery =
+    "select student-id, grade from grades "
+    "where course-id = 'c1' and grade >= 3.0";
+
+struct Env {
+  Database db;
+  SessionContext ctx{"s1"};
+  fgac::algebra::PlanPtr plan;
+  std::vector<InstantiatedView> views;
+};
+
+Env* EnvForViews(int num_views) {
+  static std::map<int, Env*>* envs = new std::map<int, Env*>();
+  auto it = envs->find(num_views);
+  if (it != envs->end()) return it->second;
+  auto* env = new Env();
+  fgac::bench::UniversityScale scale;
+  scale.students = 200;
+  LoadScaledUniversity(&env->db, scale);
+  // One view that always testifies for kQuery (via selection subsumption:
+  // the query's predicate implies grade >= 2.0); the synthetic views are
+  // the sweep variable.
+  if (!env->db
+           .ExecuteScript("create authorization view goodgrades as "
+                          "select * from grades where grade >= 2.0;"
+                          "grant select on goodgrades to s1")
+           .ok()) {
+    std::abort();
+  }
+  CreateSyntheticViews(&env->db, num_views, "s1");
+  auto stmt = fgac::sql::Parser::ParseSelect(kQuery);
+  fgac::algebra::Binder binder(env->db.catalog(), {});
+  env->plan = binder.BindSelect(*stmt.value()).value();
+  env->views =
+      fgac::core::InstantiateAvailableViews(env->db.catalog(), env->ctx)
+          .value();
+  envs->emplace(num_views, env);
+  return env;
+}
+
+void BM_OptimizeOnly(benchmark::State& state) {
+  Env* env = EnvForViews(static_cast<int>(state.range(0)));
+  fgac::optimizer::ExpandOptions options;
+  for (auto _ : state) {
+    auto result = fgac::optimizer::Optimize(
+        env->plan, options, [](const std::string&) { return 1000.0; });
+    if (!result.ok()) state.SkipWithError("optimize failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void RunBasicCheck(benchmark::State& state, bool prune) {
+  Env* env = EnvForViews(static_cast<int>(state.range(0)));
+  fgac::core::ValidityOptions options;
+  options.enable_complex_rules = false;
+  options.enable_conditional_rules = false;
+  options.prune_views = prune;
+  size_t memo_exprs = 0;
+  for (auto _ : state) {
+    fgac::core::ValidityChecker checker(env->db.catalog(), &env->db.state(),
+                                        options);
+    auto report = checker.Check(env->plan, env->views);
+    if (!report.ok() || !report.value().valid) {
+      state.SkipWithError("expected the query to be valid");
+      return;
+    }
+    memo_exprs = report.value().memo_exprs;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["memo_exprs"] =
+      benchmark::Counter(static_cast<double>(memo_exprs));
+}
+
+void BM_BasicCheck(benchmark::State& state) { RunBasicCheck(state, true); }
+void BM_BasicCheckNoPruning(benchmark::State& state) {
+  RunBasicCheck(state, false);
+}
+
+}  // namespace
+
+BENCHMARK(BM_OptimizeOnly)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BasicCheck)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BasicCheckNoPruning)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+#ifndef FGAC_BENCH_WORKLOAD_H_
+#define FGAC_BENCH_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+
+namespace fgac::bench {
+
+/// Scale knobs for the synthetic university workload (the paper's running
+/// example scaled up).
+struct UniversityScale {
+  int students = 1000;
+  int courses = 50;
+  int registrations_per_student = 4;
+  /// Fraction of registrations that already have a grade.
+  double graded_fraction = 0.75;
+};
+
+/// Creates the university schema (students/courses/registered/grades with
+/// PKs and FKs) and loads `scale` rows deterministically from `seed`.
+/// Student ids are "s0".."sN", course ids "c0".."cM".
+void LoadScaledUniversity(core::Database* db, const UniversityScale& scale,
+                          uint32_t seed = 42);
+
+/// Creates the paper's authorization views (mygrades, costudentgrades,
+/// myregistrations, avggrades, regstudents) without granting them.
+void CreateStandardViews(core::Database* db);
+
+/// Creates `count` additional authorization views over grades
+/// (synthview_0..synthview_{count-1}), each selecting a different course
+/// slice, and grants all of them to `user`. Used to sweep the number of
+/// available views (experiments E4/E5).
+void CreateSyntheticViews(core::Database* db, int count,
+                          const std::string& user);
+
+/// A chain join  SELECT * FROM t0, ..., t{n-1} WHERE t0.k=t1.k AND ...
+/// over `n` distinct two-column tables (created in `db` if absent).
+/// Returns the SQL text. Used for the Figure 1 experiment.
+std::string ChainJoinQuery(core::Database* db, int n);
+
+/// Milliseconds elapsed by `fn` averaged over `iters` runs.
+double TimeMs(int iters, const std::function<void()>& fn);
+
+}  // namespace fgac::bench
+
+#endif  // FGAC_BENCH_WORKLOAD_H_

@@ -1,0 +1,122 @@
+// The paper's banking scenario (Section 1):
+//   * a customer can query her own balance and no one else's;
+//   * a teller has read access to all balances but not to the customers'
+//     addresses behind them (cell-level authorization via projection);
+//   * a teller can see the full record of any ONE account by providing the
+//     account id, but not a listing of all accounts (access-pattern view).
+//
+//   $ ./examples/bank_teller
+
+#include <cstdio>
+#include <string>
+
+#include "core/database.h"
+
+using fgac::core::Database;
+using fgac::core::EnforcementMode;
+using fgac::core::SessionContext;
+
+namespace {
+
+void Try(Database& db, const SessionContext& ctx, const std::string& sql) {
+  std::printf("[%s] %s\n", ctx.user().c_str(), sql.c_str());
+  auto result = db.Execute(sql, ctx);
+  if (!result.ok()) {
+    std::printf("    REJECTED: %s\n\n", result.status().message().c_str());
+    return;
+  }
+  std::printf("    accepted (%s)\n%s\n",
+              result.value().validity.justification.c_str(),
+              result.value().relation.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  fgac::Status setup = db.ExecuteScript(R"sql(
+    create table customers (
+      customer-id varchar not null primary key,
+      name varchar not null,
+      address varchar not null);
+    create table accounts (
+      account-id varchar not null primary key,
+      customer-id varchar not null references customers,
+      balance double not null);
+
+    insert into customers values
+      ('c1', 'alice', '12 elm st'),
+      ('c2', 'bob', '99 oak ave'),
+      ('c3', 'carol', '7 pine rd');
+    insert into accounts values
+      ('a10', 'c1', 1500.0),
+      ('a11', 'c1', 20.5),
+      ('a20', 'c2', 48000.0),
+      ('a30', 'c3', 5.0);
+
+    -- A customer sees her own accounts.
+    create authorization view myaccounts as
+      select accounts.* from accounts, customers
+      where customers.customer-id = accounts.customer-id
+        and customers.name = $user-id;
+    -- ...and her own customer record.
+    create authorization view myrecord as
+      select * from customers where name = $user-id;
+
+    -- "a teller should have read access to balances of all accounts but
+    -- not the addresses of customers corresponding to these balances":
+    -- the projection hides the address column (cell-level granularity).
+    create authorization view teller_balances as
+      select account-id, customer-id, balance from accounts;
+    create authorization view teller_names as
+      select customer-id, name from customers;
+
+    -- "a teller should be allowed to see the balance of any account by
+    -- providing the account-id but not the balances of all accounts
+    -- together": an access-pattern view (Sections 2 and 6). This teller
+    -- profile gets ONLY the keyed lookup.
+    create authorization view account_by_id as
+      select * from accounts where account-id = $$acct;
+
+    grant select on myaccounts to alice;
+    grant select on myrecord to alice;
+    grant select on teller_balances to teller;
+    grant select on teller_names to teller;
+    grant select on account_by_id to window_clerk;
+  )sql");
+  if (!setup.ok()) {
+    std::printf("setup failed: %s\n", setup.ToString().c_str());
+    return 1;
+  }
+
+  SessionContext alice("alice");
+  alice.set_mode(EnforcementMode::kNonTruman);
+  SessionContext teller("teller");
+  teller.set_mode(EnforcementMode::kNonTruman);
+  SessionContext clerk("window_clerk");
+  clerk.set_mode(EnforcementMode::kNonTruman);
+
+  std::printf("=== Customer (own accounts only) ===\n\n");
+  Try(db, alice, "select account-id, balance from accounts, customers "
+                 "where customers.customer-id = accounts.customer-id "
+                 "and customers.name = 'alice'");
+  // a20 belongs to bob: must be rejected.
+  Try(db, alice, "select balance from accounts where account-id = 'a20'");
+
+  std::printf("=== Teller (balances yes, addresses no) ===\n\n");
+  Try(db, teller, "select account-id, balance from accounts "
+                  "order by balance desc");
+  Try(db, teller, "select sum(balance) from accounts");
+  Try(db, teller, "select c.name, a.balance from customers c, accounts a "
+                  "where c.customer-id = a.customer-id");
+  Try(db, teller, "select address from customers");
+  Try(db, teller, "select c.address, a.balance from customers c, accounts a "
+                  "where c.customer-id = a.customer-id");
+
+  std::printf("=== Window clerk (one account at a time) ===\n\n");
+  Try(db, clerk, "select * from accounts where account-id = 'a20'");
+  Try(db, clerk, "select balance from accounts where account-id = 'a30'");
+  Try(db, clerk, "select * from accounts");
+  Try(db, clerk, "select sum(balance) from accounts");
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Interactive SQL shell over the fgac engine — the "software layer that can
+// add fine-grained authorization to an existing database or application"
+// the paper's conclusion envisions, in miniature.
+//
+//   $ ./examples/fgac_shell [script.sql]
+//
+// Meta-commands (backslash-prefixed, one per line):
+//   \user <name>          switch the session user ($user-id)
+//   \param <name> <value> set a session parameter (e.g. \param term cs101)
+//   \mode none|truman|non-truman
+//   \tables  \views  \grants <user>
+//   \help  \quit
+//
+// Everything else is SQL, '; '-terminated statements. On startup, an
+// optional script file is executed as the administrator (handy for loading
+// a schema + policies before experimenting).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/database.h"
+
+namespace {
+
+using fgac::core::Database;
+using fgac::core::EnforcementMode;
+using fgac::core::SessionContext;
+
+void PrintHelp() {
+  std::printf(
+      "meta-commands:\n"
+      "  \\user <name>            switch user (current session)\n"
+      "  \\param <name> <value>   set a $parameter (strings unquoted)\n"
+      "  \\mode none|truman|non-truman\n"
+      "  \\tables                 list base tables\n"
+      "  \\views                  list views (A = authorization view)\n"
+      "  \\grants <user>          list views available to a user\n"
+      "  \\help                   this text\n"
+      "  \\quit                   exit\n"
+      "anything else: SQL, ';'-terminated. Try: explain select ...\n");
+}
+
+bool HandleMeta(Database& db, SessionContext& ctx, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd == "\\quit" || cmd == "\\q") {
+    std::exit(0);
+  } else if (cmd == "\\help") {
+    PrintHelp();
+  } else if (cmd == "\\user") {
+    std::string name;
+    in >> name;
+    if (name.empty()) {
+      std::printf("usage: \\user <name>\n");
+      return true;
+    }
+    EnforcementMode mode = ctx.mode();
+    ctx = SessionContext(name);
+    ctx.set_mode(mode);
+    std::printf("now user '%s' (mode %s)\n", name.c_str(),
+                fgac::core::EnforcementModeName(mode));
+  } else if (cmd == "\\param") {
+    std::string name, value;
+    in >> name >> value;
+    if (name.empty() || value.empty()) {
+      std::printf("usage: \\param <name> <value>\n");
+      return true;
+    }
+    char* end = nullptr;
+    double d = std::strtod(value.c_str(), &end);
+    if (end != nullptr && *end == '\0') {
+      ctx.SetParam(name, fgac::Value::Double(d));
+    } else {
+      ctx.SetParam(name, fgac::Value::String(value));
+    }
+    std::printf("$%s set\n", name.c_str());
+  } else if (cmd == "\\mode") {
+    std::string mode;
+    in >> mode;
+    if (mode == "none") {
+      ctx.set_mode(EnforcementMode::kNone);
+    } else if (mode == "truman") {
+      ctx.set_mode(EnforcementMode::kTruman);
+    } else if (mode == "non-truman" || mode == "nontruman") {
+      ctx.set_mode(EnforcementMode::kNonTruman);
+    } else {
+      std::printf("usage: \\mode none|truman|non-truman\n");
+      return true;
+    }
+    std::printf("mode: %s\n", fgac::core::EnforcementModeName(ctx.mode()));
+  } else if (cmd == "\\tables") {
+    for (const std::string& t : db.catalog().TableNames()) {
+      const fgac::storage::TableData* data = db.state().GetTable(t);
+      std::printf("  %-24s %zu rows\n", t.c_str(),
+                  data != nullptr ? data->num_rows() : 0);
+    }
+  } else if (cmd == "\\views") {
+    for (const std::string& v : db.catalog().ViewNames()) {
+      const fgac::catalog::ViewDefinition* def = db.catalog().GetView(v);
+      std::printf("  %c %-24s params:%zu access:%zu\n",
+                  def->is_authorization ? 'A' : ' ', v.c_str(),
+                  def->parameters.size(), def->access_parameters.size());
+    }
+  } else if (cmd == "\\grants") {
+    std::string user;
+    in >> user;
+    if (user.empty()) {
+      std::printf("usage: \\grants <user>\n");
+      return true;
+    }
+    for (const auto* view : db.catalog().AvailableViews(user)) {
+      std::printf("  %s\n", view->name.c_str());
+    }
+  } else {
+    std::printf("unknown meta-command %s (\\help for help)\n", cmd.c_str());
+  }
+  return true;
+}
+
+void RunSql(Database& db, const SessionContext& ctx, const std::string& sql) {
+  auto result = db.Execute(sql, ctx);
+  if (!result.ok()) {
+    std::printf("!! %s\n", result.status().ToString().c_str());
+    return;
+  }
+  const fgac::core::ExecResult& r = result.value();
+  if (r.relation.num_columns() > 0) {
+    std::printf("%s", r.relation.ToString().c_str());
+    if (!r.validity.justification.empty()) {
+      std::printf("-- %s valid via %s%s\n",
+                  r.validity.unconditional ? "unconditionally"
+                                           : "conditionally",
+                  r.validity.justification.c_str(),
+                  r.validity_from_cache ? " (cached verdict)" : "");
+    }
+  } else if (!r.message.empty()) {
+    std::printf("ok: %s\n", r.message.c_str());
+  } else {
+    std::printf("ok: %lld row(s) affected\n",
+                static_cast<long long>(r.affected_rows));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Database db;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    fgac::Status s = db.ExecuteScript(buffer.str());
+    if (!s.ok()) {
+      std::fprintf(stderr, "script failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s\n", argv[1]);
+  }
+
+  SessionContext ctx("admin");
+  ctx.set_mode(EnforcementMode::kNone);
+  std::printf("fgac shell — \\help for help. You are 'admin' (mode none).\n");
+
+  std::string pending;
+  std::string line;
+  while (true) {
+    std::printf(pending.empty() ? "%s> " : "%s.. ", ctx.user().c_str());
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (pending.empty() && !line.empty() && line[0] == '\\') {
+      HandleMeta(db, ctx, line);
+      continue;
+    }
+    pending += line + "\n";
+    // Execute once a ';' arrives (crude but fine for a demo shell).
+    auto pos = pending.find(';');
+    if (pos == std::string::npos) continue;
+    std::string sql = pending.substr(0, pos);
+    pending = pending.substr(pos + 1);
+    // Trim leftover whitespace so the continuation prompt resets.
+    while (!pending.empty() &&
+           (pending.front() == '\n' || pending.front() == ' ')) {
+      pending.erase(pending.begin());
+    }
+    if (sql.find_first_not_of(" \t\n") == std::string::npos) continue;
+    RunSql(db, ctx, sql);
+  }
+  return 0;
+}

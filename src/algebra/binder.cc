@@ -1,0 +1,663 @@
+#include "algebra/binder.h"
+
+#include <algorithm>
+
+#include "algebra/normalize.h"
+#include "sql/printer.h"
+
+namespace fgac::algebra {
+
+namespace {
+
+constexpr int kMaxViewDepth = 16;
+
+AggFunc AggFromName(const std::string& name, bool star) {
+  if (star) return AggFunc::kCountStar;
+  if (name == "count") return AggFunc::kCount;
+  if (name == "sum") return AggFunc::kSum;
+  if (name == "avg") return AggFunc::kAvg;
+  if (name == "min") return AggFunc::kMin;
+  return AggFunc::kMax;
+}
+
+bool ExprContainsAggregate(const sql::ExprPtr& e) {
+  if (e == nullptr) return false;
+  if (e->kind == sql::ExprKind::kFuncCall && sql::IsAggregateFunc(e->func_name)) {
+    return true;
+  }
+  if (ExprContainsAggregate(e->left) || ExprContainsAggregate(e->right) ||
+      ExprContainsAggregate(e->operand)) {
+    return true;
+  }
+  for (const auto& a : e->args) {
+    if (ExprContainsAggregate(a)) return true;
+  }
+  for (const auto& a : e->in_list) {
+    if (ExprContainsAggregate(a)) return true;
+  }
+  return false;
+}
+
+/// Display name for a select item without an alias.
+std::string DeriveName(const sql::ExprPtr& e, size_t index) {
+  if (e == nullptr) return "col" + std::to_string(index);
+  if (e->kind == sql::ExprKind::kColumnRef) return e->column;
+  if (e->kind == sql::ExprKind::kFuncCall) return e->func_name;
+  return "col" + std::to_string(index);
+}
+
+}  // namespace
+
+Result<int> Binder::ResolveColumn(const std::string& qualifier,
+                                  const std::string& name, const Scope& scope) {
+  int found = -1;
+  for (const ScopeColumn& col : scope.columns) {
+    if (col.name != name) continue;
+    if (!qualifier.empty() && col.qualifier != qualifier) continue;
+    if (found >= 0) {
+      return Status::BindError("ambiguous column reference '" +
+                               (qualifier.empty() ? name
+                                                  : qualifier + "." + name) +
+                               "'");
+    }
+    found = col.slot;
+  }
+  if (found < 0) {
+    return Status::BindError("unknown column '" +
+                             (qualifier.empty() ? name : qualifier + "." + name) +
+                             "'");
+  }
+  return found;
+}
+
+Result<ScalarPtr> Binder::BindExpr(const sql::ExprPtr& expr, const Scope& scope) {
+  if (expr == nullptr) return Status::BindError("null expression");
+  switch (expr->kind) {
+    case sql::ExprKind::kLiteral:
+      return MakeLiteralScalar(expr->value);
+    case sql::ExprKind::kColumnRef: {
+      FGAC_ASSIGN_OR_RETURN(int slot,
+                            ResolveColumn(expr->qualifier, expr->column, scope));
+      return MakeColumn(slot);
+    }
+    case sql::ExprKind::kParam: {
+      auto it = options_.params.find(expr->param_name);
+      if (it == options_.params.end()) {
+        return Status::BindError("unbound parameter $" + expr->param_name);
+      }
+      return MakeLiteralScalar(it->second);
+    }
+    case sql::ExprKind::kAccessParam:
+      if (!options_.allow_access_params) {
+        return Status::BindError("unbound access-pattern parameter $$" +
+                                 expr->param_name);
+      }
+      return MakeAccessParamScalar(expr->param_name);
+    case sql::ExprKind::kBinary: {
+      FGAC_ASSIGN_OR_RETURN(ScalarPtr left, BindExpr(expr->left, scope));
+      FGAC_ASSIGN_OR_RETURN(ScalarPtr right, BindExpr(expr->right, scope));
+      return MakeBinaryScalar(expr->bin_op, std::move(left), std::move(right));
+    }
+    case sql::ExprKind::kUnary: {
+      FGAC_ASSIGN_OR_RETURN(ScalarPtr operand, BindExpr(expr->operand, scope));
+      return MakeUnaryScalar(expr->un_op, std::move(operand));
+    }
+    case sql::ExprKind::kFuncCall:
+      if (sql::IsAggregateFunc(expr->func_name)) {
+        return Status::BindError(
+            "aggregate function in an invalid position: " +
+            sql::ExprToSql(expr));
+      }
+      return Status::BindError("unknown function '" + expr->func_name + "'");
+    case sql::ExprKind::kInList: {
+      FGAC_ASSIGN_OR_RETURN(ScalarPtr operand, BindExpr(expr->operand, scope));
+      std::vector<ScalarPtr> list;
+      list.reserve(expr->in_list.size());
+      for (const auto& e : expr->in_list) {
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr s, BindExpr(e, scope));
+        list.push_back(std::move(s));
+      }
+      return MakeInListScalar(std::move(operand), std::move(list),
+                              expr->negated);
+    }
+    case sql::ExprKind::kBetween: {
+      // Desugar: lo <= x AND x <= hi (negated: NOT (...)).
+      FGAC_ASSIGN_OR_RETURN(ScalarPtr x, BindExpr(expr->operand, scope));
+      FGAC_ASSIGN_OR_RETURN(ScalarPtr lo, BindExpr(expr->left, scope));
+      FGAC_ASSIGN_OR_RETURN(ScalarPtr hi, BindExpr(expr->right, scope));
+      ScalarPtr both = MakeBinaryScalar(
+          sql::BinOp::kAnd, MakeBinaryScalar(sql::BinOp::kLe, lo, x),
+          MakeBinaryScalar(sql::BinOp::kLe, x, hi));
+      if (expr->negated) return MakeUnaryScalar(sql::UnOp::kNot, both);
+      return both;
+    }
+  }
+  return Status::BindError("unsupported expression kind");
+}
+
+Result<Binder::BoundFrom> Binder::BindNamedRelation(const std::string& name,
+                                                    const std::string& alias,
+                                                    int depth) {
+  if (depth > kMaxViewDepth) {
+    return Status::BindError("view nesting too deep (cycle?) at '" + name + "'");
+  }
+  std::string effective_alias = alias.empty() ? name : alias;
+  if (const catalog::TableSchema* table = catalog_.GetTable(name)) {
+    std::vector<std::string> columns;
+    columns.reserve(table->num_columns());
+    for (const catalog::Column& c : table->columns()) columns.push_back(c.name);
+    BoundFrom out;
+    out.plan = MakeGet(name, columns);
+    for (size_t i = 0; i < columns.size(); ++i) {
+      out.scope.columns.push_back(
+          {effective_alias, columns[i], static_cast<int>(i)});
+    }
+    return out;
+  }
+  if (const catalog::ViewDefinition* view = catalog_.GetView(name)) {
+    // Substitute $ parameters from the session, then bind the body.
+    std::map<std::string, Value> access;  // $$ stay symbolic (or error inside)
+    auto instantiated = view->select->CloneWithParams(options_.params, access);
+    FGAC_ASSIGN_OR_RETURN(PlanPtr plan, BindSelectImpl(*instantiated, depth + 1));
+    std::vector<std::string> columns = OutputNames(*plan);
+    BoundFrom out;
+    out.plan = std::move(plan);
+    for (size_t i = 0; i < columns.size(); ++i) {
+      out.scope.columns.push_back(
+          {effective_alias, columns[i], static_cast<int>(i)});
+    }
+    return out;
+  }
+  return Status::BindError("unknown relation '" + name + "'");
+}
+
+Result<Binder::BoundFrom> Binder::BindTableRef(const sql::TableRefPtr& ref,
+                                               int depth) {
+  if (ref->kind == sql::TableRef::Kind::kNamed) {
+    return BindNamedRelation(ref->name, ref->alias, depth);
+  }
+  // Join: bind both sides, concatenate scopes, hoist the ON conjuncts into
+  // a Select so the canonical shape is Select-over-cross-join (the
+  // transformation rules re-derive the pushed-down join forms).
+  FGAC_ASSIGN_OR_RETURN(BoundFrom left, BindTableRef(ref->join_left, depth));
+  FGAC_ASSIGN_OR_RETURN(BoundFrom right, BindTableRef(ref->join_right, depth));
+  size_t left_arity = OutputArity(*left.plan);
+  BoundFrom out;
+  out.scope = left.scope;
+  for (const ScopeColumn& col : right.scope.columns) {
+    out.scope.columns.push_back(
+        {col.qualifier, col.name, col.slot + static_cast<int>(left_arity)});
+  }
+  PlanPtr join = MakeJoin({}, left.plan, right.plan);
+  FGAC_ASSIGN_OR_RETURN(ScalarPtr on, BindExpr(ref->join_on, out.scope));
+  out.plan = MakeSelect(SplitConjuncts(on), std::move(join));
+  return out;
+}
+
+Result<PlanPtr> Binder::BindSelect(const sql::SelectStmt& stmt) {
+  FGAC_ASSIGN_OR_RETURN(PlanPtr plan, BindSelectImpl(stmt, 0));
+  return NormalizePlan(plan);
+}
+
+Result<PlanPtr> Binder::BindSelectImpl(const sql::SelectStmt& stmt, int depth) {
+  if (stmt.from.empty()) {
+    // SELECT <constants>: a single-row VALUES with projected expressions.
+    Scope empty_scope;
+    std::vector<ScalarPtr> exprs;
+    std::vector<std::string> names;
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const sql::SelectItem& item = stmt.items[i];
+      if (item.is_star) return Status::BindError("'*' without FROM");
+      FGAC_ASSIGN_OR_RETURN(ScalarPtr s, BindExpr(item.expr, empty_scope));
+      exprs.push_back(std::move(s));
+      names.push_back(item.alias.empty() ? DeriveName(item.expr, i)
+                                         : item.alias);
+    }
+    PlanPtr values = MakeValues({Row{}}, 0);
+    PlanPtr current =
+        MakeProject(std::move(exprs), std::move(names), std::move(values));
+    if (!stmt.union_all.empty()) {
+      std::vector<PlanPtr> branches;
+      branches.push_back(current);
+      size_t arity = OutputArity(*current);
+      for (const auto& branch : stmt.union_all) {
+        FGAC_ASSIGN_OR_RETURN(PlanPtr bp, BindSelectImpl(*branch, depth));
+        if (OutputArity(*bp) != arity) {
+          return Status::BindError(
+              "UNION ALL branches must have the same number of columns");
+        }
+        branches.push_back(std::move(bp));
+      }
+      current = MakeUnionAll(std::move(branches));
+    }
+    return current;
+  }
+
+  // 1. FROM: left-deep cross-join chain with hoisted predicates.
+  BoundFrom from;
+  bool first = true;
+  std::vector<ScalarPtr> hoisted;
+  for (const sql::TableRefPtr& ref : stmt.from) {
+    FGAC_ASSIGN_OR_RETURN(BoundFrom item, BindTableRef(ref, depth));
+    // Peel a hoisted Select produced by ON-clause binding so the predicates
+    // can move above the full chain.
+    PlanPtr item_plan = item.plan;
+    std::vector<ScalarPtr> item_preds;
+    if (item_plan->kind == PlanKind::kSelect &&
+        item_plan->children[0]->kind == PlanKind::kJoin) {
+      item_preds = item_plan->predicates;
+      item_plan = item_plan->children[0];
+    }
+    if (first) {
+      from.plan = item_plan;
+      from.scope = item.scope;
+      hoisted = std::move(item_preds);
+      first = false;
+      continue;
+    }
+    size_t offset = OutputArity(*from.plan);
+    for (const ScopeColumn& col : item.scope.columns) {
+      from.scope.columns.push_back(
+          {col.qualifier, col.name, col.slot + static_cast<int>(offset)});
+    }
+    for (const ScalarPtr& p : item_preds) {
+      hoisted.push_back(RemapSlots(p, [offset](int slot) {
+        return slot + static_cast<int>(offset);
+      }));
+    }
+    from.plan = MakeJoin({}, from.plan, item_plan);
+  }
+
+  // 2. WHERE.
+  std::vector<ScalarPtr> where_preds = std::move(hoisted);
+  if (stmt.where != nullptr) {
+    if (ExprContainsAggregate(stmt.where)) {
+      return Status::BindError("aggregate functions are not allowed in WHERE");
+    }
+    FGAC_ASSIGN_OR_RETURN(ScalarPtr w, BindExpr(stmt.where, from.scope));
+    for (ScalarPtr& c : SplitConjuncts(w)) where_preds.push_back(std::move(c));
+  }
+  PlanPtr current = MakeSelect(NormalizePredicates(std::move(where_preds)),
+                               from.plan);
+
+  // 3. Aggregation.
+  bool has_aggregate = !stmt.group_by.empty() ||
+                       ExprContainsAggregate(stmt.having);
+  for (const sql::SelectItem& item : stmt.items) {
+    if (!item.is_star && ExprContainsAggregate(item.expr)) has_aggregate = true;
+  }
+  for (const sql::OrderItem& item : stmt.order_by) {
+    if (ExprContainsAggregate(item.expr)) has_aggregate = true;
+  }
+
+  std::vector<ScalarPtr> out_exprs;
+  std::vector<std::string> out_names;
+
+  if (has_aggregate) {
+    // Bind group-by expressions over the FROM scope.
+    std::vector<ScalarPtr> group_scalars;
+    std::vector<std::string> group_names;
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      FGAC_ASSIGN_OR_RETURN(ScalarPtr g, BindExpr(stmt.group_by[i], from.scope));
+      group_scalars.push_back(NormalizeScalar(g));
+      group_names.push_back(DeriveName(stmt.group_by[i], i));
+    }
+
+    // Collect aggregate calls from select list, HAVING and ORDER BY.
+    std::vector<AggExpr> agg_exprs;
+    auto find_or_add_agg = [&](const sql::ExprPtr& call) -> Result<int> {
+      AggExpr bound;
+      bound.func = AggFromName(call->func_name, call->star_arg);
+      bound.distinct = call->distinct_arg;
+      if (!call->star_arg) {
+        if (call->args.size() != 1) {
+          return Status::BindError("aggregate '" + call->func_name +
+                                   "' takes exactly one argument");
+        }
+        if (ExprContainsAggregate(call->args[0])) {
+          return Status::BindError("nested aggregate functions");
+        }
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr arg, BindExpr(call->args[0], from.scope));
+        bound.arg = NormalizeScalar(arg);
+      }
+      for (size_t i = 0; i < agg_exprs.size(); ++i) {
+        if (AggExprEquals(agg_exprs[i], bound)) return static_cast<int>(i);
+      }
+      agg_exprs.push_back(std::move(bound));
+      return static_cast<int>(agg_exprs.size() - 1);
+    };
+
+    // Rebinds an AST expression against the aggregate output: aggregates
+    // become slots |G|+j, group expressions become slots i, constants pass
+    // through, anything else must decompose or is an error.
+    std::function<Result<ScalarPtr>(const sql::ExprPtr&)> bind_post_agg =
+        [&](const sql::ExprPtr& e) -> Result<ScalarPtr> {
+      if (e == nullptr) return Status::BindError("null expression");
+      if (e->kind == sql::ExprKind::kFuncCall &&
+          sql::IsAggregateFunc(e->func_name)) {
+        FGAC_ASSIGN_OR_RETURN(int idx, find_or_add_agg(e));
+        return MakeColumn(static_cast<int>(group_scalars.size()) + idx);
+      }
+      // Whole-expression match against a group-by expression.
+      if (!ExprContainsAggregate(e)) {
+        Result<ScalarPtr> bound = BindExpr(e, from.scope);
+        if (bound.ok()) {
+          ScalarPtr norm = NormalizeScalar(bound.value());
+          std::set<int> slots;
+          CollectSlots(norm, &slots);
+          if (slots.empty()) return norm;  // constant
+          for (size_t i = 0; i < group_scalars.size(); ++i) {
+            if (ScalarEquals(norm, group_scalars[i])) {
+              return MakeColumn(static_cast<int>(i));
+            }
+          }
+        }
+      }
+      // Decompose structurally.
+      switch (e->kind) {
+        case sql::ExprKind::kBinary: {
+          FGAC_ASSIGN_OR_RETURN(ScalarPtr l, bind_post_agg(e->left));
+          FGAC_ASSIGN_OR_RETURN(ScalarPtr r, bind_post_agg(e->right));
+          return MakeBinaryScalar(e->bin_op, std::move(l), std::move(r));
+        }
+        case sql::ExprKind::kUnary: {
+          FGAC_ASSIGN_OR_RETURN(ScalarPtr x, bind_post_agg(e->operand));
+          return MakeUnaryScalar(e->un_op, std::move(x));
+        }
+        case sql::ExprKind::kInList: {
+          FGAC_ASSIGN_OR_RETURN(ScalarPtr x, bind_post_agg(e->operand));
+          std::vector<ScalarPtr> list;
+          for (const auto& el : e->in_list) {
+            FGAC_ASSIGN_OR_RETURN(ScalarPtr s, bind_post_agg(el));
+            list.push_back(std::move(s));
+          }
+          return MakeInListScalar(std::move(x), std::move(list), e->negated);
+        }
+        case sql::ExprKind::kBetween: {
+          FGAC_ASSIGN_OR_RETURN(ScalarPtr x, bind_post_agg(e->operand));
+          FGAC_ASSIGN_OR_RETURN(ScalarPtr lo, bind_post_agg(e->left));
+          FGAC_ASSIGN_OR_RETURN(ScalarPtr hi, bind_post_agg(e->right));
+          ScalarPtr both = MakeBinaryScalar(
+              sql::BinOp::kAnd, MakeBinaryScalar(sql::BinOp::kLe, lo, x),
+              MakeBinaryScalar(sql::BinOp::kLe, x, hi));
+          if (e->negated) return MakeUnaryScalar(sql::UnOp::kNot, both);
+          return both;
+        }
+        default:
+          return Status::BindError(
+              "expression " + sql::ExprToSql(e) +
+              " must appear in the GROUP BY clause or be used in an "
+              "aggregate function");
+      }
+    };
+
+    // Bind the select list / having / order-by so all aggregates register.
+    struct PendingItem {
+      ScalarPtr expr;
+      std::string name;
+    };
+    std::vector<PendingItem> pending;
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const sql::SelectItem& item = stmt.items[i];
+      if (item.is_star) {
+        return Status::BindError("'*' is not allowed in an aggregate query");
+      }
+      FGAC_ASSIGN_OR_RETURN(ScalarPtr s, bind_post_agg(item.expr));
+      pending.push_back(
+          {std::move(s),
+           item.alias.empty() ? DeriveName(item.expr, i) : item.alias});
+    }
+    ScalarPtr having_scalar;
+    if (stmt.having != nullptr) {
+      FGAC_ASSIGN_OR_RETURN(having_scalar, bind_post_agg(stmt.having));
+    }
+
+    // Aggregate output names: group columns then aggregate columns.
+    std::vector<std::string> agg_out_names = group_names;
+    for (const AggExpr& a : agg_exprs) {
+      agg_out_names.push_back(AggFuncName(a.func));
+    }
+    current = MakeAggregate(group_scalars, agg_exprs, std::move(agg_out_names),
+                            current);
+    if (having_scalar != nullptr) {
+      current = MakeSelect(SplitConjuncts(having_scalar), current);
+    }
+    for (PendingItem& p : pending) {
+      out_exprs.push_back(std::move(p.expr));
+      out_names.push_back(std::move(p.name));
+    }
+  } else {
+    // Plain projection.
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const sql::SelectItem& item = stmt.items[i];
+      if (item.is_star) {
+        bool matched = false;
+        for (const ScopeColumn& col : from.scope.columns) {
+          if (!item.star_qualifier.empty() &&
+              col.qualifier != item.star_qualifier) {
+            continue;
+          }
+          out_exprs.push_back(MakeColumn(col.slot));
+          out_names.push_back(col.name);
+          matched = true;
+        }
+        if (!matched) {
+          return Status::BindError("'" + item.star_qualifier +
+                                   ".*' matches no relation in FROM");
+        }
+        continue;
+      }
+      FGAC_ASSIGN_OR_RETURN(ScalarPtr s, BindExpr(item.expr, from.scope));
+      out_exprs.push_back(std::move(s));
+      out_names.push_back(item.alias.empty() ? DeriveName(item.expr, i)
+                                             : item.alias);
+    }
+  }
+
+  current = MakeProject(std::move(out_exprs), out_names, current);
+  if (stmt.distinct) current = MakeDistinct(current);
+
+  // UNION ALL branches (bag union; each branch is its own core select).
+  if (!stmt.union_all.empty()) {
+    std::vector<PlanPtr> branches;
+    branches.push_back(current);
+    size_t arity = OutputArity(*current);
+    for (const auto& branch : stmt.union_all) {
+      FGAC_ASSIGN_OR_RETURN(PlanPtr bp, BindSelectImpl(*branch, depth));
+      if (OutputArity(*bp) != arity) {
+        return Status::BindError(
+            "UNION ALL branches must have the same number of columns");
+      }
+      branches.push_back(std::move(bp));
+    }
+    current = MakeUnionAll(std::move(branches));
+  }
+
+  // ORDER BY: resolve against the output columns (by alias/name, or by
+  // 1-based position for integer literals).
+  if (!stmt.order_by.empty()) {
+    Scope out_scope;
+    for (size_t i = 0; i < out_names.size(); ++i) {
+      out_scope.columns.push_back({"", out_names[i], static_cast<int>(i)});
+    }
+    std::vector<SortItem> sort_items;
+    for (const sql::OrderItem& item : stmt.order_by) {
+      if (item.expr->kind == sql::ExprKind::kLiteral &&
+          item.expr->value.is_int()) {
+        int64_t pos = item.expr->value.int_value();
+        if (pos < 1 || pos > static_cast<int64_t>(out_names.size())) {
+          return Status::BindError("ORDER BY position out of range");
+        }
+        sort_items.push_back(
+            {MakeColumn(static_cast<int>(pos - 1)), item.descending});
+        continue;
+      }
+      FGAC_ASSIGN_OR_RETURN(ScalarPtr s, BindExpr(item.expr, out_scope));
+      sort_items.push_back({std::move(s), item.descending});
+    }
+    current = MakeSort(std::move(sort_items), current);
+  }
+  if (stmt.limit.has_value()) current = MakeLimit(*stmt.limit, current);
+  return current;
+}
+
+Result<ScalarPtr> Binder::BindOverTable(
+    const sql::ExprPtr& expr, const catalog::TableSchema& schema,
+    const std::map<std::string, Value>& params) {
+  std::function<Result<ScalarPtr>(const sql::ExprPtr&)> bind =
+      [&](const sql::ExprPtr& e) -> Result<ScalarPtr> {
+    if (e == nullptr) return Status::BindError("null expression");
+    switch (e->kind) {
+      case sql::ExprKind::kLiteral:
+        return MakeLiteralScalar(e->value);
+      case sql::ExprKind::kParam: {
+        auto it = params.find(e->param_name);
+        if (it == params.end()) {
+          return Status::BindError("unbound parameter $" + e->param_name);
+        }
+        return MakeLiteralScalar(it->second);
+      }
+      case sql::ExprKind::kColumnRef: {
+        if (!e->qualifier.empty() && e->qualifier != schema.name()) {
+          return Status::BindError("unknown qualifier '" + e->qualifier + "'");
+        }
+        std::optional<size_t> idx = schema.FindColumn(e->column);
+        if (!idx.has_value()) {
+          return Status::BindError("unknown column '" + e->column + "'");
+        }
+        return MakeColumn(static_cast<int>(*idx));
+      }
+      case sql::ExprKind::kBinary: {
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr l, bind(e->left));
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr r, bind(e->right));
+        return MakeBinaryScalar(e->bin_op, std::move(l), std::move(r));
+      }
+      case sql::ExprKind::kUnary: {
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr x, bind(e->operand));
+        return MakeUnaryScalar(e->un_op, std::move(x));
+      }
+      case sql::ExprKind::kInList: {
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr x, bind(e->operand));
+        std::vector<ScalarPtr> list;
+        for (const auto& el : e->in_list) {
+          FGAC_ASSIGN_OR_RETURN(ScalarPtr s, bind(el));
+          list.push_back(std::move(s));
+        }
+        return MakeInListScalar(std::move(x), std::move(list), e->negated);
+      }
+      case sql::ExprKind::kBetween: {
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr x, bind(e->operand));
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr lo, bind(e->left));
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr hi, bind(e->right));
+        ScalarPtr both = MakeBinaryScalar(
+            sql::BinOp::kAnd, MakeBinaryScalar(sql::BinOp::kLe, lo, x),
+            MakeBinaryScalar(sql::BinOp::kLe, x, hi));
+        if (e->negated) return MakeUnaryScalar(sql::UnOp::kNot, both);
+        return both;
+      }
+      default:
+        return Status::BindError(
+            "expression not allowed in a table-level predicate: " +
+            sql::ExprToSql(e));
+    }
+  };
+  FGAC_ASSIGN_OR_RETURN(ScalarPtr s, bind(expr));
+  return NormalizeScalar(s);
+}
+
+Result<ScalarPtr> Binder::BindUpdatePredicate(
+    const sql::ExprPtr& expr, const catalog::TableSchema& schema,
+    UpdateImage image, const std::map<std::string, Value>& params) {
+  const int n = static_cast<int>(schema.num_columns());
+  // Resolves a column reference for a given image (0 = old/base, 1 = new).
+  auto resolve = [&](const sql::ExprPtr& col, bool new_image) -> Result<int> {
+    if (col == nullptr || col->kind != sql::ExprKind::kColumnRef) {
+      return Status::BindError("old()/new() takes a column reference");
+    }
+    if (!col->qualifier.empty() && col->qualifier != schema.name()) {
+      return Status::BindError("unknown qualifier '" + col->qualifier + "'");
+    }
+    std::optional<size_t> idx = schema.FindColumn(col->column);
+    if (!idx.has_value()) {
+      return Status::BindError("unknown column '" + col->column + "'");
+    }
+    int slot = static_cast<int>(*idx);
+    if (image == UpdateImage::kUpdate && new_image) slot += n;
+    return slot;
+  };
+
+  std::function<Result<ScalarPtr>(const sql::ExprPtr&)> bind =
+      [&](const sql::ExprPtr& e) -> Result<ScalarPtr> {
+    if (e == nullptr) return Status::BindError("null expression");
+    switch (e->kind) {
+      case sql::ExprKind::kLiteral:
+        return MakeLiteralScalar(e->value);
+      case sql::ExprKind::kParam: {
+        auto it = params.find(e->param_name);
+        if (it == params.end()) {
+          return Status::BindError("unbound parameter $" + e->param_name);
+        }
+        return MakeLiteralScalar(it->second);
+      }
+      case sql::ExprKind::kColumnRef: {
+        // Bare reference: new tuple for INSERT, old tuple otherwise.
+        FGAC_ASSIGN_OR_RETURN(
+            int slot, resolve(e, /*new_image=*/image == UpdateImage::kInsert));
+        // For INSERT/DELETE there is a single image at slots [0, n).
+        return MakeColumn(image == UpdateImage::kInsert ? slot % n : slot);
+      }
+      case sql::ExprKind::kFuncCall: {
+        if (e->func_name == "old" || e->func_name == "new") {
+          if (e->args.size() != 1) {
+            return Status::BindError(e->func_name + "() takes one argument");
+          }
+          bool is_new = e->func_name == "new";
+          if (image == UpdateImage::kInsert && !is_new) {
+            return Status::BindError("old() is not valid for INSERT");
+          }
+          if (image == UpdateImage::kDelete && is_new) {
+            return Status::BindError("new() is not valid for DELETE");
+          }
+          FGAC_ASSIGN_OR_RETURN(int slot, resolve(e->args[0], is_new));
+          return MakeColumn(image == UpdateImage::kUpdate ? slot : slot % n);
+        }
+        return Status::BindError("unknown function '" + e->func_name + "'");
+      }
+      case sql::ExprKind::kBinary: {
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr l, bind(e->left));
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr r, bind(e->right));
+        return MakeBinaryScalar(e->bin_op, std::move(l), std::move(r));
+      }
+      case sql::ExprKind::kUnary: {
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr x, bind(e->operand));
+        return MakeUnaryScalar(e->un_op, std::move(x));
+      }
+      case sql::ExprKind::kInList: {
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr x, bind(e->operand));
+        std::vector<ScalarPtr> list;
+        for (const auto& el : e->in_list) {
+          FGAC_ASSIGN_OR_RETURN(ScalarPtr s, bind(el));
+          list.push_back(std::move(s));
+        }
+        return MakeInListScalar(std::move(x), std::move(list), e->negated);
+      }
+      case sql::ExprKind::kBetween: {
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr x, bind(e->operand));
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr lo, bind(e->left));
+        FGAC_ASSIGN_OR_RETURN(ScalarPtr hi, bind(e->right));
+        ScalarPtr both = MakeBinaryScalar(
+            sql::BinOp::kAnd, MakeBinaryScalar(sql::BinOp::kLe, lo, x),
+            MakeBinaryScalar(sql::BinOp::kLe, x, hi));
+        if (e->negated) return MakeUnaryScalar(sql::UnOp::kNot, both);
+        return both;
+      }
+      default:
+        return Status::BindError(
+            "expression not allowed in an update-authorization predicate");
+    }
+  };
+  FGAC_ASSIGN_OR_RETURN(ScalarPtr s, bind(expr));
+  return NormalizeScalar(s);
+}
+
+}  // namespace fgac::algebra

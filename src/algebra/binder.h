@@ -1,0 +1,89 @@
+#ifndef FGAC_ALGEBRA_BINDER_H_
+#define FGAC_ALGEBRA_BINDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace fgac::algebra {
+
+/// Translates parsed SELECT statements into canonical logical plans:
+///  * name resolution against the catalog (tables and views; views are
+///    macro-expanded, with `$` parameters substituted from `params`),
+///  * FROM items combined into a left-deep join chain, WHERE conjuncts in a
+///    Select above it (transformation rules later push them down),
+///  * grouping/aggregation lowered to Aggregate + Project (+ Select for
+///    HAVING), DISTINCT/ORDER BY/LIMIT lowered to their nodes,
+///  * the result normalized (see normalize.h) so equal queries written
+///    differently produce structurally equal plans.
+class Binder {
+ public:
+  struct Options {
+    /// Values for `$` parameters (e.g. {"user-id", '11'}). Binding fails on
+    /// an unsubstituted `$` parameter.
+    std::map<std::string, Value> params;
+    /// When true, `$$` parameters bind to kAccessParam scalars (used when
+    /// binding access-pattern authorization views for the validity engine).
+    /// When false, an unbound `$$` parameter is an error.
+    bool allow_access_params = false;
+  };
+
+  Binder(const catalog::Catalog& catalog, Options options)
+      : catalog_(catalog), options_(std::move(options)) {}
+
+  /// Binds a full SELECT statement to a normalized logical plan.
+  Result<PlanPtr> BindSelect(const sql::SelectStmt& stmt);
+
+  /// Binds an expression whose column references resolve against a single
+  /// table's columns (slot i = column i). Used for inclusion-dependency
+  /// predicates and DML WHERE clauses. Qualified references must use the
+  /// table's name. `$` parameters resolve from `params`.
+  static Result<ScalarPtr> BindOverTable(
+      const sql::ExprPtr& expr, const catalog::TableSchema& schema,
+      const std::map<std::string, Value>& params = {});
+
+  /// Binds an update-authorization predicate (paper Section 4.4).
+  /// For INSERT: bare/qualified refs resolve to the new tuple (slots
+  /// [0, n)). For DELETE: to the old tuple. For UPDATE: the row layout is
+  /// old tuple in slots [0, n) and new tuple in [n, 2n); `old(t.c)` /
+  /// `new(t.c)` select the image, bare references default to the old image.
+  enum class UpdateImage { kInsert, kDelete, kUpdate };
+  static Result<ScalarPtr> BindUpdatePredicate(
+      const sql::ExprPtr& expr, const catalog::TableSchema& schema,
+      UpdateImage image, const std::map<std::string, Value>& params);
+
+ private:
+  struct ScopeColumn {
+    std::string qualifier;  // table alias (lowercase)
+    std::string name;       // column name (lowercase)
+    int slot = 0;
+  };
+  struct Scope {
+    std::vector<ScopeColumn> columns;
+  };
+  struct BoundFrom {
+    PlanPtr plan;
+    Scope scope;
+  };
+
+  Result<BoundFrom> BindTableRef(const sql::TableRefPtr& ref, int depth);
+  Result<BoundFrom> BindNamedRelation(const std::string& name,
+                                      const std::string& alias, int depth);
+  Result<PlanPtr> BindSelectImpl(const sql::SelectStmt& stmt, int depth);
+
+  Result<ScalarPtr> BindExpr(const sql::ExprPtr& expr, const Scope& scope);
+  Result<int> ResolveColumn(const std::string& qualifier,
+                            const std::string& name, const Scope& scope);
+
+  const catalog::Catalog& catalog_;
+  Options options_;
+};
+
+}  // namespace fgac::algebra
+
+#endif  // FGAC_ALGEBRA_BINDER_H_

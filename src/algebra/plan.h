@@ -1,0 +1,101 @@
+#ifndef FGAC_ALGEBRA_PLAN_H_
+#define FGAC_ALGEBRA_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/scalar.h"
+#include "common/value.h"
+
+namespace fgac::algebra {
+
+struct Plan;
+/// Logical plans are immutable and shared; rewrites build new nodes.
+using PlanPtr = std::shared_ptr<const Plan>;
+
+enum class PlanKind {
+  kGet,        // scan of a base table
+  kValues,     // literal rows
+  kSelect,     // filter by a conjunction of predicates
+  kProject,    // compute output expressions
+  kJoin,       // inner join (empty predicate list = cross product)
+  kAggregate,  // grouping + aggregate functions
+  kDistinct,   // duplicate elimination
+  kSort,       // ORDER BY (presentation only)
+  kLimit,      // first-n
+  kUnionAll,   // bag union
+};
+
+struct SortItem {
+  ScalarPtr expr;  // over child output slots
+  bool descending = false;
+};
+
+/// A logical plan node. Column references inside scalars are positional
+/// against the concatenated child outputs (for kJoin: left slots first).
+/// `output_names` on kProject/kAggregate are display metadata and are NOT
+/// part of the node's structural identity.
+struct Plan {
+  PlanKind kind = PlanKind::kGet;
+  std::vector<PlanPtr> children;
+
+  // kGet
+  std::string table;
+  std::vector<std::string> get_columns;
+
+  // kValues
+  std::vector<Row> rows;
+  size_t values_arity = 0;
+
+  // kSelect / kJoin: conjuncts in canonical order.
+  std::vector<ScalarPtr> predicates;
+
+  // kProject
+  std::vector<ScalarPtr> exprs;
+
+  // kAggregate
+  std::vector<ScalarPtr> group_by;
+  std::vector<AggExpr> aggs;
+
+  // kProject / kAggregate display names (group cols then agg cols).
+  std::vector<std::string> output_names;
+
+  // kSort
+  std::vector<SortItem> sort_items;
+
+  // kLimit
+  int64_t limit = 0;
+};
+
+PlanPtr MakeGet(std::string table, std::vector<std::string> columns);
+PlanPtr MakeValues(std::vector<Row> rows, size_t arity);
+/// Returns `child` unchanged when `predicates` is empty.
+PlanPtr MakeSelect(std::vector<ScalarPtr> predicates, PlanPtr child);
+PlanPtr MakeProject(std::vector<ScalarPtr> exprs,
+                    std::vector<std::string> output_names, PlanPtr child);
+PlanPtr MakeJoin(std::vector<ScalarPtr> predicates, PlanPtr left, PlanPtr right);
+PlanPtr MakeAggregate(std::vector<ScalarPtr> group_by, std::vector<AggExpr> aggs,
+                      std::vector<std::string> output_names, PlanPtr child);
+PlanPtr MakeDistinct(PlanPtr child);
+PlanPtr MakeSort(std::vector<SortItem> items, PlanPtr child);
+PlanPtr MakeLimit(int64_t limit, PlanPtr child);
+PlanPtr MakeUnionAll(std::vector<PlanPtr> children);
+
+/// Number of output columns.
+size_t OutputArity(const Plan& plan);
+
+/// Display column names (positional).
+std::vector<std::string> OutputNames(const Plan& plan);
+
+/// Indented multi-line rendering for debugging and EXPLAIN-style output.
+std::string PlanToString(const PlanPtr& plan, int indent = 0);
+
+/// True if any scalar in the plan tree contains a $$ access parameter.
+bool PlanHasAccessParam(const PlanPtr& plan);
+
+}  // namespace fgac::algebra
+
+#endif  // FGAC_ALGEBRA_PLAN_H_

@@ -1,0 +1,138 @@
+#include "algebra/plan_hash.h"
+
+#include <functional>
+
+namespace fgac::algebra {
+
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4));
+}
+
+}  // namespace
+
+uint64_t PlanFingerprint(const PlanPtr& plan) {
+  if (plan == nullptr) return 0;
+  uint64_t h = static_cast<uint64_t>(plan->kind) * 0x100000001b3ULL + 0x811c9dc5;
+  switch (plan->kind) {
+    case PlanKind::kGet:
+      h = HashCombine(h, std::hash<std::string>()(plan->table));
+      h = HashCombine(h, plan->get_columns.size());
+      break;
+    case PlanKind::kValues:
+      h = HashCombine(h, plan->values_arity);
+      for (const Row& r : plan->rows) h = HashCombine(h, RowHash()(r));
+      break;
+    case PlanKind::kSelect:
+    case PlanKind::kJoin:
+      for (const ScalarPtr& p : plan->predicates) {
+        h = HashCombine(h, ScalarFingerprint(p));
+      }
+      break;
+    case PlanKind::kProject:
+      for (const ScalarPtr& e : plan->exprs) {
+        h = HashCombine(h, ScalarFingerprint(e));
+      }
+      break;
+    case PlanKind::kAggregate:
+      for (const ScalarPtr& g : plan->group_by) {
+        h = HashCombine(h, ScalarFingerprint(g));
+      }
+      h = HashCombine(h, 0xabcd);
+      for (const AggExpr& a : plan->aggs) {
+        h = HashCombine(h, AggExprFingerprint(a));
+      }
+      break;
+    case PlanKind::kDistinct:
+    case PlanKind::kUnionAll:
+      break;
+    case PlanKind::kSort:
+      for (const SortItem& it : plan->sort_items) {
+        h = HashCombine(h, ScalarFingerprint(it.expr) * (it.descending ? 3 : 1));
+      }
+      break;
+    case PlanKind::kLimit:
+      h = HashCombine(h, static_cast<uint64_t>(plan->limit));
+      break;
+  }
+  for (const PlanPtr& c : plan->children) {
+    h = HashCombine(h, PlanFingerprint(c));
+  }
+  return h;
+}
+
+bool PlanEquals(const PlanPtr& a, const PlanPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind || a->children.size() != b->children.size()) {
+    return false;
+  }
+  switch (a->kind) {
+    case PlanKind::kGet:
+      if (a->table != b->table ||
+          a->get_columns.size() != b->get_columns.size()) {
+        return false;
+      }
+      break;
+    case PlanKind::kValues: {
+      if (a->values_arity != b->values_arity || a->rows.size() != b->rows.size())
+        return false;
+      RowEq eq;
+      for (size_t i = 0; i < a->rows.size(); ++i) {
+        if (!eq(a->rows[i], b->rows[i])) return false;
+      }
+      break;
+    }
+    case PlanKind::kSelect:
+    case PlanKind::kJoin: {
+      if (a->predicates.size() != b->predicates.size()) return false;
+      for (size_t i = 0; i < a->predicates.size(); ++i) {
+        if (!ScalarEquals(a->predicates[i], b->predicates[i])) return false;
+      }
+      break;
+    }
+    case PlanKind::kProject: {
+      if (a->exprs.size() != b->exprs.size()) return false;
+      for (size_t i = 0; i < a->exprs.size(); ++i) {
+        if (!ScalarEquals(a->exprs[i], b->exprs[i])) return false;
+      }
+      break;
+    }
+    case PlanKind::kAggregate: {
+      if (a->group_by.size() != b->group_by.size() ||
+          a->aggs.size() != b->aggs.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a->group_by.size(); ++i) {
+        if (!ScalarEquals(a->group_by[i], b->group_by[i])) return false;
+      }
+      for (size_t i = 0; i < a->aggs.size(); ++i) {
+        if (!AggExprEquals(a->aggs[i], b->aggs[i])) return false;
+      }
+      break;
+    }
+    case PlanKind::kDistinct:
+    case PlanKind::kUnionAll:
+      break;
+    case PlanKind::kSort: {
+      if (a->sort_items.size() != b->sort_items.size()) return false;
+      for (size_t i = 0; i < a->sort_items.size(); ++i) {
+        if (a->sort_items[i].descending != b->sort_items[i].descending ||
+            !ScalarEquals(a->sort_items[i].expr, b->sort_items[i].expr)) {
+          return false;
+        }
+      }
+      break;
+    }
+    case PlanKind::kLimit:
+      if (a->limit != b->limit) return false;
+      break;
+  }
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!PlanEquals(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace fgac::algebra

@@ -1,0 +1,21 @@
+#ifndef FGAC_ALGEBRA_PLAN_HASH_H_
+#define FGAC_ALGEBRA_PLAN_HASH_H_
+
+#include <cstdint>
+
+#include "algebra/plan.h"
+
+namespace fgac::algebra {
+
+/// 64-bit structural fingerprint of a plan tree. Display metadata
+/// (output_names, get_columns beyond their count) is excluded, matching
+/// PlanEquals.
+uint64_t PlanFingerprint(const PlanPtr& plan);
+
+/// Deep structural equality of plan trees (semantic identity: names are
+/// ignored, scalar structure and child order matter).
+bool PlanEquals(const PlanPtr& a, const PlanPtr& b);
+
+}  // namespace fgac::algebra
+
+#endif  // FGAC_ALGEBRA_PLAN_HASH_H_

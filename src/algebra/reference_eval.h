@@ -1,0 +1,20 @@
+#ifndef FGAC_ALGEBRA_REFERENCE_EVAL_H_
+#define FGAC_ALGEBRA_REFERENCE_EVAL_H_
+
+#include "algebra/plan.h"
+#include "common/result.h"
+#include "storage/database_state.h"
+#include "storage/relation.h"
+
+namespace fgac::algebra {
+
+/// Straight-line materializing evaluator for logical plans. Not fast, but
+/// simple enough to serve as the semantic ground truth: the physical
+/// executor (src/exec) is property-tested against it, and the validity
+/// engine uses it for the C3 visible-non-emptiness checks.
+Result<storage::Relation> ReferenceEval(const PlanPtr& plan,
+                                        const storage::DatabaseState& state);
+
+}  // namespace fgac::algebra
+
+#endif  // FGAC_ALGEBRA_REFERENCE_EVAL_H_

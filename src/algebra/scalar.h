@@ -1,0 +1,163 @@
+#ifndef FGAC_ALGEBRA_SCALAR_H_
+#define FGAC_ALGEBRA_SCALAR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace fgac::algebra {
+
+struct Scalar;
+/// Bound scalar expressions are immutable and shared.
+using ScalarPtr = std::shared_ptr<const Scalar>;
+
+enum class ScalarKind {
+  kColumn,       // input slot index
+  kLiteral,      // constant
+  kAccessParam,  // unresolved $$ parameter (only inside access-pattern
+                 // view plans; never in executable query plans)
+  kBinary,
+  kUnary,
+  kInList,
+};
+
+/// A scalar expression over the positional output of a plan node: column
+/// references are input slot indices, which makes structurally equal
+/// expressions compare equal regardless of the names used in the original
+/// SQL — the property the memo's unification (Section 5.6.2) relies on.
+struct Scalar {
+  ScalarKind kind = ScalarKind::kLiteral;
+
+  // kColumn
+  int slot = -1;
+
+  // kLiteral
+  Value value;
+
+  // kAccessParam
+  std::string param;
+
+  // kBinary
+  sql::BinOp bin_op = sql::BinOp::kEq;
+  ScalarPtr left;
+  ScalarPtr right;
+
+  // kUnary
+  sql::UnOp un_op = sql::UnOp::kNot;
+  ScalarPtr operand;
+
+  // kInList: operand IN in_list (negated = NOT IN)
+  std::vector<ScalarPtr> in_list;
+  bool negated = false;
+
+  /// Lazily computed structural fingerprint (0 = not yet computed). Safe
+  /// because nodes are immutable after construction.
+  mutable uint64_t cached_fingerprint = 0;
+};
+
+ScalarPtr MakeColumn(int slot);
+ScalarPtr MakeLiteralScalar(Value v);
+ScalarPtr MakeAccessParamScalar(std::string name);
+ScalarPtr MakeBinaryScalar(sql::BinOp op, ScalarPtr left, ScalarPtr right);
+ScalarPtr MakeUnaryScalar(sql::UnOp op, ScalarPtr operand);
+ScalarPtr MakeInListScalar(ScalarPtr operand, std::vector<ScalarPtr> list,
+                           bool negated);
+
+/// Aggregate functions supported by the Aggregate plan node.
+enum class AggFunc { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc f);
+
+struct AggExpr {
+  AggFunc func = AggFunc::kCountStar;
+  ScalarPtr arg;  // null for kCountStar
+  bool distinct = false;
+};
+
+// ---------------------------------------------------------------------------
+// Structural identity
+// ---------------------------------------------------------------------------
+
+/// 64-bit structural fingerprint; equal scalars have equal fingerprints.
+uint64_t ScalarFingerprint(const ScalarPtr& s);
+
+/// Deep structural equality.
+bool ScalarEquals(const ScalarPtr& a, const ScalarPtr& b);
+
+uint64_t AggExprFingerprint(const AggExpr& a);
+bool AggExprEquals(const AggExpr& a, const AggExpr& b);
+
+// ---------------------------------------------------------------------------
+// Traversal and rewriting
+// ---------------------------------------------------------------------------
+
+/// Adds every referenced slot index to `out`.
+void CollectSlots(const ScalarPtr& s, std::set<int>* out);
+
+/// Returns a copy of `s` with each column slot i replaced by remap(i).
+/// remap returning a negative value is a caller bug (asserted).
+ScalarPtr RemapSlots(const ScalarPtr& s, const std::function<int(int)>& remap);
+
+/// Returns a copy of `s` with each column slot i replaced by the scalar
+/// substitution[i] (composition, used by project-collapse).
+ScalarPtr SubstituteSlots(const ScalarPtr& s,
+                          const std::vector<ScalarPtr>& substitution);
+
+/// True if the scalar contains any $$ access parameter.
+bool HasAccessParam(const ScalarPtr& s);
+
+/// Returns a copy with access parameter `name` replaced by literal `v`.
+ScalarPtr BindAccessParam(const ScalarPtr& s, const std::string& name,
+                          const Value& v);
+
+/// Renders the scalar for debugging: slots print as $<i> or, when
+/// `slot_names` is provided, as their names.
+std::string ScalarToString(const ScalarPtr& s,
+                           const std::vector<std::string>* slot_names = nullptr);
+
+// ---------------------------------------------------------------------------
+// Evaluation (SQL semantics, 3-valued logic)
+// ---------------------------------------------------------------------------
+
+/// Evaluates `s` against `row` (slot i = row[i]). Division by zero and type
+/// mismatches yield ExecutionError. Unresolved access parameters yield
+/// InvalidArgument.
+Result<Value> EvalScalar(const ScalarPtr& s, const Row& row);
+
+/// Evaluates a predicate: true only when the scalar evaluates to TRUE
+/// (UNKNOWN/NULL filters out, per SQL WHERE semantics).
+Result<bool> EvalPredicate(const ScalarPtr& s, const Row& row);
+
+/// Accumulator for one aggregate expression (shared by the reference
+/// evaluator and the physical hash-aggregate operator).
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(const AggExpr& agg);
+
+  /// Feeds one input row (evaluates the argument as needed).
+  Status Add(const Row& row);
+
+  /// Final value (NULL for empty SUM/AVG/MIN/MAX, 0 for COUNT).
+  Value Finish() const;
+
+ private:
+  const AggExpr& agg_;
+  int64_t count_ = 0;
+  bool any_ = false;
+  bool sum_is_double_ = false;
+  int64_t sum_int_ = 0;
+  double sum_double_ = 0.0;
+  Value min_, max_;
+  std::vector<Value> distinct_seen_;  // sorted-insert small-set
+};
+
+}  // namespace fgac::algebra
+
+#endif  // FGAC_ALGEBRA_SCALAR_H_

@@ -1,0 +1,4 @@
+#include "catalog/constraint.h"
+
+// InclusionDependency is a plain data carrier; logic that consumes it lives
+// in optimizer/implication.cc and core/validity.cc.

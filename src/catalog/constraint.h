@@ -1,0 +1,46 @@
+#ifndef FGAC_CATALOG_CONSTRAINT_H_
+#define FGAC_CATALOG_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace fgac::catalog {
+
+/// An inclusion dependency:
+///   every tuple of `src_table` satisfying `src_predicate` has at least one
+///   matching tuple in `dst_table` with src_columns[i] = dst_columns[i].
+///
+/// Foreign keys are stored as inclusion dependencies with kind kForeignKey
+/// (additionally implying the destination columns are a key). Declared
+/// inclusion dependencies (paper Section 5.3, e.g. "every full-time student
+/// is registered for at least one course") use kind kDeclared and may carry
+/// a source-side predicate.
+///
+/// These constraints are the integrity-constraint input to inference rules
+/// U3a/U3b/U3c: they are what justifies "for every tuple in the view core
+/// there is a matching tuple in the view remainder".
+struct InclusionDependency {
+  enum class Kind { kForeignKey, kDeclared };
+
+  std::string name;
+  Kind kind = Kind::kDeclared;
+  std::string src_table;
+  std::vector<std::string> src_columns;
+  /// Optional predicate restricting the source side (kDeclared only);
+  /// column refs use bare column names or `src_table.column`.
+  sql::ExprPtr src_predicate;
+  std::string dst_table;
+  std::vector<std::string> dst_columns;
+
+  /// Whether the user is authorized to know this constraint exists. The
+  /// paper (Section 4.2) requires that constraints invisible to the user
+  /// must not be used in validity inference, lest acceptance of a query
+  /// leak the constraint's existence. Defaults to visible.
+  bool visible_to_users = true;
+};
+
+}  // namespace fgac::catalog
+
+#endif  // FGAC_CATALOG_CONSTRAINT_H_

@@ -1,0 +1,4 @@
+#include "catalog/principal.h"
+
+// Principal is a plain data carrier; grant resolution lives in
+// catalog/catalog.cc (Catalog::AvailableViews).

@@ -1,0 +1,43 @@
+#ifndef FGAC_CATALOG_PRINCIPAL_H_
+#define FGAC_CATALOG_PRINCIPAL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace fgac::catalog {
+
+/// An update-authorization rule (paper Section 4.4), e.g.
+///   AUTHORIZE INSERT ON registered WHERE registered.student-id = $user-id.
+/// The predicate may reference $parameters and, for UPDATE/DELETE, the
+/// old()/new() tuple images.
+struct UpdateAuthorization {
+  enum class Op { kInsert, kUpdate, kDelete };
+  Op op = Op::kInsert;
+  std::string table;
+  /// UPDATE only: columns this rule permits updating (empty = all).
+  std::vector<std::string> columns;
+  /// Nullable = unconditionally authorized.
+  sql::ExprPtr predicate;
+};
+
+/// A database principal. Users and roles share this representation; a user
+/// may be granted roles, and authorization views granted to a role flow to
+/// its members (paper Section 7 notes RBAC composes with authorization
+/// views this way).
+struct Principal {
+  std::string name;
+  bool is_role = false;
+  /// Names of authorization views granted directly (Section 4.1).
+  std::set<std::string> granted_views;
+  /// Roles this principal is a member of.
+  std::set<std::string> roles;
+  /// Update authorizations attached to this principal.
+  std::vector<UpdateAuthorization> update_authorizations;
+};
+
+}  // namespace fgac::catalog
+
+#endif  // FGAC_CATALOG_PRINCIPAL_H_

@@ -1,0 +1,12 @@
+#include "catalog/schema.h"
+
+namespace fgac::catalog {
+
+std::optional<size_t> TableSchema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fgac::catalog

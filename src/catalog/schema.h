@@ -1,0 +1,46 @@
+#ifndef FGAC_CATALOG_SCHEMA_H_
+#define FGAC_CATALOG_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/type.h"
+
+namespace fgac::catalog {
+
+/// One column of a base table.
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+  bool not_null = false;
+};
+
+/// Schema of a base table: name, columns, primary-key column indices.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<Column> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of `name` (case-insensitively pre-lowercased), or nullopt.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  const std::vector<size_t>& primary_key() const { return primary_key_; }
+  void set_primary_key(std::vector<size_t> idx) { primary_key_ = std::move(idx); }
+  bool has_primary_key() const { return !primary_key_.empty(); }
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<size_t> primary_key_;
+};
+
+}  // namespace fgac::catalog
+
+#endif  // FGAC_CATALOG_SCHEMA_H_

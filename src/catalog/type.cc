@@ -1,0 +1,48 @@
+#include "catalog/type.h"
+
+namespace fgac::catalog {
+
+TypeId TypeFromSql(sql::TypeName name) {
+  switch (name) {
+    case sql::TypeName::kInt:
+    case sql::TypeName::kBigInt:
+      return TypeId::kInt64;
+    case sql::TypeName::kDouble:
+      return TypeId::kDouble;
+    case sql::TypeName::kVarchar:
+      return TypeId::kString;
+    case sql::TypeName::kBoolean:
+      return TypeId::kBool;
+  }
+  return TypeId::kInt64;
+}
+
+const char* TypeIdName(TypeId type) {
+  switch (type) {
+    case TypeId::kInt64: return "BIGINT";
+    case TypeId::kDouble: return "DOUBLE";
+    case TypeId::kString: return "VARCHAR";
+    case TypeId::kBool: return "BOOLEAN";
+  }
+  return "?";
+}
+
+bool ValueFitsType(const Value& v, TypeId type) {
+  if (v.is_null()) return true;
+  switch (type) {
+    case TypeId::kInt64: return v.is_int();
+    case TypeId::kDouble: return v.is_numeric();
+    case TypeId::kString: return v.is_string();
+    case TypeId::kBool: return v.is_bool();
+  }
+  return false;
+}
+
+Value CoerceToType(const Value& v, TypeId type) {
+  if (type == TypeId::kDouble && v.is_int()) {
+    return Value::Double(static_cast<double>(v.int_value()));
+  }
+  return v;
+}
+
+}  // namespace fgac::catalog

@@ -1,0 +1,30 @@
+#ifndef FGAC_CATALOG_TYPE_H_
+#define FGAC_CATALOG_TYPE_H_
+
+#include <string>
+
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace fgac::catalog {
+
+/// Storage types. BIGINT/INT collapse to kInt64; VARCHAR to kString.
+enum class TypeId { kInt64, kDouble, kString, kBool };
+
+/// Maps a parsed SQL type name to a storage type.
+TypeId TypeFromSql(sql::TypeName name);
+
+/// Human-readable type name ("BIGINT", "DOUBLE", ...).
+const char* TypeIdName(TypeId type);
+
+/// True if `v` may be stored in a column of type `type` (NULL always fits;
+/// ints coerce into double columns).
+bool ValueFitsType(const Value& v, TypeId type);
+
+/// Coerces `v` for storage in `type` (int -> double widening); returns the
+/// value unchanged when no coercion applies.
+Value CoerceToType(const Value& v, TypeId type);
+
+}  // namespace fgac::catalog
+
+#endif  // FGAC_CATALOG_TYPE_H_

@@ -1,0 +1,4 @@
+#include "catalog/view_def.h"
+
+// ViewDefinition is a plain data carrier; instantiation logic lives in
+// core/auth_view.cc.

@@ -1,0 +1,74 @@
+#ifndef FGAC_COMMON_RESULT_H_
+#define FGAC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace fgac {
+
+/// A value-or-error type in the style of arrow::Result / absl::StatusOr.
+///
+/// Invariant: holds either a non-OK Status or a T. Constructing from an OK
+/// Status is a programming error (asserted in debug builds and converted to
+/// an InvalidArgument error otherwise).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::InvalidArgument("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace fgac
+
+/// Evaluates `rexpr` (a Result<T>), propagates error, else assigns to lhs.
+#define FGAC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define FGAC_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define FGAC_ASSIGN_OR_RETURN_NAME(x, y) FGAC_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define FGAC_ASSIGN_OR_RETURN(lhs, rexpr) \
+  FGAC_ASSIGN_OR_RETURN_IMPL(             \
+      FGAC_ASSIGN_OR_RETURN_NAME(_result_, __COUNTER__), lhs, rexpr)
+
+#endif  // FGAC_COMMON_RESULT_H_

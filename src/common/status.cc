@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace fgac {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kBindError:
+      return "BindError";
+    case StatusCode::kCatalogError:
+      return "CatalogError";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kNotAuthorized:
+      return "NotAuthorized";
+    case StatusCode::kConstraintViolation:
+      return "ConstraintViolation";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace fgac

@@ -1,0 +1,99 @@
+#ifndef FGAC_COMMON_STATUS_H_
+#define FGAC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace fgac {
+
+/// Error categories used across the library. Modelled on the Arrow/RocksDB
+/// convention: no exceptions cross public API boundaries; every fallible
+/// operation returns a Status (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  /// Lexical or syntactic error in a SQL string.
+  kParseError,
+  /// Name resolution / typing error (unknown table, column, type mismatch).
+  kBindError,
+  /// Catalog-level error (duplicate table, unknown view, bad constraint).
+  kCatalogError,
+  /// Runtime execution error (division by zero, overflow).
+  kExecutionError,
+  /// The Non-Truman model rejected the query: it could not be inferred
+  /// valid from the user's authorization views (paper Section 4).
+  kNotAuthorized,
+  /// Constraint violation on update (PK/FK/inclusion dependency).
+  kConstraintViolation,
+  /// Feature intentionally outside the supported SQL subset.
+  kNotImplemented,
+  /// Precondition violated by the caller.
+  kInvalidArgument,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "NotAuthorized").
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status CatalogError(std::string msg) {
+    return Status(StatusCode::kCatalogError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status NotAuthorized(std::string msg) {
+    return Status(StatusCode::kNotAuthorized, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace fgac
+
+/// Propagates a non-OK Status to the caller.
+#define FGAC_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::fgac::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#endif  // FGAC_COMMON_STATUS_H_

@@ -1,0 +1,24 @@
+#ifndef FGAC_COMMON_STRINGS_H_
+#define FGAC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fgac {
+
+/// ASCII-lowercases a copy of `s` (SQL identifiers are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII string equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace fgac
+
+#endif  // FGAC_COMMON_STRINGS_H_

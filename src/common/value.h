@@ -1,0 +1,95 @@
+#ifndef FGAC_COMMON_VALUE_H_
+#define FGAC_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace fgac {
+
+/// A runtime SQL value: NULL, BOOLEAN, BIGINT, DOUBLE or VARCHAR.
+///
+/// Values are small, copyable, and totally ordered by `Compare` (NULLs sort
+/// first; cross-numeric-type comparison promotes to double). SQL 3-valued
+/// logic is implemented by the SqlEq/SqlLt/... helpers which return
+/// std::nullopt for UNKNOWN.
+class Value {
+ public:
+  enum class Kind { kNull = 0, kBool, kInt, kDouble, kString };
+
+  /// Constructs SQL NULL.
+  Value() : repr_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Repr(v)); }
+  static Value Int(int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+
+  Kind kind() const { return static_cast<Kind>(repr_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+  bool is_bool() const { return kind() == Kind::kBool; }
+  bool is_int() const { return kind() == Kind::kInt; }
+  bool is_double() const { return kind() == Kind::kDouble; }
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  bool bool_value() const { return std::get<bool>(repr_); }
+  int64_t int_value() const { return std::get<int64_t>(repr_); }
+  double double_value() const { return std::get<double>(repr_); }
+  const std::string& string_value() const { return std::get<std::string>(repr_); }
+
+  /// Numeric value widened to double (valid only if is_numeric()).
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(int_value()) : double_value();
+  }
+
+  /// Total order used for sorting and container keys: NULL < BOOL < numeric
+  /// < STRING; numerics compare by value across int/double. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  /// Exact equality under the total order (NULL == NULL here, unlike SQL).
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable hash consistent with operator== (int 3 and double 3.0 collide,
+  /// as required since they compare equal).
+  size_t Hash() const;
+
+  /// SQL literal rendering: NULL, TRUE, 42, 1.5, 'abc' (quotes escaped).
+  std::string ToString() const;
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+  Repr repr_;
+};
+
+/// A tuple of values (one table/operator output row).
+using Row = std::vector<Value>;
+
+/// SQL 3-valued comparison: nullopt if either side is NULL.
+std::optional<bool> SqlEq(const Value& a, const Value& b);
+std::optional<bool> SqlLt(const Value& a, const Value& b);
+
+/// SQL 3-valued AND/OR/NOT over optional<bool> (nullopt = UNKNOWN).
+std::optional<bool> SqlAnd(std::optional<bool> a, std::optional<bool> b);
+std::optional<bool> SqlOr(std::optional<bool> a, std::optional<bool> b);
+std::optional<bool> SqlNot(std::optional<bool> a);
+
+/// Hash functor for Row, consistent with element-wise Value equality.
+struct RowHash {
+  size_t operator()(const Row& row) const;
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const;
+};
+
+/// Renders a row as (v1, v2, ...).
+std::string RowToString(const Row& row);
+
+}  // namespace fgac
+
+#endif  // FGAC_COMMON_VALUE_H_

@@ -1,0 +1,29 @@
+#include "core/acl_baseline.h"
+
+namespace fgac::core {
+
+void TupleAclStore::Grant(const std::string& table, const Value& key,
+                          const std::string& user) {
+  auto& users = acl_[{table, key}];
+  if (users.insert(user).second) ++num_entries_;
+}
+
+bool TupleAclStore::Check(const std::string& table, const Value& key,
+                          const std::string& user) const {
+  auto it = acl_.find({table, key});
+  if (it == acl_.end()) return false;
+  return it->second.count(user) > 0;
+}
+
+size_t TupleAclStore::ApproxMemoryBytes() const {
+  // Rough accounting: bucket overhead + key strings + per-user strings.
+  size_t bytes = acl_.bucket_count() * sizeof(void*);
+  for (const auto& [key, users] : acl_) {
+    bytes += sizeof(key) + key.first.size() + 32;
+    bytes += users.bucket_count() * sizeof(void*);
+    for (const std::string& u : users) bytes += sizeof(u) + u.size() + 16;
+  }
+  return bytes;
+}
+
+}  // namespace fgac::core

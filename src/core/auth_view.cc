@@ -1,0 +1,60 @@
+#include "core/auth_view.h"
+
+#include <algorithm>
+#include <set>
+
+#include "algebra/binder.h"
+
+namespace fgac::core {
+
+std::vector<std::string> CollectBaseTables(const algebra::PlanPtr& plan) {
+  std::set<std::string> tables;
+  std::function<void(const algebra::PlanPtr&)> walk =
+      [&](const algebra::PlanPtr& p) {
+        if (p == nullptr) return;
+        if (p->kind == algebra::PlanKind::kGet) tables.insert(p->table);
+        for (const algebra::PlanPtr& c : p->children) walk(c);
+      };
+  walk(plan);
+  return {tables.begin(), tables.end()};
+}
+
+Result<InstantiatedView> InstantiateView(const catalog::Catalog& catalog,
+                                         const catalog::ViewDefinition& view,
+                                         const SessionContext& ctx) {
+  // Check all $ parameters are available.
+  for (const std::string& p : view.parameters) {
+    if (ctx.params().count(p) == 0) {
+      return Status::InvalidArgument(
+          "authorization view '" + view.name + "' requires parameter $" + p +
+          " which is not set in the session context");
+    }
+  }
+  algebra::Binder::Options options;
+  options.params = ctx.params();
+  options.allow_access_params = true;
+  algebra::Binder binder(catalog, options);
+  FGAC_ASSIGN_OR_RETURN(algebra::PlanPtr plan, binder.BindSelect(*view.select));
+
+  InstantiatedView out;
+  out.name = view.name;
+  out.plan = std::move(plan);
+  out.access_parameters = view.access_parameters;
+  out.base_tables = CollectBaseTables(out.plan);
+  return out;
+}
+
+Result<std::vector<InstantiatedView>> InstantiateAvailableViews(
+    const catalog::Catalog& catalog, const SessionContext& ctx) {
+  std::vector<InstantiatedView> out;
+  for (const catalog::ViewDefinition* view :
+       catalog.AvailableViews(ctx.user())) {
+    if (!view->is_authorization) continue;
+    FGAC_ASSIGN_OR_RETURN(InstantiatedView iv,
+                          InstantiateView(catalog, *view, ctx));
+    out.push_back(std::move(iv));
+  }
+  return out;
+}
+
+}  // namespace fgac::core

@@ -1,0 +1,50 @@
+#ifndef FGAC_CORE_AUTH_VIEW_H_
+#define FGAC_CORE_AUTH_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "core/session_context.h"
+
+namespace fgac::core {
+
+/// An authorization view instantiated for one access: `$` parameters have
+/// been replaced by the session's values and the definition bound to a
+/// canonical plan. For access-pattern views the `$$` parameters remain
+/// symbolic in the plan (kAccessParam scalars); the validity engine
+/// instantiates them against the query (Section 6).
+struct InstantiatedView {
+  std::string name;
+  /// Canonical bound plan of the instantiated definition.
+  algebra::PlanPtr plan;
+  /// Distinct `$$` parameter names (empty for ordinary views).
+  std::vector<std::string> access_parameters;
+  /// Base tables the view reads (lowercased, deduplicated) — used by view
+  /// pruning (Section 5.6 optimizations).
+  std::vector<std::string> base_tables;
+
+  bool is_access_pattern() const { return !access_parameters.empty(); }
+};
+
+/// Instantiates every authorization view available (granted, directly or
+/// via roles) to `ctx.user()`, per Section 4.2's "instantiated
+/// authorization views". Views whose `$` parameters are missing from the
+/// session context fail the whole call (a policy configuration error).
+Result<std::vector<InstantiatedView>> InstantiateAvailableViews(
+    const catalog::Catalog& catalog, const SessionContext& ctx);
+
+/// Instantiates one view definition under `ctx` (exposed for tests and the
+/// Truman rewriter).
+Result<InstantiatedView> InstantiateView(const catalog::Catalog& catalog,
+                                         const catalog::ViewDefinition& view,
+                                         const SessionContext& ctx);
+
+/// Collects the base tables referenced by a plan.
+std::vector<std::string> CollectBaseTables(const algebra::PlanPtr& plan);
+
+}  // namespace fgac::core
+
+#endif  // FGAC_CORE_AUTH_VIEW_H_

@@ -1,0 +1,708 @@
+#include "core/database.h"
+
+#include <algorithm>
+#include <set>
+
+#include "algebra/binder.h"
+#include "algebra/normalize.h"
+#include "algebra/plan_hash.h"
+#include "catalog/type.h"
+#include "core/auth_view.h"
+#include "core/truman.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+
+namespace fgac::core {
+
+using algebra::PlanPtr;
+using catalog::TableSchema;
+using storage::Relation;
+
+namespace {
+
+DatabaseOptions DefaultOptions() {
+  DatabaseOptions o;
+  o.exec_expand.max_passes = 8;
+  o.exec_expand.max_exprs = 20000;
+  return o;
+}
+
+SessionContext AdminContext() {
+  SessionContext ctx("admin");
+  ctx.set_mode(EnforcementMode::kNone);
+  return ctx;
+}
+
+}  // namespace
+
+Database::Database() : Database(DefaultOptions()) {}
+
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {
+  // Let execution-time distinct elimination see primary keys.
+  options_.exec_expand.table_pk_slots =
+      [this](const std::string& table) -> std::vector<int> {
+    const TableSchema* schema = catalog_.GetTable(table);
+    if (schema == nullptr) return {};
+    std::vector<int> out;
+    for (size_t i : schema->primary_key()) out.push_back(static_cast<int>(i));
+    return out;
+  };
+}
+
+Result<ExecResult> Database::Execute(std::string_view sql,
+                                     const SessionContext& ctx) {
+  FGAC_ASSIGN_OR_RETURN(sql::StmtPtr stmt, sql::Parser::ParseStatement(sql));
+  return ExecuteStmt(*stmt, ctx);
+}
+
+Result<ExecResult> Database::ExecuteAsAdmin(std::string_view sql) {
+  return Execute(sql, AdminContext());
+}
+
+Status Database::ExecuteScript(std::string_view sql) {
+  FGAC_ASSIGN_OR_RETURN(std::vector<sql::StmtPtr> stmts,
+                        sql::Parser::ParseScript(sql));
+  SessionContext admin = AdminContext();
+  for (const sql::StmtPtr& stmt : stmts) {
+    Result<ExecResult> r = ExecuteStmt(*stmt, admin);
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+Result<ExecResult> Database::ExecuteStmt(const sql::Stmt& stmt,
+                                         const SessionContext& ctx) {
+  switch (stmt.kind()) {
+    case sql::StmtKind::kSelect:
+      return ExecuteSelect(static_cast<const sql::SelectStmt&>(stmt), ctx);
+    case sql::StmtKind::kInsert:
+      return ExecuteInsert(static_cast<const sql::InsertStmt&>(stmt), ctx);
+    case sql::StmtKind::kUpdate:
+      return ExecuteUpdate(static_cast<const sql::UpdateStmt&>(stmt), ctx);
+    case sql::StmtKind::kDelete:
+      return ExecuteDelete(static_cast<const sql::DeleteStmt&>(stmt), ctx);
+    case sql::StmtKind::kCreateTable:
+      return ApplyCreateTable(static_cast<const sql::CreateTableStmt&>(stmt));
+    case sql::StmtKind::kCreateView:
+      return ApplyCreateView(static_cast<const sql::CreateViewStmt&>(stmt));
+    case sql::StmtKind::kCreateInclusion:
+      return ApplyCreateInclusion(
+          static_cast<const sql::CreateInclusionStmt&>(stmt));
+    case sql::StmtKind::kGrant:
+      return ApplyGrant(static_cast<const sql::GrantStmt&>(stmt));
+    case sql::StmtKind::kRevoke: {
+      const auto& s = static_cast<const sql::RevokeStmt&>(stmt);
+      FGAC_RETURN_NOT_OK(catalog_.RevokeView(s.object, s.grantee));
+      ++catalog_version_;
+      ExecResult out;
+      out.message = "revoked " + s.object + " from " + s.grantee;
+      return out;
+    }
+    case sql::StmtKind::kExplain:
+      return ExecuteExplain(static_cast<const sql::ExplainStmt&>(stmt), ctx);
+    case sql::StmtKind::kAuthorize:
+      return ApplyAuthorize(static_cast<const sql::AuthorizeStmt&>(stmt));
+    case sql::StmtKind::kDrop:
+      return ApplyDrop(static_cast<const sql::DropStmt&>(stmt));
+  }
+  return Status::NotImplemented("unsupported statement kind");
+}
+
+Result<PlanPtr> Database::BindQuery(const sql::SelectStmt& stmt,
+                                    const SessionContext& ctx) const {
+  algebra::Binder::Options options;
+  options.params = ctx.params();
+  options.allow_access_params = false;
+  algebra::Binder binder(catalog_, options);
+  return binder.BindSelect(stmt);
+}
+
+Result<Relation> Database::RunPlan(const PlanPtr& plan) {
+  if (!options_.optimize_execution) {
+    return exec::ExecutePlan(plan, state_);
+  }
+  auto row_count = [this](const std::string& table) -> double {
+    const storage::TableData* t = state_.GetTable(table);
+    return t == nullptr ? 1000.0 : static_cast<double>(t->num_rows());
+  };
+  FGAC_ASSIGN_OR_RETURN(
+      optimizer::OptimizeResult best,
+      optimizer::Optimize(plan, options_.exec_expand, row_count));
+  return exec::ExecutePlan(best.plan, state_);
+}
+
+Result<ExecResult> Database::ExecuteSelect(const sql::SelectStmt& stmt,
+                                           const SessionContext& ctx) {
+  FGAC_ASSIGN_OR_RETURN(PlanPtr plan, BindQuery(stmt, ctx));
+  ExecResult out;
+
+  PlanPtr to_run = plan;
+  switch (ctx.mode()) {
+    case EnforcementMode::kNone:
+      break;
+    case EnforcementMode::kTruman: {
+      FGAC_ASSIGN_OR_RETURN(PlanPtr rewritten,
+                            TrumanRewrite(plan, catalog_, ctx));
+      to_run = algebra::NormalizePlan(rewritten);
+      break;
+    }
+    case EnforcementMode::kNonTruman: {
+      // The cache key must cover everything the verdict depends on: the
+      // bound plan AND the full session parameterization (a $term or
+      // $user-location change re-instantiates the views).
+      uint64_t fp = algebra::PlanFingerprint(plan);
+      for (const auto& [name, value] : ctx.params()) {
+        fp = fp * 1099511628211ULL ^ std::hash<std::string>()(name);
+        fp = fp * 1099511628211ULL ^ value.Hash();
+      }
+      const ValidityReport* cached =
+          options_.enable_validity_cache
+              ? cache_.Lookup(ctx.user(), fp, catalog_version_, data_version_)
+              : nullptr;
+      if (cached != nullptr) {
+        out.validity = *cached;
+        out.validity_from_cache = true;
+      } else {
+        FGAC_ASSIGN_OR_RETURN(std::vector<InstantiatedView> views,
+                              InstantiateAvailableViews(catalog_, ctx));
+        ValidityChecker checker(catalog_, &state_, options_.validity);
+        FGAC_ASSIGN_OR_RETURN(out.validity, checker.Check(plan, views));
+        if (options_.enable_validity_cache) {
+          cache_.Insert(ctx.user(), fp, catalog_version_, data_version_,
+                        out.validity);
+        }
+      }
+      if (!out.validity.valid) {
+        // The Non-Truman model rejects outright rather than silently
+        // restricting the answer (Section 4).
+        return Status::NotAuthorized(out.validity.reason);
+      }
+      break;
+    }
+  }
+
+  FGAC_ASSIGN_OR_RETURN(out.relation, RunPlan(to_run));
+  // The optimizer strips display names; restore the user-visible ones.
+  Relation named(algebra::OutputNames(*plan));
+  named.mutable_rows() = std::move(out.relation.mutable_rows());
+  out.relation = std::move(named);
+  return out;
+}
+
+Result<ExecResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt,
+                                            const SessionContext& ctx) {
+  FGAC_ASSIGN_OR_RETURN(PlanPtr plan, BindQuery(*stmt.select, ctx));
+  std::string text = "canonical plan:\n" + algebra::PlanToString(plan);
+
+  auto row_count = [this](const std::string& table) -> double {
+    const storage::TableData* t = state_.GetTable(table);
+    return t == nullptr ? 1000.0 : static_cast<double>(t->num_rows());
+  };
+  FGAC_ASSIGN_OR_RETURN(
+      optimizer::OptimizeResult best,
+      optimizer::Optimize(plan, options_.exec_expand, row_count));
+  text += "optimized plan (est. cost " + std::to_string(best.estimated_cost) +
+          ", est. rows " + std::to_string(best.estimated_rows) + "):\n" +
+          algebra::PlanToString(best.plan);
+
+  if (ctx.mode() == EnforcementMode::kNonTruman) {
+    FGAC_ASSIGN_OR_RETURN(std::vector<InstantiatedView> views,
+                          InstantiateAvailableViews(catalog_, ctx));
+    ValidityChecker checker(catalog_, &state_, options_.validity);
+    FGAC_ASSIGN_OR_RETURN(ValidityReport report, checker.Check(plan, views));
+    if (report.valid) {
+      text += std::string("validity: ") +
+              (report.unconditional ? "unconditionally" : "conditionally") +
+              " valid via " + report.justification + "\n";
+      Result<PlanPtr> witness = checker.ExtractWitness();
+      if (witness.ok()) {
+        text += "witness rewriting q' over the authorization views:\n" +
+                algebra::PlanToString(witness.value());
+      }
+    } else {
+      text += "validity: REJECTED (" + report.reason + ")\n";
+    }
+  } else if (ctx.mode() == EnforcementMode::kTruman) {
+    FGAC_ASSIGN_OR_RETURN(PlanPtr rewritten, TrumanRewrite(plan, catalog_, ctx));
+    text += "truman-rewritten plan:\n" +
+            algebra::PlanToString(algebra::NormalizePlan(rewritten));
+  }
+
+  ExecResult out;
+  out.relation = storage::Relation({"explain"});
+  std::string line;
+  for (char c : text) {
+    if (c == '\n') {
+      out.relation.AddRow({Value::String(line)});
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  if (!line.empty()) out.relation.AddRow({Value::String(line)});
+  return out;
+}
+
+Status Database::CheckRowConstraints(const TableSchema& schema,
+                                     const Row& row) const {
+  if (row.size() != schema.num_columns()) {
+    return Status::ConstraintViolation(
+        "row arity does not match table '" + schema.name() + "'");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const catalog::Column& col = schema.column(i);
+    if (row[i].is_null()) {
+      if (col.not_null) {
+        return Status::ConstraintViolation("column '" + col.name +
+                                           "' is NOT NULL");
+      }
+      continue;
+    }
+    if (!catalog::ValueFitsType(row[i], col.type)) {
+      return Status::ConstraintViolation(
+          "value " + row[i].ToString() + " does not fit column '" + col.name +
+          "' of type " + catalog::TypeIdName(col.type));
+    }
+  }
+  // Primary-key uniqueness.
+  if (schema.has_primary_key()) {
+    const storage::TableData* data = state_.GetTable(schema.name());
+    if (data != nullptr) {
+      for (const Row& existing : data->rows()) {
+        bool same = true;
+        for (size_t idx : schema.primary_key()) {
+          if (!(existing[idx] == row[idx])) {
+            same = false;
+            break;
+          }
+        }
+        if (same) {
+          return Status::ConstraintViolation("duplicate primary key in '" +
+                                             schema.name() + "'");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::CheckForeignKeys(const std::string& table,
+                                  const Row& row) const {
+  const TableSchema* schema = catalog_.GetTable(table);
+  for (const catalog::InclusionDependency& dep : catalog_.constraints()) {
+    if (dep.kind != catalog::InclusionDependency::Kind::kForeignKey ||
+        dep.src_table != table) {
+      continue;
+    }
+    const TableSchema* dst = catalog_.GetTable(dep.dst_table);
+    const storage::TableData* dst_data = state_.GetTable(dep.dst_table);
+    if (dst == nullptr || dst_data == nullptr) continue;
+    std::vector<size_t> src_idx, dst_idx;
+    for (size_t i = 0; i < dep.src_columns.size(); ++i) {
+      src_idx.push_back(*schema->FindColumn(dep.src_columns[i]));
+      dst_idx.push_back(*dst->FindColumn(dep.dst_columns[i]));
+    }
+    // NULL foreign keys are exempt (SQL MATCH SIMPLE).
+    bool has_null = std::any_of(src_idx.begin(), src_idx.end(),
+                                [&](size_t i) { return row[i].is_null(); });
+    if (has_null) continue;
+    bool found = false;
+    for (const Row& candidate : dst_data->rows()) {
+      bool match = true;
+      for (size_t i = 0; i < src_idx.size(); ++i) {
+        if (!(candidate[dst_idx[i]] == row[src_idx[i]])) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::ConstraintViolation(
+          "foreign key '" + dep.name + "' violated: no matching row in '" +
+          dep.dst_table + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<ExecResult> Database::ExecuteInsert(const sql::InsertStmt& stmt,
+                                           const SessionContext& ctx) {
+  const TableSchema* schema = catalog_.GetTable(stmt.table);
+  if (schema == nullptr) {
+    return Status::CatalogError("unknown table '" + stmt.table + "'");
+  }
+  // Column mapping.
+  std::vector<size_t> targets;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema->num_columns(); ++i) targets.push_back(i);
+  } else {
+    for (const std::string& c : stmt.columns) {
+      std::optional<size_t> idx = schema->FindColumn(c);
+      if (!idx.has_value()) {
+        return Status::BindError("unknown column '" + c + "'");
+      }
+      targets.push_back(*idx);
+    }
+  }
+
+  UpdateAuthorizer authorizer(catalog_, ctx);
+  std::vector<Row> pending;
+  for (const std::vector<sql::ExprPtr>& value_row : stmt.rows) {
+    if (value_row.size() != targets.size()) {
+      return Status::BindError("INSERT value count mismatch");
+    }
+    Row row(schema->num_columns(), Value::Null());
+    Row empty;
+    for (size_t i = 0; i < value_row.size(); ++i) {
+      FGAC_ASSIGN_OR_RETURN(
+          algebra::ScalarPtr scalar,
+          algebra::Binder::BindOverTable(value_row[i], *schema, ctx.params()));
+      FGAC_ASSIGN_OR_RETURN(Value v, algebra::EvalScalar(scalar, empty));
+      row[targets[i]] =
+          catalog::CoerceToType(v, schema->column(targets[i]).type);
+    }
+    // Authorization precedes integrity checking so a denied user cannot
+    // probe constraint state (e.g. learn which keys exist).
+    if (ctx.mode() != EnforcementMode::kNone) {
+      FGAC_ASSIGN_OR_RETURN(bool ok, authorizer.CheckInsert(stmt.table, row));
+      if (!ok) {
+        return Status::NotAuthorized("INSERT into '" + stmt.table +
+                                     "' not authorized for user '" +
+                                     ctx.user() + "'");
+      }
+    }
+    FGAC_RETURN_NOT_OK(CheckRowConstraints(*schema, row));
+    FGAC_RETURN_NOT_OK(CheckForeignKeys(stmt.table, row));
+    pending.push_back(std::move(row));
+  }
+
+  storage::TableData* data = state_.GetMutableTable(stmt.table);
+  for (Row& row : pending) data->Insert(std::move(row));
+  ++data_version_;
+  ExecResult out;
+  out.affected_rows = static_cast<int64_t>(pending.size());
+  return out;
+}
+
+Result<ExecResult> Database::ExecuteUpdate(const sql::UpdateStmt& stmt,
+                                           const SessionContext& ctx) {
+  const TableSchema* schema = catalog_.GetTable(stmt.table);
+  if (schema == nullptr) {
+    return Status::CatalogError("unknown table '" + stmt.table + "'");
+  }
+  algebra::ScalarPtr where;
+  if (stmt.where != nullptr) {
+    FGAC_ASSIGN_OR_RETURN(where, algebra::Binder::BindOverTable(
+                                     stmt.where, *schema, ctx.params()));
+  }
+  struct BoundAssign {
+    size_t column;
+    algebra::ScalarPtr value;
+  };
+  std::vector<BoundAssign> assigns;
+  std::vector<std::string> changed_columns;
+  for (const auto& [col, expr] : stmt.assignments) {
+    std::optional<size_t> idx = schema->FindColumn(col);
+    if (!idx.has_value()) return Status::BindError("unknown column '" + col + "'");
+    FGAC_ASSIGN_OR_RETURN(
+        algebra::ScalarPtr value,
+        algebra::Binder::BindOverTable(expr, *schema, ctx.params()));
+    assigns.push_back({*idx, std::move(value)});
+    changed_columns.push_back(col);
+  }
+
+  storage::TableData* data = state_.GetMutableTable(stmt.table);
+  UpdateAuthorizer authorizer(catalog_, ctx);
+  int64_t affected = 0;
+
+  // Two phases: compute all new images (with checks), then apply, so a
+  // failed check mid-way leaves the table untouched.
+  std::vector<std::pair<size_t, Row>> updates;
+  for (size_t i = 0; i < data->rows().size(); ++i) {
+    const Row& old_row = data->rows()[i];
+    if (where != nullptr) {
+      FGAC_ASSIGN_OR_RETURN(bool pass, algebra::EvalPredicate(where, old_row));
+      if (!pass) continue;
+    }
+    Row new_row = old_row;
+    for (const BoundAssign& a : assigns) {
+      FGAC_ASSIGN_OR_RETURN(Value v, algebra::EvalScalar(a.value, old_row));
+      new_row[a.column] =
+          catalog::CoerceToType(v, schema->column(a.column).type);
+    }
+    if (ctx.mode() != EnforcementMode::kNone) {
+      FGAC_ASSIGN_OR_RETURN(bool ok, authorizer.CheckUpdate(stmt.table, old_row,
+                                                            new_row,
+                                                            changed_columns));
+      if (!ok) {
+        return Status::NotAuthorized("UPDATE on '" + stmt.table +
+                                     "' not authorized for user '" +
+                                     ctx.user() + "'");
+      }
+    }
+    for (size_t c = 0; c < new_row.size(); ++c) {
+      const catalog::Column& col = schema->column(c);
+      if (new_row[c].is_null() && col.not_null) {
+        return Status::ConstraintViolation("column '" + col.name +
+                                           "' is NOT NULL");
+      }
+      if (!new_row[c].is_null() &&
+          !catalog::ValueFitsType(new_row[c], col.type)) {
+        return Status::ConstraintViolation("type mismatch for column '" +
+                                           col.name + "'");
+      }
+    }
+    FGAC_RETURN_NOT_OK(CheckForeignKeys(stmt.table, new_row));
+    updates.emplace_back(i, std::move(new_row));
+  }
+  for (auto& [idx, new_row] : updates) {
+    data->mutable_rows()[idx] = std::move(new_row);
+    ++affected;
+  }
+  if (affected > 0) ++data_version_;
+  ExecResult out;
+  out.affected_rows = affected;
+  return out;
+}
+
+Result<ExecResult> Database::ExecuteDelete(const sql::DeleteStmt& stmt,
+                                           const SessionContext& ctx) {
+  const TableSchema* schema = catalog_.GetTable(stmt.table);
+  if (schema == nullptr) {
+    return Status::CatalogError("unknown table '" + stmt.table + "'");
+  }
+  algebra::ScalarPtr where;
+  if (stmt.where != nullptr) {
+    FGAC_ASSIGN_OR_RETURN(where, algebra::Binder::BindOverTable(
+                                     stmt.where, *schema, ctx.params()));
+  }
+  storage::TableData* data = state_.GetMutableTable(stmt.table);
+  UpdateAuthorizer authorizer(catalog_, ctx);
+  std::vector<size_t> to_delete;
+  for (size_t i = 0; i < data->rows().size(); ++i) {
+    const Row& row = data->rows()[i];
+    if (where != nullptr) {
+      FGAC_ASSIGN_OR_RETURN(bool pass, algebra::EvalPredicate(where, row));
+      if (!pass) continue;
+    }
+    if (ctx.mode() != EnforcementMode::kNone) {
+      FGAC_ASSIGN_OR_RETURN(bool ok, authorizer.CheckDelete(stmt.table, row));
+      if (!ok) {
+        return Status::NotAuthorized("DELETE from '" + stmt.table +
+                                     "' not authorized for user '" +
+                                     ctx.user() + "'");
+      }
+    }
+    to_delete.push_back(i);
+  }
+  data->EraseIndices(to_delete);
+  if (!to_delete.empty()) ++data_version_;
+  ExecResult out;
+  out.affected_rows = static_cast<int64_t>(to_delete.size());
+  return out;
+}
+
+Result<ExecResult> Database::ApplyCreateTable(const sql::CreateTableStmt& stmt) {
+  std::vector<catalog::Column> columns;
+  for (const sql::ColumnDef& def : stmt.columns) {
+    columns.push_back(
+        {def.name, catalog::TypeFromSql(def.type), def.not_null});
+  }
+  TableSchema schema(stmt.name, std::move(columns));
+  std::vector<size_t> pk;
+  for (const std::string& c : stmt.primary_key) {
+    std::optional<size_t> idx = schema.FindColumn(c);
+    if (!idx.has_value()) {
+      return Status::CatalogError("PRIMARY KEY column '" + c + "' not found");
+    }
+    pk.push_back(*idx);
+  }
+  schema.set_primary_key(std::move(pk));
+  FGAC_RETURN_NOT_OK(catalog_.AddTable(schema));
+  FGAC_RETURN_NOT_OK(state_.CreateTable(stmt.name, schema.num_columns()));
+
+  for (size_t i = 0; i < stmt.foreign_keys.size(); ++i) {
+    const sql::ForeignKeyClause& fk = stmt.foreign_keys[i];
+    catalog::InclusionDependency dep;
+    dep.kind = catalog::InclusionDependency::Kind::kForeignKey;
+    dep.name = "fk_" + stmt.name + "_" + std::to_string(i);
+    dep.src_table = stmt.name;
+    dep.src_columns = fk.columns;
+    dep.dst_table = fk.ref_table;
+    if (!fk.ref_columns.empty()) {
+      dep.dst_columns = fk.ref_columns;
+    } else {
+      const TableSchema* ref = catalog_.GetTable(fk.ref_table);
+      if (ref == nullptr) {
+        return Status::CatalogError("referenced table '" + fk.ref_table +
+                                    "' does not exist");
+      }
+      for (size_t idx : ref->primary_key()) {
+        dep.dst_columns.push_back(ref->column(idx).name);
+      }
+      if (dep.dst_columns.empty()) {
+        return Status::CatalogError("referenced table '" + fk.ref_table +
+                                    "' has no primary key");
+      }
+    }
+    FGAC_RETURN_NOT_OK(catalog_.AddConstraint(std::move(dep)));
+  }
+  ++catalog_version_;
+  ExecResult out;
+  out.message = "created table " + stmt.name;
+  return out;
+}
+
+Result<ExecResult> Database::ApplyCreateView(const sql::CreateViewStmt& stmt) {
+  catalog::ViewDefinition view;
+  view.name = stmt.name;
+  view.is_authorization = stmt.authorization;
+  view.select = stmt.select;
+  std::vector<std::string> params, access;
+  stmt.select->CollectAllParams(&params, &access);
+  std::sort(params.begin(), params.end());
+  params.erase(std::unique(params.begin(), params.end()), params.end());
+  std::sort(access.begin(), access.end());
+  access.erase(std::unique(access.begin(), access.end()), access.end());
+  view.parameters = std::move(params);
+  view.access_parameters = std::move(access);
+  FGAC_RETURN_NOT_OK(catalog_.AddView(std::move(view)));
+  ++catalog_version_;
+  ExecResult out;
+  out.message = std::string("created ") +
+                (stmt.authorization ? "authorization view " : "view ") +
+                stmt.name;
+  return out;
+}
+
+Result<ExecResult> Database::ApplyCreateInclusion(
+    const sql::CreateInclusionStmt& stmt) {
+  catalog::InclusionDependency dep;
+  dep.kind = catalog::InclusionDependency::Kind::kDeclared;
+  dep.name = stmt.name;
+  dep.src_table = stmt.src_table;
+  dep.src_columns = stmt.src_columns;
+  dep.src_predicate = stmt.src_where;
+  dep.dst_table = stmt.dst_table;
+  dep.dst_columns = stmt.dst_columns;
+  FGAC_RETURN_NOT_OK(catalog_.AddConstraint(std::move(dep)));
+  ++catalog_version_;
+  ExecResult out;
+  out.message = "created inclusion dependency " + stmt.name;
+  return out;
+}
+
+Result<ExecResult> Database::ApplyGrant(const sql::GrantStmt& stmt) {
+  FGAC_RETURN_NOT_OK(catalog_.GrantView(stmt.object, stmt.grantee));
+  ++catalog_version_;
+  ExecResult out;
+  out.message = "granted " + stmt.object + " to " + stmt.grantee;
+  return out;
+}
+
+Result<ExecResult> Database::ApplyAuthorize(const sql::AuthorizeStmt& stmt) {
+  if (!catalog_.HasTable(stmt.table)) {
+    return Status::CatalogError("unknown table '" + stmt.table + "'");
+  }
+  catalog::UpdateAuthorization rule;
+  switch (stmt.op) {
+    case sql::AuthorizeStmt::Op::kInsert:
+      rule.op = catalog::UpdateAuthorization::Op::kInsert;
+      break;
+    case sql::AuthorizeStmt::Op::kUpdate:
+      rule.op = catalog::UpdateAuthorization::Op::kUpdate;
+      break;
+    case sql::AuthorizeStmt::Op::kDelete:
+      rule.op = catalog::UpdateAuthorization::Op::kDelete;
+      break;
+  }
+  rule.table = stmt.table;
+  rule.columns = stmt.columns;
+  rule.predicate = stmt.where;
+  std::string grantee = stmt.grantee.empty() ? "public" : stmt.grantee;
+  catalog_.GetOrCreatePrincipal(grantee)->update_authorizations.push_back(
+      std::move(rule));
+  ++catalog_version_;
+  ExecResult out;
+  out.message = "authorization rule added on " + stmt.table;
+  return out;
+}
+
+Result<ExecResult> Database::ApplyDrop(const sql::DropStmt& stmt) {
+  if (stmt.what == sql::DropStmt::What::kTable) {
+    FGAC_RETURN_NOT_OK(catalog_.DropTable(stmt.name));
+    FGAC_RETURN_NOT_OK(state_.DropTable(stmt.name));
+  } else {
+    FGAC_RETURN_NOT_OK(catalog_.DropView(stmt.name));
+  }
+  ++catalog_version_;
+  ExecResult out;
+  out.message = "dropped " + stmt.name;
+  return out;
+}
+
+Result<ValidityReport> Database::CheckQueryValidity(std::string_view sql,
+                                                    const SessionContext& ctx) {
+  FGAC_ASSIGN_OR_RETURN(std::shared_ptr<const sql::SelectStmt> stmt,
+                        sql::Parser::ParseSelect(sql));
+  FGAC_ASSIGN_OR_RETURN(PlanPtr plan, BindQuery(*stmt, ctx));
+  FGAC_ASSIGN_OR_RETURN(std::vector<InstantiatedView> views,
+                        InstantiateAvailableViews(catalog_, ctx));
+  ValidityChecker checker(catalog_, &state_, options_.validity);
+  return checker.Check(plan, views);
+}
+
+Status Database::VerifyConstraints() const {
+  for (const catalog::InclusionDependency& dep : catalog_.constraints()) {
+    const TableSchema* src = catalog_.GetTable(dep.src_table);
+    const TableSchema* dst = catalog_.GetTable(dep.dst_table);
+    const storage::TableData* src_data = state_.GetTable(dep.src_table);
+    const storage::TableData* dst_data = state_.GetTable(dep.dst_table);
+    if (src == nullptr || dst == nullptr || src_data == nullptr ||
+        dst_data == nullptr) {
+      return Status::CatalogError("constraint '" + dep.name +
+                                  "' references missing table");
+    }
+    algebra::ScalarPtr pred;
+    if (dep.src_predicate != nullptr) {
+      FGAC_ASSIGN_OR_RETURN(
+          pred, algebra::Binder::BindOverTable(dep.src_predicate, *src));
+    }
+    std::vector<size_t> src_idx, dst_idx;
+    for (size_t i = 0; i < dep.src_columns.size(); ++i) {
+      src_idx.push_back(*src->FindColumn(dep.src_columns[i]));
+      dst_idx.push_back(*dst->FindColumn(dep.dst_columns[i]));
+    }
+    // Build the set of destination keys.
+    std::set<Row> dst_keys;
+    for (const Row& r : dst_data->rows()) {
+      Row key;
+      for (size_t i : dst_idx) key.push_back(r[i]);
+      dst_keys.insert(std::move(key));
+    }
+    for (const Row& r : src_data->rows()) {
+      if (pred != nullptr) {
+        FGAC_ASSIGN_OR_RETURN(bool pass, algebra::EvalPredicate(pred, r));
+        if (!pass) continue;
+      }
+      Row key;
+      for (size_t i : src_idx) key.push_back(r[i]);
+      bool has_null = std::any_of(key.begin(), key.end(),
+                                  [](const Value& v) { return v.is_null(); });
+      if (has_null) continue;
+      if (dst_keys.count(key) == 0) {
+        return Status::ConstraintViolation(
+            "inclusion dependency '" + dep.name + "' violated by row " +
+            RowToString(r) + " of '" + dep.src_table + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fgac::core

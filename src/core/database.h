@@ -1,0 +1,131 @@
+#ifndef FGAC_CORE_DATABASE_H_
+#define FGAC_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "core/session_context.h"
+#include "core/update_auth.h"
+#include "core/validity.h"
+#include "core/validity_cache.h"
+#include "sql/ast.h"
+#include "storage/database_state.h"
+#include "storage/relation.h"
+
+namespace fgac::core {
+
+/// Result of one statement execution.
+struct ExecResult {
+  /// Populated for SELECT.
+  storage::Relation relation;
+  /// Populated for DML.
+  int64_t affected_rows = 0;
+  /// Populated for Non-Truman SELECTs (the validity verdict that admitted
+  /// the query).
+  ValidityReport validity;
+  /// True when the validity verdict came from the prepared-statement cache.
+  bool validity_from_cache = false;
+  /// Informational message for DDL.
+  std::string message;
+};
+
+/// Execution tuning knobs.
+struct DatabaseOptions {
+  /// Run SELECTs through the Volcano optimizer (cheapest plan) instead of
+  /// executing the canonical bound plan directly.
+  bool optimize_execution = true;
+  /// Use the prepared-statement validity cache (Section 5.6 optimization).
+  bool enable_validity_cache = true;
+  /// Validity engine configuration.
+  ValidityOptions validity;
+  /// Expansion budget for cost-based optimization of the executed plan
+  /// (kept smaller than the validity engine's, which also hosts views).
+  optimizer::ExpandOptions exec_expand;
+};
+
+/// The embedded database facade tying every subsystem together: SQL in,
+/// relations out, with fine-grained access control enforced per session
+/// (None / Truman / Non-Truman, paper Sections 3-4).
+class Database {
+ public:
+  Database();
+  explicit Database(DatabaseOptions options);
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Executes one statement under `ctx`'s enforcement mode.
+  Result<ExecResult> Execute(std::string_view sql, const SessionContext& ctx);
+
+  /// Executes a ';'-separated script as the administrator (no enforcement).
+  /// Stops at the first error.
+  Status ExecuteScript(std::string_view sql);
+
+  /// Admin-mode single statement.
+  Result<ExecResult> ExecuteAsAdmin(std::string_view sql);
+
+  /// Runs only the Non-Truman validity test for a SELECT, without executing
+  /// it. Bypasses the cache.
+  Result<ValidityReport> CheckQueryValidity(std::string_view sql,
+                                            const SessionContext& ctx);
+
+  /// Verifies that every declared inclusion dependency and foreign key
+  /// holds on the current data (useful after bulk loads).
+  Status VerifyConstraints() const;
+
+  // Accessors for tests, benches and examples.
+  catalog::Catalog& catalog() { return catalog_; }
+  const catalog::Catalog& catalog() const { return catalog_; }
+  storage::DatabaseState& state() { return state_; }
+  const storage::DatabaseState& state() const { return state_; }
+  DatabaseOptions& options() { return options_; }
+  ValidityCache& validity_cache() { return cache_; }
+  uint64_t catalog_version() const { return catalog_version_; }
+  uint64_t data_version() const { return data_version_; }
+
+  /// Binds a SELECT under `ctx` to a canonical logical plan (exposed for
+  /// benches/tests that drive the optimizer directly).
+  Result<algebra::PlanPtr> BindQuery(const sql::SelectStmt& stmt,
+                                     const SessionContext& ctx) const;
+
+ private:
+  Result<ExecResult> ExecuteStmt(const sql::Stmt& stmt,
+                                 const SessionContext& ctx);
+  Result<ExecResult> ExecuteSelect(const sql::SelectStmt& stmt,
+                                   const SessionContext& ctx);
+  Result<ExecResult> ExecuteInsert(const sql::InsertStmt& stmt,
+                                   const SessionContext& ctx);
+  Result<ExecResult> ExecuteUpdate(const sql::UpdateStmt& stmt,
+                                   const SessionContext& ctx);
+  Result<ExecResult> ExecuteDelete(const sql::DeleteStmt& stmt,
+                                   const SessionContext& ctx);
+  Result<ExecResult> ApplyCreateTable(const sql::CreateTableStmt& stmt);
+  Result<ExecResult> ApplyCreateView(const sql::CreateViewStmt& stmt);
+  Result<ExecResult> ApplyCreateInclusion(const sql::CreateInclusionStmt& stmt);
+  Result<ExecResult> ApplyGrant(const sql::GrantStmt& stmt);
+  Result<ExecResult> ExecuteExplain(const sql::ExplainStmt& stmt,
+                                    const SessionContext& ctx);
+  Result<ExecResult> ApplyAuthorize(const sql::AuthorizeStmt& stmt);
+  Result<ExecResult> ApplyDrop(const sql::DropStmt& stmt);
+
+  /// Optimizes (optionally) and executes a plan; restores `names` on the
+  /// result columns.
+  Result<storage::Relation> RunPlan(const algebra::PlanPtr& plan);
+
+  Status CheckRowConstraints(const catalog::TableSchema& schema,
+                             const Row& row) const;
+  Status CheckForeignKeys(const std::string& table, const Row& row) const;
+
+  DatabaseOptions options_;
+  catalog::Catalog catalog_;
+  storage::DatabaseState state_;
+  ValidityCache cache_;
+  uint64_t catalog_version_ = 1;
+  uint64_t data_version_ = 1;
+};
+
+}  // namespace fgac::core
+
+#endif  // FGAC_CORE_DATABASE_H_

@@ -1,0 +1,14 @@
+#include "core/session_context.h"
+
+namespace fgac::core {
+
+const char* EnforcementModeName(EnforcementMode mode) {
+  switch (mode) {
+    case EnforcementMode::kNone: return "none";
+    case EnforcementMode::kTruman: return "truman";
+    case EnforcementMode::kNonTruman: return "non-truman";
+  }
+  return "?";
+}
+
+}  // namespace fgac::core

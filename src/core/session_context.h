@@ -1,0 +1,55 @@
+#ifndef FGAC_CORE_SESSION_CONTEXT_H_
+#define FGAC_CORE_SESSION_CONTEXT_H_
+
+#include <map>
+#include <string>
+
+#include "common/value.h"
+
+namespace fgac::core {
+
+/// How queries are access-controlled (paper Sections 3 and 4).
+enum class EnforcementMode {
+  /// No access control; queries run as written (baseline / DBA mode).
+  kNone,
+  /// Truman model: every base relation is transparently replaced by its
+  /// (parameterized) Truman policy view — the Oracle VPD approach.
+  kTruman,
+  /// Non-Truman model: the query must pass the validity test; if it does,
+  /// it runs unmodified, otherwise it is rejected.
+  kNonTruman,
+};
+
+const char* EnforcementModeName(EnforcementMode mode);
+
+/// Per-access execution context: the logged-in user and the values of the
+/// `$` parameters used by parameterized authorization views ("when a user
+/// logs in, a secure application context is created", Section 3.1).
+/// `$user-id` is populated automatically from `user`.
+class SessionContext {
+ public:
+  SessionContext() = default;
+  explicit SessionContext(std::string user) : user_(std::move(user)) {
+    params_["user-id"] = Value::String(user_);
+    params_["user_id"] = Value::String(user_);
+  }
+
+  const std::string& user() const { return user_; }
+
+  /// Sets a `$` parameter (e.g. "time", "user-location").
+  void SetParam(const std::string& name, Value v) { params_[name] = v; }
+
+  const std::map<std::string, Value>& params() const { return params_; }
+
+  EnforcementMode mode() const { return mode_; }
+  void set_mode(EnforcementMode mode) { mode_ = mode; }
+
+ private:
+  std::string user_;
+  std::map<std::string, Value> params_;
+  EnforcementMode mode_ = EnforcementMode::kNonTruman;
+};
+
+}  // namespace fgac::core
+
+#endif  // FGAC_CORE_SESSION_CONTEXT_H_

@@ -1,0 +1,54 @@
+#include "core/truman.h"
+
+#include "algebra/plan_hash.h"
+#include "core/auth_view.h"
+
+namespace fgac::core {
+
+using algebra::Plan;
+using algebra::PlanKind;
+using algebra::PlanPtr;
+
+Result<PlanPtr> TrumanRewrite(const PlanPtr& plan,
+                              const catalog::Catalog& catalog,
+                              const SessionContext& ctx) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+
+  if (plan->kind == PlanKind::kGet) {
+    const std::string& view_name = catalog.TrumanViewFor(plan->table);
+    if (view_name.empty()) return plan;
+    const catalog::ViewDefinition* view = catalog.GetView(view_name);
+    if (view == nullptr) {
+      return Status::CatalogError("Truman view '" + view_name +
+                                  "' missing for table '" + plan->table + "'");
+    }
+    if (view->is_access_pattern()) {
+      return Status::CatalogError(
+          "access-pattern views cannot serve as Truman policy views");
+    }
+    FGAC_ASSIGN_OR_RETURN(InstantiatedView iv,
+                          InstantiateView(catalog, *view, ctx));
+    if (algebra::OutputArity(*iv.plan) != plan->get_columns.size()) {
+      return Status::CatalogError(
+          "Truman view '" + view_name + "' is not union-compatible with '" +
+          plan->table + "'");
+    }
+    return iv.plan;
+  }
+
+  std::vector<PlanPtr> children;
+  children.reserve(plan->children.size());
+  bool changed = false;
+  for (const PlanPtr& c : plan->children) {
+    FGAC_ASSIGN_OR_RETURN(PlanPtr nc, TrumanRewrite(c, catalog, ctx));
+    changed = changed || nc != c;
+    children.push_back(std::move(nc));
+  }
+  if (!changed) return plan;
+
+  auto copy = std::make_shared<Plan>(*plan);
+  copy->children = std::move(children);
+  return PlanPtr(copy);
+}
+
+}  // namespace fgac::core

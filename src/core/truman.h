@@ -1,0 +1,26 @@
+#ifndef FGAC_CORE_TRUMAN_H_
+#define FGAC_CORE_TRUMAN_H_
+
+#include "algebra/plan.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "core/session_context.h"
+
+namespace fgac::core {
+
+/// The Truman model / Oracle VPD baseline (paper Section 3): transparently
+/// rewrites a bound query plan by substituting each base-table scan with
+/// the table's Truman policy view, instantiated for the session. Tables
+/// without a registered Truman view are left unrestricted (matching VPD,
+/// where a table without a policy function is fully visible).
+///
+/// The substituted plan is executed verbatim — including any redundant
+/// joins the substitution introduced — reproducing the execution-overhead
+/// drawback of Section 3.3.
+Result<algebra::PlanPtr> TrumanRewrite(const algebra::PlanPtr& plan,
+                                       const catalog::Catalog& catalog,
+                                       const SessionContext& ctx);
+
+}  // namespace fgac::core
+
+#endif  // FGAC_CORE_TRUMAN_H_

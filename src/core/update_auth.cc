@@ -1,0 +1,97 @@
+#include "core/update_auth.h"
+
+#include <algorithm>
+
+#include "algebra/binder.h"
+
+namespace fgac::core {
+
+using catalog::UpdateAuthorization;
+
+namespace {
+
+Result<bool> EvalRule(const UpdateAuthorization& rule,
+                      const catalog::TableSchema& schema,
+                      algebra::Binder::UpdateImage image, const Row& row,
+                      const SessionContext& ctx) {
+  if (rule.predicate == nullptr) return true;
+  FGAC_ASSIGN_OR_RETURN(
+      algebra::ScalarPtr pred,
+      algebra::Binder::BindUpdatePredicate(rule.predicate, schema, image,
+                                           ctx.params()));
+  return algebra::EvalPredicate(pred, row);
+}
+
+}  // namespace
+
+Result<bool> UpdateAuthorizer::CheckInsert(const std::string& table,
+                                           const Row& new_tuple) const {
+  const catalog::TableSchema* schema = catalog_.GetTable(table);
+  if (schema == nullptr) {
+    return Status::CatalogError("unknown table '" + table + "'");
+  }
+  for (const UpdateAuthorization* rule :
+       catalog_.AvailableUpdateAuthorizations(ctx_.user())) {
+    if (rule->op != UpdateAuthorization::Op::kInsert || rule->table != table) {
+      continue;
+    }
+    FGAC_ASSIGN_OR_RETURN(
+        bool ok, EvalRule(*rule, *schema, algebra::Binder::UpdateImage::kInsert,
+                          new_tuple, ctx_));
+    if (ok) return true;
+  }
+  return false;
+}
+
+Result<bool> UpdateAuthorizer::CheckDelete(const std::string& table,
+                                           const Row& old_tuple) const {
+  const catalog::TableSchema* schema = catalog_.GetTable(table);
+  if (schema == nullptr) {
+    return Status::CatalogError("unknown table '" + table + "'");
+  }
+  for (const UpdateAuthorization* rule :
+       catalog_.AvailableUpdateAuthorizations(ctx_.user())) {
+    if (rule->op != UpdateAuthorization::Op::kDelete || rule->table != table) {
+      continue;
+    }
+    FGAC_ASSIGN_OR_RETURN(
+        bool ok, EvalRule(*rule, *schema, algebra::Binder::UpdateImage::kDelete,
+                          old_tuple, ctx_));
+    if (ok) return true;
+  }
+  return false;
+}
+
+Result<bool> UpdateAuthorizer::CheckUpdate(
+    const std::string& table, const Row& old_tuple, const Row& new_tuple,
+    const std::vector<std::string>& changed_columns) const {
+  const catalog::TableSchema* schema = catalog_.GetTable(table);
+  if (schema == nullptr) {
+    return Status::CatalogError("unknown table '" + table + "'");
+  }
+  Row combined = old_tuple;
+  combined.insert(combined.end(), new_tuple.begin(), new_tuple.end());
+  for (const UpdateAuthorization* rule :
+       catalog_.AvailableUpdateAuthorizations(ctx_.user())) {
+    if (rule->op != UpdateAuthorization::Op::kUpdate || rule->table != table) {
+      continue;
+    }
+    // Column coverage: an empty rule column list permits all columns.
+    if (!rule->columns.empty()) {
+      bool covers = std::all_of(
+          changed_columns.begin(), changed_columns.end(),
+          [&](const std::string& col) {
+            return std::find(rule->columns.begin(), rule->columns.end(), col) !=
+                   rule->columns.end();
+          });
+      if (!covers) continue;
+    }
+    FGAC_ASSIGN_OR_RETURN(
+        bool ok, EvalRule(*rule, *schema, algebra::Binder::UpdateImage::kUpdate,
+                          combined, ctx_));
+    if (ok) return true;
+  }
+  return false;
+}
+
+}  // namespace fgac::core

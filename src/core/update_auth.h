@@ -1,0 +1,44 @@
+#ifndef FGAC_CORE_UPDATE_AUTH_H_
+#define FGAC_CORE_UPDATE_AUTH_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "core/session_context.h"
+
+namespace fgac::core {
+
+/// Update authorization (paper Section 4.4): updates are checked
+/// tuple-by-tuple against parameterized predicates — "a simpler task than
+/// validity checking for queries", requiring only evaluation of a fully
+/// instantiated predicate per affected tuple.
+class UpdateAuthorizer {
+ public:
+  UpdateAuthorizer(const catalog::Catalog& catalog, const SessionContext& ctx)
+      : catalog_(catalog), ctx_(ctx) {}
+
+  /// Authorized iff some applicable AUTHORIZE INSERT rule's predicate is
+  /// TRUE on the new tuple.
+  Result<bool> CheckInsert(const std::string& table, const Row& new_tuple) const;
+
+  /// Authorized iff some applicable AUTHORIZE DELETE rule's predicate is
+  /// TRUE on the old tuple.
+  Result<bool> CheckDelete(const std::string& table, const Row& old_tuple) const;
+
+  /// Authorized iff some applicable AUTHORIZE UPDATE rule (a) permits every
+  /// column in `changed_columns` and (b) has a TRUE predicate on the
+  /// combined (old, new) tuple images.
+  Result<bool> CheckUpdate(const std::string& table, const Row& old_tuple,
+                           const Row& new_tuple,
+                           const std::vector<std::string>& changed_columns) const;
+
+ private:
+  const catalog::Catalog& catalog_;
+  const SessionContext& ctx_;
+};
+
+}  // namespace fgac::core
+
+#endif  // FGAC_CORE_UPDATE_AUTH_H_

@@ -1,0 +1,187 @@
+#ifndef FGAC_CORE_VALIDITY_H_
+#define FGAC_CORE_VALIDITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "core/auth_view.h"
+#include "optimizer/memo.h"
+#include "optimizer/rules.h"
+#include "storage/database_state.h"
+#include "storage/relation.h"
+
+namespace fgac::core {
+
+/// Configuration of the Non-Truman validity test (paper Section 5).
+struct ValidityOptions {
+  /// U3a/U3b/U3c — inferring the validity of subexpressions from integrity
+  /// constraints (Section 5.3). Requires applying equivalence rules to the
+  /// authorization views as well as the query (Section 5.6.3), which is the
+  /// expensive mode the paper's optimization discussion targets.
+  bool enable_complex_rules = true;
+  /// C3a/C3b — conditional validity (Section 5.4). Needs the current
+  /// database state to test the visible non-emptiness of v_r.
+  bool enable_conditional_rules = true;
+  /// Access-pattern view instantiation and the dependent-join rule
+  /// (Section 6).
+  bool enable_access_patterns = true;
+  /// The paper's Section 5.6.2 FUTURE-WORK case, implemented here:
+  /// "Given the set of views V = {A⋈B, B⋈C}, a query A⋈B⋈C can be
+  /// rewritten completely using the views only if we decompose the query
+  /// as (A⋈B)⋈(B⋈C). Volcano does not generate such query plans ...
+  /// Extending the algorithm to handle such cases is a topic of future
+  /// work." When enabled, the engine adds the redundant decomposition
+  /// (A⋈B) ⋈_{B.pk} (B⋈C) for keyed middle relations. Disable to match
+  /// the paper's published behaviour exactly.
+  bool enable_redundant_join_decomposition = true;
+  /// Section 5.6 optimization: eliminate views that cannot possibly help.
+  bool prune_views = true;
+  /// Budgets for DAG expansion.
+  optimizer::ExpandOptions expand;
+  /// Cap on $$-instantiations tried per access-pattern view.
+  size_t max_access_instantiations = 64;
+  /// Cap on U3/C3 fixpoint iterations.
+  size_t max_inference_rounds = 8;
+};
+
+/// Outcome of a validity test plus diagnostics for the benchmarks.
+struct ValidityReport {
+  bool valid = false;
+  /// True when accepted by unconditional rules (U*); false when accepted
+  /// only conditionally (C*), i.e. contingent on the current state.
+  bool unconditional = false;
+  /// Rule chain that justified acceptance (e.g. "U1/U2", "U3a", "C3a/C3b"),
+  /// or empty on rejection.
+  std::string justification;
+  /// Human-readable explanation on rejection.
+  std::string reason;
+
+  // Diagnostics.
+  size_t views_considered = 0;
+  size_t views_pruned = 0;
+  size_t memo_groups = 0;
+  size_t memo_exprs = 0;
+  size_t expansion_passes = 0;
+  /// Number of v_r probes executed against the database (rule C3a cond. 3).
+  size_t c3_probes = 0;
+};
+
+/// The Non-Truman validity engine: builds a Volcano AND-OR DAG containing
+/// the query and the instantiated authorization views, expands it with
+/// equivalence rules, and runs the inference rules of Section 5 as marking
+/// passes over the DAG (Section 5.6). Sound by construction; incomplete,
+/// as any such procedure must be (Section 5.5).
+class ValidityChecker {
+ public:
+  /// `state` may be null, in which case conditional rules are disabled
+  /// (no database to probe).
+  ValidityChecker(const catalog::Catalog& catalog,
+                  const storage::DatabaseState* state, ValidityOptions options);
+
+  /// Tests whether `query` (a bound, normalized plan) can be answered using
+  /// only the information in `views` (already instantiated for the session).
+  Result<ValidityReport> Check(const algebra::PlanPtr& query,
+                               const std::vector<InstantiatedView>& views);
+
+  /// After a successful Check of a query admitted through U1/U2 chains,
+  /// reconstructs the witness rewriting q' (Definition 4.1): a plan whose
+  /// leaves are scans of pseudo-tables "view:<name>" — the instantiated
+  /// authorization views. Fails (NotImplemented) when the admission used
+  /// U3/C3 derivations, whose justification is not a direct rewriting.
+  Result<algebra::PlanPtr> ExtractWitness() const;
+
+  /// Executes a witness plan: materializes each instantiated view into a
+  /// pseudo-table "view:<name>" over a clone of `state` and evaluates the
+  /// plan against only those pseudo-tables.
+  static Result<storage::Relation> ExecuteWitness(
+      const algebra::PlanPtr& witness,
+      const std::vector<InstantiatedView>& views,
+      const storage::DatabaseState& state);
+
+ private:
+  struct JoinFacet {
+    optimizer::ExprId join_expr = -1;
+    /// Projection list over the join output at the valid node (identity
+    /// when the valid group is the join group itself).
+    std::vector<algebra::ScalarPtr> proj;
+  };
+  struct EquiPair {
+    int core_slot = 0;   // bare column on the core (left) side
+    int rem_slot = 0;    // bare column on the remainder side (local slots)
+  };
+
+  void SetupExpandOptions();
+  void PropagateValidity(bool* changed_any);
+  bool ApplyU3Rules();
+  bool ApplyC3Rules();
+  /// Conditional selection over a keyed aggregate view (Example 4.2,
+  /// LCAvgGrades): a selection pinning the full group key of an aggregate
+  /// is conditionally valid when the same selection over a valid restriction
+  /// of that aggregate is visibly non-empty.
+  bool ApplyCAggRules();
+  /// Speculative join of a query subexpression with the destination table
+  /// of an inclusion dependency (enables Example 5.4-style inferences: the
+  /// introduced join may be derivable from views, and U3 then validates the
+  /// original subexpression). Returns true if new expressions were added.
+  bool ApplyJoinIntroduction();
+  /// The Section 5.6.2 future-work extension: rewrites Join(L⋈T, R) as
+  /// π(σ((L⋈T) ⋈_{T.key} (T⋈R))) when T is a keyed single-table group and
+  /// R joins only against T's columns. The duplicated-T form can then
+  /// unify with views like A⋈B and B⋈C. Returns true on new expressions.
+  bool ApplyRedundantJoinDecomposition();
+  Status InsertAccessPatternInstantiations(const InstantiatedView& view,
+                                           const algebra::PlanPtr& query);
+  bool ApplyDependentJoinRule(const std::vector<InstantiatedView>& views);
+
+  /// Enumerates (projection, join) facets of a group's expressions.
+  std::vector<JoinFacet> JoinFacetsOf(optimizer::GroupId g) const;
+
+  /// Decomposes join predicates into pure equi column pairs; nullopt if any
+  /// conjunct is not of that shape.
+  std::optional<std::vector<EquiPair>> PureEquiPairs(
+      const optimizer::MemoExpr& join) const;
+
+  /// Provenance: base table and column index a group's output slot carries,
+  /// when it is a pass-through of a base column.
+  struct Origin {
+    std::string table;
+    int column = 0;
+  };
+  std::optional<Origin> SlotOrigin(optimizer::GroupId g, int slot,
+                                   int depth = 0) const;
+
+  /// Collects the filter conjuncts applied between `g` and the Get of its
+  /// single underlying table, if `g` is a Select*-over-Get chain.
+  std::optional<std::vector<algebra::ScalarPtr>> SingleTableFilters(
+      optimizer::GroupId g, std::string* table) const;
+
+  void MarkU(optimizer::GroupId g, const std::string& why);
+  void MarkC(optimizer::GroupId g, const std::string& why);
+
+  const catalog::Catalog& catalog_;
+  const storage::DatabaseState* state_;
+  ValidityOptions options_;
+
+  optimizer::Memo memo_;
+  optimizer::GroupId root_ = -1;
+  std::map<optimizer::GroupId, std::string> justification_;
+  /// Witness bookkeeping: groups justified by a view root (U1) carry the
+  /// instantiated view; groups justified by U2 composition carry the
+  /// operation node whose children were already valid.
+  struct ViewWitness {
+    std::string name;
+    size_t arity = 0;
+  };
+  std::map<optimizer::GroupId, ViewWitness> witness_view_;
+  std::map<optimizer::GroupId, optimizer::ExprId> witness_expr_;
+  size_t c3_probes_ = 0;
+  size_t joins_introduced_ = 0;
+};
+
+}  // namespace fgac::core
+
+#endif  // FGAC_CORE_VALIDITY_H_

@@ -1,0 +1,49 @@
+#include "core/validity_cache.h"
+
+namespace fgac::core {
+
+namespace {
+
+std::string MakeKey(const std::string& user, uint64_t plan_fp) {
+  return user + "#" + std::to_string(plan_fp);
+}
+
+}  // namespace
+
+const ValidityReport* ValidityCache::Lookup(const std::string& user,
+                                            uint64_t plan_fp,
+                                            uint64_t catalog_version,
+                                            uint64_t data_version) {
+  auto it = entries_.find(MakeKey(user, plan_fp));
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  const Entry& entry = it->second;
+  if (entry.catalog_version != catalog_version) {
+    entries_.erase(it);
+    ++misses_;
+    return nullptr;
+  }
+  bool data_sensitive =
+      !entry.report.valid || !entry.report.unconditional;
+  if (data_sensitive && entry.data_version != data_version) {
+    entries_.erase(it);
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &entry.report;
+}
+
+void ValidityCache::Insert(const std::string& user, uint64_t plan_fp,
+                           uint64_t catalog_version, uint64_t data_version,
+                           ValidityReport report) {
+  Entry entry;
+  entry.report = std::move(report);
+  entry.catalog_version = catalog_version;
+  entry.data_version = data_version;
+  entries_[MakeKey(user, plan_fp)] = std::move(entry);
+}
+
+}  // namespace fgac::core

@@ -1,0 +1,57 @@
+#ifndef FGAC_CORE_VALIDITY_CACHE_H_
+#define FGAC_CORE_VALIDITY_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "core/validity.h"
+
+namespace fgac::core {
+
+/// Prepared-statement validity cache (paper Section 5.6, "Optimizations of
+/// Validity Checking"): applications re-issue the same query shapes, so a
+/// verdict can be reused instead of re-running inference.
+///
+/// Key = (user, structural fingerprint of the bound plan). A plan
+/// fingerprint covers the instantiated constants, so the same statement
+/// with different parameters keys differently — matching the paper's
+/// "cheap test used each time the query is executed".
+///
+/// Invalidation: unconditional verdicts depend only on the authorization
+/// catalog (views, grants, constraints) and are dropped when
+/// `catalog_version` advances. Conditional verdicts additionally depend on
+/// the database state ("assuming no underlying data on which it depends
+/// changes during the session") and are dropped when `data_version`
+/// advances. Rejections are cached like conditional verdicts (new data
+/// could make a query conditionally valid).
+class ValidityCache {
+ public:
+  struct Entry {
+    ValidityReport report;
+    uint64_t catalog_version = 0;
+    uint64_t data_version = 0;
+  };
+
+  /// Looks up a cached verdict; returns nullptr on miss or a stale entry.
+  const ValidityReport* Lookup(const std::string& user, uint64_t plan_fp,
+                               uint64_t catalog_version, uint64_t data_version);
+
+  void Insert(const std::string& user, uint64_t plan_fp,
+              uint64_t catalog_version, uint64_t data_version,
+              ValidityReport report);
+
+  void Clear() { entries_.clear(); }
+  size_t size() const { return entries_.size(); }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<std::string, Entry> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace fgac::core
+
+#endif  // FGAC_CORE_VALIDITY_CACHE_H_

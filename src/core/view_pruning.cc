@@ -1,0 +1,62 @@
+#include "core/view_pruning.h"
+
+#include <algorithm>
+#include <set>
+
+namespace fgac::core {
+
+std::vector<const InstantiatedView*> PruneViews(
+    const std::vector<InstantiatedView>& views, const algebra::PlanPtr& query,
+    bool complex_rules_enabled, const catalog::Catalog* catalog) {
+  std::vector<std::string> query_tables = CollectBaseTables(query);
+  std::set<std::string> reachable(query_tables.begin(), query_tables.end());
+
+  std::vector<const InstantiatedView*> kept;
+  if (!complex_rules_enabled) {
+    // Basic rules: a view testifies only by unifying with a query
+    // subexpression, so its tables must all appear in the query.
+    for (const InstantiatedView& v : views) {
+      bool keep = !v.base_tables.empty() &&
+                  std::all_of(v.base_tables.begin(), v.base_tables.end(),
+                              [&](const std::string& t) {
+                                return reachable.count(t) > 0;
+                              });
+      if (keep) kept.push_back(&v);
+    }
+    return kept;
+  }
+
+  // Complex rules: U3/C3 reason through joins the views and the inclusion
+  // dependencies introduce, so compute the closure of tables reachable from
+  // the query through (a) views sharing a table and (b) constraints whose
+  // source table is reachable. A view is kept iff it touches the closure.
+  std::vector<bool> in(views.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (catalog != nullptr) {
+      for (const catalog::InclusionDependency& dep : catalog->constraints()) {
+        if (dep.visible_to_users && reachable.count(dep.src_table) > 0 &&
+            reachable.insert(dep.dst_table).second) {
+          changed = true;
+        }
+      }
+    }
+    for (size_t i = 0; i < views.size(); ++i) {
+      if (in[i]) continue;
+      bool touches = std::any_of(
+          views[i].base_tables.begin(), views[i].base_tables.end(),
+          [&](const std::string& t) { return reachable.count(t) > 0; });
+      if (!touches) continue;
+      in[i] = true;
+      changed = true;
+      for (const std::string& t : views[i].base_tables) reachable.insert(t);
+    }
+  }
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (in[i]) kept.push_back(&views[i]);
+  }
+  return kept;
+}
+
+}  // namespace fgac::core

@@ -1,0 +1,28 @@
+#ifndef FGAC_CORE_VIEW_PRUNING_H_
+#define FGAC_CORE_VIEW_PRUNING_H_
+
+#include <vector>
+
+#include "algebra/plan.h"
+#include "core/auth_view.h"
+
+namespace fgac::core {
+
+/// The Section 5.6 optimization "given a query, we can eliminate
+/// authorization views that cannot possibly be of use in validating the
+/// query". Sound filters:
+///  * basic rules only: a view can testify only by unifying with a
+///    subexpression of the query, so its base tables must be a subset of
+///    the query's;
+///  * complex rules: U3/C3 reason through joins introduced by views and by
+///    inclusion dependencies, so a view is kept when it touches the closure
+///    of tables reachable from the query through kept views and visible
+///    constraints (e.g. a registration view still matters for a query on
+///    grades when a grades view joins registered).
+std::vector<const InstantiatedView*> PruneViews(
+    const std::vector<InstantiatedView>& views, const algebra::PlanPtr& query,
+    bool complex_rules_enabled, const catalog::Catalog* catalog = nullptr);
+
+}  // namespace fgac::core
+
+#endif  // FGAC_CORE_VIEW_PRUNING_H_

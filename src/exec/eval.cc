@@ -1,0 +1,63 @@
+#include "exec/eval.h"
+
+namespace fgac::exec {
+
+using algebra::ScalarPtr;
+
+Result<bool> PassesAll(const std::vector<ScalarPtr>& predicates,
+                       const Row& row) {
+  for (const ScalarPtr& p : predicates) {
+    FGAC_ASSIGN_OR_RETURN(bool pass, algebra::EvalPredicate(p, row));
+    if (!pass) return false;
+  }
+  return true;
+}
+
+Result<Row> ProjectRow(const std::vector<ScalarPtr>& exprs, const Row& row) {
+  Row out;
+  out.reserve(exprs.size());
+  for (const ScalarPtr& e : exprs) {
+    FGAC_ASSIGN_OR_RETURN(Value v, algebra::EvalScalar(e, row));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+JoinKeys SplitJoinKeys(const std::vector<ScalarPtr>& predicates,
+                       size_t left_arity) {
+  JoinKeys out;
+  for (const ScalarPtr& p : predicates) {
+    if (p->kind == algebra::ScalarKind::kBinary &&
+        p->bin_op == sql::BinOp::kEq) {
+      std::set<int> lslots, rslots;
+      algebra::CollectSlots(p->left, &lslots);
+      algebra::CollectSlots(p->right, &rslots);
+      auto all_left = [&](const std::set<int>& s) {
+        return !s.empty() &&
+               *s.rbegin() < static_cast<int>(left_arity);
+      };
+      auto all_right = [&](const std::set<int>& s) {
+        return !s.empty() && *s.begin() >= static_cast<int>(left_arity);
+      };
+      auto shift = [&](const ScalarPtr& s) {
+        return algebra::RemapSlots(s, [&](int slot) {
+          return slot - static_cast<int>(left_arity);
+        });
+      };
+      if (all_left(lslots) && all_right(rslots)) {
+        out.left_keys.push_back(p->left);
+        out.right_keys.push_back(shift(p->right));
+        continue;
+      }
+      if (all_left(rslots) && all_right(lslots)) {
+        out.left_keys.push_back(p->right);
+        out.right_keys.push_back(shift(p->left));
+        continue;
+      }
+    }
+    out.residual.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace fgac::exec

@@ -1,0 +1,39 @@
+#ifndef FGAC_EXEC_EVAL_H_
+#define FGAC_EXEC_EVAL_H_
+
+#include <vector>
+
+#include "algebra/scalar.h"
+#include "common/result.h"
+#include "common/value.h"
+
+namespace fgac::exec {
+
+/// True iff every conjunct evaluates to TRUE on `row` (SQL WHERE semantics:
+/// UNKNOWN filters out).
+Result<bool> PassesAll(const std::vector<algebra::ScalarPtr>& predicates,
+                       const Row& row);
+
+/// Evaluates a projection list over `row`.
+Result<Row> ProjectRow(const std::vector<algebra::ScalarPtr>& exprs,
+                       const Row& row);
+
+/// Splits join predicates (over the concatenated left+right slot space)
+/// into hash-joinable equi-pairs and a residual list. An equi-pair is a
+/// conjunct of the form <left-side scalar> = <right-side scalar> where each
+/// side's slots fall entirely on one input.
+struct JoinKeys {
+  /// Key expressions evaluated against the LEFT row (left slot space).
+  std::vector<algebra::ScalarPtr> left_keys;
+  /// Key expressions evaluated against the RIGHT row (right slot space,
+  /// i.e. already shifted down by the left arity).
+  std::vector<algebra::ScalarPtr> right_keys;
+  /// Conjuncts that are not equi-pairs (over the combined slot space).
+  std::vector<algebra::ScalarPtr> residual;
+};
+JoinKeys SplitJoinKeys(const std::vector<algebra::ScalarPtr>& predicates,
+                       size_t left_arity);
+
+}  // namespace fgac::exec
+
+#endif  // FGAC_EXEC_EVAL_H_

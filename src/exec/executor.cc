@@ -1,0 +1,96 @@
+#include "exec/executor.h"
+
+#include "exec/eval.h"
+
+namespace fgac::exec {
+
+using algebra::OutputArity;
+using algebra::PlanKind;
+using algebra::PlanPtr;
+
+Result<OperatorPtr> BuildPhysicalPlan(const PlanPtr& plan,
+                                      const storage::DatabaseState& state) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  switch (plan->kind) {
+    case PlanKind::kGet: {
+      const storage::TableData* data = state.GetTable(plan->table);
+      if (data == nullptr) {
+        return Status::ExecutionError("no data for table '" + plan->table + "'");
+      }
+      return OperatorPtr(new ScanOp(&data->rows()));
+    }
+    case PlanKind::kValues:
+      return OperatorPtr(new ValuesOp(plan->rows));
+    case PlanKind::kSelect: {
+      FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
+                            BuildPhysicalPlan(plan->children[0], state));
+      return OperatorPtr(new FilterOp(plan->predicates, std::move(child)));
+    }
+    case PlanKind::kProject: {
+      FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
+                            BuildPhysicalPlan(plan->children[0], state));
+      return OperatorPtr(new ProjectOp(plan->exprs, std::move(child)));
+    }
+    case PlanKind::kJoin: {
+      FGAC_ASSIGN_OR_RETURN(OperatorPtr left,
+                            BuildPhysicalPlan(plan->children[0], state));
+      FGAC_ASSIGN_OR_RETURN(OperatorPtr right,
+                            BuildPhysicalPlan(plan->children[1], state));
+      size_t left_arity = OutputArity(*plan->children[0]);
+      JoinKeys keys = SplitJoinKeys(plan->predicates, left_arity);
+      if (!keys.left_keys.empty()) {
+        return OperatorPtr(new HashJoinOp(
+            std::move(keys.left_keys), std::move(keys.right_keys),
+            std::move(keys.residual), std::move(left), std::move(right)));
+      }
+      return OperatorPtr(new NestedLoopJoinOp(plan->predicates, std::move(left),
+                                              std::move(right)));
+    }
+    case PlanKind::kAggregate: {
+      FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
+                            BuildPhysicalPlan(plan->children[0], state));
+      return OperatorPtr(
+          new HashAggregateOp(plan->group_by, plan->aggs, std::move(child)));
+    }
+    case PlanKind::kDistinct: {
+      FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
+                            BuildPhysicalPlan(plan->children[0], state));
+      return OperatorPtr(new DistinctOp(std::move(child)));
+    }
+    case PlanKind::kSort: {
+      FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
+                            BuildPhysicalPlan(plan->children[0], state));
+      return OperatorPtr(new SortOp(plan->sort_items, std::move(child)));
+    }
+    case PlanKind::kLimit: {
+      FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
+                            BuildPhysicalPlan(plan->children[0], state));
+      return OperatorPtr(new LimitOp(plan->limit, std::move(child)));
+    }
+    case PlanKind::kUnionAll: {
+      std::vector<OperatorPtr> children;
+      children.reserve(plan->children.size());
+      for (const PlanPtr& c : plan->children) {
+        FGAC_ASSIGN_OR_RETURN(OperatorPtr child, BuildPhysicalPlan(c, state));
+        children.push_back(std::move(child));
+      }
+      return OperatorPtr(new UnionAllOp(std::move(children)));
+    }
+  }
+  return Status::ExecutionError("unsupported plan kind");
+}
+
+Result<storage::Relation> ExecutePlan(const PlanPtr& plan,
+                                      const storage::DatabaseState& state) {
+  FGAC_ASSIGN_OR_RETURN(OperatorPtr root, BuildPhysicalPlan(plan, state));
+  FGAC_RETURN_NOT_OK(root->Open());
+  storage::Relation out(algebra::OutputNames(*plan));
+  while (true) {
+    FGAC_ASSIGN_OR_RETURN(std::optional<Row> row, root->Next());
+    if (!row.has_value()) break;
+    out.AddRow(std::move(*row));
+  }
+  return out;
+}
+
+}  // namespace fgac::exec

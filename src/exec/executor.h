@@ -1,0 +1,25 @@
+#ifndef FGAC_EXEC_EXECUTOR_H_
+#define FGAC_EXEC_EXECUTOR_H_
+
+#include "algebra/plan.h"
+#include "common/result.h"
+#include "exec/operators.h"
+#include "storage/database_state.h"
+#include "storage/relation.h"
+
+namespace fgac::exec {
+
+/// Lowers a logical plan to a physical operator tree over `state` (borrowed
+/// for the lifetime of the returned operator). Joins with equi-predicates
+/// become hash joins; others become block nested-loop joins.
+Result<OperatorPtr> BuildPhysicalPlan(const algebra::PlanPtr& plan,
+                                      const storage::DatabaseState& state);
+
+/// Builds, opens, and drains a physical plan into a Relation (column names
+/// from the logical plan).
+Result<storage::Relation> ExecutePlan(const algebra::PlanPtr& plan,
+                                      const storage::DatabaseState& state);
+
+}  // namespace fgac::exec
+
+#endif  // FGAC_EXEC_EXECUTOR_H_

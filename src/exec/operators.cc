@@ -1,0 +1,253 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <map>
+
+#include "exec/eval.h"
+
+namespace fgac::exec {
+
+using algebra::AggAccumulator;
+using algebra::EvalScalar;
+using algebra::ScalarPtr;
+
+Result<std::optional<Row>> ScanOp::Next() {
+  if (pos_ >= rows_->size()) return std::optional<Row>();
+  return std::optional<Row>((*rows_)[pos_++]);
+}
+
+Result<std::optional<Row>> ValuesOp::Next() {
+  if (pos_ >= rows_.size()) return std::optional<Row>();
+  return std::optional<Row>(rows_[pos_++]);
+}
+
+Result<std::optional<Row>> FilterOp::Next() {
+  while (true) {
+    FGAC_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+    if (!row.has_value()) return std::optional<Row>();
+    FGAC_ASSIGN_OR_RETURN(bool pass, PassesAll(predicates_, *row));
+    if (pass) return row;
+  }
+}
+
+Result<std::optional<Row>> ProjectOp::Next() {
+  FGAC_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+  if (!row.has_value()) return std::optional<Row>();
+  FGAC_ASSIGN_OR_RETURN(Row out, ProjectRow(exprs_, *row));
+  return std::optional<Row>(std::move(out));
+}
+
+Status NestedLoopJoinOp::Open() {
+  FGAC_RETURN_NOT_OK(left_->Open());
+  FGAC_RETURN_NOT_OK(right_->Open());
+  right_rows_.clear();
+  while (true) {
+    Result<std::optional<Row>> row = right_->Next();
+    if (!row.ok()) return row.status();
+    if (!row.value().has_value()) break;
+    right_rows_.push_back(std::move(*row.value()));
+  }
+  current_left_.reset();
+  right_pos_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Row>> NestedLoopJoinOp::Next() {
+  while (true) {
+    if (!current_left_.has_value()) {
+      FGAC_ASSIGN_OR_RETURN(current_left_, left_->Next());
+      if (!current_left_.has_value()) return std::optional<Row>();
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      Row combined = *current_left_;
+      const Row& r = right_rows_[right_pos_++];
+      combined.insert(combined.end(), r.begin(), r.end());
+      FGAC_ASSIGN_OR_RETURN(bool pass, PassesAll(predicates_, combined));
+      if (pass) return std::optional<Row>(std::move(combined));
+    }
+    current_left_.reset();
+  }
+}
+
+Status HashJoinOp::Open() {
+  FGAC_RETURN_NOT_OK(left_->Open());
+  FGAC_RETURN_NOT_OK(right_->Open());
+  build_.clear();
+  while (true) {
+    Result<std::optional<Row>> row = right_->Next();
+    if (!row.ok()) return row.status();
+    if (!row.value().has_value()) break;
+    const Row& r = *row.value();
+    Row key;
+    key.reserve(right_keys_.size());
+    bool has_null = false;
+    for (const ScalarPtr& k : right_keys_) {
+      Result<Value> v = EvalScalar(k, r);
+      if (!v.ok()) return v.status();
+      if (v.value().is_null()) has_null = true;
+      key.push_back(std::move(v).value());
+    }
+    if (has_null) continue;  // NULL keys never match in an equi-join.
+    build_[std::move(key)].push_back(r);
+  }
+  current_left_.reset();
+  current_bucket_ = nullptr;
+  bucket_pos_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Row>> HashJoinOp::Next() {
+  while (true) {
+    if (current_bucket_ != nullptr && bucket_pos_ < current_bucket_->size()) {
+      Row combined = *current_left_;
+      const Row& r = (*current_bucket_)[bucket_pos_++];
+      combined.insert(combined.end(), r.begin(), r.end());
+      FGAC_ASSIGN_OR_RETURN(bool pass, PassesAll(residual_, combined));
+      if (pass) return std::optional<Row>(std::move(combined));
+      continue;
+    }
+    FGAC_ASSIGN_OR_RETURN(current_left_, left_->Next());
+    if (!current_left_.has_value()) return std::optional<Row>();
+    Row key;
+    key.reserve(left_keys_.size());
+    bool has_null = false;
+    for (const ScalarPtr& k : left_keys_) {
+      FGAC_ASSIGN_OR_RETURN(Value v, EvalScalar(k, *current_left_));
+      if (v.is_null()) has_null = true;
+      key.push_back(std::move(v));
+    }
+    current_bucket_ = nullptr;
+    bucket_pos_ = 0;
+    if (has_null) continue;
+    auto it = build_.find(key);
+    if (it != build_.end()) current_bucket_ = &it->second;
+  }
+}
+
+Status HashAggregateOp::Open() {
+  FGAC_RETURN_NOT_OK(child_->Open());
+  results_.clear();
+  pos_ = 0;
+
+  // Ordered map keeps output deterministic.
+  std::map<Row, std::vector<AggAccumulator>> groups;
+  auto make_accumulators = [this]() {
+    std::vector<AggAccumulator> accs;
+    accs.reserve(aggs_.size());
+    for (const algebra::AggExpr& a : aggs_) accs.emplace_back(a);
+    return accs;
+  };
+
+  while (true) {
+    Result<std::optional<Row>> row = child_->Next();
+    if (!row.ok()) return row.status();
+    if (!row.value().has_value()) break;
+    const Row& r = *row.value();
+    Row key;
+    key.reserve(group_by_.size());
+    for (const ScalarPtr& g : group_by_) {
+      Result<Value> v = EvalScalar(g, r);
+      if (!v.ok()) return v.status();
+      key.push_back(std::move(v).value());
+    }
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(std::move(key), make_accumulators()).first;
+    }
+    for (AggAccumulator& acc : it->second) {
+      FGAC_RETURN_NOT_OK(acc.Add(r));
+    }
+  }
+  if (groups.empty() && group_by_.empty()) {
+    groups.emplace(Row{}, make_accumulators());
+  }
+  for (const auto& [key, accs] : groups) {
+    Row out = key;
+    for (const AggAccumulator& acc : accs) out.push_back(acc.Finish());
+    results_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Row>> HashAggregateOp::Next() {
+  if (pos_ >= results_.size()) return std::optional<Row>();
+  return std::optional<Row>(results_[pos_++]);
+}
+
+Status DistinctOp::Open() {
+  seen_.clear();
+  return child_->Open();
+}
+
+Result<std::optional<Row>> DistinctOp::Next() {
+  while (true) {
+    FGAC_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+    if (!row.has_value()) return std::optional<Row>();
+    if (seen_.emplace(*row, true).second) return row;
+  }
+}
+
+Status SortOp::Open() {
+  FGAC_RETURN_NOT_OK(child_->Open());
+  rows_.clear();
+  pos_ = 0;
+  std::vector<std::pair<Row, Row>> keyed;
+  while (true) {
+    Result<std::optional<Row>> row = child_->Next();
+    if (!row.ok()) return row.status();
+    if (!row.value().has_value()) break;
+    Row key;
+    key.reserve(items_.size());
+    for (const algebra::SortItem& it : items_) {
+      Result<Value> v = EvalScalar(it.expr, *row.value());
+      if (!v.ok()) return v.status();
+      key.push_back(std::move(v).value());
+    }
+    keyed.emplace_back(std::move(key), std::move(*row.value()));
+  }
+  const auto& items = items_;
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [&items](const auto& a, const auto& b) {
+                     for (size_t i = 0; i < items.size(); ++i) {
+                       int c = a.first[i].Compare(b.first[i]);
+                       if (c != 0) return items[i].descending ? c > 0 : c < 0;
+                     }
+                     return false;
+                   });
+  rows_.reserve(keyed.size());
+  for (auto& [key, row] : keyed) rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<std::optional<Row>> SortOp::Next() {
+  if (pos_ >= rows_.size()) return std::optional<Row>();
+  return std::optional<Row>(rows_[pos_++]);
+}
+
+Result<std::optional<Row>> LimitOp::Next() {
+  if (produced_ >= limit_) return std::optional<Row>();
+  FGAC_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+  if (!row.has_value()) return std::optional<Row>();
+  ++produced_;
+  return row;
+}
+
+Status UnionAllOp::Open() {
+  current_ = 0;
+  for (OperatorPtr& child : children_) {
+    FGAC_RETURN_NOT_OK(child->Open());
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Row>> UnionAllOp::Next() {
+  while (current_ < children_.size()) {
+    FGAC_ASSIGN_OR_RETURN(std::optional<Row> row, children_[current_]->Next());
+    if (row.has_value()) return row;
+    ++current_;
+  }
+  return std::optional<Row>();
+}
+
+}  // namespace fgac::exec

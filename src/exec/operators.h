@@ -1,0 +1,213 @@
+#ifndef FGAC_EXEC_OPERATORS_H_
+#define FGAC_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "algebra/scalar.h"
+#include "common/result.h"
+#include "common/value.h"
+
+namespace fgac::exec {
+
+/// Pull-based physical operator (the Volcano iterator model the paper's
+/// optimizer context assumes). Next() returns one row, or nullopt at end.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  Operator() = default;
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Resets state and prepares for iteration. May be called again after
+  /// exhaustion to re-scan.
+  virtual Status Open() = 0;
+
+  /// Produces the next row or std::nullopt when exhausted.
+  virtual Result<std::optional<Row>> Next() = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Scans a borrowed row vector (base table data or materialized input).
+/// The rows must outlive the operator.
+class ScanOp final : public Operator {
+ public:
+  explicit ScanOp(const std::vector<Row>* rows) : rows_(rows) {}
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  const std::vector<Row>* rows_;
+  size_t pos_ = 0;
+};
+
+/// Emits an owned row vector (VALUES).
+class ValuesOp final : public Operator {
+ public:
+  explicit ValuesOp(std::vector<Row> rows) : rows_(std::move(rows)) {}
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class FilterOp final : public Operator {
+ public:
+  FilterOp(std::vector<algebra::ScalarPtr> predicates, OperatorPtr child)
+      : predicates_(std::move(predicates)), child_(std::move(child)) {}
+  Status Open() override { return child_->Open(); }
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  std::vector<algebra::ScalarPtr> predicates_;
+  OperatorPtr child_;
+};
+
+class ProjectOp final : public Operator {
+ public:
+  ProjectOp(std::vector<algebra::ScalarPtr> exprs, OperatorPtr child)
+      : exprs_(std::move(exprs)), child_(std::move(child)) {}
+  Status Open() override { return child_->Open(); }
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  std::vector<algebra::ScalarPtr> exprs_;
+  OperatorPtr child_;
+};
+
+/// Block nested-loop join: materializes the right input once, then streams
+/// the left input against it, applying all predicates.
+class NestedLoopJoinOp final : public Operator {
+ public:
+  NestedLoopJoinOp(std::vector<algebra::ScalarPtr> predicates,
+                   OperatorPtr left, OperatorPtr right)
+      : predicates_(std::move(predicates)),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  std::vector<algebra::ScalarPtr> predicates_;
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<Row> right_rows_;
+  std::optional<Row> current_left_;
+  size_t right_pos_ = 0;
+};
+
+/// Hash join on equi-key expressions; residual predicates applied to the
+/// combined row. Builds on the right input.
+class HashJoinOp final : public Operator {
+ public:
+  HashJoinOp(std::vector<algebra::ScalarPtr> left_keys,
+             std::vector<algebra::ScalarPtr> right_keys,
+             std::vector<algebra::ScalarPtr> residual, OperatorPtr left,
+             OperatorPtr right)
+      : left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        residual_(std::move(residual)),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  std::vector<algebra::ScalarPtr> left_keys_;
+  std::vector<algebra::ScalarPtr> right_keys_;
+  std::vector<algebra::ScalarPtr> residual_;
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> build_;
+  std::optional<Row> current_left_;
+  const std::vector<Row>* current_bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+};
+
+/// Hash aggregation; materializes all groups on Open.
+class HashAggregateOp final : public Operator {
+ public:
+  HashAggregateOp(std::vector<algebra::ScalarPtr> group_by,
+                  std::vector<algebra::AggExpr> aggs, OperatorPtr child)
+      : group_by_(std::move(group_by)),
+        aggs_(std::move(aggs)),
+        child_(std::move(child)) {}
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  std::vector<algebra::ScalarPtr> group_by_;
+  std::vector<algebra::AggExpr> aggs_;
+  OperatorPtr child_;
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+class DistinctOp final : public Operator {
+ public:
+  explicit DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  OperatorPtr child_;
+  std::unordered_map<Row, bool, RowHash, RowEq> seen_;
+};
+
+class SortOp final : public Operator {
+ public:
+  SortOp(std::vector<algebra::SortItem> items, OperatorPtr child)
+      : items_(std::move(items)), child_(std::move(child)) {}
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  std::vector<algebra::SortItem> items_;
+  OperatorPtr child_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class LimitOp final : public Operator {
+ public:
+  LimitOp(int64_t limit, OperatorPtr child)
+      : limit_(limit), child_(std::move(child)) {}
+  Status Open() override {
+    produced_ = 0;
+    return child_->Open();
+  }
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  int64_t limit_;
+  OperatorPtr child_;
+  int64_t produced_ = 0;
+};
+
+class UnionAllOp final : public Operator {
+ public:
+  explicit UnionAllOp(std::vector<OperatorPtr> children)
+      : children_(std::move(children)) {}
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  std::vector<OperatorPtr> children_;
+  size_t current_ = 0;
+};
+
+}  // namespace fgac::exec
+
+#endif  // FGAC_EXEC_OPERATORS_H_

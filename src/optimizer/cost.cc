@@ -1,0 +1,149 @@
+#include "optimizer/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fgac::optimizer {
+
+using algebra::PlanKind;
+using algebra::ScalarKind;
+using algebra::ScalarPtr;
+
+namespace {
+
+double ConjunctSelectivity(const ScalarPtr& p) {
+  if (p->kind == ScalarKind::kBinary) {
+    switch (p->bin_op) {
+      case sql::BinOp::kEq:
+        return 0.1;
+      case sql::BinOp::kNe:
+        return 0.9;
+      case sql::BinOp::kLt:
+      case sql::BinOp::kLe:
+        return 0.33;
+      case sql::BinOp::kOr:
+        return 0.5;
+      default:
+        return 0.5;
+    }
+  }
+  if (p->kind == ScalarKind::kInList) {
+    return std::min(1.0, 0.1 * static_cast<double>(p->in_list.size()));
+  }
+  return 0.5;
+}
+
+bool HasEquiJoinPair(const std::vector<ScalarPtr>& preds, size_t left_arity) {
+  for (const ScalarPtr& p : preds) {
+    if (p->kind != ScalarKind::kBinary || p->bin_op != sql::BinOp::kEq) continue;
+    std::set<int> l, r;
+    algebra::CollectSlots(p->left, &l);
+    algebra::CollectSlots(p->right, &r);
+    auto side = [&](const std::set<int>& s) {
+      if (s.empty()) return 0;  // constant
+      if (*s.rbegin() < static_cast<int>(left_arity)) return 1;
+      if (*s.begin() >= static_cast<int>(left_arity)) return 2;
+      return 3;  // mixed
+    };
+    int sl = side(l), sr = side(r);
+    if ((sl == 1 && sr == 2) || (sl == 2 && sr == 1)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+double PredicateSelectivity(const std::vector<ScalarPtr>& predicates) {
+  double sel = 1.0;
+  for (const ScalarPtr& p : predicates) sel *= ConjunctSelectivity(p);
+  return std::max(sel, 1e-9);
+}
+
+CostEstimate EstimateExprCost(
+    const Memo& memo, ExprId eid,
+    const std::function<CostEstimate(GroupId)>& child) {
+  const MemoExpr& e = memo.expr(eid);
+  CostEstimate out;
+  switch (e.kind) {
+    case PlanKind::kGet: {
+      // Row count is injected through the Get's child callback convention:
+      // Gets have no children, so the caller special-cases them; here we
+      // only provide the fallback.
+      out.rows = 1000.0;
+      out.cost = out.rows;
+      return out;
+    }
+    case PlanKind::kValues:
+      out.rows = static_cast<double>(e.rows.size());
+      out.cost = out.rows;
+      return out;
+    case PlanKind::kSelect: {
+      CostEstimate c = child(e.children[0]);
+      out.rows = std::max(1.0, c.rows * PredicateSelectivity(e.predicates));
+      out.cost = c.cost + c.rows;
+      return out;
+    }
+    case PlanKind::kProject: {
+      CostEstimate c = child(e.children[0]);
+      out.rows = c.rows;
+      out.cost = c.cost + c.rows;
+      return out;
+    }
+    case PlanKind::kJoin: {
+      CostEstimate l = child(e.children[0]);
+      CostEstimate r = child(e.children[1]);
+      size_t la = memo.group(e.children[0]).arity;
+      bool equi = HasEquiJoinPair(e.predicates, la);
+      double sel = e.predicates.empty()
+                       ? 1.0
+                       : (equi ? 1.0 / std::max({l.rows, r.rows, 1.0})
+                               : PredicateSelectivity(e.predicates));
+      out.rows = std::max(1.0, l.rows * r.rows * sel);
+      if (equi) {
+        out.cost = l.cost + r.cost + l.rows + 2.0 * r.rows + out.rows;
+      } else {
+        out.cost = l.cost + r.cost + l.rows * r.rows + out.rows;
+      }
+      return out;
+    }
+    case PlanKind::kAggregate: {
+      CostEstimate c = child(e.children[0]);
+      out.rows = e.group_by.empty()
+                     ? 1.0
+                     : std::max(1.0, c.rows * 0.1);
+      out.cost = c.cost + 2.0 * c.rows;
+      return out;
+    }
+    case PlanKind::kDistinct: {
+      CostEstimate c = child(e.children[0]);
+      out.rows = std::max(1.0, c.rows * 0.5);
+      out.cost = c.cost + 2.0 * c.rows;
+      return out;
+    }
+    case PlanKind::kSort: {
+      CostEstimate c = child(e.children[0]);
+      out.rows = c.rows;
+      out.cost = c.cost + c.rows * std::log2(c.rows + 2.0);
+      return out;
+    }
+    case PlanKind::kLimit: {
+      CostEstimate c = child(e.children[0]);
+      out.rows = std::min(c.rows, static_cast<double>(e.limit));
+      out.cost = c.cost;
+      return out;
+    }
+    case PlanKind::kUnionAll: {
+      out.rows = 0.0;
+      out.cost = 0.0;
+      for (GroupId g : e.children) {
+        CostEstimate c = child(g);
+        out.rows += c.rows;
+        out.cost += c.cost + c.rows;
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace fgac::optimizer

@@ -1,0 +1,31 @@
+#ifndef FGAC_OPTIMIZER_COST_H_
+#define FGAC_OPTIMIZER_COST_H_
+
+#include <functional>
+#include <string>
+
+#include "optimizer/memo.h"
+
+namespace fgac::optimizer {
+
+/// Table statistics provider: rows in a base table. Defaults to 1000 when
+/// unset or unknown.
+using TableRowCount = std::function<double(const std::string& table)>;
+
+struct CostEstimate {
+  double rows = 0.0;
+  double cost = 0.0;
+};
+
+/// Simple textbook cost model: linear scan/filter/project costs, hash join
+/// for equi-predicates (build + probe), nested loop otherwise, selectivity
+/// heuristics (0.1 per equality conjunct, 0.33 per range conjunct).
+CostEstimate EstimateExprCost(const Memo& memo, ExprId eid,
+                              const std::function<CostEstimate(GroupId)>& child);
+
+/// Row-count/selectivity helpers shared with the executor-facing benches.
+double PredicateSelectivity(const std::vector<algebra::ScalarPtr>& predicates);
+
+}  // namespace fgac::optimizer
+
+#endif  // FGAC_OPTIMIZER_COST_H_

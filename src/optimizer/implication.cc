@@ -1,0 +1,163 @@
+#include "optimizer/implication.h"
+
+#include <algorithm>
+
+namespace fgac::optimizer {
+
+using algebra::ScalarEquals;
+using algebra::ScalarKind;
+using algebra::ScalarPtr;
+
+std::optional<Atom> ExtractAtom(const ScalarPtr& conjunct) {
+  if (conjunct == nullptr) return std::nullopt;
+  if (conjunct->kind == ScalarKind::kInList && !conjunct->negated) {
+    Atom atom;
+    atom.op = Atom::Op::kIn;
+    atom.expr = conjunct->operand;
+    for (const ScalarPtr& e : conjunct->in_list) {
+      if (e->kind != ScalarKind::kLiteral) return std::nullopt;
+      atom.in_values.push_back(e->value);
+    }
+    return atom;
+  }
+  if (conjunct->kind != ScalarKind::kBinary) return std::nullopt;
+  Atom::Op op;
+  switch (conjunct->bin_op) {
+    case sql::BinOp::kEq: op = Atom::Op::kEq; break;
+    case sql::BinOp::kNe: op = Atom::Op::kNe; break;
+    case sql::BinOp::kLt: op = Atom::Op::kLt; break;
+    case sql::BinOp::kLe: op = Atom::Op::kLe; break;
+    case sql::BinOp::kGt: op = Atom::Op::kGt; break;
+    case sql::BinOp::kGe: op = Atom::Op::kGe; break;
+    default:
+      return std::nullopt;
+  }
+  const ScalarPtr& l = conjunct->left;
+  const ScalarPtr& r = conjunct->right;
+  Atom atom;
+  if (r->kind == ScalarKind::kLiteral && l->kind != ScalarKind::kLiteral) {
+    atom.expr = l;
+    atom.op = op;
+    atom.literal = r->value;
+    return atom;
+  }
+  if (l->kind == ScalarKind::kLiteral && r->kind != ScalarKind::kLiteral) {
+    // lit OP expr  ->  expr MIRROR(OP) lit.
+    atom.expr = r;
+    switch (op) {
+      case Atom::Op::kLt: atom.op = Atom::Op::kGt; break;
+      case Atom::Op::kLe: atom.op = Atom::Op::kGe; break;
+      case Atom::Op::kGt: atom.op = Atom::Op::kLt; break;
+      case Atom::Op::kGe: atom.op = Atom::Op::kLe; break;
+      default: atom.op = op; break;
+    }
+    atom.literal = l->value;
+    return atom;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Does atom `a` (premise) imply atom `b` (conclusion), both over the same
+/// expression? NULL semantics: all atoms are satisfied only by non-NULL
+/// values of the expression, so value-level reasoning is sound.
+bool AtomImplies(const Atom& a, const Atom& b) {
+  auto lt = [](const Value& x, const Value& y) { return x.Compare(y) < 0; };
+  auto le = [](const Value& x, const Value& y) { return x.Compare(y) <= 0; };
+  auto eq = [](const Value& x, const Value& y) { return x.Compare(y) == 0; };
+
+  // Premise set S_a must be a subset of conclusion set S_b.
+  switch (a.op) {
+    case Atom::Op::kEq: {
+      const Value& v = a.literal;
+      switch (b.op) {
+        case Atom::Op::kEq: return eq(v, b.literal);
+        case Atom::Op::kNe: return !eq(v, b.literal);
+        case Atom::Op::kLt: return lt(v, b.literal);
+        case Atom::Op::kLe: return le(v, b.literal);
+        case Atom::Op::kGt: return lt(b.literal, v);
+        case Atom::Op::kGe: return le(b.literal, v);
+        case Atom::Op::kIn:
+          return std::any_of(b.in_values.begin(), b.in_values.end(),
+                             [&](const Value& w) { return eq(v, w); });
+      }
+      return false;
+    }
+    case Atom::Op::kIn: {
+      // Every member of a's set must satisfy b.
+      for (const Value& v : a.in_values) {
+        Atom single;
+        single.op = Atom::Op::kEq;
+        single.expr = a.expr;
+        single.literal = v;
+        if (!AtomImplies(single, b)) return false;
+      }
+      return !a.in_values.empty();
+    }
+    case Atom::Op::kLt:
+      switch (b.op) {
+        case Atom::Op::kLt: return le(a.literal, b.literal);
+        case Atom::Op::kLe: return le(a.literal, b.literal);
+        case Atom::Op::kNe: return le(a.literal, b.literal);
+        default: return false;
+      }
+    case Atom::Op::kLe:
+      switch (b.op) {
+        case Atom::Op::kLt: return lt(a.literal, b.literal);
+        case Atom::Op::kLe: return le(a.literal, b.literal);
+        case Atom::Op::kNe: return lt(a.literal, b.literal);
+        default: return false;
+      }
+    case Atom::Op::kGt:
+      switch (b.op) {
+        case Atom::Op::kGt: return le(b.literal, a.literal);
+        case Atom::Op::kGe: return le(b.literal, a.literal);
+        case Atom::Op::kNe: return le(b.literal, a.literal);
+        default: return false;
+      }
+    case Atom::Op::kGe:
+      switch (b.op) {
+        case Atom::Op::kGt: return lt(b.literal, a.literal);
+        case Atom::Op::kGe: return le(b.literal, a.literal);
+        case Atom::Op::kNe: return lt(b.literal, a.literal);
+        default: return false;
+      }
+    case Atom::Op::kNe:
+      switch (b.op) {
+        case Atom::Op::kNe: return a.literal.Compare(b.literal) == 0;
+        default: return false;
+      }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ImpliesConjunct(const std::vector<ScalarPtr>& premises,
+                     const ScalarPtr& conclusion) {
+  // 1. Structural match.
+  for (const ScalarPtr& p : premises) {
+    if (ScalarEquals(p, conclusion)) return true;
+  }
+  // 2. Atom-level reasoning.
+  std::optional<Atom> b = ExtractAtom(conclusion);
+  if (!b.has_value()) return false;
+  for (const ScalarPtr& p : premises) {
+    std::optional<Atom> a = ExtractAtom(p);
+    if (!a.has_value()) continue;
+    if (!ScalarEquals(a->expr, b->expr)) continue;
+    if (AtomImplies(*a, *b)) return true;
+  }
+  return false;
+}
+
+bool ImpliesAll(const std::vector<ScalarPtr>& premises,
+                const std::vector<ScalarPtr>& conclusions) {
+  for (const ScalarPtr& c : conclusions) {
+    if (!ImpliesConjunct(premises, c)) return false;
+  }
+  return true;
+}
+
+}  // namespace fgac::optimizer

@@ -1,0 +1,36 @@
+#ifndef FGAC_OPTIMIZER_IMPLICATION_H_
+#define FGAC_OPTIMIZER_IMPLICATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "algebra/scalar.h"
+
+namespace fgac::optimizer {
+
+/// A single comparison atom `expr OP literal` extracted from a normalized
+/// conjunct (the literal may have appeared on either side).
+struct Atom {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kIn };
+  algebra::ScalarPtr expr;
+  Op op = Op::kEq;
+  Value literal;                 // for all but kIn
+  std::vector<Value> in_values;  // for kIn
+};
+
+/// Extracts an atom from a conjunct, or nullopt if it is not of atom shape.
+std::optional<Atom> ExtractAtom(const algebra::ScalarPtr& conjunct);
+
+/// Conservative implication test: does conjunct set `premises` imply
+/// `conclusion`? Sound but incomplete: structural equality, plus
+/// range/equality/IN reasoning over atoms sharing the same expression.
+bool ImpliesConjunct(const std::vector<algebra::ScalarPtr>& premises,
+                     const algebra::ScalarPtr& conclusion);
+
+/// True if `premises` implies every conjunct of `conclusions`.
+bool ImpliesAll(const std::vector<algebra::ScalarPtr>& premises,
+                const std::vector<algebra::ScalarPtr>& conclusions);
+
+}  // namespace fgac::optimizer
+
+#endif  // FGAC_OPTIMIZER_IMPLICATION_H_

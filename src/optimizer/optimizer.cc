@@ -1,0 +1,124 @@
+#include "optimizer/optimizer.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace fgac::optimizer {
+
+using algebra::PlanKind;
+using algebra::PlanPtr;
+
+namespace {
+
+struct Best {
+  ExprId expr = -1;
+  CostEstimate estimate;
+};
+
+class Extractor {
+ public:
+  Extractor(const Memo& memo, const TableRowCount& row_count)
+      : memo_(memo), row_count_(row_count) {}
+
+  Result<Best> BestOf(GroupId g) {
+    g = memo_.Find(g);
+    auto it = best_.find(g);
+    if (it != best_.end()) return it->second;
+    if (on_path_.count(g) > 0) {
+      // Cycle: no finite plan through this path.
+      return Status::InvalidArgument("cyclic memo group");
+    }
+    on_path_.insert(g);
+    Best best;
+    best.estimate.cost = std::numeric_limits<double>::infinity();
+    for (ExprId eid : memo_.GroupExprs(g)) {
+      const MemoExpr& e = memo_.expr(eid);
+      bool feasible = true;
+      auto child_cost = [&](GroupId c) -> CostEstimate {
+        Result<Best> b = BestOf(c);
+        if (!b.ok()) {
+          feasible = false;
+          return CostEstimate{0.0, std::numeric_limits<double>::infinity()};
+        }
+        return b.value().estimate;
+      };
+      CostEstimate est;
+      if (e.kind == PlanKind::kGet) {
+        est.rows = row_count_ != nullptr ? row_count_(e.table) : 1000.0;
+        est.cost = est.rows;
+      } else {
+        est = EstimateExprCost(memo_, eid, child_cost);
+      }
+      if (!feasible || std::isinf(est.cost)) continue;
+      if (est.cost < best.estimate.cost) {
+        best.expr = eid;
+        best.estimate = est;
+      }
+    }
+    on_path_.erase(g);
+    if (best.expr < 0) {
+      return Status::InvalidArgument("no feasible plan for memo group " +
+                                     std::to_string(g));
+    }
+    best_.emplace(g, best);
+    return best;
+  }
+
+  Result<PlanPtr> BuildPlan(GroupId g) {
+    FGAC_ASSIGN_OR_RETURN(Best best, BestOf(g));
+    const MemoExpr& e = memo_.expr(best.expr);
+    auto p = std::make_shared<algebra::Plan>();
+    p->kind = e.kind;
+    for (GroupId c : e.children) {
+      FGAC_ASSIGN_OR_RETURN(PlanPtr child, BuildPlan(c));
+      p->children.push_back(std::move(child));
+    }
+    p->table = e.table;
+    p->get_columns = e.get_columns;
+    p->rows = e.rows;
+    p->values_arity = e.values_arity;
+    p->predicates = e.predicates;
+    p->exprs = e.exprs;
+    p->group_by = e.group_by;
+    p->aggs = e.aggs;
+    p->sort_items = e.sort_items;
+    p->limit = e.limit;
+    return PlanPtr(p);
+  }
+
+ private:
+  const Memo& memo_;
+  const TableRowCount& row_count_;
+  std::map<GroupId, Best> best_;
+  std::set<GroupId> on_path_;
+};
+
+}  // namespace
+
+Result<OptimizeResult> ExtractBestPlan(const Memo& memo, GroupId root,
+                                       const TableRowCount& row_count) {
+  Extractor extractor(memo, row_count);
+  FGAC_ASSIGN_OR_RETURN(Best best, extractor.BestOf(root));
+  OptimizeResult out;
+  FGAC_ASSIGN_OR_RETURN(out.plan, extractor.BuildPlan(root));
+  out.estimated_rows = best.estimate.rows;
+  out.estimated_cost = best.estimate.cost;
+  out.memo_groups = memo.num_live_groups();
+  out.memo_exprs = memo.num_live_exprs();
+  return out;
+}
+
+Result<OptimizeResult> Optimize(const algebra::PlanPtr& plan,
+                                const ExpandOptions& options,
+                                const TableRowCount& row_count) {
+  Memo memo;
+  GroupId root = memo.InsertPlan(plan);
+  ExpandStats stats = ExpandMemo(&memo, options);
+  FGAC_ASSIGN_OR_RETURN(OptimizeResult out,
+                        ExtractBestPlan(memo, memo.Find(root), row_count));
+  out.expand_stats = stats;
+  return out;
+}
+
+}  // namespace fgac::optimizer

@@ -1,0 +1,33 @@
+#ifndef FGAC_OPTIMIZER_OPTIMIZER_H_
+#define FGAC_OPTIMIZER_OPTIMIZER_H_
+
+#include "common/result.h"
+#include "optimizer/cost.h"
+#include "optimizer/memo.h"
+#include "optimizer/rules.h"
+
+namespace fgac::optimizer {
+
+struct OptimizeResult {
+  algebra::PlanPtr plan;
+  double estimated_rows = 0.0;
+  double estimated_cost = 0.0;
+  ExpandStats expand_stats;
+  size_t memo_groups = 0;
+  size_t memo_exprs = 0;
+};
+
+/// Volcano-style optimization: insert the plan into a fresh AND-OR DAG,
+/// expand with equivalence rules, and extract the cheapest plan by
+/// dynamic programming over equivalence nodes.
+Result<OptimizeResult> Optimize(const algebra::PlanPtr& plan,
+                                const ExpandOptions& options,
+                                const TableRowCount& row_count);
+
+/// DP extraction only (for a memo the caller already built/expanded).
+Result<OptimizeResult> ExtractBestPlan(const Memo& memo, GroupId root,
+                                       const TableRowCount& row_count);
+
+}  // namespace fgac::optimizer
+
+#endif  // FGAC_OPTIMIZER_OPTIMIZER_H_

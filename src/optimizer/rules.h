@@ -1,0 +1,61 @@
+#ifndef FGAC_OPTIMIZER_RULES_H_
+#define FGAC_OPTIMIZER_RULES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "optimizer/memo.h"
+
+namespace fgac::optimizer {
+
+/// Configuration for the rule-based expansion of the AND-OR DAG ("applying
+/// equivalence rules repeatedly till no new expression can be generated",
+/// Section 5.6.1), with budgets to keep worst-case exponential join spaces
+/// bounded.
+struct ExpandOptions {
+  size_t max_exprs = 200000;
+  size_t max_passes = 16;
+
+  bool enable_select_merge = true;
+  bool enable_select_pushdown = true;
+  bool enable_select_through_project = true;
+  bool enable_join_commute = true;
+  bool enable_join_assoc = true;
+  /// Subsumption derivations (Section 5.6.1): evaluate a stronger selection
+  /// from a weaker one over the same input.
+  bool enable_subsumption = true;
+  /// Aggregate roll-through of selections pinning group keys plus selection
+  /// pushdown through GROUP BY (supports Examples 4.1/4.2). Note: treats a
+  /// scalar aggregate over an empty input as producing no row (the
+  /// group-per-key semantics standard in aggregate rewriting literature);
+  /// see DESIGN.md.
+  bool enable_aggregate_rules = true;
+  /// Distinct elimination over duplicate-free inputs (Example 5.5: "since
+  /// the Grades table has a primary key, the distinct keyword can be
+  /// dropped").
+  bool enable_distinct_elim = true;
+
+  /// Catalog callbacks for distinct elimination. `table_pk_slots` returns
+  /// the primary-key column indices of a base table (empty = no PK).
+  std::function<std::vector<int>(const std::string&)> table_pk_slots;
+};
+
+struct ExpandStats {
+  size_t passes = 0;
+  size_t exprs_added = 0;
+  bool budget_exhausted = false;
+};
+
+/// Expands the memo to a fixpoint (or budget) under the enabled rules.
+ExpandStats ExpandMemo(Memo* memo, const ExpandOptions& options);
+
+/// True if every plan in group `g` is duplicate-free (proved via one
+/// witness expression; sound, incomplete). Exposed for the validity engine
+/// (U3c multiplicity reasoning) and tests.
+bool GroupDuplicateFree(const Memo& memo, GroupId g,
+                        const ExpandOptions& options);
+
+}  // namespace fgac::optimizer
+
+#endif  // FGAC_OPTIMIZER_RULES_H_

@@ -1,0 +1,266 @@
+#include "sql/ast.h"
+
+#include <utility>
+
+namespace fgac::sql {
+
+namespace {
+
+std::shared_ptr<Expr> NewExpr(ExprKind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+
+}  // namespace
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = NewExpr(ExprKind::kLiteral);
+  e->value = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string column) {
+  auto e = NewExpr(ExprKind::kColumnRef);
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeParam(std::string name) {
+  auto e = NewExpr(ExprKind::kParam);
+  e->param_name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeAccessParam(std::string name) {
+  auto e = NewExpr(ExprKind::kAccessParam);
+  e->param_name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeBinary(BinOp op, ExprPtr left, ExprPtr right) {
+  auto e = NewExpr(ExprKind::kBinary);
+  e->bin_op = op;
+  e->left = std::move(left);
+  e->right = std::move(right);
+  return e;
+}
+
+ExprPtr MakeUnary(UnOp op, ExprPtr operand) {
+  auto e = NewExpr(ExprKind::kUnary);
+  e->un_op = op;
+  e->operand = std::move(operand);
+  return e;
+}
+
+ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args,
+                     bool distinct_arg, bool star_arg) {
+  auto e = NewExpr(ExprKind::kFuncCall);
+  e->func_name = std::move(name);
+  e->args = std::move(args);
+  e->distinct_arg = distinct_arg;
+  e->star_arg = star_arg;
+  return e;
+}
+
+ExprPtr MakeInList(ExprPtr operand, std::vector<ExprPtr> list, bool negated) {
+  auto e = NewExpr(ExprKind::kInList);
+  e->operand = std::move(operand);
+  e->in_list = std::move(list);
+  e->negated = negated;
+  return e;
+}
+
+ExprPtr MakeBetween(ExprPtr operand, ExprPtr lo, ExprPtr hi, bool negated) {
+  auto e = NewExpr(ExprKind::kBetween);
+  e->operand = std::move(operand);
+  e->left = std::move(lo);
+  e->right = std::move(hi);
+  e->negated = negated;
+  return e;
+}
+
+bool IsAggregateFunc(const std::string& lowercase_name) {
+  return lowercase_name == "count" || lowercase_name == "sum" ||
+         lowercase_name == "avg" || lowercase_name == "min" ||
+         lowercase_name == "max";
+}
+
+namespace {
+
+template <typename Fn>
+void VisitExpr(const ExprPtr& expr, const Fn& fn) {
+  if (expr == nullptr) return;
+  fn(expr);
+  VisitExpr(expr->left, fn);
+  VisitExpr(expr->right, fn);
+  VisitExpr(expr->operand, fn);
+  for (const auto& a : expr->args) VisitExpr(a, fn);
+  for (const auto& a : expr->in_list) VisitExpr(a, fn);
+}
+
+}  // namespace
+
+void CollectParams(const ExprPtr& expr, std::vector<std::string>* out) {
+  VisitExpr(expr, [out](const ExprPtr& e) {
+    if (e->kind == ExprKind::kParam) out->push_back(e->param_name);
+  });
+}
+
+void CollectAccessParams(const ExprPtr& expr, std::vector<std::string>* out) {
+  VisitExpr(expr, [out](const ExprPtr& e) {
+    if (e->kind == ExprKind::kAccessParam) out->push_back(e->param_name);
+  });
+}
+
+ExprPtr SubstituteParams(const ExprPtr& expr,
+                         const std::map<std::string, Value>& params,
+                         const std::map<std::string, Value>& access_params) {
+  if (expr == nullptr) return nullptr;
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+      return expr;
+    case ExprKind::kParam: {
+      auto it = params.find(expr->param_name);
+      if (it != params.end()) return MakeLiteral(it->second);
+      return expr;
+    }
+    case ExprKind::kAccessParam: {
+      auto it = access_params.find(expr->param_name);
+      if (it != access_params.end()) return MakeLiteral(it->second);
+      return expr;
+    }
+    case ExprKind::kBinary:
+      return MakeBinary(expr->bin_op,
+                        SubstituteParams(expr->left, params, access_params),
+                        SubstituteParams(expr->right, params, access_params));
+    case ExprKind::kUnary:
+      return MakeUnary(expr->un_op,
+                       SubstituteParams(expr->operand, params, access_params));
+    case ExprKind::kFuncCall: {
+      std::vector<ExprPtr> args;
+      args.reserve(expr->args.size());
+      for (const auto& a : expr->args) {
+        args.push_back(SubstituteParams(a, params, access_params));
+      }
+      return MakeFuncCall(expr->func_name, std::move(args), expr->distinct_arg,
+                          expr->star_arg);
+    }
+    case ExprKind::kInList: {
+      std::vector<ExprPtr> list;
+      list.reserve(expr->in_list.size());
+      for (const auto& a : expr->in_list) {
+        list.push_back(SubstituteParams(a, params, access_params));
+      }
+      return MakeInList(SubstituteParams(expr->operand, params, access_params),
+                        std::move(list), expr->negated);
+    }
+    case ExprKind::kBetween:
+      return MakeBetween(
+          SubstituteParams(expr->operand, params, access_params),
+          SubstituteParams(expr->left, params, access_params),
+          SubstituteParams(expr->right, params, access_params), expr->negated);
+  }
+  return expr;
+}
+
+TableRefPtr MakeNamedTable(std::string name, std::string alias) {
+  auto t = std::make_shared<TableRef>();
+  t->kind = TableRef::Kind::kNamed;
+  t->name = std::move(name);
+  t->alias = std::move(alias);
+  return t;
+}
+
+TableRefPtr MakeJoin(TableRefPtr left, TableRefPtr right, ExprPtr on) {
+  auto t = std::make_shared<TableRef>();
+  t->kind = TableRef::Kind::kJoin;
+  t->join_left = std::move(left);
+  t->join_right = std::move(right);
+  t->join_on = std::move(on);
+  return t;
+}
+
+namespace {
+
+TableRefPtr SubstituteTableRef(const TableRefPtr& ref,
+                               const std::map<std::string, Value>& params,
+                               const std::map<std::string, Value>& access) {
+  if (ref == nullptr) return nullptr;
+  if (ref->kind == TableRef::Kind::kNamed) return ref;
+  return MakeJoin(SubstituteTableRef(ref->join_left, params, access),
+                  SubstituteTableRef(ref->join_right, params, access),
+                  SubstituteParams(ref->join_on, params, access));
+}
+
+void CollectTableRefParams(const TableRefPtr& ref,
+                           std::vector<std::string>* params,
+                           std::vector<std::string>* access) {
+  if (ref == nullptr || ref->kind == TableRef::Kind::kNamed) return;
+  CollectParams(ref->join_on, params);
+  CollectAccessParams(ref->join_on, access);
+  CollectTableRefParams(ref->join_left, params, access);
+  CollectTableRefParams(ref->join_right, params, access);
+}
+
+}  // namespace
+
+std::unique_ptr<SelectStmt> SelectStmt::CloneWithParams(
+    const std::map<std::string, Value>& params,
+    const std::map<std::string, Value>& access_params) const {
+  auto out = std::make_unique<SelectStmt>();
+  out->distinct = distinct;
+  for (const SelectItem& item : items) {
+    SelectItem copy = item;
+    copy.expr = SubstituteParams(item.expr, params, access_params);
+    out->items.push_back(std::move(copy));
+  }
+  for (const TableRefPtr& ref : from) {
+    out->from.push_back(SubstituteTableRef(ref, params, access_params));
+  }
+  out->where = SubstituteParams(where, params, access_params);
+  for (const ExprPtr& g : group_by) {
+    out->group_by.push_back(SubstituteParams(g, params, access_params));
+  }
+  out->having = SubstituteParams(having, params, access_params);
+  for (const OrderItem& o : order_by) {
+    out->order_by.push_back(
+        {SubstituteParams(o.expr, params, access_params), o.descending});
+  }
+  out->limit = limit;
+  for (const auto& branch : union_all) {
+    out->union_all.push_back(std::shared_ptr<const SelectStmt>(
+        branch->CloneWithParams(params, access_params).release()));
+  }
+  return out;
+}
+
+void SelectStmt::CollectAllParams(std::vector<std::string>* params,
+                                  std::vector<std::string>* access_params) const {
+  for (const SelectItem& item : items) {
+    CollectParams(item.expr, params);
+    CollectAccessParams(item.expr, access_params);
+  }
+  for (const TableRefPtr& ref : from) {
+    CollectTableRefParams(ref, params, access_params);
+  }
+  CollectParams(where, params);
+  CollectAccessParams(where, access_params);
+  for (const ExprPtr& g : group_by) {
+    CollectParams(g, params);
+    CollectAccessParams(g, access_params);
+  }
+  CollectParams(having, params);
+  CollectAccessParams(having, access_params);
+  for (const OrderItem& o : order_by) {
+    CollectParams(o.expr, params);
+    CollectAccessParams(o.expr, access_params);
+  }
+  for (const auto& branch : union_all) {
+    branch->CollectAllParams(params, access_params);
+  }
+}
+
+}  // namespace fgac::sql

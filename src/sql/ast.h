@@ -1,0 +1,327 @@
+#ifndef FGAC_SQL_AST_H_
+#define FGAC_SQL_AST_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace fgac::sql {
+
+// ---------------------------------------------------------------------------
+// Scalar expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+/// AST expressions are immutable and shared; rewrites build new nodes.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class BinOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLike,
+};
+
+enum class UnOp { kNot, kNeg, kIsNull, kIsNotNull };
+
+enum class ExprKind {
+  kLiteral,      // 42, 'CS101', TRUE, NULL
+  kColumnRef,    // grades.student_id or student_id
+  kParam,        // $user_id   (parameterized view, Section 2)
+  kAccessParam,  // $$1        (access-pattern view, Sections 2 and 6)
+  kBinary,
+  kUnary,
+  kFuncCall,     // aggregates count/sum/avg/min/max, and old()/new()
+  kInList,       // x IN (1, 2, 3)
+  kBetween,      // x BETWEEN lo AND hi
+};
+
+/// A single flat expression node. Only the fields relevant to `kind` are
+/// meaningful; factory functions below enforce the shape.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  Value value;
+
+  // kColumnRef
+  std::string qualifier;  // empty when unqualified
+  std::string column;
+
+  // kParam / kAccessParam
+  std::string param_name;
+
+  // kBinary
+  BinOp bin_op = BinOp::kEq;
+  ExprPtr left;
+  ExprPtr right;
+
+  // kUnary
+  UnOp un_op = UnOp::kNot;
+  ExprPtr operand;
+
+  // kFuncCall (name lowercased; star_arg for COUNT(*))
+  std::string func_name;
+  std::vector<ExprPtr> args;
+  bool distinct_arg = false;
+  bool star_arg = false;
+
+  // kInList (operand = tested expr) / kBetween (operand BETWEEN left AND right)
+  std::vector<ExprPtr> in_list;
+  bool negated = false;
+};
+
+// Factory helpers (all return shared immutable nodes).
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string qualifier, std::string column);
+ExprPtr MakeParam(std::string name);
+ExprPtr MakeAccessParam(std::string name);
+ExprPtr MakeBinary(BinOp op, ExprPtr left, ExprPtr right);
+ExprPtr MakeUnary(UnOp op, ExprPtr operand);
+ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args,
+                     bool distinct_arg = false, bool star_arg = false);
+ExprPtr MakeInList(ExprPtr operand, std::vector<ExprPtr> list, bool negated);
+ExprPtr MakeBetween(ExprPtr operand, ExprPtr lo, ExprPtr hi, bool negated);
+
+/// True for count/sum/avg/min/max.
+bool IsAggregateFunc(const std::string& lowercase_name);
+
+/// Collects the names of all `$param` references in `expr` into `out`.
+void CollectParams(const ExprPtr& expr, std::vector<std::string>* out);
+
+/// Collects the names of all `$$param` references in `expr` into `out`.
+void CollectAccessParams(const ExprPtr& expr, std::vector<std::string>* out);
+
+/// Returns `expr` with every `$name` in `params` replaced by a literal, and
+/// every `$$name` in `access_params` replaced by a literal. Parameters not
+/// present in the maps are left untouched.
+ExprPtr SubstituteParams(const ExprPtr& expr,
+                         const std::map<std::string, Value>& params,
+                         const std::map<std::string, Value>& access_params);
+
+// ---------------------------------------------------------------------------
+// Table references
+// ---------------------------------------------------------------------------
+
+/// FROM-clause item: either a named relation (base table or view) with an
+/// optional alias, or an explicit INNER JOIN tree.
+struct TableRef {
+  enum class Kind { kNamed, kJoin };
+  Kind kind = Kind::kNamed;
+
+  // kNamed
+  std::string name;
+  std::string alias;  // empty = use `name`
+
+  // kJoin
+  std::shared_ptr<const TableRef> join_left;
+  std::shared_ptr<const TableRef> join_right;
+  ExprPtr join_on;
+};
+using TableRefPtr = std::shared_ptr<const TableRef>;
+
+TableRefPtr MakeNamedTable(std::string name, std::string alias = "");
+TableRefPtr MakeJoin(TableRefPtr left, TableRefPtr right, ExprPtr on);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  kSelect,
+  kCreateTable,
+  kCreateView,
+  kCreateInclusion,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kGrant,
+  kRevoke,
+  kAuthorize,
+  kDrop,
+  kExplain,
+};
+
+/// Base class for parsed statements; downcast via `kind()`.
+class Stmt {
+ public:
+  explicit Stmt(StmtKind kind) : kind_(kind) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  StmtKind kind() const { return kind_; }
+
+ private:
+  StmtKind kind_;
+};
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One item of a SELECT list: either `*` / `t.*` or an expression with an
+/// optional alias.
+struct SelectItem {
+  bool is_star = false;
+  std::string star_qualifier;  // for `t.*`
+  ExprPtr expr;
+  std::string alias;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+class SelectStmt : public Stmt {
+ public:
+  SelectStmt() : Stmt(StmtKind::kSelect) {}
+
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRefPtr> from;
+  ExprPtr where;  // nullable
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // nullable
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+  /// Additional UNION ALL branches (each a plain core select without its
+  /// own ORDER BY/LIMIT — those apply to the whole union and live here).
+  std::vector<std::shared_ptr<const SelectStmt>> union_all;
+
+  /// Deep-copies this statement, substituting parameters in every embedded
+  /// expression (see SubstituteParams).
+  std::unique_ptr<SelectStmt> CloneWithParams(
+      const std::map<std::string, Value>& params,
+      const std::map<std::string, Value>& access_params) const;
+
+  /// Collects all `$`/`$$` parameter names referenced anywhere.
+  void CollectAllParams(std::vector<std::string>* params,
+                        std::vector<std::string>* access_params) const;
+};
+
+/// SQL type names supported by the subset.
+enum class TypeName { kInt, kBigInt, kDouble, kVarchar, kBoolean };
+
+struct ColumnDef {
+  std::string name;
+  TypeName type = TypeName::kInt;
+  bool not_null = false;
+};
+
+struct ForeignKeyClause {
+  std::vector<std::string> columns;
+  std::string ref_table;
+  std::vector<std::string> ref_columns;  // empty = referenced table's PK
+};
+
+class CreateTableStmt : public Stmt {
+ public:
+  CreateTableStmt() : Stmt(StmtKind::kCreateTable) {}
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<std::string> primary_key;
+  std::vector<ForeignKeyClause> foreign_keys;
+};
+
+/// CREATE [AUTHORIZATION] VIEW name AS select.
+class CreateViewStmt : public Stmt {
+ public:
+  CreateViewStmt() : Stmt(StmtKind::kCreateView) {}
+  std::string name;
+  bool authorization = false;
+  std::shared_ptr<const SelectStmt> select;
+};
+
+/// CREATE INCLUSION DEPENDENCY name ON src(cols) [WHERE pred]
+/// REFERENCES dst(cols): every tuple of src satisfying pred has a matching
+/// tuple in dst on the listed column pairs. This is the integrity-constraint
+/// form consumed by inference rules U3a/U3b/U3c (Section 5.3).
+class CreateInclusionStmt : public Stmt {
+ public:
+  CreateInclusionStmt() : Stmt(StmtKind::kCreateInclusion) {}
+  std::string name;
+  std::string src_table;
+  std::vector<std::string> src_columns;
+  ExprPtr src_where;  // nullable
+  std::string dst_table;
+  std::vector<std::string> dst_columns;
+};
+
+class InsertStmt : public Stmt {
+ public:
+  InsertStmt() : Stmt(StmtKind::kInsert) {}
+  std::string table;
+  std::vector<std::string> columns;  // empty = all, in table order
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+class UpdateStmt : public Stmt {
+ public:
+  UpdateStmt() : Stmt(StmtKind::kUpdate) {}
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // nullable
+};
+
+class DeleteStmt : public Stmt {
+ public:
+  DeleteStmt() : Stmt(StmtKind::kDelete) {}
+  std::string table;
+  ExprPtr where;  // nullable
+};
+
+/// GRANT SELECT ON view TO user (Section 4.1: authorization views are
+/// granted like other privileges).
+class GrantStmt : public Stmt {
+ public:
+  GrantStmt() : Stmt(StmtKind::kGrant) {}
+  std::string object;
+  std::string grantee;
+};
+
+/// AUTHORIZE INSERT|DELETE ON table WHERE pred
+/// AUTHORIZE UPDATE ON table(col, ...) WHERE pred   (Section 4.4).
+/// In UPDATE/DELETE predicates, old(t.c) / new(t.c) refer to the tuple
+/// before/after modification; they parse as FuncCalls named "old"/"new".
+/// REVOKE SELECT ON view FROM user.
+class RevokeStmt : public Stmt {
+ public:
+  RevokeStmt() : Stmt(StmtKind::kRevoke) {}
+  std::string object;
+  std::string grantee;
+};
+
+/// EXPLAIN <select>: returns the canonical and optimized plans as text.
+class ExplainStmt : public Stmt {
+ public:
+  ExplainStmt() : Stmt(StmtKind::kExplain) {}
+  std::shared_ptr<const SelectStmt> select;
+};
+
+class AuthorizeStmt : public Stmt {
+ public:
+  AuthorizeStmt() : Stmt(StmtKind::kAuthorize) {}
+  enum class Op { kInsert, kUpdate, kDelete };
+  Op op = Op::kInsert;
+  std::string table;
+  std::vector<std::string> columns;  // UPDATE only: updatable columns
+  ExprPtr where;                     // nullable = always authorized
+  /// Optional `TO principal`; empty = the implicit "public" principal.
+  std::string grantee;
+};
+
+class DropStmt : public Stmt {
+ public:
+  DropStmt() : Stmt(StmtKind::kDrop) {}
+  enum class What { kTable, kView };
+  What what = What::kTable;
+  std::string name;
+};
+
+}  // namespace fgac::sql
+
+#endif  // FGAC_SQL_AST_H_

@@ -1,0 +1,253 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace fgac::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+char Lexer::Peek(size_t ahead) const {
+  if (pos_ + ahead >= input_.size()) return '\0';
+  return input_[pos_ + ahead];
+}
+
+char Lexer::Advance() {
+  char c = input_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+Status Lexer::ErrorHere(const std::string& msg) const {
+  return Status::ParseError(msg + " at line " + std::to_string(line_) +
+                            ", column " + std::to_string(column_));
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (pos_ < input_.size()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '-' && Peek(1) == '-') {
+      while (pos_ < input_.size() && Peek() != '\n') Advance();
+    } else if (c == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (pos_ < input_.size() && !(Peek() == '*' && Peek(1) == '/')) {
+        Advance();
+      }
+      if (pos_ < input_.size()) {
+        Advance();
+        Advance();
+      }
+      // An unterminated comment simply ends the input; Next() returns kEof.
+    } else {
+      break;
+    }
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    FGAC_ASSIGN_OR_RETURN(Token tok, Next());
+    bool eof = tok.kind == TokenKind::kEof;
+    tokens.push_back(std::move(tok));
+    if (eof) break;
+  }
+  return tokens;
+}
+
+Result<Token> Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token tok;
+  tok.line = line_;
+  tok.column = column_;
+  if (pos_ >= input_.size()) {
+    tok.kind = TokenKind::kEof;
+    return tok;
+  }
+
+  char c = Peek();
+
+  // Identifiers and keywords.
+  if (IsIdentStart(c)) {
+    std::string word;
+    word += Advance();
+    while (pos_ < input_.size()) {
+      char n = Peek();
+      if (IsIdentChar(n)) {
+        word += Advance();
+      } else if (n == '-' && IsIdentStart(Peek(1))) {
+        // Hyphenated identifiers like `student-id` (paper's schema style).
+        // `a - b` (with spaces) still lexes as subtraction.
+        word += Advance();
+      } else {
+        break;
+      }
+    }
+    std::string lower = ToLower(word);
+    if (IsKeyword(lower)) {
+      tok.kind = TokenKind::kKeyword;
+      tok.text = lower;
+    } else {
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = lower;
+    }
+    return tok;
+  }
+
+  // Quoted identifiers.
+  if (c == '"') {
+    Advance();
+    std::string name;
+    while (pos_ < input_.size() && Peek() != '"') name += Advance();
+    if (pos_ >= input_.size()) return ErrorHere("unterminated quoted identifier");
+    Advance();
+    tok.kind = TokenKind::kIdentifier;
+    tok.text = ToLower(name);
+    return tok;
+  }
+
+  // String literals.
+  if (c == '\'') {
+    Advance();
+    std::string text;
+    while (pos_ < input_.size()) {
+      char n = Advance();
+      if (n == '\'') {
+        if (Peek() == '\'') {
+          text += '\'';
+          Advance();
+        } else {
+          tok.kind = TokenKind::kStringLit;
+          tok.text = std::move(text);
+          return tok;
+        }
+      } else {
+        text += n;
+      }
+    }
+    return ErrorHere("unterminated string literal");
+  }
+
+  // Numbers.
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+    std::string num;
+    bool is_double = false;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(Peek()))) {
+      num += Advance();
+    }
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_double = true;
+      num += Advance();
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(Peek()))) {
+        num += Advance();
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t look = 1;
+      if (Peek(look) == '+' || Peek(look) == '-') ++look;
+      if (std::isdigit(static_cast<unsigned char>(Peek(look)))) {
+        is_double = true;
+        num += Advance();  // e
+        if (Peek() == '+' || Peek() == '-') num += Advance();
+        while (std::isdigit(static_cast<unsigned char>(Peek()))) num += Advance();
+      }
+    }
+    tok.text = num;
+    if (is_double) {
+      tok.kind = TokenKind::kDoubleLit;
+      tok.double_value = std::strtod(num.c_str(), nullptr);
+    } else {
+      tok.kind = TokenKind::kIntLit;
+      tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+    }
+    return tok;
+  }
+
+  // Parameters: $name / $$name.
+  if (c == '$') {
+    Advance();
+    bool access = false;
+    if (Peek() == '$') {
+      Advance();
+      access = true;
+    }
+    std::string name;
+    while (pos_ < input_.size() &&
+           (IsIdentChar(Peek()) ||
+            (Peek() == '-' && IsIdentStart(Peek(1))))) {
+      name += Advance();
+    }
+    if (name.empty()) return ErrorHere("empty parameter name after '$'");
+    tok.kind = access ? TokenKind::kAccessParam : TokenKind::kParam;
+    tok.text = ToLower(name);
+    return tok;
+  }
+
+  // Punctuation / operators.
+  Advance();
+  switch (c) {
+    case '(': tok.kind = TokenKind::kLParen; return tok;
+    case ')': tok.kind = TokenKind::kRParen; return tok;
+    case ',': tok.kind = TokenKind::kComma; return tok;
+    case '.': tok.kind = TokenKind::kDot; return tok;
+    case ';': tok.kind = TokenKind::kSemicolon; return tok;
+    case '*': tok.kind = TokenKind::kStar; return tok;
+    case '+': tok.kind = TokenKind::kPlus; return tok;
+    case '-': tok.kind = TokenKind::kMinus; return tok;
+    case '/': tok.kind = TokenKind::kSlash; return tok;
+    case '%': tok.kind = TokenKind::kPercent; return tok;
+    case '=': tok.kind = TokenKind::kEq; return tok;
+    case '<':
+      if (Peek() == '>') {
+        Advance();
+        tok.kind = TokenKind::kNe;
+      } else if (Peek() == '=') {
+        Advance();
+        tok.kind = TokenKind::kLe;
+      } else {
+        tok.kind = TokenKind::kLt;
+      }
+      return tok;
+    case '>':
+      if (Peek() == '=') {
+        Advance();
+        tok.kind = TokenKind::kGe;
+      } else {
+        tok.kind = TokenKind::kGt;
+      }
+      return tok;
+    case '!':
+      if (Peek() == '=') {
+        Advance();
+        tok.kind = TokenKind::kNe;
+        return tok;
+      }
+      return ErrorHere("unexpected character '!'");
+    default:
+      return ErrorHere(std::string("unexpected character '") + c + "'");
+  }
+}
+
+}  // namespace fgac::sql

@@ -1,0 +1,44 @@
+#ifndef FGAC_SQL_LEXER_H_
+#define FGAC_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace fgac::sql {
+
+/// Tokenizes a SQL string.
+///
+/// Identifiers may contain letters, digits, '_' and (as in the paper's
+/// running example, e.g. `student-id`) embedded '-' when surrounded by
+/// identifier characters and not parseable as subtraction; to keep the
+/// grammar unambiguous we lex `a-b` as a single identifier only when there
+/// is no whitespace around the '-' and the character after it starts an
+/// identifier. `$name` lexes as a parameter, `$$name` as an access-pattern
+/// parameter. `-- comment` and `/* ... */` comments are skipped.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Lexes the whole input; appends a kEof token on success.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> Next();
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  void SkipWhitespaceAndComments();
+  Status ErrorHere(const std::string& msg) const;
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace fgac::sql
+
+#endif  // FGAC_SQL_LEXER_H_

@@ -1,0 +1,765 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "sql/lexer.h"
+
+namespace fgac::sql {
+
+namespace {
+
+bool IsFuncKeyword(const std::string& kw) {
+  return IsAggregateFunc(kw) || kw == "old" || kw == "new";
+}
+
+}  // namespace
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;  // kEof sentinel
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::Check(TokenKind kind) const { return Peek().kind == kind; }
+
+bool Parser::CheckKeyword(const char* kw, size_t ahead) const {
+  const Token& t = Peek(ahead);
+  return t.kind == TokenKind::kKeyword && t.text == kw;
+}
+
+bool Parser::MatchKeyword(const char* kw) {
+  if (CheckKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::Match(TokenKind kind) {
+  if (Check(kind)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ErrorHere(const std::string& msg) const {
+  const Token& t = Peek();
+  std::string got = t.kind == TokenKind::kEof
+                        ? "end of input"
+                        : (t.text.empty() ? TokenKindName(t.kind)
+                                          : "'" + t.text + "'");
+  return Status::ParseError(msg + ", got " + got + " at line " +
+                            std::to_string(t.line) + ", column " +
+                            std::to_string(t.column));
+}
+
+Status Parser::Expect(TokenKind kind, const char* what) {
+  if (Match(kind)) return Status::OK();
+  return ErrorHere(std::string("expected ") + what);
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (MatchKeyword(kw)) return Status::OK();
+  return ErrorHere(std::string("expected keyword '") + kw + "'");
+}
+
+Result<StmtPtr> Parser::ParseStatement(std::string_view sql) {
+  Lexer lexer(sql);
+  FGAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  FGAC_ASSIGN_OR_RETURN(StmtPtr stmt, parser.Statement());
+  parser.Match(TokenKind::kSemicolon);
+  if (!parser.Check(TokenKind::kEof)) {
+    return parser.ErrorHere("expected end of statement");
+  }
+  return stmt;
+}
+
+Result<std::vector<StmtPtr>> Parser::ParseScript(std::string_view sql) {
+  Lexer lexer(sql);
+  FGAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  std::vector<StmtPtr> out;
+  while (!parser.Check(TokenKind::kEof)) {
+    if (parser.Match(TokenKind::kSemicolon)) continue;
+    FGAC_ASSIGN_OR_RETURN(StmtPtr stmt, parser.Statement());
+    out.push_back(std::move(stmt));
+    if (!parser.Check(TokenKind::kEof)) {
+      FGAC_RETURN_NOT_OK(
+          parser.Expect(TokenKind::kSemicolon, "';' between statements"));
+    }
+  }
+  return out;
+}
+
+Result<ExprPtr> Parser::ParseExpression(std::string_view sql) {
+  Lexer lexer(sql);
+  FGAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  FGAC_ASSIGN_OR_RETURN(ExprPtr expr, parser.ParseExpr());
+  if (!parser.Check(TokenKind::kEof)) {
+    return parser.ErrorHere("expected end of expression");
+  }
+  return expr;
+}
+
+Result<std::shared_ptr<const SelectStmt>> Parser::ParseSelect(
+    std::string_view sql) {
+  FGAC_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement(sql));
+  if (stmt->kind() != StmtKind::kSelect) {
+    return Status::ParseError("expected a SELECT statement");
+  }
+  return std::shared_ptr<const SelectStmt>(
+      static_cast<const SelectStmt*>(stmt.release()));
+}
+
+Result<StmtPtr> Parser::Statement() {
+  if (CheckKeyword("select")) {
+    FGAC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, Select());
+    return StmtPtr(sel.release());
+  }
+  if (CheckKeyword("create")) return Create();
+  if (CheckKeyword("insert")) return Insert();
+  if (CheckKeyword("update")) return Update();
+  if (CheckKeyword("delete")) return Delete();
+  if (CheckKeyword("grant")) return Grant();
+  if (CheckKeyword("revoke")) return Revoke();
+  if (CheckKeyword("authorize")) return Authorize();
+  if (CheckKeyword("drop")) return Drop();
+  if (CheckKeyword("explain")) return Explain();
+  return ErrorHere("expected a statement");
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::Select() {
+  FGAC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, SelectCore());
+  // UNION ALL chain: further core selects; ORDER BY/LIMIT afterwards apply
+  // to the whole union and are stored on the head statement.
+  while (CheckKeyword("union")) {
+    Advance();
+    FGAC_RETURN_NOT_OK(ExpectKeyword("all"));
+    FGAC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> branch, SelectCore());
+    stmt->union_all.push_back(
+        std::shared_ptr<const SelectStmt>(branch.release()));
+  }
+  if (CheckKeyword("order")) {
+    Advance();
+    FGAC_RETURN_NOT_OK(ExpectKeyword("by"));
+    do {
+      OrderItem item;
+      FGAC_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("desc")) item.descending = true;
+      else MatchKeyword("asc");
+      stmt->order_by.push_back(std::move(item));
+    } while (Match(TokenKind::kComma));
+  }
+  if (MatchKeyword("limit")) {
+    if (!Check(TokenKind::kIntLit)) return ErrorHere("expected LIMIT count");
+    stmt->limit = Advance().int_value;
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::SelectCore() {
+  FGAC_RETURN_NOT_OK(ExpectKeyword("select"));
+  auto stmt = std::make_unique<SelectStmt>();
+  if (MatchKeyword("distinct")) stmt->distinct = true;
+  else MatchKeyword("all");
+
+  // Select list.
+  do {
+    FGAC_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+    stmt->items.push_back(std::move(item));
+  } while (Match(TokenKind::kComma));
+
+  if (MatchKeyword("from")) {
+    do {
+      FGAC_ASSIGN_OR_RETURN(TableRefPtr ref, ParseTableRef());
+      stmt->from.push_back(std::move(ref));
+    } while (Match(TokenKind::kComma));
+  }
+
+  if (MatchKeyword("where")) {
+    FGAC_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  if (CheckKeyword("group")) {
+    Advance();
+    FGAC_RETURN_NOT_OK(ExpectKeyword("by"));
+    do {
+      FGAC_ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+      stmt->group_by.push_back(std::move(g));
+    } while (Match(TokenKind::kComma));
+  }
+  if (MatchKeyword("having")) {
+    FGAC_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  if (Check(TokenKind::kStar)) {
+    Advance();
+    item.is_star = true;
+    return item;
+  }
+  // t.* form.
+  if (Check(TokenKind::kIdentifier) && Peek(1).kind == TokenKind::kDot &&
+      Peek(2).kind == TokenKind::kStar) {
+    item.is_star = true;
+    item.star_qualifier = Advance().text;
+    Advance();  // '.'
+    Advance();  // '*'
+    return item;
+  }
+  FGAC_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+  if (MatchKeyword("as")) {
+    if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected alias");
+    item.alias = Advance().text;
+  } else if (Check(TokenKind::kIdentifier)) {
+    item.alias = Advance().text;
+  }
+  return item;
+}
+
+Result<TableRefPtr> Parser::ParseTableRef() {
+  FGAC_ASSIGN_OR_RETURN(TableRefPtr left, ParseTablePrimary());
+  while (CheckKeyword("join") || CheckKeyword("inner")) {
+    MatchKeyword("inner");
+    FGAC_RETURN_NOT_OK(ExpectKeyword("join"));
+    FGAC_ASSIGN_OR_RETURN(TableRefPtr right, ParseTablePrimary());
+    FGAC_RETURN_NOT_OK(ExpectKeyword("on"));
+    FGAC_ASSIGN_OR_RETURN(ExprPtr on, ParseExpr());
+    left = MakeJoin(std::move(left), std::move(right), std::move(on));
+  }
+  return left;
+}
+
+Result<TableRefPtr> Parser::ParseTablePrimary() {
+  if (Match(TokenKind::kLParen)) {
+    if (CheckKeyword("select")) {
+      return Status::NotImplemented(
+          "subqueries in FROM are outside the supported subset "
+          "(the paper assumes no nested subqueries, Section 5)");
+    }
+    FGAC_ASSIGN_OR_RETURN(TableRefPtr ref, ParseTableRef());
+    FGAC_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    return ref;
+  }
+  if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected table name");
+  std::string name = Advance().text;
+  std::string alias;
+  if (MatchKeyword("as")) {
+    if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected alias");
+    alias = Advance().text;
+  } else if (Check(TokenKind::kIdentifier)) {
+    alias = Advance().text;
+  }
+  return MakeNamedTable(std::move(name), std::move(alias));
+}
+
+Result<std::vector<std::string>> Parser::ParseColumnNameList() {
+  FGAC_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+  std::vector<std::string> cols;
+  do {
+    if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected column name");
+    cols.push_back(Advance().text);
+  } while (Match(TokenKind::kComma));
+  FGAC_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+  return cols;
+}
+
+Result<TypeName> Parser::ParseTypeName() {
+  if (MatchKeyword("int")) return TypeName::kInt;
+  if (MatchKeyword("bigint")) return TypeName::kBigInt;
+  if (MatchKeyword("double")) return TypeName::kDouble;
+  if (MatchKeyword("boolean")) return TypeName::kBoolean;
+  if (MatchKeyword("varchar")) {
+    // Optional length, ignored (all strings are unbounded).
+    if (Match(TokenKind::kLParen)) {
+      if (!Check(TokenKind::kIntLit)) return ErrorHere("expected length");
+      Advance();
+      FGAC_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    }
+    return TypeName::kVarchar;
+  }
+  return ErrorHere("expected a type name");
+}
+
+Result<StmtPtr> Parser::Create() {
+  FGAC_RETURN_NOT_OK(ExpectKeyword("create"));
+  if (CheckKeyword("table")) return CreateTable();
+  if (CheckKeyword("authorization")) {
+    Advance();
+    FGAC_RETURN_NOT_OK(ExpectKeyword("view"));
+    return CreateView(/*authorization=*/true);
+  }
+  if (CheckKeyword("view")) {
+    Advance();
+    return CreateView(/*authorization=*/false);
+  }
+  if (CheckKeyword("inclusion")) return CreateInclusion();
+  return ErrorHere("expected TABLE, VIEW, AUTHORIZATION VIEW or INCLUSION");
+}
+
+Result<StmtPtr> Parser::CreateTable() {
+  FGAC_RETURN_NOT_OK(ExpectKeyword("table"));
+  auto stmt = std::make_unique<CreateTableStmt>();
+  if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected table name");
+  stmt->name = Advance().text;
+  FGAC_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+  do {
+    if (CheckKeyword("primary")) {
+      Advance();
+      FGAC_RETURN_NOT_OK(ExpectKeyword("key"));
+      FGAC_ASSIGN_OR_RETURN(stmt->primary_key, ParseColumnNameList());
+      continue;
+    }
+    if (CheckKeyword("foreign")) {
+      Advance();
+      FGAC_RETURN_NOT_OK(ExpectKeyword("key"));
+      ForeignKeyClause fk;
+      FGAC_ASSIGN_OR_RETURN(fk.columns, ParseColumnNameList());
+      FGAC_RETURN_NOT_OK(ExpectKeyword("references"));
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorHere("expected referenced table name");
+      }
+      fk.ref_table = Advance().text;
+      if (Check(TokenKind::kLParen)) {
+        FGAC_ASSIGN_OR_RETURN(fk.ref_columns, ParseColumnNameList());
+      }
+      stmt->foreign_keys.push_back(std::move(fk));
+      continue;
+    }
+    ColumnDef col;
+    if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected column name");
+    col.name = Advance().text;
+    FGAC_ASSIGN_OR_RETURN(col.type, ParseTypeName());
+    while (true) {
+      if (MatchKeyword("not")) {
+        FGAC_RETURN_NOT_OK(ExpectKeyword("null"));
+        col.not_null = true;
+      } else if (CheckKeyword("primary")) {
+        Advance();
+        FGAC_RETURN_NOT_OK(ExpectKeyword("key"));
+        stmt->primary_key.push_back(col.name);
+        col.not_null = true;
+      } else if (MatchKeyword("references")) {
+        ForeignKeyClause fk;
+        fk.columns.push_back(col.name);
+        if (!Check(TokenKind::kIdentifier)) {
+          return ErrorHere("expected referenced table name");
+        }
+        fk.ref_table = Advance().text;
+        if (Check(TokenKind::kLParen)) {
+          FGAC_ASSIGN_OR_RETURN(fk.ref_columns, ParseColumnNameList());
+        }
+        stmt->foreign_keys.push_back(std::move(fk));
+      } else {
+        break;
+      }
+    }
+    stmt->columns.push_back(std::move(col));
+  } while (Match(TokenKind::kComma));
+  FGAC_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+  return StmtPtr(stmt.release());
+}
+
+Result<StmtPtr> Parser::CreateView(bool authorization) {
+  auto stmt = std::make_unique<CreateViewStmt>();
+  stmt->authorization = authorization;
+  if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected view name");
+  stmt->name = Advance().text;
+  FGAC_RETURN_NOT_OK(ExpectKeyword("as"));
+  FGAC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, Select());
+  stmt->select = std::shared_ptr<const SelectStmt>(sel.release());
+  return StmtPtr(stmt.release());
+}
+
+Result<StmtPtr> Parser::CreateInclusion() {
+  FGAC_RETURN_NOT_OK(ExpectKeyword("inclusion"));
+  FGAC_RETURN_NOT_OK(ExpectKeyword("dependency"));
+  auto stmt = std::make_unique<CreateInclusionStmt>();
+  if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected constraint name");
+  stmt->name = Advance().text;
+  FGAC_RETURN_NOT_OK(ExpectKeyword("on"));
+  if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected source table");
+  stmt->src_table = Advance().text;
+  FGAC_ASSIGN_OR_RETURN(stmt->src_columns, ParseColumnNameList());
+  if (MatchKeyword("where")) {
+    FGAC_ASSIGN_OR_RETURN(stmt->src_where, ParseExpr());
+  }
+  FGAC_RETURN_NOT_OK(ExpectKeyword("references"));
+  if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected target table");
+  stmt->dst_table = Advance().text;
+  FGAC_ASSIGN_OR_RETURN(stmt->dst_columns, ParseColumnNameList());
+  if (stmt->src_columns.size() != stmt->dst_columns.size()) {
+    return Status::ParseError(
+        "inclusion dependency column lists must have equal length");
+  }
+  return StmtPtr(stmt.release());
+}
+
+Result<StmtPtr> Parser::Insert() {
+  FGAC_RETURN_NOT_OK(ExpectKeyword("insert"));
+  FGAC_RETURN_NOT_OK(ExpectKeyword("into"));
+  auto stmt = std::make_unique<InsertStmt>();
+  if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected table name");
+  stmt->table = Advance().text;
+  if (Check(TokenKind::kLParen)) {
+    FGAC_ASSIGN_OR_RETURN(stmt->columns, ParseColumnNameList());
+  }
+  FGAC_RETURN_NOT_OK(ExpectKeyword("values"));
+  do {
+    FGAC_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    std::vector<ExprPtr> row;
+    do {
+      FGAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+    } while (Match(TokenKind::kComma));
+    FGAC_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    stmt->rows.push_back(std::move(row));
+  } while (Match(TokenKind::kComma));
+  return StmtPtr(stmt.release());
+}
+
+Result<StmtPtr> Parser::Update() {
+  FGAC_RETURN_NOT_OK(ExpectKeyword("update"));
+  auto stmt = std::make_unique<UpdateStmt>();
+  if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected table name");
+  stmt->table = Advance().text;
+  FGAC_RETURN_NOT_OK(ExpectKeyword("set"));
+  do {
+    if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected column name");
+    std::string col = Advance().text;
+    FGAC_RETURN_NOT_OK(Expect(TokenKind::kEq, "'='"));
+    FGAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    stmt->assignments.emplace_back(std::move(col), std::move(e));
+  } while (Match(TokenKind::kComma));
+  if (MatchKeyword("where")) {
+    FGAC_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StmtPtr(stmt.release());
+}
+
+Result<StmtPtr> Parser::Delete() {
+  FGAC_RETURN_NOT_OK(ExpectKeyword("delete"));
+  FGAC_RETURN_NOT_OK(ExpectKeyword("from"));
+  auto stmt = std::make_unique<DeleteStmt>();
+  if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected table name");
+  stmt->table = Advance().text;
+  if (MatchKeyword("where")) {
+    FGAC_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StmtPtr(stmt.release());
+}
+
+Result<StmtPtr> Parser::Grant() {
+  FGAC_RETURN_NOT_OK(ExpectKeyword("grant"));
+  FGAC_RETURN_NOT_OK(ExpectKeyword("select"));
+  FGAC_RETURN_NOT_OK(ExpectKeyword("on"));
+  auto stmt = std::make_unique<GrantStmt>();
+  if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected object name");
+  stmt->object = Advance().text;
+  FGAC_RETURN_NOT_OK(ExpectKeyword("to"));
+  // Principals may be numeric user-ids (the paper's students '11', '12').
+  if (Check(TokenKind::kIdentifier) || Check(TokenKind::kIntLit) ||
+      Check(TokenKind::kStringLit)) {
+    stmt->grantee = Advance().text;
+    return StmtPtr(stmt.release());
+  }
+  return ErrorHere("expected grantee");
+}
+
+Result<StmtPtr> Parser::Revoke() {
+  FGAC_RETURN_NOT_OK(ExpectKeyword("revoke"));
+  FGAC_RETURN_NOT_OK(ExpectKeyword("select"));
+  FGAC_RETURN_NOT_OK(ExpectKeyword("on"));
+  auto stmt = std::make_unique<RevokeStmt>();
+  if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected object name");
+  stmt->object = Advance().text;
+  FGAC_RETURN_NOT_OK(ExpectKeyword("from"));
+  if (Check(TokenKind::kIdentifier) || Check(TokenKind::kIntLit) ||
+      Check(TokenKind::kStringLit)) {
+    stmt->grantee = Advance().text;
+    return StmtPtr(stmt.release());
+  }
+  return ErrorHere("expected grantee");
+}
+
+Result<StmtPtr> Parser::Explain() {
+  FGAC_RETURN_NOT_OK(ExpectKeyword("explain"));
+  auto stmt = std::make_unique<ExplainStmt>();
+  FGAC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, Select());
+  stmt->select = std::shared_ptr<const SelectStmt>(sel.release());
+  return StmtPtr(stmt.release());
+}
+
+Result<StmtPtr> Parser::Authorize() {
+  FGAC_RETURN_NOT_OK(ExpectKeyword("authorize"));
+  auto stmt = std::make_unique<AuthorizeStmt>();
+  if (MatchKeyword("insert")) {
+    stmt->op = AuthorizeStmt::Op::kInsert;
+  } else if (MatchKeyword("update")) {
+    stmt->op = AuthorizeStmt::Op::kUpdate;
+  } else if (MatchKeyword("delete")) {
+    stmt->op = AuthorizeStmt::Op::kDelete;
+  } else {
+    return ErrorHere("expected INSERT, UPDATE or DELETE");
+  }
+  FGAC_RETURN_NOT_OK(ExpectKeyword("on"));
+  if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected table name");
+  stmt->table = Advance().text;
+  if (stmt->op == AuthorizeStmt::Op::kUpdate && Check(TokenKind::kLParen)) {
+    FGAC_ASSIGN_OR_RETURN(stmt->columns, ParseColumnNameList());
+  }
+  if (MatchKeyword("where")) {
+    FGAC_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  if (MatchKeyword("to")) {
+    if (!Check(TokenKind::kIdentifier) && !Check(TokenKind::kIntLit) &&
+        !Check(TokenKind::kStringLit)) {
+      return ErrorHere("expected grantee");
+    }
+    stmt->grantee = Advance().text;
+  }
+  return StmtPtr(stmt.release());
+}
+
+Result<StmtPtr> Parser::Drop() {
+  FGAC_RETURN_NOT_OK(ExpectKeyword("drop"));
+  auto stmt = std::make_unique<DropStmt>();
+  if (MatchKeyword("table")) {
+    stmt->what = DropStmt::What::kTable;
+  } else if (MatchKeyword("view")) {
+    stmt->what = DropStmt::What::kView;
+  } else {
+    return ErrorHere("expected TABLE or VIEW");
+  }
+  if (!Check(TokenKind::kIdentifier)) return ErrorHere("expected name");
+  stmt->name = Advance().text;
+  return StmtPtr(stmt.release());
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  FGAC_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (MatchKeyword("or")) {
+    FGAC_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = MakeBinary(BinOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  FGAC_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (MatchKeyword("and")) {
+    FGAC_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = MakeBinary(BinOp::kAnd, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("not")) {
+    FGAC_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return MakeUnary(UnOp::kNot, std::move(operand));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  FGAC_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  // IS [NOT] NULL.
+  if (CheckKeyword("is")) {
+    Advance();
+    bool negated = MatchKeyword("not");
+    FGAC_RETURN_NOT_OK(ExpectKeyword("null"));
+    return MakeUnary(negated ? UnOp::kIsNotNull : UnOp::kIsNull,
+                     std::move(left));
+  }
+  // [NOT] IN / BETWEEN / LIKE.
+  bool negated = false;
+  if (CheckKeyword("not") &&
+      (CheckKeyword("in", 1) || CheckKeyword("between", 1) ||
+       CheckKeyword("like", 1))) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("in")) {
+    FGAC_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    if (CheckKeyword("select")) {
+      return Status::NotImplemented(
+          "IN (SELECT ...) subqueries are outside the supported subset");
+    }
+    std::vector<ExprPtr> list;
+    do {
+      FGAC_ASSIGN_OR_RETURN(ExprPtr e, ParseAdditive());
+      list.push_back(std::move(e));
+    } while (Match(TokenKind::kComma));
+    FGAC_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    return MakeInList(std::move(left), std::move(list), negated);
+  }
+  if (MatchKeyword("between")) {
+    FGAC_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    FGAC_RETURN_NOT_OK(ExpectKeyword("and"));
+    FGAC_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    return MakeBetween(std::move(left), std::move(lo), std::move(hi), negated);
+  }
+  if (MatchKeyword("like")) {
+    FGAC_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+    ExprPtr like = MakeBinary(BinOp::kLike, std::move(left), std::move(pattern));
+    if (negated) return MakeUnary(UnOp::kNot, std::move(like));
+    return like;
+  }
+
+  BinOp op;
+  switch (Peek().kind) {
+    case TokenKind::kEq: op = BinOp::kEq; break;
+    case TokenKind::kNe: op = BinOp::kNe; break;
+    case TokenKind::kLt: op = BinOp::kLt; break;
+    case TokenKind::kLe: op = BinOp::kLe; break;
+    case TokenKind::kGt: op = BinOp::kGt; break;
+    case TokenKind::kGe: op = BinOp::kGe; break;
+    default:
+      return left;
+  }
+  Advance();
+  FGAC_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+  return MakeBinary(op, std::move(left), std::move(right));
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  FGAC_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+    BinOp op = Check(TokenKind::kPlus) ? BinOp::kAdd : BinOp::kSub;
+    Advance();
+    FGAC_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    left = MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  FGAC_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  while (Check(TokenKind::kStar) || Check(TokenKind::kSlash) ||
+         Check(TokenKind::kPercent)) {
+    BinOp op = Check(TokenKind::kStar)
+                   ? BinOp::kMul
+                   : (Check(TokenKind::kSlash) ? BinOp::kDiv : BinOp::kMod);
+    Advance();
+    FGAC_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+    left = MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (Match(TokenKind::kMinus)) {
+    FGAC_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    // Fold negation of numeric literals directly.
+    if (operand->kind == ExprKind::kLiteral && operand->value.is_int()) {
+      return MakeLiteral(Value::Int(-operand->value.int_value()));
+    }
+    if (operand->kind == ExprKind::kLiteral && operand->value.is_double()) {
+      return MakeLiteral(Value::Double(-operand->value.double_value()));
+    }
+    return MakeUnary(UnOp::kNeg, std::move(operand));
+  }
+  Match(TokenKind::kPlus);
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kIntLit:
+      Advance();
+      return MakeLiteral(Value::Int(t.int_value));
+    case TokenKind::kDoubleLit:
+      Advance();
+      return MakeLiteral(Value::Double(t.double_value));
+    case TokenKind::kStringLit:
+      Advance();
+      return MakeLiteral(Value::String(t.text));
+    case TokenKind::kParam:
+      Advance();
+      return MakeParam(t.text);
+    case TokenKind::kAccessParam:
+      Advance();
+      return MakeAccessParam(t.text);
+    case TokenKind::kLParen: {
+      Advance();
+      if (CheckKeyword("select")) {
+        return Status::NotImplemented(
+            "scalar subqueries are outside the supported subset");
+      }
+      FGAC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      FGAC_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return e;
+    }
+    case TokenKind::kKeyword: {
+      if (t.text == "null") {
+        Advance();
+        return MakeLiteral(Value::Null());
+      }
+      if (t.text == "true") {
+        Advance();
+        return MakeLiteral(Value::Bool(true));
+      }
+      if (t.text == "false") {
+        Advance();
+        return MakeLiteral(Value::Bool(false));
+      }
+      if (IsFuncKeyword(t.text)) {
+        std::string name = Advance().text;
+        FGAC_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'(' after function"));
+        bool distinct_arg = false;
+        bool star_arg = false;
+        std::vector<ExprPtr> args;
+        if (Match(TokenKind::kStar)) {
+          star_arg = true;
+        } else {
+          if (MatchKeyword("distinct")) distinct_arg = true;
+          do {
+            FGAC_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+            args.push_back(std::move(a));
+          } while (Match(TokenKind::kComma));
+        }
+        FGAC_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+        if (star_arg && name != "count") {
+          return Status::ParseError("'*' argument is only valid for COUNT");
+        }
+        return MakeFuncCall(std::move(name), std::move(args), distinct_arg,
+                            star_arg);
+      }
+      return ErrorHere("unexpected keyword in expression");
+    }
+    case TokenKind::kIdentifier: {
+      std::string first = Advance().text;
+      if (Match(TokenKind::kDot)) {
+        if (Check(TokenKind::kIdentifier)) {
+          std::string second = Advance().text;
+          return MakeColumnRef(std::move(first), std::move(second));
+        }
+        return ErrorHere("expected column name after '.'");
+      }
+      return MakeColumnRef("", std::move(first));
+    }
+    default:
+      return ErrorHere("expected an expression");
+  }
+}
+
+}  // namespace fgac::sql

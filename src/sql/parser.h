@@ -1,0 +1,88 @@
+#ifndef FGAC_SQL_PARSER_H_
+#define FGAC_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace fgac::sql {
+
+/// Recursive-descent parser for the SQL subset described in DESIGN.md:
+/// SELECT queries (inner joins, aggregation, DISTINCT, ORDER BY, LIMIT),
+/// CREATE TABLE / [AUTHORIZATION] VIEW / INCLUSION DEPENDENCY, INSERT,
+/// UPDATE, DELETE, GRANT, AUTHORIZE, DROP. Nested subqueries are rejected,
+/// matching the paper's Section 5 assumption.
+class Parser {
+ public:
+  /// Parses exactly one statement (a trailing ';' is allowed).
+  static Result<StmtPtr> ParseStatement(std::string_view sql);
+
+  /// Parses a ';'-separated script.
+  static Result<std::vector<StmtPtr>> ParseScript(std::string_view sql);
+
+  /// Parses a single scalar expression (used by tests).
+  static Result<ExprPtr> ParseExpression(std::string_view sql);
+
+  /// Convenience: parses a statement that must be a SELECT.
+  static Result<std::shared_ptr<const SelectStmt>> ParseSelect(
+      std::string_view sql);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokenKind kind) const;
+  bool CheckKeyword(const char* kw, size_t ahead = 0) const;
+  bool MatchKeyword(const char* kw);
+  bool Match(TokenKind kind);
+  Status Expect(TokenKind kind, const char* what);
+  Status ExpectKeyword(const char* kw);
+  Status ErrorHere(const std::string& msg) const;
+
+  Result<StmtPtr> Statement();
+  Result<std::unique_ptr<SelectStmt>> Select();
+  /// One core select (no UNION/ORDER BY/LIMIT handling).
+  Result<std::unique_ptr<SelectStmt>> SelectCore();
+  Result<StmtPtr> Create();
+  Result<StmtPtr> CreateTable();
+  Result<StmtPtr> CreateView(bool authorization);
+  Result<StmtPtr> CreateInclusion();
+  Result<StmtPtr> Insert();
+  Result<StmtPtr> Update();
+  Result<StmtPtr> Delete();
+  Result<StmtPtr> Grant();
+  Result<StmtPtr> Revoke();
+  Result<StmtPtr> Authorize();
+  Result<StmtPtr> Drop();
+  Result<StmtPtr> Explain();
+
+  Result<SelectItem> ParseSelectItem();
+  Result<TableRefPtr> ParseTableRef();
+  Result<TableRefPtr> ParseTablePrimary();
+  Result<std::vector<std::string>> ParseColumnNameList();
+  Result<TypeName> ParseTypeName();
+
+  // Expression precedence-climbing.
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fgac::sql
+
+#endif  // FGAC_SQL_PARSER_H_

@@ -1,0 +1,25 @@
+#ifndef FGAC_SQL_PRINTER_H_
+#define FGAC_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace fgac::sql {
+
+/// Renders an expression back to SQL text (parenthesized conservatively so
+/// the output re-parses to an equivalent tree).
+std::string ExprToSql(const ExprPtr& expr);
+
+/// Renders a FROM-clause item.
+std::string TableRefToSql(const TableRefPtr& ref);
+
+/// Renders any statement back to SQL text.
+std::string StmtToSql(const Stmt& stmt);
+
+/// Renders a SELECT statement back to SQL text.
+std::string SelectToSql(const SelectStmt& stmt);
+
+}  // namespace fgac::sql
+
+#endif  // FGAC_SQL_PRINTER_H_

@@ -1,0 +1,59 @@
+#include "sql/token.h"
+
+#include <algorithm>
+#include <array>
+
+namespace fgac::sql {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kKeyword: return "keyword";
+    case TokenKind::kStringLit: return "string literal";
+    case TokenKind::kIntLit: return "integer literal";
+    case TokenKind::kDoubleLit: return "double literal";
+    case TokenKind::kParam: return "parameter";
+    case TokenKind::kAccessParam: return "access-pattern parameter";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'<>'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+  }
+  return "token";
+}
+
+bool IsKeyword(const std::string& word) {
+  static const std::array<const char*, 63> kKeywords = {
+      "select",   "from",      "where",     "group",     "by",
+      "having",   "order",     "asc",       "desc",      "limit",
+      "distinct", "as",        "and",       "or",        "not",
+      "in",       "between",   "like",      "is",        "null",
+      "true",     "false",     "join",      "inner",     "on",
+      "create",   "table",     "view",      "authorization",
+      "insert",   "into",      "values",    "update",    "set",
+      "delete",   "grant",     "to",        "authorize", "old",
+      "new",      "primary",   "key",       "foreign",   "references",
+      "unique",   "int",       "bigint",    "double",    "varchar",
+      "boolean",  "drop",      "inclusion", "dependency","constraint",
+      "count",    "sum",       "avg",       "min",       "max",
+      "union",    "all",     "revoke",    "explain",
+  };
+  return std::find_if(kKeywords.begin(), kKeywords.end(), [&](const char* k) {
+           return word == k;
+         }) != kKeywords.end();
+}
+
+}  // namespace fgac::sql

@@ -1,0 +1,59 @@
+#ifndef FGAC_SQL_TOKEN_H_
+#define FGAC_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fgac::sql {
+
+/// Lexical token categories for the SQL subset.
+enum class TokenKind {
+  kEof,
+  kIdentifier,   // students, "Quoted Name"
+  kKeyword,      // SELECT, FROM, ... (text stored lowercased)
+  kStringLit,    // 'abc'
+  kIntLit,       // 42
+  kDoubleLit,    // 1.5
+  kParam,        // $user_id  (parameterized-view parameter, Section 2)
+  kAccessParam,  // $$1       (access-pattern parameter, Section 2/6)
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,    // =
+  kNe,    // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// One lexed token with source position (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  /// Identifier/keyword text (lowercased for keywords and unquoted
+  /// identifiers), string literal contents, or numeric literal text.
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  /// 1-based position in the input.
+  int line = 1;
+  int column = 1;
+};
+
+/// Returns a printable name for a token kind (for diagnostics).
+const char* TokenKindName(TokenKind kind);
+
+/// True if `word` (lowercase) is a reserved keyword of the subset.
+bool IsKeyword(const std::string& word);
+
+}  // namespace fgac::sql
+
+#endif  // FGAC_SQL_TOKEN_H_

@@ -1,0 +1,50 @@
+#include "storage/database_state.h"
+
+namespace fgac::storage {
+
+Status DatabaseState::CreateTable(const std::string& name, size_t num_columns) {
+  if (HasTable(name)) {
+    return Status::CatalogError("table data for '" + name + "' already exists");
+  }
+  tables_.emplace(name, TableData(num_columns));
+  return Status::OK();
+}
+
+Status DatabaseState::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::CatalogError("table data for '" + name + "' does not exist");
+  }
+  return Status::OK();
+}
+
+bool DatabaseState::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+const TableData* DatabaseState::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+TableData* DatabaseState::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+DatabaseState DatabaseState::Clone() const {
+  DatabaseState copy;
+  for (const auto& [name, data] : tables_) {
+    TableData t(data.num_columns());
+    t.mutable_rows() = data.rows();
+    copy.tables_.emplace(name, std::move(t));
+  }
+  return copy;
+}
+
+size_t DatabaseState::TotalRows() const {
+  size_t n = 0;
+  for (const auto& [name, data] : tables_) n += data.num_rows();
+  return n;
+}
+
+}  // namespace fgac::storage

@@ -1,0 +1,42 @@
+#ifndef FGAC_STORAGE_DATABASE_STATE_H_
+#define FGAC_STORAGE_DATABASE_STATE_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "storage/table_data.h"
+
+namespace fgac::storage {
+
+/// The data of every base table — one "database state" in the paper's
+/// terminology (Definitions 4.1–4.3). Cloneable so tests can construct
+/// PA-equivalent states by mutating tuples invisible to the authorization
+/// views and re-running queries.
+class DatabaseState {
+ public:
+  DatabaseState() = default;
+  DatabaseState(const DatabaseState&) = delete;
+  DatabaseState& operator=(const DatabaseState&) = delete;
+  DatabaseState(DatabaseState&&) = default;
+  DatabaseState& operator=(DatabaseState&&) = default;
+
+  Status CreateTable(const std::string& name, size_t num_columns);
+  Status DropTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+  const TableData* GetTable(const std::string& name) const;
+  TableData* GetMutableTable(const std::string& name);
+
+  /// Deep copy (rows are value types).
+  DatabaseState Clone() const;
+
+  /// Total number of rows across all tables (diagnostics).
+  size_t TotalRows() const;
+
+ private:
+  std::map<std::string, TableData> tables_;
+};
+
+}  // namespace fgac::storage
+
+#endif  // FGAC_STORAGE_DATABASE_STATE_H_

@@ -1,0 +1,47 @@
+#ifndef FGAC_STORAGE_RELATION_H_
+#define FGAC_STORAGE_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace fgac::storage {
+
+/// A materialized query result or table snapshot: named columns plus a
+/// multiset of rows (SQL bag semantics — duplicates are significant, order
+/// is not, except when produced by ORDER BY).
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::vector<std::string> column_names)
+      : column_names_(std::move(column_names)) {}
+
+  const std::vector<std::string>& column_names() const { return column_names_; }
+  size_t num_columns() const { return column_names_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+  void Clear() { rows_.clear(); }
+
+  /// Multiset equality: same row bag regardless of order. Column names are
+  /// NOT compared (SQL result equivalence is positional).
+  bool MultisetEquals(const Relation& other) const;
+
+  /// Rows sorted by the Value total order (for deterministic display/tests).
+  std::vector<Row> SortedRows() const;
+
+  /// Tabular rendering for examples and debugging.
+  std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  std::vector<std::string> column_names_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace fgac::storage
+
+#endif  // FGAC_STORAGE_RELATION_H_

@@ -1,0 +1,20 @@
+#include "storage/table_data.h"
+
+namespace fgac::storage {
+
+void TableData::EraseIndices(const std::vector<size_t>& ascending_indices) {
+  if (ascending_indices.empty()) return;
+  std::vector<Row> kept;
+  kept.reserve(rows_.size() - ascending_indices.size());
+  size_t next = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (next < ascending_indices.size() && ascending_indices[next] == i) {
+      ++next;
+      continue;
+    }
+    kept.push_back(std::move(rows_[i]));
+  }
+  rows_ = std::move(kept);
+}
+
+}  // namespace fgac::storage

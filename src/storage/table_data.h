@@ -1,0 +1,36 @@
+#ifndef FGAC_STORAGE_TABLE_DATA_H_
+#define FGAC_STORAGE_TABLE_DATA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/value.h"
+
+namespace fgac::storage {
+
+/// Row storage for one base table. Rows are stored in insertion order;
+/// deletion compacts. The schema lives in the catalog; TableData only
+/// validates row width.
+class TableData {
+ public:
+  TableData() = default;
+  explicit TableData(size_t num_columns) : num_columns_(num_columns) {}
+
+  size_t num_columns() const { return num_columns_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  void Insert(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Removes all rows at the given (ascending, deduplicated) indices.
+  void EraseIndices(const std::vector<size_t>& ascending_indices);
+
+ private:
+  size_t num_columns_ = 0;
+  std::vector<Row> rows_;
+};
+
+}  // namespace fgac::storage
+
+#endif  // FGAC_STORAGE_TABLE_DATA_H_

@@ -1,0 +1,144 @@
+// Authorization-view instantiation (paper Section 4.2: "instantiated
+// authorization views").
+
+#include "core/auth_view.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/plan_hash.h"
+#include "algebra/reference_eval.h"
+#include "tests/test_util.h"
+
+namespace fgac {
+namespace {
+
+using core::Database;
+using core::InstantiatedView;
+using core::SessionContext;
+using fgac::testing::CreateUniversityViews;
+using fgac::testing::SetupUniversity;
+
+class AuthViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetupUniversity(&db_);
+    CreateUniversityViews(&db_);
+  }
+  Database db_;
+};
+
+TEST_F(AuthViewTest, InstantiationSubstitutesSessionParameters) {
+  SessionContext a("11"), b("12");
+  auto va = core::InstantiateView(db_.catalog(),
+                                  *db_.catalog().GetView("mygrades"), a);
+  auto vb = core::InstantiateView(db_.catalog(),
+                                  *db_.catalog().GetView("mygrades"), b);
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(vb.ok());
+  // Same definition, different users => different instantiated plans.
+  EXPECT_FALSE(algebra::PlanEquals(va.value().plan, vb.value().plan));
+  auto ra = algebra::ReferenceEval(va.value().plan, db_.state());
+  auto rb = algebra::ReferenceEval(vb.value().plan, db_.state());
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra.value().num_rows(), 2u);  // alice's grades
+  EXPECT_EQ(rb.value().num_rows(), 1u);  // bob's
+}
+
+TEST_F(AuthViewTest, BaseTablesCollected) {
+  SessionContext ctx("11");
+  auto v = core::InstantiateView(db_.catalog(),
+                                 *db_.catalog().GetView("costudentgrades"), ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().base_tables,
+            (std::vector<std::string>{"grades", "registered"}));
+  EXPECT_FALSE(v.value().is_access_pattern());
+}
+
+TEST_F(AuthViewTest, AccessPatternViewsKeepSymbolicParams) {
+  SessionContext ctx("secretary");
+  auto v = core::InstantiateView(db_.catalog(),
+                                 *db_.catalog().GetView("singlegrade"), ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().is_access_pattern());
+  ASSERT_EQ(v.value().access_parameters.size(), 1u);
+  EXPECT_EQ(v.value().access_parameters[0], "1");
+  EXPECT_TRUE(algebra::PlanHasAccessParam(v.value().plan));
+}
+
+TEST_F(AuthViewTest, AvailableViewsOnlyAuthorizationViews) {
+  // Ordinary relational views never participate in validity inference.
+  ASSERT_TRUE(db_.ExecuteScript("create view plain as select * from courses;"
+                                "grant select on plain to 11;"
+                                "grant select on mygrades to 11")
+                  .ok());
+  SessionContext ctx("11");
+  auto views = core::InstantiateAvailableViews(db_.catalog(), ctx);
+  ASSERT_TRUE(views.ok());
+  ASSERT_EQ(views.value().size(), 1u);
+  EXPECT_EQ(views.value()[0].name, "mygrades");
+}
+
+TEST_F(AuthViewTest, ViewsComposeOverViews) {
+  // An authorization view defined over another (ordinary) view expands
+  // through it during binding.
+  ASSERT_TRUE(db_.ExecuteScript(
+                     "create view cs101 as select * from grades "
+                     "where course-id = 'cs101';"
+                     "create authorization view mycs101 as "
+                     "select * from cs101 where student-id = $user-id")
+                  .ok());
+  SessionContext ctx("11");
+  auto v = core::InstantiateView(db_.catalog(),
+                                 *db_.catalog().GetView("mycs101"), ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().base_tables, (std::vector<std::string>{"grades"}));
+  auto rel = algebra::ReferenceEval(v.value().plan, db_.state());
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.value().num_rows(), 1u);
+}
+
+TEST_F(AuthViewTest, RecursiveViewDefinitionFails) {
+  // A view cycle must be rejected at instantiation, not loop forever.
+  ASSERT_TRUE(db_.ExecuteScript("create view v1 as select * from courses")
+                  .ok());
+  // Rebind v1's meaning by dropping and re-creating a cycle is not
+  // possible through the API (names are checked), so simulate depth abuse:
+  std::string ddl;
+  for (int i = 0; i < 20; ++i) {
+    ddl += "create view chain" + std::to_string(i) + " as select * from " +
+           (i == 0 ? std::string("courses") : "chain" + std::to_string(i - 1)) +
+           ";";
+  }
+  ASSERT_TRUE(db_.ExecuteScript(ddl).ok());
+  ASSERT_TRUE(db_.ExecuteScript("create authorization view deep as "
+                                "select * from chain19")
+                  .ok());
+  SessionContext ctx("11");
+  auto v = core::InstantiateView(db_.catalog(), *db_.catalog().GetView("deep"),
+                                 ctx);
+  // Depth 20 exceeds the binder's nesting cap (16): a clean error.
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(AuthViewTest, TimeParameterizedPolicy) {
+  // "it may be desired to restrict an authorization ... to only a
+  // particular time of the day" (Section 2).
+  ASSERT_TRUE(db_.ExecuteScript(
+                     "create authorization view daytime_grades as "
+                     "select * from grades where $hour >= 9 and $hour <= 17;"
+                     "grant select on daytime_grades to 11")
+                  .ok());
+  SessionContext day("11");
+  day.set_mode(core::EnforcementMode::kNonTruman);
+  day.SetParam("hour", Value::Int(12));
+  EXPECT_TRUE(db_.Execute("select * from grades", day).ok());
+  SessionContext night("11");
+  night.set_mode(core::EnforcementMode::kNonTruman);
+  night.SetParam("hour", Value::Int(3));
+  EXPECT_FALSE(db_.Execute("select * from grades", night).ok());
+}
+
+}  // namespace
+}  // namespace fgac

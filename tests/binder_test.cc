@@ -1,0 +1,245 @@
+#include "algebra/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/plan_hash.h"
+#include "algebra/reference_eval.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace fgac::algebra {
+namespace {
+
+using fgac::testing::SetupUniversity;
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetupUniversity(&db_); }
+
+  Result<PlanPtr> Bind(const std::string& sql,
+                       Binder::Options options = {}) {
+    auto stmt = sql::Parser::ParseSelect(sql);
+    if (!stmt.ok()) return stmt.status();
+    Binder binder(db_.catalog(), std::move(options));
+    return binder.BindSelect(*stmt.value());
+  }
+
+  PlanPtr MustBind(const std::string& sql, Binder::Options options = {}) {
+    auto plan = Bind(sql, std::move(options));
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString() << "\nsql: " << sql;
+    return plan.ok() ? plan.value() : nullptr;
+  }
+
+  core::Database db_;
+};
+
+TEST_F(BinderTest, SimpleScan) {
+  PlanPtr plan = MustBind("select * from students");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->kind, PlanKind::kGet);
+  EXPECT_EQ(OutputArity(*plan), 3u);
+}
+
+TEST_F(BinderTest, ProjectionNamesAndAliases) {
+  PlanPtr plan = MustBind("select name as n, student-id from students");
+  auto names = OutputNames(*plan);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "n");
+  EXPECT_EQ(names[1], "student-id");
+}
+
+TEST_F(BinderTest, UnknownColumnFails) {
+  auto plan = Bind("select nosuch from students");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, UnknownTableFails) {
+  EXPECT_FALSE(Bind("select * from nosuch").ok());
+}
+
+TEST_F(BinderTest, AmbiguousColumnFails) {
+  auto plan = Bind(
+      "select student-id from grades, registered");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(BinderTest, QualifierDisambiguates) {
+  EXPECT_NE(MustBind("select grades.student-id from grades, registered"),
+            nullptr);
+}
+
+TEST_F(BinderTest, SelfJoinWithAliases) {
+  PlanPtr plan = MustBind(
+      "select a.grade, b.grade from grades a, grades b "
+      "where a.student-id = b.student-id");
+  ASSERT_NE(plan, nullptr);
+}
+
+TEST_F(BinderTest, CommaJoinAndExplicitJoinBindIdentically) {
+  // The binder canonicalizes both syntaxes to the same plan (ON conjuncts
+  // are hoisted), so they fingerprint identically.
+  PlanPtr a = MustBind(
+      "select g.grade from grades g, registered r "
+      "where g.student-id = r.student-id and r.course-id = 'cs101'");
+  PlanPtr b = MustBind(
+      "select g.grade from grades g join registered r "
+      "on g.student-id = r.student-id where r.course-id = 'cs101'");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(PlanEquals(a, b));
+  EXPECT_EQ(PlanFingerprint(a), PlanFingerprint(b));
+}
+
+TEST_F(BinderTest, PredicateOrderDoesNotMatter) {
+  PlanPtr a = MustBind("select * from grades where grade = 4.0 "
+                       "and course-id = 'cs101'");
+  PlanPtr b = MustBind("select * from grades where course-id = 'cs101' "
+                       "and grade = 4.0");
+  EXPECT_TRUE(PlanEquals(a, b));
+}
+
+TEST_F(BinderTest, ComparisonDirectionNormalized) {
+  PlanPtr a = MustBind("select * from grades where grade > 3");
+  PlanPtr b = MustBind("select * from grades where 3 < grade");
+  EXPECT_TRUE(PlanEquals(a, b));
+}
+
+TEST_F(BinderTest, ParamsSubstituted) {
+  Binder::Options options;
+  options.params["user-id"] = Value::String("11");
+  PlanPtr plan =
+      MustBind("select * from grades where student-id = $user-id", options);
+  ASSERT_NE(plan, nullptr);
+  PlanPtr expect = MustBind("select * from grades where student-id = '11'");
+  EXPECT_TRUE(PlanEquals(plan, expect));
+}
+
+TEST_F(BinderTest, UnboundParamFails) {
+  auto plan = Bind("select * from grades where student-id = $user-id");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("$user-id"), std::string::npos);
+}
+
+TEST_F(BinderTest, AccessParamsRequireOptIn) {
+  EXPECT_FALSE(Bind("select * from grades where student-id = $$1").ok());
+  Binder::Options options;
+  options.allow_access_params = true;
+  EXPECT_NE(MustBind("select * from grades where student-id = $$1", options),
+            nullptr);
+}
+
+TEST_F(BinderTest, ViewExpansion) {
+  ASSERT_TRUE(db_.ExecuteScript("create view cs101grades as "
+                                "select * from grades "
+                                "where course-id = 'cs101'")
+                  .ok());
+  PlanPtr via_view = MustBind("select grade from cs101grades");
+  PlanPtr direct =
+      MustBind("select grade from grades where course-id = 'cs101'");
+  EXPECT_TRUE(PlanEquals(via_view, direct));
+}
+
+TEST_F(BinderTest, ViewColumnsAddressableThroughAlias) {
+  ASSERT_TRUE(db_.ExecuteScript("create view g2 as "
+                                "select student-id as sid, grade from grades")
+                  .ok());
+  PlanPtr plan = MustBind("select v.sid from g2 v where v.grade = 4.0");
+  ASSERT_NE(plan, nullptr);
+  auto rel = ReferenceEval(plan, db_.state());
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.value().num_rows(), 1u);
+}
+
+TEST_F(BinderTest, AggregateBinding) {
+  PlanPtr plan = MustBind(
+      "select course-id, avg(grade) from grades group by course-id");
+  // Aggregate wrapped by the (identity-collapsed) projection.
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->kind, PlanKind::kAggregate);
+  EXPECT_EQ(plan->group_by.size(), 1u);
+  EXPECT_EQ(plan->aggs.size(), 1u);
+  EXPECT_EQ(plan->aggs[0].func, AggFunc::kAvg);
+}
+
+TEST_F(BinderTest, NonGroupedColumnInSelectFails) {
+  auto plan = Bind("select name, count(*) from students");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("GROUP BY"), std::string::npos);
+}
+
+TEST_F(BinderTest, AggregateInWhereFails) {
+  EXPECT_FALSE(Bind("select * from grades where avg(grade) > 3").ok());
+}
+
+TEST_F(BinderTest, NestedAggregateFails) {
+  EXPECT_FALSE(Bind("select avg(count(*)) from grades").ok());
+}
+
+TEST_F(BinderTest, GroupExprReuseInSelect) {
+  // The group-by expression may be reused (structurally) in the output.
+  PlanPtr plan = MustBind(
+      "select course-id, count(*) from grades group by course-id "
+      "having min(grade) >= 2.0");
+  ASSERT_NE(plan, nullptr);
+}
+
+TEST_F(BinderTest, HavingWithoutGroupBy) {
+  PlanPtr plan =
+      MustBind("select count(*) from grades having count(*) > 100");
+  ASSERT_NE(plan, nullptr);
+  auto rel = ReferenceEval(plan, db_.state());
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.value().num_rows(), 0u);
+}
+
+TEST_F(BinderTest, OrderByUnknownNameFails) {
+  EXPECT_FALSE(Bind("select name from students order by nosuch").ok());
+}
+
+TEST_F(BinderTest, OrderByPositionOutOfRangeFails) {
+  EXPECT_FALSE(Bind("select name from students order by 2").ok());
+}
+
+TEST_F(BinderTest, BindOverTable) {
+  const catalog::TableSchema* schema = db_.catalog().GetTable("grades");
+  auto expr = sql::Parser::ParseExpression("grade >= 3.0 and course-id = 'x'");
+  ASSERT_TRUE(expr.ok());
+  auto scalar = Binder::BindOverTable(expr.value(), *schema);
+  ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+  Row row = {Value::String("11"), Value::String("x"), Value::Double(3.5)};
+  auto pass = EvalPredicate(scalar.value(), row);
+  ASSERT_TRUE(pass.ok());
+  EXPECT_TRUE(pass.value());
+}
+
+TEST_F(BinderTest, BindUpdatePredicateImages) {
+  const catalog::TableSchema* schema = db_.catalog().GetTable("students");
+  auto expr = sql::Parser::ParseExpression(
+      "old(students.student-id) = $user-id and new(students.type) = 'parttime'");
+  ASSERT_TRUE(expr.ok());
+  std::map<std::string, Value> params = {{"user-id", Value::String("11")}};
+  auto scalar = Binder::BindUpdatePredicate(
+      expr.value(), *schema, Binder::UpdateImage::kUpdate, params);
+  ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+  Row combined = {Value::String("11"), Value::String("alice"),
+                  Value::String("fulltime"),  // old image
+                  Value::String("11"), Value::String("alice"),
+                  Value::String("parttime")};  // new image
+  auto pass = EvalPredicate(scalar.value(), combined);
+  ASSERT_TRUE(pass.ok());
+  EXPECT_TRUE(pass.value());
+}
+
+TEST_F(BinderTest, OldInInsertPredicateFails) {
+  const catalog::TableSchema* schema = db_.catalog().GetTable("students");
+  auto expr = sql::Parser::ParseExpression("old(student-id) = '1'");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_FALSE(Binder::BindUpdatePredicate(expr.value(), *schema,
+                                           Binder::UpdateImage::kInsert, {})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace fgac::algebra

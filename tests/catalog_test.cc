@@ -1,0 +1,150 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace fgac::catalog {
+namespace {
+
+TableSchema MakeStudents() {
+  TableSchema schema("students", {{"student-id", TypeId::kString, true},
+                                  {"name", TypeId::kString, false},
+                                  {"type", TypeId::kString, false}});
+  schema.set_primary_key({0});
+  return schema;
+}
+
+TEST(CatalogTest, AddAndLookupTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeStudents()).ok());
+  EXPECT_TRUE(catalog.HasTable("students"));
+  const TableSchema* schema = catalog.GetTable("students");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->num_columns(), 3u);
+  EXPECT_EQ(schema->FindColumn("name"), 1u);
+  EXPECT_FALSE(schema->FindColumn("nosuch").has_value());
+  EXPECT_TRUE(schema->has_primary_key());
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeStudents()).ok());
+  Status s = catalog.AddTable(MakeStudents());
+  EXPECT_EQ(s.code(), StatusCode::kCatalogError);
+}
+
+TEST(CatalogTest, ViewNameCollidesWithTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeStudents()).ok());
+  ViewDefinition view;
+  view.name = "students";
+  EXPECT_FALSE(catalog.AddView(std::move(view)).ok());
+}
+
+TEST(CatalogTest, DropTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeStudents()).ok());
+  EXPECT_TRUE(catalog.DropTable("students").ok());
+  EXPECT_FALSE(catalog.HasTable("students"));
+  EXPECT_FALSE(catalog.DropTable("students").ok());
+}
+
+TEST(CatalogTest, ConstraintValidatesColumns) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeStudents()).ok());
+  TableSchema reg("registered", {{"student-id", TypeId::kString, true},
+                                 {"course-id", TypeId::kString, true}});
+  ASSERT_TRUE(catalog.AddTable(std::move(reg)).ok());
+
+  InclusionDependency good;
+  good.name = "esr";
+  good.src_table = "students";
+  good.src_columns = {"student-id"};
+  good.dst_table = "registered";
+  good.dst_columns = {"student-id"};
+  EXPECT_TRUE(catalog.AddConstraint(good).ok());
+
+  InclusionDependency bad = good;
+  bad.src_columns = {"nosuch"};
+  EXPECT_FALSE(catalog.AddConstraint(bad).ok());
+
+  InclusionDependency bad2 = good;
+  bad2.dst_table = "nosuch";
+  EXPECT_FALSE(catalog.AddConstraint(bad2).ok());
+
+  EXPECT_EQ(catalog.ConstraintsFrom("students").size(), 1u);
+  EXPECT_TRUE(catalog.ConstraintsFrom("registered").empty());
+}
+
+TEST(CatalogTest, GrantsResolveThroughRoles) {
+  Catalog catalog;
+  ViewDefinition v1;
+  v1.name = "v1";
+  v1.is_authorization = true;
+  ASSERT_TRUE(catalog.AddView(std::move(v1)).ok());
+  ViewDefinition v2;
+  v2.name = "v2";
+  v2.is_authorization = true;
+  ASSERT_TRUE(catalog.AddView(std::move(v2)).ok());
+
+  ASSERT_TRUE(catalog.GrantView("v1", "teacher_role").ok());
+  ASSERT_TRUE(catalog.GrantRole("teacher_role", "alice").ok());
+  ASSERT_TRUE(catalog.GrantView("v2", "alice").ok());
+
+  auto views = catalog.AvailableViews("alice");
+  EXPECT_EQ(views.size(), 2u);
+  EXPECT_EQ(catalog.AvailableViews("bob").size(), 0u);
+}
+
+TEST(CatalogTest, NestedRolesAndCycles) {
+  Catalog catalog;
+  ViewDefinition v;
+  v.name = "v";
+  ASSERT_TRUE(catalog.AddView(std::move(v)).ok());
+  ASSERT_TRUE(catalog.GrantView("v", "r1").ok());
+  ASSERT_TRUE(catalog.GrantRole("r1", "r2").ok());
+  ASSERT_TRUE(catalog.GrantRole("r2", "r1").ok());  // cycle must not hang
+  ASSERT_TRUE(catalog.GrantRole("r2", "user").ok());
+  EXPECT_EQ(catalog.AvailableViews("user").size(), 1u);
+}
+
+TEST(CatalogTest, PublicGrantsVisibleToEveryone) {
+  Catalog catalog;
+  ViewDefinition v;
+  v.name = "v";
+  ASSERT_TRUE(catalog.AddView(std::move(v)).ok());
+  ASSERT_TRUE(catalog.GrantView("v", "public").ok());
+  EXPECT_EQ(catalog.AvailableViews("anyone").size(), 1u);
+}
+
+TEST(CatalogTest, GrantUnknownViewFails) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.GrantView("nosuch", "alice").ok());
+}
+
+TEST(CatalogTest, TrumanViewRegistry) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeStudents()).ok());
+  ViewDefinition v;
+  v.name = "students_policy";
+  ASSERT_TRUE(catalog.AddView(std::move(v)).ok());
+  EXPECT_TRUE(catalog.TrumanViewFor("students").empty());
+  ASSERT_TRUE(catalog.SetTrumanView("students", "students_policy").ok());
+  EXPECT_EQ(catalog.TrumanViewFor("students"), "students_policy");
+  EXPECT_FALSE(catalog.SetTrumanView("nosuch", "students_policy").ok());
+  EXPECT_FALSE(catalog.SetTrumanView("students", "nosuch").ok());
+}
+
+TEST(TypeTest, ValueFitsAndCoerces) {
+  EXPECT_TRUE(ValueFitsType(Value::Int(1), TypeId::kInt64));
+  EXPECT_FALSE(ValueFitsType(Value::String("x"), TypeId::kInt64));
+  EXPECT_TRUE(ValueFitsType(Value::Int(1), TypeId::kDouble));
+  EXPECT_TRUE(ValueFitsType(Value::Null(), TypeId::kBool));
+  Value coerced = CoerceToType(Value::Int(3), TypeId::kDouble);
+  EXPECT_TRUE(coerced.is_double());
+  EXPECT_DOUBLE_EQ(coerced.double_value(), 3.0);
+}
+
+}  // namespace
+}  // namespace fgac::catalog

@@ -1,0 +1,81 @@
+// Status / Result / string-utility unit tests.
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace fgac {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::NotAuthorized("nope");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotAuthorized);
+  EXPECT_EQ(s.message(), "nope");
+  EXPECT_EQ(s.ToString(), "NotAuthorized: nope");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kConstraintViolation),
+               "ConstraintViolation");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::ParseError("x"), Status::ParseError("x"));
+  EXPECT_FALSE(Status::ParseError("x") == Status::BindError("x"));
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = Half(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  EXPECT_TRUE(ok.status().ok());
+  Result<int> err = Half(3);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Chain(int v) {
+  FGAC_ASSIGN_OR_RETURN(int h, Half(v));
+  FGAC_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  ASSERT_TRUE(Chain(20).ok());
+  EXPECT_EQ(Chain(20).value(), 5);
+  EXPECT_FALSE(Chain(10).ok());  // 5 is odd at the second step
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(StringsTest, ToLowerAndEquals) {
+  EXPECT_EQ(ToLower("AbC-9"), "abc-9");
+  EXPECT_TRUE(EqualsIgnoreCase("Select", "sELECT"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(StringsTest, JoinAndStartsWith) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_TRUE(StartsWith("view:mygrades", "view:"));
+  EXPECT_FALSE(StartsWith("vi", "view:"));
+}
+
+}  // namespace
+}  // namespace fgac

@@ -1,0 +1,120 @@
+// Error-path coverage: every user mistake should produce a typed Status
+// with an actionable message, never a crash or a silent wrong answer.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "tests/test_util.h"
+
+namespace fgac {
+namespace {
+
+using core::Database;
+using core::EnforcementMode;
+using core::SessionContext;
+using fgac::testing::SetupUniversity;
+
+class ErrorPathsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetupUniversity(&db_); }
+
+  StatusCode CodeOf(const std::string& sql) {
+    SessionContext admin("admin");
+    admin.set_mode(EnforcementMode::kNone);
+    auto r = db_.Execute(sql, admin);
+    EXPECT_FALSE(r.ok()) << "expected failure: " << sql;
+    return r.ok() ? StatusCode::kOk : r.status().code();
+  }
+
+  Database db_;
+};
+
+TEST_F(ErrorPathsTest, ParseErrors) {
+  EXPECT_EQ(CodeOf("selec 1"), StatusCode::kParseError);
+  EXPECT_EQ(CodeOf("select * from"), StatusCode::kParseError);
+  EXPECT_EQ(CodeOf("insert into t values"), StatusCode::kParseError);
+  EXPECT_EQ(CodeOf("create table t (x unknown_type)"), StatusCode::kParseError);
+}
+
+TEST_F(ErrorPathsTest, BindErrors) {
+  EXPECT_EQ(CodeOf("select * from nosuch"), StatusCode::kBindError);
+  EXPECT_EQ(CodeOf("select nosuch from students"), StatusCode::kBindError);
+  EXPECT_EQ(CodeOf("select t.name from students"), StatusCode::kBindError);
+  EXPECT_EQ(CodeOf("update students set nosuch = 1"), StatusCode::kBindError);
+  EXPECT_EQ(CodeOf("insert into students (nosuch) values (1)"),
+            StatusCode::kBindError);
+  EXPECT_EQ(CodeOf("insert into students values (1)"), StatusCode::kBindError);
+  EXPECT_EQ(CodeOf("select * from grades where student-id = $user"),
+            StatusCode::kBindError);
+}
+
+TEST_F(ErrorPathsTest, CatalogErrors) {
+  EXPECT_EQ(CodeOf("create table students (x int)"), StatusCode::kCatalogError);
+  EXPECT_EQ(CodeOf("drop table nosuch"), StatusCode::kCatalogError);
+  EXPECT_EQ(CodeOf("drop view nosuch"), StatusCode::kCatalogError);
+  EXPECT_EQ(CodeOf("grant select on nosuch to alice"),
+            StatusCode::kCatalogError);
+  EXPECT_EQ(CodeOf("update nosuch set x = 1"), StatusCode::kCatalogError);
+  EXPECT_EQ(CodeOf("delete from nosuch"), StatusCode::kCatalogError);
+  EXPECT_EQ(CodeOf("authorize insert on nosuch"), StatusCode::kCatalogError);
+  EXPECT_EQ(CodeOf("create inclusion dependency d on nosuch (x) "
+                   "references students (student-id)"),
+            StatusCode::kCatalogError);
+}
+
+TEST_F(ErrorPathsTest, NotImplementedSubset) {
+  EXPECT_EQ(CodeOf("select * from (select * from students)"),
+            StatusCode::kNotImplemented);
+  EXPECT_EQ(CodeOf("select (select 1)"), StatusCode::kNotImplemented);
+}
+
+TEST_F(ErrorPathsTest, ExecutionErrors) {
+  EXPECT_EQ(CodeOf("select grade / 0 from grades"),
+            StatusCode::kExecutionError);
+  EXPECT_EQ(CodeOf("select name + 1 from students"),
+            StatusCode::kExecutionError);
+  EXPECT_EQ(CodeOf("select name like 1 from students"),
+            StatusCode::kExecutionError);
+}
+
+TEST_F(ErrorPathsTest, GrantOnTableRejected) {
+  // Only views are grantable objects in this model.
+  EXPECT_EQ(CodeOf("grant select on grades to alice"),
+            StatusCode::kCatalogError);
+}
+
+TEST_F(ErrorPathsTest, MessagesCarryContext) {
+  SessionContext admin("admin");
+  admin.set_mode(EnforcementMode::kNone);
+  auto r = db_.Execute("select nosuch_col from students", admin);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nosuch_col"), std::string::npos);
+  auto r2 = db_.Execute("select 1 +", admin);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("line"), std::string::npos);
+}
+
+TEST_F(ErrorPathsTest, FailedUpdateLeavesTableUntouched) {
+  // The second assignment divides by zero on some row: two-phase update
+  // must not partially apply.
+  auto before = fgac::testing::MustQueryAdmin(
+      &db_, "select sum(grade) from grades");
+  auto r = db_.ExecuteAsAdmin("update grades set grade = grade / (grade - 2.0)");
+  ASSERT_FALSE(r.ok());  // carol's 2.0 divides by zero
+  auto after = fgac::testing::MustQueryAdmin(
+      &db_, "select sum(grade) from grades");
+  EXPECT_EQ(before.rows()[0][0], after.rows()[0][0]);
+}
+
+TEST_F(ErrorPathsTest, RejectionsDoNotLeakThroughErrors) {
+  // A user without views gets kNotAuthorized for syntactically fine
+  // queries — never an execution-level error revealing table contents.
+  SessionContext stranger("stranger");
+  stranger.set_mode(EnforcementMode::kNonTruman);
+  auto r = db_.Execute("select * from grades where grade / 0 > 1", stranger);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotAuthorized);
+}
+
+}  // namespace
+}  // namespace fgac

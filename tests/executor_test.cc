@@ -1,0 +1,197 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/binder.h"
+#include "algebra/reference_eval.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace fgac {
+namespace {
+
+using core::Database;
+using core::EnforcementMode;
+using core::SessionContext;
+using fgac::testing::MustQueryAdmin;
+using fgac::testing::SetupUniversity;
+using fgac::testing::SortedRowsToString;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetupUniversity(&db_); }
+
+  /// Runs `sql` through both the physical executor and the reference
+  /// evaluator and checks multiset equality.
+  void CheckAgainstReference(const std::string& sql) {
+    auto stmt = sql::Parser::ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+    algebra::Binder binder(db_.catalog(), {});
+    auto plan = binder.BindSelect(*stmt.value());
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString() << "\nsql: " << sql;
+    auto physical = exec::ExecutePlan(plan.value(), db_.state());
+    ASSERT_TRUE(physical.ok()) << physical.status().ToString();
+    auto reference = algebra::ReferenceEval(plan.value(), db_.state());
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    EXPECT_TRUE(physical.value().MultisetEquals(reference.value()))
+        << "sql: " << sql << "\nphysical:\n"
+        << SortedRowsToString(physical.value()) << "reference:\n"
+        << SortedRowsToString(reference.value());
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, Scan) {
+  auto rel = MustQueryAdmin(&db_, "select * from students");
+  EXPECT_EQ(rel.num_rows(), 4u);
+  EXPECT_EQ(rel.num_columns(), 3u);
+  EXPECT_EQ(rel.column_names()[0], "student-id");
+}
+
+TEST_F(ExecutorTest, FilterAndProject) {
+  auto rel = MustQueryAdmin(
+      &db_, "select name from students where type = 'fulltime'");
+  EXPECT_EQ(rel.num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, HashJoinMatchesReference) {
+  CheckAgainstReference(
+      "select students.name, grades.grade from students, grades "
+      "where students.student-id = grades.student-id");
+}
+
+TEST_F(ExecutorTest, CrossJoinMatchesReference) {
+  CheckAgainstReference("select * from students, courses");
+}
+
+TEST_F(ExecutorTest, NonEquiJoinMatchesReference) {
+  CheckAgainstReference(
+      "select a.student-id, b.student-id from grades a, grades b "
+      "where a.grade < b.grade");
+}
+
+TEST_F(ExecutorTest, SelfJoin) {
+  CheckAgainstReference(
+      "select a.course-id from registered a, registered b "
+      "where a.student-id = b.student-id and a.course-id <> b.course-id");
+}
+
+TEST_F(ExecutorTest, AggregateGroupBy) {
+  auto rel = MustQueryAdmin(
+      &db_,
+      "select course-id, avg(grade), count(*) from grades group by course-id "
+      "order by course-id");
+  ASSERT_EQ(rel.num_rows(), 2u);
+  EXPECT_EQ(rel.rows()[0][0], Value::String("cs101"));
+  EXPECT_EQ(rel.rows()[0][1], Value::Double(3.5));
+  EXPECT_EQ(rel.rows()[0][2], Value::Int(2));
+}
+
+TEST_F(ExecutorTest, ScalarAggregateOverEmptyInputYieldsOneRow) {
+  auto rel = MustQueryAdmin(
+      &db_, "select count(*), sum(grade), avg(grade) from grades "
+            "where course-id = 'nosuch'");
+  ASSERT_EQ(rel.num_rows(), 1u);
+  EXPECT_EQ(rel.rows()[0][0], Value::Int(0));
+  EXPECT_TRUE(rel.rows()[0][1].is_null());
+  EXPECT_TRUE(rel.rows()[0][2].is_null());
+}
+
+TEST_F(ExecutorTest, GroupByOverEmptyInputYieldsNoRows) {
+  auto rel = MustQueryAdmin(
+      &db_, "select course-id, avg(grade) from grades "
+            "where course-id = 'nosuch' group by course-id");
+  EXPECT_EQ(rel.num_rows(), 0u);
+}
+
+TEST_F(ExecutorTest, AggregateDistinctArg) {
+  auto rel = MustQueryAdmin(
+      &db_, "select count(distinct student-id) from grades");
+  ASSERT_EQ(rel.num_rows(), 1u);
+  EXPECT_EQ(rel.rows()[0][0], Value::Int(3));
+}
+
+TEST_F(ExecutorTest, MinMaxSum) {
+  auto rel = MustQueryAdmin(
+      &db_, "select min(grade), max(grade), sum(grade) from grades");
+  ASSERT_EQ(rel.num_rows(), 1u);
+  EXPECT_EQ(rel.rows()[0][0], Value::Double(2.0));
+  EXPECT_EQ(rel.rows()[0][1], Value::Double(4.0));
+  EXPECT_EQ(rel.rows()[0][2], Value::Double(12.5));
+}
+
+TEST_F(ExecutorTest, Having) {
+  auto rel = MustQueryAdmin(
+      &db_, "select course-id from grades group by course-id "
+            "having count(*) >= 2 order by course-id");
+  ASSERT_EQ(rel.num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, DistinctRows) {
+  auto rel = MustQueryAdmin(&db_, "select distinct type from students");
+  EXPECT_EQ(rel.num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, OrderByDescAndLimit) {
+  auto rel = MustQueryAdmin(
+      &db_, "select grade from grades order by grade desc limit 2");
+  ASSERT_EQ(rel.num_rows(), 2u);
+  EXPECT_EQ(rel.rows()[0][0], Value::Double(4.0));
+  EXPECT_EQ(rel.rows()[1][0], Value::Double(3.5));
+}
+
+TEST_F(ExecutorTest, OrderByPositional) {
+  auto rel = MustQueryAdmin(
+      &db_, "select student-id, grade from grades order by 2, 1");
+  ASSERT_EQ(rel.num_rows(), 4u);
+  EXPECT_EQ(rel.rows()[0][1], Value::Double(2.0));
+}
+
+TEST_F(ExecutorTest, InListBetweenLike) {
+  CheckAgainstReference(
+      "select * from grades where course-id in ('cs101', 'ee150')");
+  CheckAgainstReference("select * from grades where grade between 3 and 4");
+  CheckAgainstReference("select * from students where name like '%a%'");
+}
+
+TEST_F(ExecutorTest, ArithmeticInProjection) {
+  auto rel = MustQueryAdmin(&db_, "select grade * 2 + 1 from grades "
+                                  "where student-id = '13'");
+  ASSERT_EQ(rel.num_rows(), 1u);
+  EXPECT_EQ(rel.rows()[0][0], Value::Double(5.0));
+}
+
+TEST_F(ExecutorTest, SelectWithoutFrom) {
+  auto rel = MustQueryAdmin(&db_, "select 1 + 2 as three, 'x'");
+  ASSERT_EQ(rel.num_rows(), 1u);
+  EXPECT_EQ(rel.rows()[0][0], Value::Int(3));
+  EXPECT_EQ(rel.column_names()[0], "three");
+}
+
+TEST_F(ExecutorTest, DivisionByZeroIsError) {
+  core::SessionContext admin("admin");
+  admin.set_mode(EnforcementMode::kNone);
+  auto r = db_.Execute("select 1 / 0", admin);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorTest, ExplicitJoinEqualsCommaJoin) {
+  auto a = MustQueryAdmin(
+      &db_, "select g.grade from grades g join registered r "
+            "on g.student-id = r.student-id");
+  auto b = MustQueryAdmin(
+      &db_, "select g.grade from grades g, registered r "
+            "where g.student-id = r.student-id");
+  EXPECT_TRUE(a.MultisetEquals(b));
+}
+
+TEST_F(ExecutorTest, ThreeWayJoinMatchesReference) {
+  CheckAgainstReference(
+      "select s.name, c.name, g.grade from students s, courses c, grades g "
+      "where s.student-id = g.student-id and c.course-id = g.course-id");
+}
+
+}  // namespace
+}  // namespace fgac

@@ -1,0 +1,128 @@
+#include "optimizer/implication.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/normalize.h"
+#include "sql/parser.h"
+
+namespace fgac::optimizer {
+namespace {
+
+using algebra::ScalarPtr;
+
+/// Parses a conjunction over columns a (slot 0), b (slot 1) into normalized
+/// conjuncts.
+std::vector<ScalarPtr> Conjuncts(const std::string& text) {
+  auto expr = sql::Parser::ParseExpression(text);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  std::function<ScalarPtr(const sql::ExprPtr&)> bind =
+      [&](const sql::ExprPtr& e) -> ScalarPtr {
+    switch (e->kind) {
+      case sql::ExprKind::kLiteral:
+        return algebra::MakeLiteralScalar(e->value);
+      case sql::ExprKind::kColumnRef:
+        return algebra::MakeColumn(e->column == "a" ? 0 : 1);
+      case sql::ExprKind::kBinary:
+        return algebra::MakeBinaryScalar(e->bin_op, bind(e->left),
+                                         bind(e->right));
+      case sql::ExprKind::kUnary:
+        return algebra::MakeUnaryScalar(e->un_op, bind(e->operand));
+      case sql::ExprKind::kInList: {
+        std::vector<ScalarPtr> list;
+        for (const auto& x : e->in_list) list.push_back(bind(x));
+        return algebra::MakeInListScalar(bind(e->operand), std::move(list),
+                                         e->negated);
+      }
+      case sql::ExprKind::kBetween: {
+        ScalarPtr x = bind(e->operand);
+        return algebra::MakeBinaryScalar(
+            sql::BinOp::kAnd,
+            algebra::MakeBinaryScalar(sql::BinOp::kLe, bind(e->left), x),
+            algebra::MakeBinaryScalar(sql::BinOp::kLe, x, bind(e->right)));
+      }
+      default:
+        ADD_FAILURE() << "unsupported";
+        return algebra::MakeLiteralScalar(Value::Null());
+    }
+  };
+  return algebra::SplitConjuncts(bind(expr.value()));
+}
+
+bool Implies(const std::string& premises, const std::string& conclusion) {
+  return ImpliesAll(Conjuncts(premises), Conjuncts(conclusion));
+}
+
+TEST(ImplicationTest, StructuralEquality) {
+  EXPECT_TRUE(Implies("a = 5", "a = 5"));
+  EXPECT_TRUE(Implies("a = 5 and b = 2", "b = 2"));
+  EXPECT_FALSE(Implies("a = 5", "b = 5"));
+}
+
+TEST(ImplicationTest, EqualityImpliesRanges) {
+  EXPECT_TRUE(Implies("a = 5", "a < 10"));
+  EXPECT_TRUE(Implies("a = 5", "a <= 5"));
+  EXPECT_TRUE(Implies("a = 5", "a > 0"));
+  EXPECT_TRUE(Implies("a = 5", "a >= 5"));
+  EXPECT_TRUE(Implies("a = 5", "a <> 6"));
+  EXPECT_FALSE(Implies("a = 5", "a < 5"));
+  EXPECT_FALSE(Implies("a = 5", "a <> 5"));
+}
+
+TEST(ImplicationTest, RangeImpliesWeakerRange) {
+  EXPECT_TRUE(Implies("a < 5", "a < 10"));
+  EXPECT_TRUE(Implies("a < 5", "a <= 5"));
+  EXPECT_TRUE(Implies("a <= 5", "a < 6"));
+  EXPECT_FALSE(Implies("a < 10", "a < 5"));
+  EXPECT_TRUE(Implies("a > 5", "a > 1"));
+  EXPECT_TRUE(Implies("a >= 6", "a > 5"));
+  EXPECT_FALSE(Implies("a >= 5", "a > 5"));
+}
+
+TEST(ImplicationTest, RangeImpliesNe) {
+  EXPECT_TRUE(Implies("a < 5", "a <> 5"));
+  EXPECT_TRUE(Implies("a < 5", "a <> 7"));
+  EXPECT_FALSE(Implies("a < 5", "a <> 3"));
+}
+
+TEST(ImplicationTest, InListReasoning) {
+  EXPECT_TRUE(Implies("a = 2", "a in (1, 2, 3)"));
+  EXPECT_FALSE(Implies("a = 4", "a in (1, 2, 3)"));
+  EXPECT_TRUE(Implies("a in (1, 2)", "a in (1, 2, 3)"));
+  EXPECT_FALSE(Implies("a in (1, 4)", "a in (1, 2, 3)"));
+  EXPECT_TRUE(Implies("a in (1, 2)", "a < 5"));
+  EXPECT_FALSE(Implies("a in (1, 9)", "a < 5"));
+}
+
+TEST(ImplicationTest, StringComparisons) {
+  EXPECT_TRUE(Implies("a = 'cs101'", "a = 'cs101'"));
+  EXPECT_TRUE(Implies("a = 'abc'", "a < 'abd'"));
+  EXPECT_FALSE(Implies("a = 'abc'", "a = 'abd'"));
+}
+
+TEST(ImplicationTest, BetweenDesugared) {
+  EXPECT_TRUE(Implies("a between 2 and 4", "a <= 4"));
+  EXPECT_TRUE(Implies("a between 2 and 4", "a < 5"));
+  EXPECT_TRUE(Implies("a = 3", "a between 2 and 4"));
+}
+
+TEST(ImplicationTest, ConjunctionOnBothSides) {
+  EXPECT_TRUE(Implies("a = 5 and b = 2", "a < 10 and b <> 3"));
+  EXPECT_FALSE(Implies("a = 5", "a = 5 and b = 2"));
+}
+
+TEST(ImplicationTest, NonAtomConjunctsOnlyStructural) {
+  EXPECT_TRUE(Implies("a like 'x%'", "a like 'x%'"));
+  EXPECT_FALSE(Implies("a like 'x%'", "a like 'y%'"));
+}
+
+TEST(ImplicationTest, ExtractAtomShapes) {
+  auto c = Conjuncts("5 > a");  // literal-on-left mirrored
+  ASSERT_EQ(c.size(), 1u);
+  auto atom = ExtractAtom(c[0]);
+  ASSERT_TRUE(atom.has_value());
+  EXPECT_EQ(atom->op, Atom::Op::kLt);
+  EXPECT_EQ(atom->literal, Value::Int(5));
+}
+
+}  // namespace
+}  // namespace fgac::optimizer

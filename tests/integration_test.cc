@@ -1,0 +1,195 @@
+// End-to-end storyline: a semester at the university, exercising DDL,
+// policies, grants/revokes, all three enforcement modes, conditional
+// validity tracking data changes, deny-style negation views (paper
+// Section 7), and the monotonicity of validity in the granted view set.
+
+#include <gtest/gtest.h>
+
+#include "core/auth_view.h"
+#include "core/database.h"
+#include "sql/parser.h"
+#include "tests/query_gen.h"
+#include "tests/test_util.h"
+
+namespace fgac {
+namespace {
+
+using core::Database;
+using core::EnforcementMode;
+using core::SessionContext;
+using fgac::testing::CreateUniversityViews;
+using fgac::testing::SetupUniversity;
+
+SessionContext NonTruman(const std::string& user) {
+  SessionContext ctx(user);
+  ctx.set_mode(EnforcementMode::kNonTruman);
+  return ctx;
+}
+
+TEST(IntegrationTest, SemesterStoryline) {
+  Database db;
+  SetupUniversity(&db);
+  CreateUniversityViews(&db);
+  ASSERT_TRUE(db.ExecuteScript(R"sql(
+    grant select on mygrades to student_role;
+    grant select on costudentgrades to student_role;
+    grant select on myregistrations to student_role;
+    authorize insert on registered
+      where registered.student-id = $user-id to student_role;
+    authorize delete on registered
+      where registered.student-id = $user-id to student_role;
+  )sql")
+                  .ok());
+  db.catalog().GrantRole("student_role", "11");
+  db.catalog().GrantRole("student_role", "12");
+
+  SessionContext alice = NonTruman("11");
+  SessionContext bob = NonTruman("12");
+
+  // Week 1: alice can see her grades, bob his (disjoint slices).
+  auto a = db.Execute("select grade from grades where student-id = '11'", alice);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().relation.num_rows(), 2u);
+  auto b = db.Execute("select grade from grades where student-id = '12'", bob);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().relation.num_rows(), 1u);
+  // Cross-access rejected both ways.
+  EXPECT_FALSE(
+      db.Execute("select grade from grades where student-id = '12'", alice)
+          .ok());
+  EXPECT_FALSE(
+      db.Execute("select grade from grades where student-id = '11'", bob).ok());
+
+  // Week 2: alice registers for ee150 herself (Section 4.4) — and the
+  // previously invalid "all ee150 grades" query becomes conditionally
+  // valid because her registration is now visible.
+  const std::string ee150 = "select * from grades where course-id = 'ee150'";
+  EXPECT_FALSE(db.Execute(ee150, alice).ok());
+  ASSERT_TRUE(
+      db.Execute("insert into registered values ('11', 'ee150')", alice).ok());
+  auto after = db.Execute(ee150, alice);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_FALSE(after.value().validity.unconditional);
+
+  // Week 3: she drops the course; the permission disappears with the data.
+  ASSERT_TRUE(db.Execute("delete from registered where student-id = '11' "
+                         "and course-id = 'ee150'",
+                         alice)
+                  .ok());
+  EXPECT_FALSE(db.Execute(ee150, alice).ok());
+
+  // Finals: the registrar revokes the co-student view from the role; only
+  // own-grade access remains.
+  ASSERT_TRUE(
+      db.ExecuteAsAdmin("revoke select on costudentgrades from student_role")
+          .ok());
+  EXPECT_FALSE(
+      db.Execute("select * from grades where course-id = 'cs101'", alice).ok());
+  EXPECT_TRUE(
+      db.Execute("select grade from grades where student-id = '11'", alice)
+          .ok());
+}
+
+TEST(IntegrationTest, DenySemanticsViaNegationView) {
+  // Paper Section 7: "It is straightforward to create authorization views
+  // with negation conditions to implement (and generalize) deny-lists."
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(R"sql(
+    create table documents (
+      doc-id varchar not null primary key,
+      level varchar not null,
+      body varchar not null);
+    insert into documents values
+      ('d1', 'public', 'hello'), ('d2', 'secret', 'xyz'),
+      ('d3', 'public', 'world');
+    create authorization view nonsecret as
+      select * from documents where level <> 'secret';
+    grant select on nonsecret to reader;
+  )sql")
+                  .ok());
+  SessionContext reader = NonTruman("reader");
+  // Anything implying the deny predicate passes...
+  auto ok = db.Execute(
+      "select body from documents where level = 'public'", reader);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().relation.num_rows(), 2u);
+  EXPECT_TRUE(
+      db.Execute("select * from documents where level <> 'secret'", reader)
+          .ok());
+  // ...while the denied slice, and the whole table, are rejected.
+  EXPECT_FALSE(
+      db.Execute("select body from documents where level = 'secret'", reader)
+          .ok());
+  EXPECT_FALSE(db.Execute("select count(*) from documents", reader).ok());
+}
+
+TEST(IntegrationTest, ValidityIsMonotoneInGrantedViews) {
+  // Granting MORE views can only widen the accepted set: any query valid
+  // under a subset of the views stays valid under the full set.
+  Database db;
+  SetupUniversity(&db);
+  CreateUniversityViews(&db);
+  SessionContext ctx = NonTruman("11");
+  auto all_views = core::InstantiateAvailableViews(db.catalog(), ctx);
+  // (No grants yet — instantiate explicitly.)
+  std::vector<core::InstantiatedView> views;
+  for (const char* name :
+       {"mygrades", "myregistrations", "avggrades", "regstudents"}) {
+    auto v = core::InstantiateView(db.catalog(), *db.catalog().GetView(name),
+                                   ctx);
+    ASSERT_TRUE(v.ok());
+    views.push_back(std::move(v).value());
+  }
+  fgac::testing::QueryGenerator gen(99);
+  int compared = 0;
+  for (int i = 0; i < 20; ++i) {
+    std::string sql = gen.NextQuery();
+    auto stmt = sql::Parser::ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok());
+    auto plan = db.BindQuery(*stmt.value(), ctx);
+    if (!plan.ok()) continue;
+    // Subset: first two views. Full: all four.
+    std::vector<core::InstantiatedView> subset(views.begin(),
+                                               views.begin() + 2);
+    core::ValidityChecker c1(db.catalog(), &db.state(), {});
+    core::ValidityChecker c2(db.catalog(), &db.state(), {});
+    auto r1 = c1.Check(plan.value(), subset);
+    auto r2 = c2.Check(plan.value(), views);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    if (r1.value().valid) {
+      EXPECT_TRUE(r2.value().valid)
+          << "granting more views lost validity for: " << sql;
+    }
+    ++compared;
+  }
+  EXPECT_GT(compared, 10);
+}
+
+TEST(IntegrationTest, TrumanAndNonTrumanAgreeOnFullyAuthorizedQueries) {
+  // When the policy view IS the whole table, all three modes agree.
+  Database db;
+  SetupUniversity(&db);
+  ASSERT_TRUE(db.ExecuteScript("create authorization view allgrades as "
+                               "select * from grades;"
+                               "grant select on allgrades to 11")
+                  .ok());
+  ASSERT_TRUE(db.catalog().SetTrumanView("grades", "allgrades").ok());
+  const std::string q = "select avg(grade) from grades";
+  Value answers[3];
+  int i = 0;
+  for (EnforcementMode mode :
+       {EnforcementMode::kNone, EnforcementMode::kTruman,
+        EnforcementMode::kNonTruman}) {
+    SessionContext ctx("11");
+    ctx.set_mode(mode);
+    auto r = db.Execute(q, ctx);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    answers[i++] = r.value().relation.rows()[0][0];
+  }
+  EXPECT_EQ(answers[0], answers[1]);
+  EXPECT_EQ(answers[1], answers[2]);
+}
+
+}  // namespace
+}  // namespace fgac

@@ -1,0 +1,102 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace fgac::sql {
+namespace {
+
+std::vector<Token> MustLex(const std::string& text) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? tokens.value() : std::vector<Token>();
+}
+
+TEST(LexerTest, KeywordsAndIdentifiersLowercased) {
+  auto tokens = MustLex("SELECT Grades FROM MyTable");
+  ASSERT_EQ(tokens.size(), 5u);  // incl. EOF
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(tokens[0].text, "select");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "grades");
+  EXPECT_EQ(tokens[3].text, "mytable");
+}
+
+TEST(LexerTest, HyphenatedIdentifiers) {
+  // The paper's schema style: student-id is one identifier...
+  auto tokens = MustLex("student-id");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "student-id");
+  // ...but spaced subtraction still lexes as three tokens.
+  tokens = MustLex("a - b");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kMinus);
+}
+
+TEST(LexerTest, NumbersIntDoubleExponent) {
+  auto tokens = MustLex("42 3.5 1e3 2.5e-1");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLit);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDoubleLit);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 3.5);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDoubleLit);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.25);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapedQuote) {
+  auto tokens = MustLex("'o''brien'");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLit);
+  EXPECT_EQ(tokens[0].text, "o'brien");
+}
+
+TEST(LexerTest, Parameters) {
+  auto tokens = MustLex("$user-id $$1x");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kParam);
+  EXPECT_EQ(tokens[0].text, "user-id");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kAccessParam);
+  EXPECT_EQ(tokens[1].text, "1x");
+}
+
+TEST(LexerTest, DollarParamStartingWithDigit) {
+  auto tokens = MustLex("$$1");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kAccessParam);
+  EXPECT_EQ(tokens[0].text, "1");
+}
+
+TEST(LexerTest, OperatorsAndPunct) {
+  auto tokens = MustLex("<> <= >= != = < > ( ) , . ; * + / %");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLe);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kGe);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kEq);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = MustLex("select -- line comment\n 1 /* block\ncomment */ + 2");
+  // select, 1, +, 2, eof
+  ASSERT_EQ(tokens.size(), 5u);
+}
+
+TEST(LexerTest, ErrorsCarryPosition) {
+  Lexer lexer("select @");
+  Result<std::vector<Token>> r = lexer.Tokenize();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(LexerTest, UnterminatedString) {
+  Lexer lexer("'abc");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, QuotedIdentifier) {
+  auto tokens = MustLex("\"My Table\"");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "my table");
+}
+
+}  // namespace
+}  // namespace fgac::sql

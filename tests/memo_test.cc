@@ -1,0 +1,163 @@
+#include "optimizer/memo.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/normalize.h"
+#include "algebra/plan_hash.h"
+#include "algebra/reference_eval.h"
+
+namespace fgac::optimizer {
+namespace {
+
+using algebra::MakeColumn;
+using algebra::MakeGet;
+using algebra::MakeJoin;
+using algebra::MakeLiteralScalar;
+using algebra::MakeSelect;
+using algebra::PlanKind;
+using algebra::PlanPtr;
+using algebra::ScalarPtr;
+
+ScalarPtr EqLit(int slot, int64_t v) {
+  return algebra::NormalizeScalar(algebra::MakeBinaryScalar(
+      sql::BinOp::kEq, MakeColumn(slot), MakeLiteralScalar(Value::Int(v))));
+}
+
+PlanPtr Table(const std::string& name) { return MakeGet(name, {"a", "b"}); }
+
+TEST(MemoTest, IdenticalPlansUnify) {
+  Memo memo;
+  GroupId g1 = memo.InsertPlan(MakeSelect({EqLit(0, 1)}, Table("t")));
+  GroupId g2 = memo.InsertPlan(MakeSelect({EqLit(0, 1)}, Table("t")));
+  EXPECT_EQ(memo.Find(g1), memo.Find(g2));
+  EXPECT_EQ(memo.num_live_groups(), 2u);  // Get(t) and the Select
+}
+
+TEST(MemoTest, DifferentPlansDistinct) {
+  Memo memo;
+  GroupId g1 = memo.InsertPlan(MakeSelect({EqLit(0, 1)}, Table("t")));
+  GroupId g2 = memo.InsertPlan(MakeSelect({EqLit(0, 2)}, Table("t")));
+  EXPECT_NE(memo.Find(g1), memo.Find(g2));
+}
+
+TEST(MemoTest, SharedSubexpressionsShareGroups) {
+  Memo memo;
+  PlanPtr t = Table("t");
+  memo.InsertPlan(MakeSelect({EqLit(0, 1)}, t));
+  memo.InsertPlan(MakeSelect({EqLit(1, 2)}, t));
+  // Groups: Get(t), two selects.
+  EXPECT_EQ(memo.num_live_groups(), 3u);
+}
+
+TEST(MemoTest, InsertIntoTargetGroupMerges) {
+  Memo memo;
+  GroupId g1 = memo.InsertPlan(MakeSelect({EqLit(0, 1)}, Table("t")));
+  GroupId g2 = memo.InsertPlan(MakeSelect({EqLit(0, 2)}, Table("u")));
+  ASSERT_NE(memo.Find(g1), memo.Find(g2));
+  // Claim the two are equivalent by inserting g2's expression into g1.
+  MemoExpr dup;
+  dup.kind = PlanKind::kSelect;
+  dup.predicates = {EqLit(0, 2)};
+  dup.children = {memo.InsertPlan(Table("u"))};
+  memo.InsertExpr(std::move(dup), g1);
+  EXPECT_EQ(memo.Find(g1), memo.Find(g2));
+}
+
+TEST(MemoTest, CongruenceClosureCascades) {
+  // If groups A and B merge, parents Select(P, A) and Select(P, B) must
+  // merge too.
+  Memo memo;
+  GroupId ta = memo.InsertPlan(Table("t"));
+  GroupId tb = memo.InsertPlan(Table("u"));
+  GroupId pa = memo.InsertPlan(MakeSelect({EqLit(0, 1)}, Table("t")));
+  GroupId pb = memo.InsertPlan(MakeSelect({EqLit(0, 1)}, Table("u")));
+  ASSERT_NE(memo.Find(pa), memo.Find(pb));
+  memo.Unify(ta, tb);
+  EXPECT_EQ(memo.Find(pa), memo.Find(pb));
+}
+
+TEST(MemoTest, ValidityMarks) {
+  Memo memo;
+  GroupId g = memo.InsertPlan(Table("t"));
+  EXPECT_FALSE(memo.IsValidU(g));
+  EXPECT_FALSE(memo.IsValidC(g));
+  memo.MarkValidC(g);
+  EXPECT_TRUE(memo.IsValidC(g));
+  EXPECT_FALSE(memo.IsValidU(g));
+  memo.MarkValidU(g);
+  EXPECT_TRUE(memo.IsValidU(g));  // C1: U implies C
+}
+
+TEST(MemoTest, MergePreservesValidity) {
+  Memo memo;
+  GroupId g1 = memo.InsertPlan(Table("t"));
+  GroupId g2 = memo.InsertPlan(Table("u"));
+  memo.MarkValidU(g2);
+  memo.Unify(g1, g2);
+  EXPECT_TRUE(memo.IsValidU(g1));
+}
+
+TEST(MemoTest, TrivialSelectCollapses) {
+  Memo memo;
+  GroupId t = memo.InsertPlan(Table("t"));
+  MemoExpr empty_select;
+  empty_select.kind = PlanKind::kSelect;
+  empty_select.children = {t};
+  GroupId g = memo.InsertExpr(std::move(empty_select));
+  EXPECT_EQ(memo.Find(g), memo.Find(t));
+}
+
+TEST(MemoTest, IdentityProjectCollapses) {
+  Memo memo;
+  GroupId t = memo.InsertPlan(Table("t"));
+  MemoExpr ident;
+  ident.kind = PlanKind::kProject;
+  ident.exprs = {MakeColumn(0), MakeColumn(1)};
+  ident.children = {t};
+  GroupId g = memo.InsertExpr(std::move(ident));
+  EXPECT_EQ(memo.Find(g), memo.Find(t));
+}
+
+TEST(MemoTest, ParentsOf) {
+  Memo memo;
+  GroupId t = memo.InsertPlan(Table("t"));
+  memo.InsertPlan(MakeSelect({EqLit(0, 1)}, Table("t")));
+  memo.InsertPlan(MakeSelect({EqLit(0, 2)}, Table("t")));
+  EXPECT_EQ(memo.ParentsOf(t).size(), 2u);
+}
+
+TEST(MemoTest, AnyPlanRoundTrips) {
+  Memo memo;
+  PlanPtr plan = MakeSelect({EqLit(0, 1)},
+                            MakeJoin({EqLit(1, 2)}, Table("t"), Table("u")));
+  GroupId g = memo.InsertPlan(plan);
+  auto out = memo.AnyPlan(g);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(algebra::PlanEquals(plan, out.value()));
+}
+
+TEST(MemoTest, CountPlansSingle) {
+  Memo memo;
+  GroupId g = memo.InsertPlan(MakeSelect({EqLit(0, 1)}, Table("t")));
+  EXPECT_DOUBLE_EQ(memo.CountPlans(g), 1.0);
+}
+
+TEST(MemoTest, CountPlansMultipliesAlternatives) {
+  Memo memo;
+  GroupId t = memo.InsertPlan(Table("t"));
+  GroupId u = memo.InsertPlan(Table("u"));
+  // A group with two alternative join expressions over (t, u).
+  MemoExpr j1;
+  j1.kind = PlanKind::kJoin;
+  j1.children = {t, u};
+  GroupId g = memo.InsertExpr(std::move(j1));
+  MemoExpr j2;
+  j2.kind = PlanKind::kJoin;
+  j2.predicates = {EqLit(0, 1)};
+  j2.children = {t, u};
+  memo.InsertExpr(std::move(j2), g);
+  EXPECT_DOUBLE_EQ(memo.CountPlans(g), 2.0);
+}
+
+}  // namespace
+}  // namespace fgac::optimizer

@@ -1,0 +1,152 @@
+#include "algebra/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/plan_hash.h"
+
+namespace fgac::algebra {
+namespace {
+
+ScalarPtr Col(int slot) { return MakeColumn(slot); }
+ScalarPtr Lit(int64_t v) { return MakeLiteralScalar(Value::Int(v)); }
+ScalarPtr Eq(ScalarPtr a, ScalarPtr b) {
+  return MakeBinaryScalar(sql::BinOp::kEq, std::move(a), std::move(b));
+}
+
+TEST(NormalizeScalarTest, ConstantFolding) {
+  ScalarPtr s = NormalizeScalar(
+      MakeBinaryScalar(sql::BinOp::kAdd, Lit(1), Lit(2)));
+  ASSERT_EQ(s->kind, ScalarKind::kLiteral);
+  EXPECT_EQ(s->value, Value::Int(3));
+}
+
+TEST(NormalizeScalarTest, DivisionByZeroNotFolded) {
+  // Must surface at execution, not vanish at normalization.
+  ScalarPtr s = NormalizeScalar(
+      MakeBinaryScalar(sql::BinOp::kDiv, Lit(1), Lit(0)));
+  EXPECT_EQ(s->kind, ScalarKind::kBinary);
+}
+
+TEST(NormalizeScalarTest, CommutativeOperandOrdering) {
+  ScalarPtr a = NormalizeScalar(Eq(Col(0), Col(5)));
+  ScalarPtr b = NormalizeScalar(Eq(Col(5), Col(0)));
+  EXPECT_TRUE(ScalarEquals(a, b));
+  EXPECT_EQ(ScalarFingerprint(a), ScalarFingerprint(b));
+}
+
+TEST(NormalizeScalarTest, GtRewrittenToLt) {
+  ScalarPtr a = NormalizeScalar(MakeBinaryScalar(sql::BinOp::kGt, Col(0), Lit(3)));
+  ScalarPtr b = NormalizeScalar(MakeBinaryScalar(sql::BinOp::kLt, Lit(3), Col(0)));
+  EXPECT_TRUE(ScalarEquals(a, b));
+}
+
+TEST(NormalizeScalarTest, DoubleNegation) {
+  ScalarPtr s = NormalizeScalar(
+      MakeUnaryScalar(sql::UnOp::kNot, MakeUnaryScalar(sql::UnOp::kNot, Col(0))));
+  EXPECT_EQ(s->kind, ScalarKind::kColumn);
+}
+
+TEST(NormalizeScalarTest, NotPushedOverComparison) {
+  ScalarPtr s = NormalizeScalar(MakeUnaryScalar(
+      sql::UnOp::kNot, MakeBinaryScalar(sql::BinOp::kLt, Col(0), Lit(3))));
+  ASSERT_EQ(s->kind, ScalarKind::kBinary);
+  // NOT (a < 3) => a >= 3 => canonical (3 <= a).
+  EXPECT_EQ(s->bin_op, sql::BinOp::kLe);
+}
+
+TEST(NormalizeScalarTest, NotOverIsNull) {
+  ScalarPtr s = NormalizeScalar(MakeUnaryScalar(
+      sql::UnOp::kNot, MakeUnaryScalar(sql::UnOp::kIsNull, Col(1))));
+  ASSERT_EQ(s->kind, ScalarKind::kUnary);
+  EXPECT_EQ(s->un_op, sql::UnOp::kIsNotNull);
+}
+
+TEST(NormalizeScalarTest, InListSortedDeduped) {
+  ScalarPtr a = NormalizeScalar(
+      MakeInListScalar(Col(0), {Lit(3), Lit(1), Lit(3)}, false));
+  ScalarPtr b = NormalizeScalar(
+      MakeInListScalar(Col(0), {Lit(1), Lit(3)}, false));
+  EXPECT_TRUE(ScalarEquals(a, b));
+}
+
+TEST(NormalizeScalarTest, SingleElementInBecomesEquality) {
+  ScalarPtr s = NormalizeScalar(MakeInListScalar(Col(0), {Lit(7)}, false));
+  ASSERT_EQ(s->kind, ScalarKind::kBinary);
+  EXPECT_EQ(s->bin_op, sql::BinOp::kEq);
+}
+
+TEST(SplitConjunctsTest, FlattensSortsDedups) {
+  ScalarPtr p1 = Eq(Col(0), Lit(1));
+  ScalarPtr p2 = Eq(Col(1), Lit(2));
+  ScalarPtr tree = MakeBinaryScalar(
+      sql::BinOp::kAnd, MakeBinaryScalar(sql::BinOp::kAnd, p1, p2), p1);
+  auto conjuncts = SplitConjuncts(tree);
+  EXPECT_EQ(conjuncts.size(), 2u);
+}
+
+TEST(SplitConjunctsTest, TrueDropped) {
+  auto conjuncts = SplitConjuncts(MakeLiteralScalar(Value::Bool(true)));
+  EXPECT_TRUE(conjuncts.empty());
+}
+
+TEST(NormalizePredicatesTest, EqualityTransitiveClosure) {
+  // a=b and b=c => a=c is added.
+  std::vector<ScalarPtr> preds = {Eq(Col(0), Col(1)), Eq(Col(1), Col(2))};
+  auto out = NormalizePredicates(preds);
+  bool has_ac = false;
+  for (const ScalarPtr& p : out) {
+    if (ScalarEquals(p, NormalizeScalar(Eq(Col(0), Col(2))))) has_ac = true;
+  }
+  EXPECT_TRUE(has_ac);
+}
+
+TEST(NormalizePredicatesTest, ConstantPropagatedAcrossClass) {
+  std::vector<ScalarPtr> preds = {Eq(Col(0), Col(1)), Eq(Col(0), Lit(5))};
+  auto out = NormalizePredicates(preds);
+  bool has_b5 = false;
+  for (const ScalarPtr& p : out) {
+    if (ScalarEquals(p, NormalizeScalar(Eq(Col(1), Lit(5))))) has_b5 = true;
+  }
+  EXPECT_TRUE(has_b5);
+}
+
+TEST(NormalizePlanTest, SelectMergeAndIdentityProject) {
+  PlanPtr get = MakeGet("t", {"a", "b"});
+  PlanPtr inner = MakeSelect({Eq(Col(0), Lit(1))}, get);
+  PlanPtr outer = MakeSelect({Eq(Col(1), Lit(2))}, inner);
+  PlanPtr projected =
+      MakeProject({Col(0), Col(1)}, {"a", "b"}, outer);
+  PlanPtr norm = NormalizePlan(projected);
+  // Identity project dropped, selects merged.
+  ASSERT_EQ(norm->kind, PlanKind::kSelect);
+  EXPECT_EQ(norm->predicates.size(), 2u);
+  EXPECT_EQ(norm->children[0]->kind, PlanKind::kGet);
+}
+
+TEST(NormalizePlanTest, ProjectComposition) {
+  PlanPtr get = MakeGet("t", {"a", "b", "c"});
+  PlanPtr p1 = MakeProject({Col(2), Col(0)}, {"c", "a"}, get);
+  PlanPtr p2 = MakeProject({Col(1)}, {"a"}, p1);
+  PlanPtr norm = NormalizePlan(p2);
+  ASSERT_EQ(norm->kind, PlanKind::kProject);
+  EXPECT_EQ(norm->children[0]->kind, PlanKind::kGet);
+  ASSERT_EQ(norm->exprs.size(), 1u);
+  EXPECT_EQ(norm->exprs[0]->slot, 0);
+}
+
+TEST(NormalizePlanTest, DistinctOverDistinctCollapsed) {
+  PlanPtr get = MakeGet("t", {"a"});
+  PlanPtr norm = NormalizePlan(MakeDistinct(MakeDistinct(get)));
+  EXPECT_EQ(norm->kind, PlanKind::kDistinct);
+  EXPECT_EQ(norm->children[0]->kind, PlanKind::kGet);
+}
+
+TEST(NormalizePlanTest, EmptySelectDropped) {
+  PlanPtr get = MakeGet("t", {"a"});
+  PlanPtr sel = MakeSelect({MakeLiteralScalar(Value::Bool(true))}, get);
+  PlanPtr norm = NormalizePlan(sel);
+  EXPECT_EQ(norm->kind, PlanKind::kGet);
+}
+
+}  // namespace
+}  // namespace fgac::algebra

@@ -1,0 +1,196 @@
+// Unit tests for the physical operators: iterator protocol (Open/Next,
+// re-open), NULL handling in join keys and aggregates, and operator
+// composition built by hand (no SQL).
+
+#include "exec/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/eval.h"
+
+namespace fgac::exec {
+namespace {
+
+using algebra::MakeBinaryScalar;
+using algebra::MakeColumn;
+using algebra::MakeLiteralScalar;
+using algebra::ScalarPtr;
+
+Row R(std::initializer_list<int64_t> vals) {
+  Row row;
+  for (int64_t v : vals) row.push_back(Value::Int(v));
+  return row;
+}
+
+std::vector<Row> Drain(Operator* op) {
+  EXPECT_TRUE(op->Open().ok());
+  std::vector<Row> out;
+  while (true) {
+    auto next = op->Next();
+    EXPECT_TRUE(next.ok()) << next.status().ToString();
+    if (!next.ok() || !next.value().has_value()) break;
+    out.push_back(*next.value());
+  }
+  return out;
+}
+
+ScalarPtr ColEq(int slot, int64_t v) {
+  return MakeBinaryScalar(sql::BinOp::kEq, MakeColumn(slot),
+                          MakeLiteralScalar(Value::Int(v)));
+}
+
+TEST(OperatorsTest, ScanBorrowsRows) {
+  std::vector<Row> rows = {R({1}), R({2}), R({3})};
+  ScanOp scan(&rows);
+  EXPECT_EQ(Drain(&scan).size(), 3u);
+  // Re-open rescans from the start.
+  EXPECT_EQ(Drain(&scan).size(), 3u);
+}
+
+TEST(OperatorsTest, ValuesOwnsRows) {
+  ValuesOp values({R({1, 2}), R({3, 4})});
+  auto out = Drain(&values);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1][1], Value::Int(4));
+}
+
+TEST(OperatorsTest, FilterDropsUnknown) {
+  // NULL = 1 is UNKNOWN and must filter out.
+  std::vector<Row> rows = {R({1}), {Value::Null()}, R({2})};
+  auto scan = std::make_unique<ScanOp>(&rows);
+  FilterOp filter({ColEq(0, 1)}, std::move(scan));
+  EXPECT_EQ(Drain(&filter).size(), 1u);
+}
+
+TEST(OperatorsTest, HashJoinNullKeysNeverMatch) {
+  std::vector<Row> left = {R({1}), {Value::Null()}};
+  std::vector<Row> right = {R({1}), {Value::Null()}};
+  HashJoinOp join({MakeColumn(0)}, {MakeColumn(0)}, {},
+                  std::make_unique<ScanOp>(&left),
+                  std::make_unique<ScanOp>(&right));
+  auto out = Drain(&join);
+  // Only 1=1 matches; NULL keys match nothing (SQL equi-join semantics).
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0], Value::Int(1));
+}
+
+TEST(OperatorsTest, HashJoinDuplicateKeysMultiply) {
+  std::vector<Row> left = {R({7}), R({7})};
+  std::vector<Row> right = {R({7}), R({7}), R({7})};
+  HashJoinOp join({MakeColumn(0)}, {MakeColumn(0)}, {},
+                  std::make_unique<ScanOp>(&left),
+                  std::make_unique<ScanOp>(&right));
+  EXPECT_EQ(Drain(&join).size(), 6u);
+}
+
+TEST(OperatorsTest, HashJoinResidualPredicate) {
+  std::vector<Row> left = {R({1, 10}), R({1, 20})};
+  std::vector<Row> right = {R({1, 15})};
+  // Key on col0; residual: left.col1 < right.col1 (slot 3 in combined row).
+  HashJoinOp join({MakeColumn(0)}, {MakeColumn(0)},
+                  {MakeBinaryScalar(sql::BinOp::kLt, MakeColumn(1),
+                                    MakeColumn(3))},
+                  std::make_unique<ScanOp>(&left),
+                  std::make_unique<ScanOp>(&right));
+  auto out = Drain(&join);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][1], Value::Int(10));
+}
+
+TEST(OperatorsTest, NestedLoopJoinCross) {
+  std::vector<Row> left = {R({1}), R({2})};
+  std::vector<Row> right = {R({3}), R({4}), R({5})};
+  NestedLoopJoinOp join({}, std::make_unique<ScanOp>(&left),
+                        std::make_unique<ScanOp>(&right));
+  EXPECT_EQ(Drain(&join).size(), 6u);
+}
+
+TEST(OperatorsTest, HashAggregateNullsIgnoredByAggs) {
+  std::vector<Row> rows = {R({1, 10}), {Value::Int(1), Value::Null()},
+                           R({2, 30})};
+  std::vector<algebra::AggExpr> aggs = {
+      {algebra::AggFunc::kCountStar, nullptr, false},
+      {algebra::AggFunc::kCount, MakeColumn(1), false},
+      {algebra::AggFunc::kSum, MakeColumn(1), false}};
+  HashAggregateOp agg({MakeColumn(0)}, aggs, std::make_unique<ScanOp>(&rows));
+  auto out = Drain(&agg);
+  ASSERT_EQ(out.size(), 2u);
+  // Group 1: count(*)=2, count(col)=1, sum=10.
+  EXPECT_EQ(out[0][1], Value::Int(2));
+  EXPECT_EQ(out[0][2], Value::Int(1));
+  EXPECT_EQ(out[0][3], Value::Int(10));
+}
+
+TEST(OperatorsTest, GroupKeysMayBeNull) {
+  std::vector<Row> rows = {{Value::Null(), Value::Int(1)},
+                           {Value::Null(), Value::Int(2)},
+                           {Value::Int(5), Value::Int(3)}};
+  std::vector<algebra::AggExpr> aggs = {
+      {algebra::AggFunc::kCountStar, nullptr, false}};
+  HashAggregateOp agg({MakeColumn(0)}, aggs, std::make_unique<ScanOp>(&rows));
+  auto out = Drain(&agg);
+  // NULL forms its own group (SQL GROUP BY semantics).
+  ASSERT_EQ(out.size(), 2u);
+}
+
+TEST(OperatorsTest, DistinctReopenResets) {
+  std::vector<Row> rows = {R({1}), R({1}), R({2})};
+  DistinctOp distinct(std::make_unique<ScanOp>(&rows));
+  EXPECT_EQ(Drain(&distinct).size(), 2u);
+  EXPECT_EQ(Drain(&distinct).size(), 2u);  // seen-set must reset on Open
+}
+
+TEST(OperatorsTest, SortStableAndDirectional) {
+  std::vector<Row> rows = {R({2, 1}), R({1, 2}), R({2, 3}), R({1, 4})};
+  SortOp sort({{MakeColumn(0), /*descending=*/true}},
+              std::make_unique<ScanOp>(&rows));
+  auto out = Drain(&sort);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0][0], Value::Int(2));
+  // Stability: equal keys keep input order.
+  EXPECT_EQ(out[0][1], Value::Int(1));
+  EXPECT_EQ(out[1][1], Value::Int(3));
+}
+
+TEST(OperatorsTest, LimitStopsEarlyAndReopens) {
+  std::vector<Row> rows = {R({1}), R({2}), R({3})};
+  LimitOp limit(2, std::make_unique<ScanOp>(&rows));
+  EXPECT_EQ(Drain(&limit).size(), 2u);
+  EXPECT_EQ(Drain(&limit).size(), 2u);
+}
+
+TEST(OperatorsTest, UnionAllConcatenates) {
+  std::vector<Row> a = {R({1})}, b = {R({2}), R({3})};
+  std::vector<OperatorPtr> children;
+  children.push_back(std::make_unique<ScanOp>(&a));
+  children.push_back(std::make_unique<ScanOp>(&b));
+  UnionAllOp u(std::move(children));
+  EXPECT_EQ(Drain(&u).size(), 3u);
+}
+
+TEST(SplitJoinKeysTest, ClassifiesConjuncts) {
+  // Combined space: left arity 2, right arity 2 (slots 2..3).
+  std::vector<ScalarPtr> preds = {
+      MakeBinaryScalar(sql::BinOp::kEq, MakeColumn(0), MakeColumn(2)),
+      MakeBinaryScalar(sql::BinOp::kLt, MakeColumn(1), MakeColumn(3)),
+      ColEq(1, 5),
+  };
+  JoinKeys keys = SplitJoinKeys(preds, 2);
+  EXPECT_EQ(keys.left_keys.size(), 1u);
+  EXPECT_EQ(keys.right_keys.size(), 1u);
+  EXPECT_EQ(keys.residual.size(), 2u);
+  // The right key is shifted into right-local slots.
+  EXPECT_EQ(keys.right_keys[0]->slot, 0);
+}
+
+TEST(SplitJoinKeysTest, ReversedEquiPair) {
+  std::vector<ScalarPtr> preds = {
+      MakeBinaryScalar(sql::BinOp::kEq, MakeColumn(3), MakeColumn(1))};
+  JoinKeys keys = SplitJoinKeys(preds, 2);
+  ASSERT_EQ(keys.left_keys.size(), 1u);
+  EXPECT_EQ(keys.left_keys[0]->slot, 1);
+  EXPECT_EQ(keys.right_keys[0]->slot, 1);
+}
+
+}  // namespace
+}  // namespace fgac::exec

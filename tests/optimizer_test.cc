@@ -1,0 +1,127 @@
+// Cost model and best-plan extraction unit tests.
+
+#include "optimizer/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/binder.h"
+#include "algebra/normalize.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace fgac::optimizer {
+namespace {
+
+using algebra::PlanKind;
+using algebra::PlanPtr;
+using fgac::testing::SetupUniversity;
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetupUniversity(&db_); }
+
+  PlanPtr Bind(const std::string& sql) {
+    auto stmt = sql::Parser::ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok());
+    algebra::Binder binder(db_.catalog(), {});
+    auto plan = binder.BindSelect(*stmt.value());
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? plan.value() : nullptr;
+  }
+
+  core::Database db_;
+};
+
+TEST_F(OptimizerTest, SelectivityHeuristics) {
+  auto eq = algebra::NormalizeScalar(algebra::MakeBinaryScalar(
+      sql::BinOp::kEq, algebra::MakeColumn(0),
+      algebra::MakeLiteralScalar(Value::Int(1))));
+  auto lt = algebra::NormalizeScalar(algebra::MakeBinaryScalar(
+      sql::BinOp::kLt, algebra::MakeColumn(0),
+      algebra::MakeLiteralScalar(Value::Int(1))));
+  EXPECT_LT(PredicateSelectivity({eq}), PredicateSelectivity({lt}));
+  EXPECT_LT(PredicateSelectivity({eq, lt}), PredicateSelectivity({eq}));
+  // Never zero (guards against degenerate plans dominating).
+  EXPECT_GT(PredicateSelectivity({eq, eq, eq, eq, eq, eq, eq, eq, eq, eq}),
+            0.0);
+}
+
+TEST_F(OptimizerTest, StatsInfluenceJoinOrder) {
+  // With `students` tiny and `grades` huge, the cheapest hash join builds
+  // on the smaller input; flipping the stats should flip the chosen build
+  // side (the right child is the build side in our executor).
+  PlanPtr plan = Bind(
+      "select * from students, grades "
+      "where students.student-id = grades.student-id");
+  ExpandOptions options;
+  auto side_of = [](const PlanPtr& p, auto&& self) -> std::string {
+    if (p->kind == PlanKind::kJoin && !p->predicates.empty()) {
+      // Find the deepest Get of the right (build) subtree.
+      PlanPtr cur = p->children[1];
+      while (!cur->children.empty()) cur = cur->children[0];
+      return cur->table;
+    }
+    for (const PlanPtr& c : p->children) {
+      std::string r = self(c, self);
+      if (!r.empty()) return r;
+    }
+    return "";
+  };
+  auto big_grades = Optimize(plan, options, [](const std::string& t) {
+    return t == "grades" ? 100000.0 : 10.0;
+  });
+  auto big_students = Optimize(plan, options, [](const std::string& t) {
+    return t == "students" ? 100000.0 : 10.0;
+  });
+  ASSERT_TRUE(big_grades.ok());
+  ASSERT_TRUE(big_students.ok());
+  std::string build_a = side_of(big_grades.value().plan, side_of);
+  std::string build_b = side_of(big_students.value().plan, side_of);
+  EXPECT_NE(build_a, build_b)
+      << "stats change did not change the join orientation\n"
+      << algebra::PlanToString(big_grades.value().plan)
+      << algebra::PlanToString(big_students.value().plan);
+}
+
+TEST_F(OptimizerTest, EstimatesArePopulated) {
+  auto result = Optimize(Bind("select * from grades where grade = 4.0"),
+                         ExpandOptions{},
+                         [](const std::string&) { return 500.0; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().estimated_cost, 0.0);
+  EXPECT_GT(result.value().estimated_rows, 0.0);
+  EXPECT_LT(result.value().estimated_rows, 500.0);  // filter reduces
+  EXPECT_GT(result.value().memo_exprs, 0u);
+}
+
+TEST_F(OptimizerTest, SortAndLimitSurviveOptimization) {
+  auto result = Optimize(
+      Bind("select grade from grades order by grade desc limit 2"),
+      ExpandOptions{}, [](const std::string&) { return 100.0; });
+  ASSERT_TRUE(result.ok());
+  // Limit must stay the root; Sort below it.
+  EXPECT_EQ(result.value().plan->kind, PlanKind::kLimit);
+  EXPECT_EQ(result.value().plan->children[0]->kind, PlanKind::kSort);
+}
+
+TEST_F(OptimizerTest, PlanPrinterMentionsEveryOperator) {
+  PlanPtr plan = Bind(
+      "select distinct course-id, count(*) from grades "
+      "group by course-id order by 1 limit 5");
+  std::string text = algebra::PlanToString(plan);
+  for (const char* token : {"Limit", "Sort", "Distinct", "Aggregate", "Get"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << text;
+  }
+}
+
+TEST_F(OptimizerTest, MemoDumpRendersValidityMarks) {
+  Memo memo;
+  GroupId g = memo.InsertPlan(Bind("select * from grades"));
+  memo.MarkValidU(g);
+  std::string dump = memo.ToString();
+  EXPECT_NE(dump.find("[valid-U]"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("Get(grades)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fgac::optimizer

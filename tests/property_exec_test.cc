@@ -1,0 +1,85 @@
+// Property tests: on randomly generated queries, the physical executor,
+// the reference evaluator, and every optimizer-chosen plan must agree.
+
+#include <gtest/gtest.h>
+
+#include "algebra/binder.h"
+#include "algebra/reference_eval.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+#include "tests/query_gen.h"
+#include "tests/test_util.h"
+
+namespace fgac {
+namespace {
+
+using fgac::testing::QueryGenerator;
+using fgac::testing::SetupUniversity;
+using fgac::testing::SortedRowsToString;
+
+class ExecPropertyTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  void SetUp() override {
+    SetupUniversity(&db_);
+    // Extra rows so predicates hit interesting cases.
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      insert into students values ('15', 'eve', 'fulltime');
+      insert into registered values ('15', 'cs101'), ('14', 'cs202');
+      insert into grades values ('15', 'cs101', 1.0), ('14', 'cs202', 3.0);
+    )sql")
+                    .ok());
+  }
+
+  core::Database db_;
+};
+
+TEST_P(ExecPropertyTest, PhysicalMatchesReferenceAndOptimizedPlans) {
+  QueryGenerator gen(GetParam());
+  int executed = 0;
+  for (int i = 0; i < 40; ++i) {
+    std::string sql = gen.NextQuery();
+    auto stmt = sql::Parser::ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok()) << stmt.status().ToString() << "\nsql: " << sql;
+    algebra::Binder binder(db_.catalog(), {});
+    auto plan = binder.BindSelect(*stmt.value());
+    if (!plan.ok()) {
+      // The generator can produce ambiguous references; skip those.
+      ASSERT_EQ(plan.status().code(), StatusCode::kBindError)
+          << plan.status().ToString() << "\nsql: " << sql;
+      continue;
+    }
+    auto reference = algebra::ReferenceEval(plan.value(), db_.state());
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString()
+                                << "\nsql: " << sql;
+
+    auto physical = exec::ExecutePlan(plan.value(), db_.state());
+    ASSERT_TRUE(physical.ok()) << physical.status().ToString()
+                               << "\nsql: " << sql;
+    EXPECT_TRUE(physical.value().MultisetEquals(reference.value()))
+        << "executor mismatch\nsql: " << sql << "\nreference:\n"
+        << SortedRowsToString(reference.value()) << "physical:\n"
+        << SortedRowsToString(physical.value());
+
+    optimizer::ExpandOptions options;
+    options.max_exprs = 5000;
+    auto best = optimizer::Optimize(plan.value(), options,
+                                    [](const std::string&) { return 10.0; });
+    ASSERT_TRUE(best.ok()) << best.status().ToString() << "\nsql: " << sql;
+    auto optimized = exec::ExecutePlan(best.value().plan, db_.state());
+    ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+    EXPECT_TRUE(optimized.value().MultisetEquals(reference.value()))
+        << "optimizer mismatch\nsql: " << sql << "\nchosen plan:\n"
+        << algebra::PlanToString(best.value().plan) << "reference:\n"
+        << SortedRowsToString(reference.value()) << "optimized:\n"
+        << SortedRowsToString(optimized.value());
+    ++executed;
+  }
+  EXPECT_GT(executed, 10);  // the generator must mostly produce bindable SQL
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecPropertyTest,
+                         ::testing::Range(1u, 13u));
+
+}  // namespace
+}  // namespace fgac

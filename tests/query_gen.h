@@ -1,0 +1,162 @@
+#ifndef FGAC_TESTS_QUERY_GEN_H_
+#define FGAC_TESTS_QUERY_GEN_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace fgac::testing {
+
+/// Deterministic random SQL generator over the university schema. Produces
+/// select-project-join queries with optional aggregation, DISTINCT, ORDER
+/// BY and LIMIT — the subset the binder/executor/optimizer support.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(uint32_t seed) : rng_(seed) {}
+
+  /// A random executable query (no parameters).
+  std::string NextQuery();
+
+ private:
+  struct TableInfo {
+    const char* name;
+    std::vector<const char*> columns;
+  };
+
+  int Pick(int n) { return static_cast<int>(rng_() % static_cast<uint32_t>(n)); }
+  bool Coin(double p) {
+    return std::uniform_real_distribution<double>(0, 1)(rng_) < p;
+  }
+
+  std::string RandomLiteral(const std::string& column);
+  std::string RandomPredicate(const std::vector<std::string>& qualified_cols);
+
+  std::mt19937 rng_;
+};
+
+inline std::string QueryGenerator::RandomLiteral(const std::string& column) {
+  static const char* kStudents[] = {"'11'", "'12'", "'13'", "'14'", "'99'"};
+  static const char* kCourses[] = {"'cs101'", "'cs202'", "'ee150'", "'zz999'"};
+  static const char* kTypes[] = {"'fulltime'", "'parttime'"};
+  static const char* kGrades[] = {"2.0", "3.0", "3.5", "4.0", "1.0"};
+  if (column.find("student-id") != std::string::npos) return kStudents[Pick(5)];
+  if (column.find("course-id") != std::string::npos) return kCourses[Pick(4)];
+  if (column.find("type") != std::string::npos) return kTypes[Pick(2)];
+  if (column.find("grade") != std::string::npos) return kGrades[Pick(5)];
+  return "'x'";
+}
+
+inline std::string QueryGenerator::RandomPredicate(
+    const std::vector<std::string>& cols) {
+  const std::string& col = cols[Pick(static_cast<int>(cols.size()))];
+  switch (Pick(6)) {
+    case 0:
+      return col + " = " + RandomLiteral(col);
+    case 1:
+      return col + " <> " + RandomLiteral(col);
+    case 2:
+      return col + " < " + RandomLiteral(col);
+    case 3:
+      return col + " >= " + RandomLiteral(col);
+    case 4:
+      return col + " in (" + RandomLiteral(col) + ", " + RandomLiteral(col) +
+             ")";
+    default: {
+      // Column-to-column comparison within the scope.
+      const std::string& other = cols[Pick(static_cast<int>(cols.size()))];
+      return col + " = " + other;
+    }
+  }
+}
+
+inline std::string QueryGenerator::NextQuery() {
+  static const TableInfo kTables[] = {
+      {"students", {"student-id", "name", "type"}},
+      {"courses", {"course-id", "name"}},
+      {"registered", {"student-id", "course-id"}},
+      {"grades", {"student-id", "course-id", "grade"}},
+  };
+
+  // FROM: 1-3 tables with aliases t0, t1, ...
+  int num_tables = 1 + Pick(3);
+  std::vector<const TableInfo*> tables;
+  std::vector<std::string> qualified;
+  std::string from;
+  for (int i = 0; i < num_tables; ++i) {
+    const TableInfo& t = kTables[Pick(4)];
+    tables.push_back(&t);
+    std::string alias = "t" + std::to_string(i);
+    if (i > 0) from += ", ";
+    from += std::string(t.name) + " " + alias;
+    for (const char* c : t.columns) qualified.push_back(alias + "." + c);
+  }
+
+  // WHERE: join-ish predicates + random filters.
+  std::vector<std::string> where;
+  for (int i = 1; i < num_tables; ++i) {
+    // Connect consecutive tables on a shared column name when possible.
+    for (const char* c0 : tables[i - 1]->columns) {
+      for (const char* c1 : tables[i]->columns) {
+        if (std::string(c0) == c1 && std::string(c0) != "name") {
+          where.push_back("t" + std::to_string(i - 1) + "." + c0 + " = t" +
+                          std::to_string(i) + "." + c1);
+          goto connected;
+        }
+      }
+    }
+  connected:;
+  }
+  int extra = Pick(3);
+  for (int i = 0; i < extra; ++i) where.push_back(RandomPredicate(qualified));
+
+  // SELECT: aggregate or plain projection.
+  bool aggregate = Coin(0.3);
+  std::string select;
+  std::string group;
+  if (aggregate) {
+    const std::string& g = qualified[Pick(static_cast<int>(qualified.size()))];
+    static const char* kAggs[] = {"count(*)", "min", "max", "count"};
+    int agg = Pick(4);
+    std::string agg_expr;
+    if (agg == 0) {
+      agg_expr = "count(*)";
+    } else {
+      const std::string& a = qualified[Pick(static_cast<int>(qualified.size()))];
+      agg_expr = std::string(kAggs[agg]) + "(" + a + ")";
+    }
+    if (Coin(0.5)) {
+      select = g + ", " + agg_expr;
+      group = " group by " + g;
+      if (Coin(0.3)) group += " having count(*) >= 1";
+    } else {
+      select = agg_expr;
+    }
+  } else {
+    int cols = 1 + Pick(3);
+    for (int i = 0; i < cols; ++i) {
+      if (i > 0) select += ", ";
+      select += qualified[Pick(static_cast<int>(qualified.size()))];
+    }
+  }
+
+  std::string sql = "select ";
+  if (!aggregate && Coin(0.3)) sql += "distinct ";
+  sql += select + " from " + from;
+  if (!where.empty()) {
+    sql += " where ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) sql += " and ";
+      sql += where[i];
+    }
+  }
+  sql += group;
+  // ORDER BY is harmless for multiset comparison; LIMIT is deliberately
+  // not generated (with ties, different-but-correct engines may keep
+  // different rows, so LIMIT is covered by deterministic unit tests).
+  if (Coin(0.2)) sql += " order by 1";
+  return sql;
+}
+
+}  // namespace fgac::testing
+
+#endif  // FGAC_TESTS_QUERY_GEN_H_

@@ -1,0 +1,202 @@
+// Unit tests for bound scalars: evaluation semantics, slot utilities,
+// access-parameter binding, and the aggregate accumulator.
+
+#include "algebra/scalar.h"
+
+#include <gtest/gtest.h>
+
+namespace fgac::algebra {
+namespace {
+
+ScalarPtr Col(int s) { return MakeColumn(s); }
+ScalarPtr I(int64_t v) { return MakeLiteralScalar(Value::Int(v)); }
+ScalarPtr S(const std::string& v) {
+  return MakeLiteralScalar(Value::String(v));
+}
+
+Value Eval(const ScalarPtr& s, const Row& row = {}) {
+  auto r = EvalScalar(s, row);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.value() : Value::Null();
+}
+
+TEST(ScalarEvalTest, Arithmetic) {
+  EXPECT_EQ(Eval(MakeBinaryScalar(sql::BinOp::kAdd, I(2), I(3))), Value::Int(5));
+  EXPECT_EQ(Eval(MakeBinaryScalar(sql::BinOp::kMul, I(4), I(5))), Value::Int(20));
+  EXPECT_EQ(Eval(MakeBinaryScalar(sql::BinOp::kDiv, I(7), I(2))), Value::Int(3));
+  EXPECT_EQ(Eval(MakeBinaryScalar(sql::BinOp::kMod, I(7), I(4))), Value::Int(3));
+  // Mixed int/double promotes.
+  EXPECT_EQ(Eval(MakeBinaryScalar(sql::BinOp::kDiv, I(7),
+                                  MakeLiteralScalar(Value::Double(2.0)))),
+            Value::Double(3.5));
+}
+
+TEST(ScalarEvalTest, DivisionByZeroErrors) {
+  EXPECT_FALSE(EvalScalar(MakeBinaryScalar(sql::BinOp::kDiv, I(1), I(0)), {}).ok());
+  EXPECT_FALSE(EvalScalar(MakeBinaryScalar(sql::BinOp::kMod, I(1), I(0)), {}).ok());
+}
+
+TEST(ScalarEvalTest, NullPropagatesThroughArithmetic) {
+  ScalarPtr null = MakeLiteralScalar(Value::Null());
+  EXPECT_TRUE(Eval(MakeBinaryScalar(sql::BinOp::kAdd, I(1), null)).is_null());
+  EXPECT_TRUE(Eval(MakeUnaryScalar(sql::UnOp::kNeg, null)).is_null());
+}
+
+TEST(ScalarEvalTest, ShortCircuitAndOr) {
+  // FALSE AND <error> must not evaluate the right side.
+  ScalarPtr boom = MakeBinaryScalar(sql::BinOp::kDiv, I(1), I(0));
+  ScalarPtr f = MakeLiteralScalar(Value::Bool(false));
+  ScalarPtr t = MakeLiteralScalar(Value::Bool(true));
+  EXPECT_EQ(Eval(MakeBinaryScalar(sql::BinOp::kAnd, f, boom)),
+            Value::Bool(false));
+  EXPECT_EQ(Eval(MakeBinaryScalar(sql::BinOp::kOr, t, boom)), Value::Bool(true));
+}
+
+TEST(ScalarEvalTest, ThreeValuedAndOr) {
+  ScalarPtr null = MakeLiteralScalar(Value::Null());
+  ScalarPtr t = MakeLiteralScalar(Value::Bool(true));
+  ScalarPtr f = MakeLiteralScalar(Value::Bool(false));
+  EXPECT_TRUE(Eval(MakeBinaryScalar(sql::BinOp::kAnd, t, null)).is_null());
+  EXPECT_EQ(Eval(MakeBinaryScalar(sql::BinOp::kAnd, null, f)), Value::Bool(false));
+  EXPECT_EQ(Eval(MakeBinaryScalar(sql::BinOp::kOr, null, t)), Value::Bool(true));
+  EXPECT_TRUE(Eval(MakeBinaryScalar(sql::BinOp::kOr, null, f)).is_null());
+}
+
+TEST(ScalarEvalTest, IsNullOperators) {
+  ScalarPtr null = MakeLiteralScalar(Value::Null());
+  EXPECT_EQ(Eval(MakeUnaryScalar(sql::UnOp::kIsNull, null)), Value::Bool(true));
+  EXPECT_EQ(Eval(MakeUnaryScalar(sql::UnOp::kIsNotNull, I(1))), Value::Bool(true));
+}
+
+TEST(ScalarEvalTest, LikePatterns) {
+  auto like = [](const std::string& text, const std::string& pattern) {
+    return Eval(MakeBinaryScalar(sql::BinOp::kLike, S(text), S(pattern)));
+  };
+  EXPECT_EQ(like("hello", "h%"), Value::Bool(true));
+  EXPECT_EQ(like("hello", "%llo"), Value::Bool(true));
+  EXPECT_EQ(like("hello", "h_llo"), Value::Bool(true));
+  EXPECT_EQ(like("hello", "h_l"), Value::Bool(false));
+  EXPECT_EQ(like("hello", "%%%"), Value::Bool(true));
+  EXPECT_EQ(like("", "%"), Value::Bool(true));
+  EXPECT_EQ(like("abc", "a%c%"), Value::Bool(true));
+}
+
+TEST(ScalarEvalTest, InListWithNulls) {
+  ScalarPtr null = MakeLiteralScalar(Value::Null());
+  // 2 IN (1, NULL) -> UNKNOWN; 1 IN (1, NULL) -> TRUE.
+  EXPECT_TRUE(Eval(MakeInListScalar(I(2), {I(1), null}, false)).is_null());
+  EXPECT_EQ(Eval(MakeInListScalar(I(1), {I(1), null}, false)), Value::Bool(true));
+  // NOT IN with a NULL in the list is never TRUE.
+  EXPECT_TRUE(Eval(MakeInListScalar(I(2), {I(1), null}, true)).is_null());
+}
+
+TEST(ScalarEvalTest, PredicateTreatsUnknownAsFalse) {
+  ScalarPtr null = MakeLiteralScalar(Value::Null());
+  auto pass = EvalPredicate(MakeBinaryScalar(sql::BinOp::kEq, null, I(1)), {});
+  ASSERT_TRUE(pass.ok());
+  EXPECT_FALSE(pass.value());
+}
+
+TEST(ScalarEvalTest, SlotOutOfRangeErrors) {
+  EXPECT_FALSE(EvalScalar(Col(3), Row{Value::Int(1)}).ok());
+}
+
+TEST(ScalarEvalTest, UnboundAccessParamErrors) {
+  EXPECT_FALSE(EvalScalar(MakeAccessParamScalar("k"), {}).ok());
+}
+
+TEST(ScalarUtilTest, CollectAndRemapSlots) {
+  ScalarPtr s = MakeBinaryScalar(
+      sql::BinOp::kAnd, MakeBinaryScalar(sql::BinOp::kEq, Col(0), Col(4)),
+      MakeInListScalar(Col(2), {I(1)}, false));
+  std::set<int> slots;
+  CollectSlots(s, &slots);
+  EXPECT_EQ(slots, (std::set<int>{0, 2, 4}));
+  ScalarPtr shifted = RemapSlots(s, [](int slot) { return slot + 10; });
+  slots.clear();
+  CollectSlots(shifted, &slots);
+  EXPECT_EQ(slots, (std::set<int>{10, 12, 14}));
+}
+
+TEST(ScalarUtilTest, SubstituteSlotsComposes) {
+  // s = #0 + #1, substitution [#0 -> 5, #1 -> #2 * 2].
+  ScalarPtr s = MakeBinaryScalar(sql::BinOp::kAdd, Col(0), Col(1));
+  std::vector<ScalarPtr> sub = {
+      I(5), MakeBinaryScalar(sql::BinOp::kMul, Col(2), I(2))};
+  ScalarPtr composed = SubstituteSlots(s, sub);
+  Row row = {Value::Int(0), Value::Int(0), Value::Int(7)};
+  EXPECT_EQ(Eval(composed, row), Value::Int(19));
+}
+
+TEST(ScalarUtilTest, BindAccessParam) {
+  ScalarPtr s = MakeBinaryScalar(sql::BinOp::kEq, Col(0),
+                                 MakeAccessParamScalar("acct"));
+  EXPECT_TRUE(HasAccessParam(s));
+  ScalarPtr bound = BindAccessParam(s, "acct", Value::String("a1"));
+  EXPECT_FALSE(HasAccessParam(bound));
+  EXPECT_EQ(Eval(bound, Row{Value::String("a1")}), Value::Bool(true));
+  // Unrelated names are untouched.
+  EXPECT_TRUE(HasAccessParam(BindAccessParam(s, "other", Value::Int(1))));
+}
+
+TEST(ScalarUtilTest, FingerprintStableUnderSharing) {
+  ScalarPtr a = MakeBinaryScalar(sql::BinOp::kEq, Col(1), I(5));
+  ScalarPtr b = MakeBinaryScalar(sql::BinOp::kEq, Col(1), I(5));
+  EXPECT_EQ(ScalarFingerprint(a), ScalarFingerprint(b));
+  EXPECT_EQ(ScalarFingerprint(a), ScalarFingerprint(a));  // cached path
+  EXPECT_TRUE(ScalarEquals(a, b));
+  ScalarPtr c = MakeBinaryScalar(sql::BinOp::kEq, Col(2), I(5));
+  EXPECT_FALSE(ScalarEquals(a, c));
+}
+
+TEST(AggAccumulatorTest, SumPromotesToDouble) {
+  AggExpr agg{AggFunc::kSum, Col(0), false};
+  AggAccumulator acc(agg);
+  ASSERT_TRUE(acc.Add(Row{Value::Int(1)}).ok());
+  ASSERT_TRUE(acc.Add(Row{Value::Double(0.5)}).ok());
+  EXPECT_EQ(acc.Finish(), Value::Double(1.5));
+}
+
+TEST(AggAccumulatorTest, EmptyAggregates) {
+  AggExpr sum{AggFunc::kSum, Col(0), false};
+  AggAccumulator s(sum);
+  EXPECT_TRUE(s.Finish().is_null());
+  AggExpr cnt{AggFunc::kCount, Col(0), false};
+  AggAccumulator c(cnt);
+  EXPECT_EQ(c.Finish(), Value::Int(0));
+  AggExpr mn{AggFunc::kMin, Col(0), false};
+  AggAccumulator m(mn);
+  EXPECT_TRUE(m.Finish().is_null());
+}
+
+TEST(AggAccumulatorTest, DistinctDedups) {
+  AggExpr agg{AggFunc::kCount, Col(0), /*distinct=*/true};
+  AggAccumulator acc(agg);
+  for (int64_t v : {1, 2, 2, 3, 1}) {
+    ASSERT_TRUE(acc.Add(Row{Value::Int(v)}).ok());
+  }
+  EXPECT_EQ(acc.Finish(), Value::Int(3));
+}
+
+TEST(AggAccumulatorTest, MinMaxOnStrings) {
+  AggExpr mn{AggFunc::kMin, Col(0), false};
+  AggExpr mx{AggFunc::kMax, Col(0), false};
+  AggAccumulator amin(mn), amax(mx);
+  for (const char* v : {"pear", "apple", "plum"}) {
+    ASSERT_TRUE(amin.Add(Row{Value::String(v)}).ok());
+    ASSERT_TRUE(amax.Add(Row{Value::String(v)}).ok());
+  }
+  EXPECT_EQ(amin.Finish(), Value::String("apple"));
+  EXPECT_EQ(amax.Finish(), Value::String("plum"));
+}
+
+TEST(AggAccumulatorTest, AvgIsDouble) {
+  AggExpr agg{AggFunc::kAvg, Col(0), false};
+  AggAccumulator acc(agg);
+  ASSERT_TRUE(acc.Add(Row{Value::Int(1)}).ok());
+  ASSERT_TRUE(acc.Add(Row{Value::Int(2)}).ok());
+  EXPECT_EQ(acc.Finish(), Value::Double(1.5));
+}
+
+}  // namespace
+}  // namespace fgac::algebra

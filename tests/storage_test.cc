@@ -1,0 +1,95 @@
+#include "storage/database_state.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/relation.h"
+
+namespace fgac::storage {
+namespace {
+
+Row R(int64_t a, const std::string& b) {
+  return {Value::Int(a), Value::String(b)};
+}
+
+TEST(RelationTest, MultisetEqualityIgnoresOrder) {
+  Relation a({"x", "y"});
+  a.AddRow(R(1, "a"));
+  a.AddRow(R(2, "b"));
+  Relation b({"u", "v"});  // names irrelevant
+  b.AddRow(R(2, "b"));
+  b.AddRow(R(1, "a"));
+  EXPECT_TRUE(a.MultisetEquals(b));
+}
+
+TEST(RelationTest, MultisetEqualityCountsDuplicates) {
+  Relation a({"x"});
+  a.AddRow({Value::Int(1)});
+  a.AddRow({Value::Int(1)});
+  Relation b({"x"});
+  b.AddRow({Value::Int(1)});
+  EXPECT_FALSE(a.MultisetEquals(b));
+  b.AddRow({Value::Int(1)});
+  EXPECT_TRUE(a.MultisetEquals(b));
+}
+
+TEST(RelationTest, SortedRowsDeterministic) {
+  Relation a({"x", "y"});
+  a.AddRow(R(2, "b"));
+  a.AddRow(R(1, "z"));
+  a.AddRow(R(1, "a"));
+  auto sorted = a.SortedRows();
+  EXPECT_EQ(sorted[0][0], Value::Int(1));
+  EXPECT_EQ(sorted[0][1], Value::String("a"));
+  EXPECT_EQ(sorted[2][0], Value::Int(2));
+}
+
+TEST(RelationTest, ToStringRendersTable) {
+  Relation a({"x", "name"});
+  a.AddRow(R(1, "alice"));
+  std::string s = a.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("'alice'"), std::string::npos);
+  EXPECT_NE(s.find("(1 rows)"), std::string::npos);
+}
+
+TEST(TableDataTest, InsertAndErase) {
+  TableData t(2);
+  t.Insert(R(1, "a"));
+  t.Insert(R(2, "b"));
+  t.Insert(R(3, "c"));
+  t.EraseIndices({0, 2});
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0], Value::Int(2));
+}
+
+TEST(TableDataTest, EraseEmptyIsNoop) {
+  TableData t(2);
+  t.Insert(R(1, "a"));
+  t.EraseIndices({});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(DatabaseStateTest, CreateDropAndLookup) {
+  DatabaseState state;
+  ASSERT_TRUE(state.CreateTable("t", 2).ok());
+  EXPECT_FALSE(state.CreateTable("t", 2).ok());
+  EXPECT_TRUE(state.HasTable("t"));
+  EXPECT_NE(state.GetTable("t"), nullptr);
+  EXPECT_EQ(state.GetTable("nosuch"), nullptr);
+  ASSERT_TRUE(state.DropTable("t").ok());
+  EXPECT_FALSE(state.HasTable("t"));
+}
+
+TEST(DatabaseStateTest, CloneIsDeep) {
+  DatabaseState state;
+  ASSERT_TRUE(state.CreateTable("t", 2).ok());
+  state.GetMutableTable("t")->Insert(R(1, "a"));
+  DatabaseState copy = state.Clone();
+  copy.GetMutableTable("t")->Insert(R(2, "b"));
+  EXPECT_EQ(state.GetTable("t")->num_rows(), 1u);
+  EXPECT_EQ(copy.GetTable("t")->num_rows(), 2u);
+  EXPECT_EQ(state.TotalRows(), 1u);
+}
+
+}  // namespace
+}  // namespace fgac::storage

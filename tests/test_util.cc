@@ -1,0 +1,121 @@
+#include "tests/test_util.h"
+
+#include <gtest/gtest.h>
+
+namespace fgac::testing {
+
+namespace {
+
+void MustScript(core::Database* db, const std::string& sql) {
+  Status s = db->ExecuteScript(sql);
+  ASSERT_TRUE(s.ok()) << s.ToString() << "\nscript: " << sql;
+}
+
+}  // namespace
+
+void CreateUniversitySchema(core::Database* db) {
+  MustScript(db, R"sql(
+    create table students (
+      student-id varchar not null primary key,
+      name varchar not null,
+      type varchar not null
+    );
+    create table courses (
+      course-id varchar not null primary key,
+      name varchar not null
+    );
+    create table registered (
+      student-id varchar not null references students,
+      course-id varchar not null references courses,
+      primary key (student-id, course-id)
+    );
+    create table grades (
+      student-id varchar not null references students,
+      course-id varchar not null references courses,
+      grade double not null,
+      primary key (student-id, course-id)
+    );
+  )sql");
+}
+
+void LoadUniversityData(core::Database* db) {
+  MustScript(db, R"sql(
+    insert into students values
+      ('11', 'alice', 'fulltime'),
+      ('12', 'bob', 'fulltime'),
+      ('13', 'carol', 'parttime'),
+      ('14', 'dave', 'parttime');
+    insert into courses values
+      ('cs101', 'intro programming'),
+      ('cs202', 'databases'),
+      ('ee150', 'circuits');
+    insert into registered values
+      ('11', 'cs101'),
+      ('11', 'cs202'),
+      ('12', 'cs101'),
+      ('12', 'ee150'),
+      ('13', 'cs202');
+    insert into grades values
+      ('11', 'cs101', 4.0),
+      ('12', 'cs101', 3.0),
+      ('11', 'cs202', 3.5),
+      ('13', 'cs202', 2.0);
+  )sql");
+}
+
+void SetupUniversity(core::Database* db) {
+  CreateUniversitySchema(db);
+  LoadUniversityData(db);
+}
+
+void CreateUniversityViews(core::Database* db) {
+  MustScript(db, R"sql(
+    create authorization view mygrades as
+      select * from grades where student-id = $user-id;
+    create authorization view costudentgrades as
+      select grades.* from grades, registered
+      where registered.student-id = $user-id
+        and grades.course-id = registered.course-id;
+    create authorization view avggrades as
+      select course-id, avg(grade) from grades group by course-id;
+    create authorization view lcavggrades as
+      select course-id, avg(grade) from grades
+      group by course-id having count(*) >= 2;
+    create authorization view regstudents as
+      select registered.course-id, students.name, students.type
+      from registered, students
+      where students.student-id = registered.student-id;
+    create authorization view myregistrations as
+      select * from registered where student-id = $user-id;
+    create authorization view singlegrade as
+      select * from grades where student-id = $$1;
+  )sql");
+}
+
+std::string SortedRowsToString(const storage::Relation& rel) {
+  std::string out;
+  for (const Row& row : rel.SortedRows()) {
+    out += RowToString(row);
+    out += "\n";
+  }
+  return out;
+}
+
+storage::Relation MustQuery(core::Database* db, const std::string& sql,
+                            const core::SessionContext& ctx) {
+  Result<core::ExecResult> r = db->Execute(sql, ctx);
+  if (!r.ok()) {
+    ADD_FAILURE() << "query failed: " << r.status().ToString()
+                  << "\nsql: " << sql;
+    return storage::Relation();
+  }
+  return std::move(r.value().relation);
+}
+
+storage::Relation MustQueryAdmin(core::Database* db, const std::string& sql) {
+  core::SessionContext admin("admin");
+  admin.set_mode(core::EnforcementMode::kNone);
+  return MustQuery(db, sql, admin);
+}
+
+}  // namespace fgac::testing

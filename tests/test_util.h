@@ -1,0 +1,57 @@
+#ifndef FGAC_TESTS_TEST_UTIL_H_
+#define FGAC_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "core/database.h"
+#include "storage/relation.h"
+
+namespace fgac::testing {
+
+/// Creates the paper's running-example schema:
+///   students(student-id, name, type)         PK(student-id)
+///   courses(course-id, name)                 PK(course-id)
+///   registered(student-id, course-id)        PK(both), FKs to both
+///   grades(student-id, course-id, grade)     PK(student-id, course-id), FKs
+/// `grade` is numeric (grade points) so the paper's AVG examples run.
+void CreateUniversitySchema(core::Database* db);
+
+/// Loads a small, deterministic dataset:
+///   students: 11 alice fulltime, 12 bob fulltime, 13 carol parttime,
+///             14 dave parttime (dave is registered for nothing)
+///   courses:  cs101, cs202, ee150
+///   registered: 11->cs101,cs202; 12->cs101; 13->cs202; 12->ee150
+///   grades: (11,cs101,4.0) (12,cs101,3.0) (11,cs202,3.5) (13,cs202,2.0)
+/// Note ee150 has a registration but no grades (Example 4.3's "no grades
+/// entered yet" situation).
+void LoadUniversityData(core::Database* db);
+
+/// Both of the above.
+void SetupUniversity(core::Database* db);
+
+/// Creates the paper's authorization views (not yet granted to anyone):
+///   mygrades          = own grades                      (Section 1)
+///   costudentgrades   = grades of co-registered courses (Section 2)
+///   avggrades         = per-course average              (Example 4.1)
+///   lcavggrades       = per-course average, >= N students (Example 4.2;
+///                       the enrollment threshold here is 2)
+///   regstudents       = registered students' name/type  (Example 5.1)
+///   myregistrations   = own rows of registered
+///   singlegrade       = grades of one specified student (access pattern)
+void CreateUniversityViews(core::Database* db);
+
+/// Convenience: one sorted-row render for golden comparisons.
+std::string SortedRowsToString(const storage::Relation& rel);
+
+/// Fails the test (ADD_FAILURE) and returns an empty relation on error.
+storage::Relation MustQuery(core::Database* db, const std::string& sql,
+                            const core::SessionContext& ctx);
+
+/// Admin-mode query helper.
+storage::Relation MustQueryAdmin(core::Database* db, const std::string& sql);
+
+}  // namespace fgac::testing
+
+#endif  // FGAC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,130 @@
+// UNION ALL: parsing, execution, and participation in validity inference
+// (a union of valid queries is valid by rule U2's composition).
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "tests/test_util.h"
+
+namespace fgac {
+namespace {
+
+using core::EnforcementMode;
+using core::SessionContext;
+using fgac::testing::CreateUniversityViews;
+using fgac::testing::MustQueryAdmin;
+using fgac::testing::SetupUniversity;
+
+class UnionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetupUniversity(&db_);
+    CreateUniversityViews(&db_);
+  }
+  core::Database db_;
+};
+
+TEST_F(UnionTest, ParsesAndPrints) {
+  auto stmt = sql::Parser::ParseSelect(
+      "select student-id from grades union all "
+      "select student-id from registered order by 1 limit 3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt.value()->union_all.size(), 1u);
+  // ORDER BY/LIMIT attach to the whole union (head statement).
+  EXPECT_EQ(stmt.value()->order_by.size(), 1u);
+  EXPECT_EQ(stmt.value()->limit, 3);
+  EXPECT_TRUE(stmt.value()->union_all[0]->order_by.empty());
+  // Printer round-trips.
+  std::string printed = sql::SelectToSql(*stmt.value());
+  auto reparsed = sql::Parser::ParseSelect(printed);
+  ASSERT_TRUE(reparsed.ok()) << printed;
+  EXPECT_EQ(printed, sql::SelectToSql(*reparsed.value()));
+}
+
+TEST_F(UnionTest, BagSemantics) {
+  auto rel = MustQueryAdmin(
+      &db_, "select student-id from grades where course-id = 'cs101' "
+            "union all "
+            "select student-id from grades where course-id = 'cs202'");
+  // 2 + 2 rows, duplicates preserved ('11' appears in both courses).
+  EXPECT_EQ(rel.num_rows(), 4u);
+}
+
+TEST_F(UnionTest, ThreeBranches) {
+  auto rel = MustQueryAdmin(&db_,
+                            "select 1 union all select 2 union all select 3");
+  EXPECT_EQ(rel.num_rows(), 3u);
+}
+
+TEST_F(UnionTest, OrderAndLimitApplyToWholeUnion) {
+  auto rel = MustQueryAdmin(
+      &db_, "select grade from grades where student-id = '11' union all "
+            "select grade from grades where student-id = '13' "
+            "order by 1 desc limit 2");
+  ASSERT_EQ(rel.num_rows(), 2u);
+  EXPECT_EQ(rel.rows()[0][0], Value::Double(4.0));
+  EXPECT_EQ(rel.rows()[1][0], Value::Double(3.5));
+}
+
+TEST_F(UnionTest, ArityMismatchFails) {
+  SessionContext admin("admin");
+  admin.set_mode(EnforcementMode::kNone);
+  auto r = db_.Execute(
+      "select student-id, grade from grades union all "
+      "select student-id from registered",
+      admin);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(UnionTest, UnionOfValidBranchesIsValid) {
+  ASSERT_TRUE(db_.ExecuteScript("grant select on mygrades to 11;"
+                                "grant select on myregistrations to 11")
+                  .ok());
+  SessionContext ctx("11");
+  ctx.set_mode(EnforcementMode::kNonTruman);
+  auto report = db_.CheckQueryValidity(
+      "select course-id from grades where student-id = '11' union all "
+      "select course-id from registered where student-id = '11'",
+      ctx);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().valid) << report.value().reason;
+  EXPECT_TRUE(report.value().unconditional);
+}
+
+TEST_F(UnionTest, UnionWithInvalidBranchRejected) {
+  ASSERT_TRUE(db_.ExecuteAsAdmin("grant select on mygrades to 11").ok());
+  SessionContext ctx("11");
+  ctx.set_mode(EnforcementMode::kNonTruman);
+  auto report = db_.CheckQueryValidity(
+      "select course-id from grades where student-id = '11' union all "
+      "select course-id from grades where student-id = '12'",
+      ctx);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().valid);
+}
+
+TEST_F(UnionTest, ParameterizedUnionInView) {
+  // Views may themselves contain UNION ALL with parameters.
+  ASSERT_TRUE(db_.ExecuteScript(
+                     "create authorization view mydata as "
+                     "select course-id from grades where student-id = $user-id "
+                     "union all "
+                     "select course-id from registered "
+                     "where student-id = $user-id;"
+                     "grant select on mydata to 11")
+                  .ok());
+  SessionContext ctx("11");
+  ctx.set_mode(EnforcementMode::kNonTruman);
+  auto report = db_.CheckQueryValidity(
+      "select course-id from grades where student-id = '11' union all "
+      "select course-id from registered where student-id = '11'",
+      ctx);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().valid) << report.value().reason;
+}
+
+}  // namespace
+}  // namespace fgac

@@ -1,0 +1,69 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace fgac {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("abc").string_value(), "abc");
+}
+
+TEST(ValueTest, TotalOrderAcrossKinds) {
+  // NULL < BOOL < numeric < STRING.
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(5), Value::String(""));
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int(3), Value::Double(3.5));
+  EXPECT_LT(Value::Double(2.5), Value::Int(3));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+}
+
+TEST(ValueTest, ToStringRendersSqlLiterals) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Double(1.5).ToString(), "1.5");
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::String("o'brien").ToString(), "'o''brien'");
+}
+
+TEST(ValueTest, ThreeValuedComparisons) {
+  EXPECT_EQ(SqlEq(Value::Null(), Value::Int(1)), std::nullopt);
+  EXPECT_EQ(SqlEq(Value::Int(1), Value::Int(1)), std::optional<bool>(true));
+  EXPECT_EQ(SqlLt(Value::Int(1), Value::Null()), std::nullopt);
+}
+
+TEST(ValueTest, ThreeValuedLogic) {
+  std::optional<bool> t = true, f = false, u = std::nullopt;
+  EXPECT_EQ(SqlAnd(t, u), u);
+  EXPECT_EQ(SqlAnd(f, u), f);
+  EXPECT_EQ(SqlOr(t, u), t);
+  EXPECT_EQ(SqlOr(f, u), u);
+  EXPECT_EQ(SqlNot(u), u);
+  EXPECT_EQ(SqlNot(t), f);
+}
+
+TEST(ValueTest, RowHashEquality) {
+  Row a = {Value::Int(1), Value::String("x")};
+  Row b = {Value::Double(1.0), Value::String("x")};
+  Row c = {Value::Int(2), Value::String("x")};
+  EXPECT_TRUE(RowEq()(a, b));
+  EXPECT_EQ(RowHash()(a), RowHash()(b));
+  EXPECT_FALSE(RowEq()(a, c));
+}
+
+}  // namespace
+}  // namespace fgac
