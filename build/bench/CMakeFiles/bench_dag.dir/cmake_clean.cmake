@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dag.dir/bench_dag.cc.o"
+  "CMakeFiles/bench_dag.dir/bench_dag.cc.o.d"
+  "bench_dag"
+  "bench_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rule_matrix.dir/bench_rule_matrix.cc.o"
+  "CMakeFiles/bench_rule_matrix.dir/bench_rule_matrix.cc.o.d"
+  "bench_rule_matrix"
+  "bench_rule_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rule_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

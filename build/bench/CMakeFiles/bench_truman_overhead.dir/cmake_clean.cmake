@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_truman_overhead.dir/bench_truman_overhead.cc.o"
+  "CMakeFiles/bench_truman_overhead.dir/bench_truman_overhead.cc.o.d"
+  "bench_truman_overhead"
+  "bench_truman_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_truman_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

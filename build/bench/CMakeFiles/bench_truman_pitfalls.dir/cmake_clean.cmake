@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_truman_pitfalls.dir/bench_truman_pitfalls.cc.o"
+  "CMakeFiles/bench_truman_pitfalls.dir/bench_truman_pitfalls.cc.o.d"
+  "bench_truman_pitfalls"
+  "bench_truman_pitfalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_truman_pitfalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

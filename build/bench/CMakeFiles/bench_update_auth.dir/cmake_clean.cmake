@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_auth.dir/bench_update_auth.cc.o"
+  "CMakeFiles/bench_update_auth.dir/bench_update_auth.cc.o.d"
+  "bench_update_auth"
+  "bench_update_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

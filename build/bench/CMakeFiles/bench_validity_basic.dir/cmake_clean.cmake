@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validity_basic.dir/bench_validity_basic.cc.o"
+  "CMakeFiles/bench_validity_basic.dir/bench_validity_basic.cc.o.d"
+  "bench_validity_basic"
+  "bench_validity_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validity_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

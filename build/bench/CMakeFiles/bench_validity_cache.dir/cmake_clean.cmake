@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validity_cache.dir/bench_validity_cache.cc.o"
+  "CMakeFiles/bench_validity_cache.dir/bench_validity_cache.cc.o.d"
+  "bench_validity_cache"
+  "bench_validity_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validity_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validity_complex.dir/bench_validity_complex.cc.o"
+  "CMakeFiles/bench_validity_complex.dir/bench_validity_complex.cc.o.d"
+  "bench_validity_complex"
+  "bench_validity_complex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validity_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libfgac_bench_workload.a"
+  "../lib/libfgac_bench_workload.pdb"
+  "CMakeFiles/fgac_bench_workload.dir/workload.cc.o"
+  "CMakeFiles/fgac_bench_workload.dir/workload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgac_bench_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

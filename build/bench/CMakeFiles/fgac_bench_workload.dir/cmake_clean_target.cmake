@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libfgac_bench_workload.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_teller.dir/bank_teller.cpp.o"
+  "CMakeFiles/bank_teller.dir/bank_teller.cpp.o.d"
+  "bank_teller"
+  "bank_teller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_teller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

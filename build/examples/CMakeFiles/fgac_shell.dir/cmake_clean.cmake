@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgac_shell.dir/fgac_shell.cpp.o"
+  "CMakeFiles/fgac_shell.dir/fgac_shell.cpp.o.d"
+  "fgac_shell"
+  "fgac_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgac_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

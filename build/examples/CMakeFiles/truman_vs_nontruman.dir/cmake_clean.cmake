@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truman_vs_nontruman.dir/truman_vs_nontruman.cpp.o"
+  "CMakeFiles/truman_vs_nontruman.dir/truman_vs_nontruman.cpp.o.d"
+  "truman_vs_nontruman"
+  "truman_vs_nontruman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truman_vs_nontruman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

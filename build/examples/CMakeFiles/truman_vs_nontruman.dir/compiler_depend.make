@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for truman_vs_nontruman.
+# This may be replaced when dependencies are built.

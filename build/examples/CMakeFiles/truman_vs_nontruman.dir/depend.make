@@ -1,0 +1,2 @@
+# Empty dependencies file for truman_vs_nontruman.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/binder.cc" "src/CMakeFiles/fgac.dir/algebra/binder.cc.o" "gcc" "src/CMakeFiles/fgac.dir/algebra/binder.cc.o.d"
+  "/root/repo/src/algebra/normalize.cc" "src/CMakeFiles/fgac.dir/algebra/normalize.cc.o" "gcc" "src/CMakeFiles/fgac.dir/algebra/normalize.cc.o.d"
+  "/root/repo/src/algebra/plan.cc" "src/CMakeFiles/fgac.dir/algebra/plan.cc.o" "gcc" "src/CMakeFiles/fgac.dir/algebra/plan.cc.o.d"
+  "/root/repo/src/algebra/plan_hash.cc" "src/CMakeFiles/fgac.dir/algebra/plan_hash.cc.o" "gcc" "src/CMakeFiles/fgac.dir/algebra/plan_hash.cc.o.d"
+  "/root/repo/src/algebra/reference_eval.cc" "src/CMakeFiles/fgac.dir/algebra/reference_eval.cc.o" "gcc" "src/CMakeFiles/fgac.dir/algebra/reference_eval.cc.o.d"
+  "/root/repo/src/algebra/scalar.cc" "src/CMakeFiles/fgac.dir/algebra/scalar.cc.o" "gcc" "src/CMakeFiles/fgac.dir/algebra/scalar.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/fgac.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/fgac.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/constraint.cc" "src/CMakeFiles/fgac.dir/catalog/constraint.cc.o" "gcc" "src/CMakeFiles/fgac.dir/catalog/constraint.cc.o.d"
+  "/root/repo/src/catalog/principal.cc" "src/CMakeFiles/fgac.dir/catalog/principal.cc.o" "gcc" "src/CMakeFiles/fgac.dir/catalog/principal.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/fgac.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/fgac.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/catalog/type.cc" "src/CMakeFiles/fgac.dir/catalog/type.cc.o" "gcc" "src/CMakeFiles/fgac.dir/catalog/type.cc.o.d"
+  "/root/repo/src/catalog/view_def.cc" "src/CMakeFiles/fgac.dir/catalog/view_def.cc.o" "gcc" "src/CMakeFiles/fgac.dir/catalog/view_def.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/fgac.dir/common/status.cc.o" "gcc" "src/CMakeFiles/fgac.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/fgac.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/fgac.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/fgac.dir/common/value.cc.o" "gcc" "src/CMakeFiles/fgac.dir/common/value.cc.o.d"
+  "/root/repo/src/core/acl_baseline.cc" "src/CMakeFiles/fgac.dir/core/acl_baseline.cc.o" "gcc" "src/CMakeFiles/fgac.dir/core/acl_baseline.cc.o.d"
+  "/root/repo/src/core/auth_view.cc" "src/CMakeFiles/fgac.dir/core/auth_view.cc.o" "gcc" "src/CMakeFiles/fgac.dir/core/auth_view.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/CMakeFiles/fgac.dir/core/database.cc.o" "gcc" "src/CMakeFiles/fgac.dir/core/database.cc.o.d"
+  "/root/repo/src/core/session_context.cc" "src/CMakeFiles/fgac.dir/core/session_context.cc.o" "gcc" "src/CMakeFiles/fgac.dir/core/session_context.cc.o.d"
+  "/root/repo/src/core/truman.cc" "src/CMakeFiles/fgac.dir/core/truman.cc.o" "gcc" "src/CMakeFiles/fgac.dir/core/truman.cc.o.d"
+  "/root/repo/src/core/update_auth.cc" "src/CMakeFiles/fgac.dir/core/update_auth.cc.o" "gcc" "src/CMakeFiles/fgac.dir/core/update_auth.cc.o.d"
+  "/root/repo/src/core/validity.cc" "src/CMakeFiles/fgac.dir/core/validity.cc.o" "gcc" "src/CMakeFiles/fgac.dir/core/validity.cc.o.d"
+  "/root/repo/src/core/validity_cache.cc" "src/CMakeFiles/fgac.dir/core/validity_cache.cc.o" "gcc" "src/CMakeFiles/fgac.dir/core/validity_cache.cc.o.d"
+  "/root/repo/src/core/view_pruning.cc" "src/CMakeFiles/fgac.dir/core/view_pruning.cc.o" "gcc" "src/CMakeFiles/fgac.dir/core/view_pruning.cc.o.d"
+  "/root/repo/src/exec/eval.cc" "src/CMakeFiles/fgac.dir/exec/eval.cc.o" "gcc" "src/CMakeFiles/fgac.dir/exec/eval.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/fgac.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/fgac.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/fgac.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/fgac.dir/exec/operators.cc.o.d"
+  "/root/repo/src/optimizer/cost.cc" "src/CMakeFiles/fgac.dir/optimizer/cost.cc.o" "gcc" "src/CMakeFiles/fgac.dir/optimizer/cost.cc.o.d"
+  "/root/repo/src/optimizer/implication.cc" "src/CMakeFiles/fgac.dir/optimizer/implication.cc.o" "gcc" "src/CMakeFiles/fgac.dir/optimizer/implication.cc.o.d"
+  "/root/repo/src/optimizer/memo.cc" "src/CMakeFiles/fgac.dir/optimizer/memo.cc.o" "gcc" "src/CMakeFiles/fgac.dir/optimizer/memo.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/fgac.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/fgac.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/rules.cc" "src/CMakeFiles/fgac.dir/optimizer/rules.cc.o" "gcc" "src/CMakeFiles/fgac.dir/optimizer/rules.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/fgac.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/fgac.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/fgac.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/fgac.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/fgac.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/fgac.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/printer.cc" "src/CMakeFiles/fgac.dir/sql/printer.cc.o" "gcc" "src/CMakeFiles/fgac.dir/sql/printer.cc.o.d"
+  "/root/repo/src/sql/token.cc" "src/CMakeFiles/fgac.dir/sql/token.cc.o" "gcc" "src/CMakeFiles/fgac.dir/sql/token.cc.o.d"
+  "/root/repo/src/storage/database_state.cc" "src/CMakeFiles/fgac.dir/storage/database_state.cc.o" "gcc" "src/CMakeFiles/fgac.dir/storage/database_state.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/CMakeFiles/fgac.dir/storage/relation.cc.o" "gcc" "src/CMakeFiles/fgac.dir/storage/relation.cc.o.d"
+  "/root/repo/src/storage/table_data.cc" "src/CMakeFiles/fgac.dir/storage/table_data.cc.o" "gcc" "src/CMakeFiles/fgac.dir/storage/table_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_view_test.dir/auth_view_test.cc.o"
+  "CMakeFiles/auth_view_test.dir/auth_view_test.cc.o.d"
+  "auth_view_test"
+  "auth_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

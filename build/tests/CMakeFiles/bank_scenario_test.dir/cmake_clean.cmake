@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_scenario_test.dir/bank_scenario_test.cc.o"
+  "CMakeFiles/bank_scenario_test.dir/bank_scenario_test.cc.o.d"
+  "bank_scenario_test"
+  "bank_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgac_test_util.dir/test_util.cc.o"
+  "CMakeFiles/fgac_test_util.dir/test_util.cc.o.d"
+  "libfgac_test_util.a"
+  "libfgac_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgac_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

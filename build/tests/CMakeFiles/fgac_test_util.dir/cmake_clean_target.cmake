@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfgac_test_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_exec_test.dir/property_exec_test.cc.o"
+  "CMakeFiles/property_exec_test.dir/property_exec_test.cc.o.d"
+  "property_exec_test"
+  "property_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

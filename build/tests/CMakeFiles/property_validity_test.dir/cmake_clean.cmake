@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_validity_test.dir/property_validity_test.cc.o"
+  "CMakeFiles/property_validity_test.dir/property_validity_test.cc.o.d"
+  "property_validity_test"
+  "property_validity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_validity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truman_test.dir/truman_test.cc.o"
+  "CMakeFiles/truman_test.dir/truman_test.cc.o.d"
+  "truman_test"
+  "truman_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

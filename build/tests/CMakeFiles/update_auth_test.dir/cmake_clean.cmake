@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_auth_test.dir/update_auth_test.cc.o"
+  "CMakeFiles/update_auth_test.dir/update_auth_test.cc.o.d"
+  "update_auth_test"
+  "update_auth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_auth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validity_engine_test.dir/validity_engine_test.cc.o"
+  "CMakeFiles/validity_engine_test.dir/validity_engine_test.cc.o.d"
+  "validity_engine_test"
+  "validity_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validity_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
