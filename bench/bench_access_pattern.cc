@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_report.h"
 #include "bench/workload.h"
 
 namespace {
@@ -110,6 +111,8 @@ int main() {
       if (!report.ok()) std::abort();
     });
     std::printf("  %10d | %12.3f\n", k, ms);
+    fgac::bench::EmitJsonLine("access_pattern/in_list" + std::to_string(k),
+                              ms * 1e6);
   }
   std::printf(
       "\nShape check: keyed shapes ACCEPT (rule U1 over instantiated views "

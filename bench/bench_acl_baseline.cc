@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "bench/workload.h"
 #include "core/acl_baseline.h"
 
@@ -82,6 +83,11 @@ int main() {
       std::printf("%10d | %7d || %12zu | %10.1f | %10.1f || %18s\n", tuples,
                   users, p.entries, p.build_ms, p.memory_mb,
                   "1 view + 1 grant");
+      fgac::bench::EmitJsonLine(
+          "acl_baseline/tuples" + std::to_string(tuples) + "_users" +
+              std::to_string(users),
+          p.build_ms * 1e6, 0.0,
+          ",\"acl_entries\":" + std::to_string(p.entries));
     }
   }
 

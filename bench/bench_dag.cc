@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "algebra/binder.h"
+#include "bench/bench_report.h"
 #include "bench/workload.h"
 #include "optimizer/memo.h"
 #include "optimizer/rules.h"
@@ -82,6 +83,10 @@ int main() {
                 p.relations, p.initial_groups, p.initial_exprs,
                 p.expanded_groups, p.expanded_exprs, p.plans, p.passes,
                 p.expand_ms, p.budget_exhausted ? "capped" : "fixpoint");
+    fgac::bench::EmitJsonLine(
+        "dag/chain" + std::to_string(n), p.expand_ms * 1e6, 0.0,
+        ",\"expanded_groups\":" + std::to_string(p.expanded_groups) +
+            ",\"expanded_exprs\":" + std::to_string(p.expanded_exprs));
   }
 
   // The figure's exact instance: A ⋈ B ⋈ C has three join orders modulo

@@ -1,0 +1,122 @@
+#ifndef FGAC_BENCH_BENCH_REPORT_H_
+#define FGAC_BENCH_BENCH_REPORT_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fgac::bench {
+
+namespace internal {
+
+inline std::string JsonEscaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline std::ostream& JsonSink() {
+  static std::ofstream* file = [] {
+    const char* path = std::getenv("FGAC_BENCH_JSON");
+    if (path == nullptr || path[0] == '\0') {
+      return static_cast<std::ofstream*>(nullptr);
+    }
+    return new std::ofstream(path, std::ios::app);
+  }();
+  return file != nullptr && file->is_open()
+             ? static_cast<std::ostream&>(*file)
+             : static_cast<std::ostream&>(std::cerr);
+}
+
+}  // namespace internal
+
+/// JSON-line emission for hand-rolled bench mains (tables of measured
+/// points rather than Google Benchmark loops). Lines go to
+/// $FGAC_BENCH_JSON (appended) or stderr, matching JsonLinesReporter.
+/// `extra` holds pre-rendered `,"key":value` pairs and may be empty.
+inline void EmitJsonLine(const std::string& name, double ns_per_op,
+                         double rows_per_sec = 0.0,
+                         const std::string& extra = "") {
+  std::ostream& out = internal::JsonSink();
+  out << "{\"name\":\"" << internal::JsonEscaped(name)
+      << "\",\"ns_per_op\":" << ns_per_op;
+  if (rows_per_sec > 0) out << ",\"rows_per_sec\":" << rows_per_sec;
+  out << extra << "}\n";
+  out.flush();
+}
+
+/// Display reporter that also emits one JSON object per benchmark run
+/// (JSON lines) for machine consumption by bench/run_all.sh.
+///
+/// Each line carries: name, ns_per_op / cpu_ns_per_op (per-iteration real
+/// and CPU time), iterations, every user counter, and rows_per_sec when the
+/// benchmark reported a "rows" counter (rows processed per iteration).
+///
+/// The lines go to the file named by $FGAC_BENCH_JSON (appended, so one
+/// file can aggregate several bench binaries) or to stderr when the
+/// variable is unset; the normal console table is unaffected either way.
+class JsonLinesReporter : public benchmark::BenchmarkReporter {
+ public:
+  JsonLinesReporter() : inner_(benchmark::CreateDefaultDisplayReporter()) {}
+
+  bool ReportContext(const Context& context) override {
+    return inner_->ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    inner_->ReportRuns(runs);
+    std::ostream& out = internal::JsonSink();
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      double real_s = run.real_accumulated_time / iters;
+      double cpu_s = run.cpu_accumulated_time / iters;
+      out << "{\"name\":\"" << internal::JsonEscaped(run.benchmark_name())
+          << "\",\"ns_per_op\":" << real_s * 1e9
+          << ",\"cpu_ns_per_op\":" << cpu_s * 1e9
+          << ",\"iterations\":" << run.iterations;
+      for (const auto& [name, counter] : run.counters) {
+        out << ",\"" << internal::JsonEscaped(name) << "\":" << counter.value;
+      }
+      auto rows = run.counters.find("rows");
+      if (rows != run.counters.end() && real_s > 0) {
+        out << ",\"rows_per_sec\":" << rows->second.value / real_s;
+      }
+      out << "}\n";
+    }
+    out.flush();
+  }
+
+  void Finalize() override { inner_->Finalize(); }
+
+ private:
+  std::unique_ptr<benchmark::BenchmarkReporter> inner_;
+};
+
+}  // namespace fgac::bench
+
+/// main() for fgac benchmarks: the standard Google Benchmark CLI with the
+/// JSON-lines side channel above.
+#define FGAC_BENCHMARK_MAIN()                                         \
+  int main(int argc, char** argv) {                                   \
+    benchmark::Initialize(&argc, argv);                               \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    fgac::bench::JsonLinesReporter reporter;                          \
+    benchmark::RunSpecifiedBenchmarks(&reporter);                     \
+    benchmark::Shutdown();                                            \
+    return 0;                                                         \
+  }                                                                   \
+  int main(int, char**)
+
+#endif  // FGAC_BENCH_BENCH_REPORT_H_

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "algebra/binder.h"
+#include "bench/bench_report.h"
 #include "bench/workload.h"
 #include "core/auth_view.h"
 #include "core/validity.h"
@@ -205,6 +206,9 @@ int main() {
     }
     std::printf("%-26s | %6zu/%-3zu | %10.2f\n", ablation.name, accepted,
                 kTotal, total_ms / kTotal);
+    fgac::bench::EmitJsonLine(std::string("rule_ablation/") + ablation.name,
+                              total_ms / kTotal * 1e6, 0.0,
+                              ",\"accepted\":" + std::to_string(accepted));
   }
   std::printf(
       "\nReading the table: the full engine admits every example; each\n"

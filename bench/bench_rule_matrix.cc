@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_report.h"
 #include "bench/workload.h"
 
 namespace {
@@ -171,6 +172,10 @@ int main() {
     if (!match) ++mismatches;
     std::printf("%-38s | %-6s | %-6s | %8.2f | %s%s\n", c.id, c.expect,
                 got.c_str(), ms, rule.c_str(), match ? "" : "   <-- MISMATCH");
+    fgac::bench::EmitJsonLine(std::string("rule_matrix/") + c.id, ms * 1e6,
+                              0.0,
+                              std::string(",\"match\":") +
+                                  (match ? "true" : "false"));
   }
   std::printf("\n%d mismatch(es) against the paper's expected verdicts.\n",
               mismatches);

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "bench/workload.h"
 
 namespace {
@@ -106,6 +107,11 @@ int main() {
     std::printf("%-12s | %10d/%-10d | %10d/%d/%d\n", label.c_str(),
                 truman_answered, truman_wrong, nt_answered, nt_wrong,
                 nt_rejected);
+    fgac::bench::EmitJsonLine(
+        "truman_pitfalls/" + label, 0.0, 0.0,
+        ",\"truman_wrong\":" + std::to_string(truman_wrong) +
+            ",\"non_truman_wrong\":" + std::to_string(nt_wrong) +
+            ",\"non_truman_rejected\":" + std::to_string(nt_rejected));
   }
   std::printf(
       "\nShape check (paper Section 3.3): the Truman column shows silent\n"

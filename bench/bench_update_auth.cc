@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_report.h"
 #include "bench/workload.h"
 #include "core/update_auth.h"
 
@@ -134,4 +135,4 @@ BENCHMARK(BM_InsertWithAuthorization)
 BENCHMARK(BM_AuthorizerPredicateOnly)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_QueryValidityForComparison)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+FGAC_BENCHMARK_MAIN();

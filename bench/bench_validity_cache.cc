@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_report.h"
 #include "bench/workload.h"
 
 namespace {
@@ -118,4 +119,4 @@ BENCHMARK(BM_ValidityUncached)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ValidityCached)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_PreparedStatementCycle)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+FGAC_BENCHMARK_MAIN();

@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_report.h"
+
 #include "algebra/binder.h"
 #include "bench/workload.h"
 #include "core/auth_view.h"
@@ -122,4 +124,4 @@ BENCHMARK(BM_ComplexCheckNoPruning)->Arg(0)->Arg(4)->Arg(16)->Arg(64)->Arg(128)
 BENCHMARK(BM_BasicRulesOnlyRejects)->Arg(0)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+FGAC_BENCHMARK_MAIN();

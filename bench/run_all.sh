@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Runs every bench binary and aggregates their JSON-line outputs into one
+# machine-readable BENCH_RESULTS.json.
+#
+# Usage:
+#   bench/run_all.sh [output.json]
+#
+# Environment:
+#   BUILD_DIR           build tree containing bench/ binaries (default: build)
+#   GBENCH_FLAGS        extra flags passed to every binary, e.g.
+#                       "--benchmark_min_time=0.1" (hand-rolled mains ignore
+#                       their argv, so this is safe to set globally)
+#   FGAC_SEED_BASELINE  optional JSON-lines file with baseline measurements
+#                       (same format); matching names gain a
+#                       "speedup_vs_baseline" field in the output
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_RESULTS.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+failed=0
+for bin in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bin" ] && [ -f "$bin" ] || continue
+  echo "== $(basename "$bin")" >&2
+  if ! FGAC_BENCH_JSON="$TMP" "$bin" ${GBENCH_FLAGS:-} >/dev/null 2>&1; then
+    echo "   FAILED: $(basename "$bin")" >&2
+    failed=1
+  fi
+done
+
+python3 - "$TMP" "$OUT" "${FGAC_SEED_BASELINE:-}" <<'EOF'
+import json, sys
+
+def read_lines(path):
+    out = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+runs = read_lines(sys.argv[1])
+baseline = {}
+if sys.argv[3]:
+    for entry in read_lines(sys.argv[3]):
+        baseline[entry["name"]] = entry
+
+for entry in runs:
+    base = baseline.get(entry["name"])
+    if base and base.get("ns_per_op") and entry.get("ns_per_op"):
+        entry["baseline_ns_per_op"] = base["ns_per_op"]
+        entry["speedup_vs_baseline"] = round(
+            base["ns_per_op"] / entry["ns_per_op"], 3)
+
+doc = {"benchmarks": runs}
+if baseline:
+    doc["baseline_source"] = sys.argv[3]
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {sys.argv[2]} ({len(runs)} measurements)")
+EOF
+
+exit $failed

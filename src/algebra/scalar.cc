@@ -338,6 +338,7 @@ std::string ScalarToString(const ScalarPtr& s,
 namespace {
 
 Result<Value> EvalArith(sql::BinOp op, const Value& a, const Value& b) {
+  // NULL propagation and numeric promotion per SQL.
   if (a.is_null() || b.is_null()) return Value::Null();
   if (!a.is_numeric() || !b.is_numeric()) {
     return Status::ExecutionError("arithmetic on non-numeric value");
@@ -376,19 +377,6 @@ Result<Value> EvalArith(sql::BinOp op, const Value& a, const Value& b) {
   return Status::ExecutionError("unsupported arithmetic operator");
 }
 
-std::optional<bool> TriFromValue(const Value& v) {
-  if (v.is_null()) return std::nullopt;
-  if (v.is_bool()) return v.bool_value();
-  // Non-boolean used in boolean context: treat nonzero as true.
-  if (v.is_numeric()) return v.AsDouble() != 0.0;
-  return !v.string_value().empty();
-}
-
-Value ValueFromTri(std::optional<bool> t) {
-  if (!t.has_value()) return Value::Null();
-  return Value::Bool(*t);
-}
-
 // SQL LIKE with % and _ wildcards.
 bool LikeMatch(const std::string& text, const std::string& pattern, size_t ti,
                size_t pi) {
@@ -413,6 +401,78 @@ bool LikeMatch(const std::string& text, const std::string& pattern, size_t ti,
 
 }  // namespace
 
+std::optional<bool> SqlTruth(const Value& v) {
+  if (v.is_null()) return std::nullopt;
+  if (v.is_bool()) return v.bool_value();
+  // Non-boolean used in boolean context: treat nonzero as true.
+  if (v.is_numeric()) return v.AsDouble() != 0.0;
+  return !v.string_value().empty();
+}
+
+Value ValueFromTruth(std::optional<bool> t) {
+  if (!t.has_value()) return Value::Null();
+  return Value::Bool(*t);
+}
+
+bool SqlLike(const std::string& text, const std::string& pattern) {
+  return LikeMatch(text, pattern, 0, 0);
+}
+
+Result<Value> EvalBinaryValues(sql::BinOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case sql::BinOp::kAnd:
+      return ValueFromTruth(SqlAnd(SqlTruth(a), SqlTruth(b)));
+    case sql::BinOp::kOr:
+      return ValueFromTruth(SqlOr(SqlTruth(a), SqlTruth(b)));
+    case sql::BinOp::kEq:
+    case sql::BinOp::kNe:
+    case sql::BinOp::kLt:
+    case sql::BinOp::kLe:
+    case sql::BinOp::kGt:
+    case sql::BinOp::kGe: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      int c = a.Compare(b);
+      bool r = false;
+      switch (op) {
+        case sql::BinOp::kEq: r = (c == 0); break;
+        case sql::BinOp::kNe: r = (c != 0); break;
+        case sql::BinOp::kLt: r = (c < 0); break;
+        case sql::BinOp::kLe: r = (c <= 0); break;
+        case sql::BinOp::kGt: r = (c > 0); break;
+        case sql::BinOp::kGe: r = (c >= 0); break;
+        default: break;
+      }
+      return Value::Bool(r);
+    }
+    case sql::BinOp::kLike: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (!a.is_string() || !b.is_string()) {
+        return Status::ExecutionError("LIKE requires string operands");
+      }
+      return Value::Bool(SqlLike(a.string_value(), b.string_value()));
+    }
+    default:
+      return EvalArith(op, a, b);
+  }
+}
+
+Result<Value> EvalUnaryValue(sql::UnOp op, const Value& v) {
+  switch (op) {
+    case sql::UnOp::kNot:
+      return ValueFromTruth(SqlNot(SqlTruth(v)));
+    case sql::UnOp::kNeg:
+      if (v.is_null()) return Value::Null();
+      if (v.is_int()) return Value::Int(-v.int_value());
+      if (v.is_double()) return Value::Double(-v.double_value());
+      return Status::ExecutionError("negation of non-numeric value");
+    case sql::UnOp::kIsNull:
+      return Value::Bool(v.is_null());
+    case sql::UnOp::kIsNotNull:
+      return Value::Bool(!v.is_null());
+  }
+  return Status::ExecutionError("unsupported unary operator");
+}
+
 Result<Value> EvalScalar(const ScalarPtr& s, const Row& row) {
   if (s == nullptr) return Status::InvalidArgument("null scalar");
   switch (s->kind) {
@@ -430,73 +490,28 @@ Result<Value> EvalScalar(const ScalarPtr& s, const Row& row) {
       switch (s->bin_op) {
         case sql::BinOp::kAnd: {
           FGAC_ASSIGN_OR_RETURN(Value a, EvalScalar(s->left, row));
-          std::optional<bool> ta = TriFromValue(a);
+          std::optional<bool> ta = SqlTruth(a);
           if (ta.has_value() && !*ta) return Value::Bool(false);
           FGAC_ASSIGN_OR_RETURN(Value b, EvalScalar(s->right, row));
-          return ValueFromTri(SqlAnd(ta, TriFromValue(b)));
+          return ValueFromTruth(SqlAnd(ta, SqlTruth(b)));
         }
         case sql::BinOp::kOr: {
           FGAC_ASSIGN_OR_RETURN(Value a, EvalScalar(s->left, row));
-          std::optional<bool> ta = TriFromValue(a);
+          std::optional<bool> ta = SqlTruth(a);
           if (ta.has_value() && *ta) return Value::Bool(true);
           FGAC_ASSIGN_OR_RETURN(Value b, EvalScalar(s->right, row));
-          return ValueFromTri(SqlOr(ta, TriFromValue(b)));
-        }
-        case sql::BinOp::kEq:
-        case sql::BinOp::kNe:
-        case sql::BinOp::kLt:
-        case sql::BinOp::kLe:
-        case sql::BinOp::kGt:
-        case sql::BinOp::kGe: {
-          FGAC_ASSIGN_OR_RETURN(Value a, EvalScalar(s->left, row));
-          FGAC_ASSIGN_OR_RETURN(Value b, EvalScalar(s->right, row));
-          if (a.is_null() || b.is_null()) return Value::Null();
-          int c = a.Compare(b);
-          bool r = false;
-          switch (s->bin_op) {
-            case sql::BinOp::kEq: r = (c == 0); break;
-            case sql::BinOp::kNe: r = (c != 0); break;
-            case sql::BinOp::kLt: r = (c < 0); break;
-            case sql::BinOp::kLe: r = (c <= 0); break;
-            case sql::BinOp::kGt: r = (c > 0); break;
-            case sql::BinOp::kGe: r = (c >= 0); break;
-            default: break;
-          }
-          return Value::Bool(r);
-        }
-        case sql::BinOp::kLike: {
-          FGAC_ASSIGN_OR_RETURN(Value a, EvalScalar(s->left, row));
-          FGAC_ASSIGN_OR_RETURN(Value b, EvalScalar(s->right, row));
-          if (a.is_null() || b.is_null()) return Value::Null();
-          if (!a.is_string() || !b.is_string()) {
-            return Status::ExecutionError("LIKE requires string operands");
-          }
-          return Value::Bool(
-              LikeMatch(a.string_value(), b.string_value(), 0, 0));
+          return ValueFromTruth(SqlOr(ta, SqlTruth(b)));
         }
         default: {
           FGAC_ASSIGN_OR_RETURN(Value a, EvalScalar(s->left, row));
           FGAC_ASSIGN_OR_RETURN(Value b, EvalScalar(s->right, row));
-          return EvalArith(s->bin_op, a, b);
+          return EvalBinaryValues(s->bin_op, a, b);
         }
       }
     }
     case ScalarKind::kUnary: {
       FGAC_ASSIGN_OR_RETURN(Value v, EvalScalar(s->operand, row));
-      switch (s->un_op) {
-        case sql::UnOp::kNot:
-          return ValueFromTri(SqlNot(TriFromValue(v)));
-        case sql::UnOp::kNeg:
-          if (v.is_null()) return Value::Null();
-          if (v.is_int()) return Value::Int(-v.int_value());
-          if (v.is_double()) return Value::Double(-v.double_value());
-          return Status::ExecutionError("negation of non-numeric value");
-        case sql::UnOp::kIsNull:
-          return Value::Bool(v.is_null());
-        case sql::UnOp::kIsNotNull:
-          return Value::Bool(!v.is_null());
-      }
-      return Status::ExecutionError("unsupported unary operator");
+      return EvalUnaryValue(s->un_op, v);
     }
     case ScalarKind::kInList: {
       FGAC_ASSIGN_OR_RETURN(Value v, EvalScalar(s->operand, row));
@@ -519,7 +534,7 @@ Result<Value> EvalScalar(const ScalarPtr& s, const Row& row) {
 
 Result<bool> EvalPredicate(const ScalarPtr& s, const Row& row) {
   FGAC_ASSIGN_OR_RETURN(Value v, EvalScalar(s, row));
-  std::optional<bool> t = TriFromValue(v);
+  std::optional<bool> t = SqlTruth(v);
   return t.has_value() && *t;
 }
 
@@ -535,6 +550,14 @@ Status AggAccumulator::Add(const Row& row) {
     return Status::OK();
   }
   FGAC_ASSIGN_OR_RETURN(Value v, EvalScalar(agg_.arg, row));
+  return AddValue(v);
+}
+
+Status AggAccumulator::AddValue(const Value& v) {
+  if (agg_.func == AggFunc::kCountStar) {
+    ++count_;
+    return Status::OK();
+  }
   if (v.is_null()) return Status::OK();
   if (agg_.distinct) {
     auto it = std::lower_bound(distinct_seen_.begin(), distinct_seen_.end(), v);

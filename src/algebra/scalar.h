@@ -131,6 +131,28 @@ std::string ScalarToString(const ScalarPtr& s,
 /// InvalidArgument.
 Result<Value> EvalScalar(const ScalarPtr& s, const Row& row);
 
+// Value-level kernels shared by the row-at-a-time evaluator above and the
+// batched (column-at-a-time) evaluator in exec/. Keeping them here is what
+// guarantees the two engines agree on SQL semantics.
+
+/// Applies one non-logical binary operator (comparison, LIKE, arithmetic) to
+/// already-computed operands. AND/OR are excluded: their short-circuit
+/// structure lives in the expression walkers.
+Result<Value> EvalBinaryValues(sql::BinOp op, const Value& a, const Value& b);
+
+/// Applies a unary operator to an already-computed operand.
+Result<Value> EvalUnaryValue(sql::UnOp op, const Value& v);
+
+/// Truth of a value in boolean context (nullopt = UNKNOWN). Non-boolean
+/// values coerce: nonzero numerics and non-empty strings are true.
+std::optional<bool> SqlTruth(const Value& v);
+
+/// Wraps tri-state truth back into a Value (UNKNOWN -> NULL).
+Value ValueFromTruth(std::optional<bool> t);
+
+/// SQL LIKE with % and _ wildcards.
+bool SqlLike(const std::string& text, const std::string& pattern);
+
 /// Evaluates a predicate: true only when the scalar evaluates to TRUE
 /// (UNKNOWN/NULL filters out, per SQL WHERE semantics).
 Result<bool> EvalPredicate(const ScalarPtr& s, const Row& row);
@@ -143,6 +165,10 @@ class AggAccumulator {
 
   /// Feeds one input row (evaluates the argument as needed).
   Status Add(const Row& row);
+
+  /// Feeds one already-evaluated argument value (batched callers evaluate
+  /// the argument column-at-a-time). For kCountStar the value is ignored.
+  Status AddValue(const Value& v);
 
   /// Final value (NULL for empty SUM/AVG/MIN/MAX, 0 for COUNT).
   Value Finish() const;

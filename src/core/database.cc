@@ -382,10 +382,10 @@ Result<ExecResult> Database::ExecuteInsert(const sql::InsertStmt& stmt,
   }
 
   storage::TableData* data = state_.GetMutableTable(stmt.table);
-  for (Row& row : pending) data->Insert(std::move(row));
-  ++data_version_;
   ExecResult out;
   out.affected_rows = static_cast<int64_t>(pending.size());
+  data->InsertRows(std::move(pending));
+  ++data_version_;
   return out;
 }
 

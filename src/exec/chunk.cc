@@ -1,0 +1,489 @@
+#include "exec/chunk.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fgac::exec {
+
+// ---------------------------------------------------------------------------
+// ColumnVector
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ColumnVector::Tag TagForKind(Value::Kind kind) {
+  switch (kind) {
+    case Value::Kind::kBool:
+      return ColumnVector::Tag::kBool;
+    case Value::Kind::kInt:
+      return ColumnVector::Tag::kInt;
+    case Value::Kind::kDouble:
+      return ColumnVector::Tag::kDouble;
+    case Value::Kind::kString:
+      return ColumnVector::Tag::kString;
+    case Value::Kind::kNull:
+      break;
+  }
+  return ColumnVector::Tag::kUntyped;
+}
+
+}  // namespace
+
+void ColumnVector::Clear() {
+  tag_ = Tag::kUntyped;
+  null_count_ = 0;
+  valid_.clear();
+  bools_.clear();
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+  generic_.clear();
+}
+
+void ColumnVector::Reserve(size_t n) {
+  valid_.reserve(n);
+  switch (tag_) {
+    case Tag::kUntyped:
+      break;
+    case Tag::kBool:
+      bools_.reserve(n);
+      break;
+    case Tag::kInt:
+      ints_.reserve(n);
+      break;
+    case Tag::kDouble:
+      doubles_.reserve(n);
+      break;
+    case Tag::kString:
+      strings_.reserve(n);
+      break;
+    case Tag::kGeneric:
+      generic_.reserve(n);
+      break;
+  }
+}
+
+void ColumnVector::Degenerify() {
+  size_t n = size();
+  std::vector<Value> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (IsNull(i)) {
+      values.push_back(Value::Null());
+      continue;
+    }
+    switch (tag_) {
+      case Tag::kBool:
+        values.push_back(Value::Bool(BoolAt(i)));
+        break;
+      case Tag::kInt:
+        values.push_back(Value::Int(IntAt(i)));
+        break;
+      case Tag::kDouble:
+        values.push_back(Value::Double(DoubleAt(i)));
+        break;
+      case Tag::kString:
+        values.push_back(Value::String(std::move(strings_[i])));
+        break;
+      case Tag::kUntyped:
+      case Tag::kGeneric:
+        values.push_back(Value::Null());  // unreachable: all-null or generic
+        break;
+    }
+  }
+  bools_.clear();
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+  generic_ = std::move(values);
+  tag_ = Tag::kGeneric;
+}
+
+void ColumnVector::PrepareAppend(Value::Kind kind) {
+  Tag wanted = TagForKind(kind);
+  if (tag_ == wanted || tag_ == Tag::kGeneric) return;
+  if (tag_ == Tag::kUntyped) {
+    // First non-NULL value fixes the type; backfill placeholders for any
+    // leading NULLs so indices stay aligned.
+    tag_ = wanted;
+    switch (tag_) {
+      case Tag::kBool:
+        bools_.assign(size(), 0);
+        break;
+      case Tag::kInt:
+        ints_.assign(size(), 0);
+        break;
+      case Tag::kDouble:
+        doubles_.assign(size(), 0.0);
+        break;
+      case Tag::kString:
+        strings_.assign(size(), std::string());
+        break;
+      case Tag::kUntyped:
+      case Tag::kGeneric:
+        break;
+    }
+    return;
+  }
+  Degenerify();
+}
+
+void ColumnVector::AppendNull() {
+  valid_.push_back(0);
+  ++null_count_;
+  switch (tag_) {
+    case Tag::kUntyped:
+      break;
+    case Tag::kBool:
+      bools_.push_back(0);
+      break;
+    case Tag::kInt:
+      ints_.push_back(0);
+      break;
+    case Tag::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case Tag::kString:
+      strings_.emplace_back();
+      break;
+    case Tag::kGeneric:
+      generic_.push_back(Value::Null());
+      break;
+  }
+}
+
+void ColumnVector::Append(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      AppendNull();
+      return;
+    case Value::Kind::kBool:
+      AppendBool(v.bool_value());
+      return;
+    case Value::Kind::kInt:
+      AppendInt(v.int_value());
+      return;
+    case Value::Kind::kDouble:
+      AppendDouble(v.double_value());
+      return;
+    case Value::Kind::kString:
+      AppendString(v.string_value());
+      return;
+  }
+}
+
+void ColumnVector::AppendBool(bool v) {
+  PrepareAppend(Value::Kind::kBool);
+  if (tag_ == Tag::kGeneric) {
+    generic_.push_back(Value::Bool(v));
+  } else {
+    bools_.push_back(v ? 1 : 0);
+  }
+  valid_.push_back(1);
+}
+
+void ColumnVector::AppendInt(int64_t v) {
+  PrepareAppend(Value::Kind::kInt);
+  if (tag_ == Tag::kGeneric) {
+    generic_.push_back(Value::Int(v));
+  } else {
+    ints_.push_back(v);
+  }
+  valid_.push_back(1);
+}
+
+void ColumnVector::AppendDouble(double v) {
+  PrepareAppend(Value::Kind::kDouble);
+  if (tag_ == Tag::kGeneric) {
+    generic_.push_back(Value::Double(v));
+  } else {
+    doubles_.push_back(v);
+  }
+  valid_.push_back(1);
+}
+
+void ColumnVector::AppendString(std::string v) {
+  PrepareAppend(Value::Kind::kString);
+  if (tag_ == Tag::kGeneric) {
+    generic_.push_back(Value::String(std::move(v)));
+  } else {
+    strings_.push_back(std::move(v));
+  }
+  valid_.push_back(1);
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& src, size_t i) {
+  if (src.IsNull(i)) {
+    AppendNull();
+    return;
+  }
+  switch (src.tag_) {
+    case Tag::kUntyped:
+      AppendNull();  // unreachable: untyped columns hold only NULLs
+      return;
+    case Tag::kBool:
+      AppendBool(src.BoolAt(i));
+      return;
+    case Tag::kInt:
+      AppendInt(src.IntAt(i));
+      return;
+    case Tag::kDouble:
+      AppendDouble(src.DoubleAt(i));
+      return;
+    case Tag::kString:
+      AppendString(src.StringAt(i));
+      return;
+    case Tag::kGeneric:
+      Append(src.GenericAt(i));
+      return;
+  }
+}
+
+void ColumnVector::AppendSelected(const ColumnVector& src,
+                                  const Selection& sel) {
+  Reserve(size() + sel.size());
+  // Tight typed loops for the common fully-valid case; the generic path
+  // handles NULLs and mixed columns.
+  if (src.null_count_ == 0 &&
+      (tag_ == Tag::kUntyped || tag_ == src.tag_)) {
+    switch (src.tag_) {
+      case Tag::kInt:
+        PrepareAppend(Value::Kind::kInt);
+        for (uint32_t i : sel) ints_.push_back(src.ints_[i]);
+        valid_.insert(valid_.end(), sel.size(), 1);
+        return;
+      case Tag::kDouble:
+        PrepareAppend(Value::Kind::kDouble);
+        for (uint32_t i : sel) doubles_.push_back(src.doubles_[i]);
+        valid_.insert(valid_.end(), sel.size(), 1);
+        return;
+      case Tag::kBool:
+        PrepareAppend(Value::Kind::kBool);
+        for (uint32_t i : sel) bools_.push_back(src.bools_[i]);
+        valid_.insert(valid_.end(), sel.size(), 1);
+        return;
+      case Tag::kString:
+        PrepareAppend(Value::Kind::kString);
+        for (uint32_t i : sel) strings_.push_back(src.strings_[i]);
+        valid_.insert(valid_.end(), sel.size(), 1);
+        return;
+      default:
+        break;
+    }
+  }
+  for (uint32_t i : sel) AppendFrom(src, i);
+}
+
+void ColumnVector::AppendRange(const ColumnVector& src, size_t start,
+                               size_t n) {
+  if (n == 0) return;
+  Reserve(size() + n);
+  // Bulk typed copy when the tags line up; placeholder entries keep NULL
+  // positions aligned, so the validity range copies verbatim.
+  if (src.tag_ != Tag::kUntyped && src.tag_ != Tag::kGeneric &&
+      (tag_ == Tag::kUntyped || tag_ == src.tag_)) {
+    switch (src.tag_) {
+      case Tag::kBool:
+        PrepareAppend(Value::Kind::kBool);
+        bools_.insert(bools_.end(), src.bools_.begin() + start,
+                      src.bools_.begin() + start + n);
+        break;
+      case Tag::kInt:
+        PrepareAppend(Value::Kind::kInt);
+        ints_.insert(ints_.end(), src.ints_.begin() + start,
+                     src.ints_.begin() + start + n);
+        break;
+      case Tag::kDouble:
+        PrepareAppend(Value::Kind::kDouble);
+        doubles_.insert(doubles_.end(), src.doubles_.begin() + start,
+                        src.doubles_.begin() + start + n);
+        break;
+      case Tag::kString:
+        PrepareAppend(Value::Kind::kString);
+        strings_.insert(strings_.end(), src.strings_.begin() + start,
+                        src.strings_.begin() + start + n);
+        break;
+      default:
+        break;
+    }
+    valid_.insert(valid_.end(), src.valid_.begin() + start,
+                  src.valid_.begin() + start + n);
+    for (size_t i = start; i < start + n; ++i) {
+      if (src.valid_[i] == 0) ++null_count_;
+    }
+    return;
+  }
+  for (size_t i = start; i < start + n; ++i) AppendFrom(src, i);
+}
+
+void ColumnVector::Truncate(size_t n) {
+  if (n >= size()) return;
+  for (size_t i = n; i < valid_.size(); ++i) {
+    if (valid_[i] == 0) --null_count_;
+  }
+  valid_.resize(n);
+  switch (tag_) {
+    case Tag::kUntyped:
+      break;
+    case Tag::kBool:
+      bools_.resize(n);
+      break;
+    case Tag::kInt:
+      ints_.resize(n);
+      break;
+    case Tag::kDouble:
+      doubles_.resize(n);
+      break;
+    case Tag::kString:
+      strings_.resize(n);
+      break;
+    case Tag::kGeneric:
+      generic_.resize(n);
+      break;
+  }
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (tag_) {
+    case Tag::kUntyped:
+      return Value::Null();
+    case Tag::kBool:
+      return Value::Bool(BoolAt(i));
+    case Tag::kInt:
+      return Value::Int(IntAt(i));
+    case Tag::kDouble:
+      return Value::Double(DoubleAt(i));
+    case Tag::kString:
+      return Value::String(StringAt(i));
+    case Tag::kGeneric:
+      return GenericAt(i);
+  }
+  return Value::Null();
+}
+
+Value::Kind ColumnVector::KindAt(size_t i) const {
+  if (IsNull(i)) return Value::Kind::kNull;
+  switch (tag_) {
+    case Tag::kUntyped:
+      return Value::Kind::kNull;
+    case Tag::kBool:
+      return Value::Kind::kBool;
+    case Tag::kInt:
+      return Value::Kind::kInt;
+    case Tag::kDouble:
+      return Value::Kind::kDouble;
+    case Tag::kString:
+      return Value::Kind::kString;
+    case Tag::kGeneric:
+      return GenericAt(i).kind();
+  }
+  return Value::Kind::kNull;
+}
+
+int CompareAt(const ColumnVector& a, size_t i, const ColumnVector& b,
+              size_t j) {
+  using Tag = ColumnVector::Tag;
+  Tag ta = a.tag(), tb = b.tag();
+  if (ta == Tag::kInt && tb == Tag::kInt) {
+    int64_t x = a.IntAt(i), y = b.IntAt(j);
+    return x == y ? 0 : (x < y ? -1 : 1);
+  }
+  if ((ta == Tag::kInt || ta == Tag::kDouble) &&
+      (tb == Tag::kInt || tb == Tag::kDouble)) {
+    // Mirrors Value::Compare numeric promotion.
+    double x = ta == Tag::kInt ? static_cast<double>(a.IntAt(i)) : a.DoubleAt(i);
+    double y = tb == Tag::kInt ? static_cast<double>(b.IntAt(j)) : b.DoubleAt(j);
+    return x == y ? 0 : (x < y ? -1 : 1);
+  }
+  if (ta == Tag::kString && tb == Tag::kString) {
+    int c = a.StringAt(i).compare(b.StringAt(j));
+    return c == 0 ? 0 : (c < 0 ? -1 : 1);
+  }
+  if (ta == Tag::kBool && tb == Tag::kBool) {
+    bool x = a.BoolAt(i), y = b.BoolAt(j);
+    return x == y ? 0 : (x < y ? -1 : 1);
+  }
+  // Mixed-kind or generic columns: rare enough to materialize.
+  return a.GetValue(i).Compare(b.GetValue(j));
+}
+
+// ---------------------------------------------------------------------------
+// DataChunk
+// ---------------------------------------------------------------------------
+
+void DataChunk::Reset(size_t num_columns) {
+  cols_.resize(num_columns);
+  for (ColumnVector& c : cols_) c.Clear();
+  size_ = 0;
+}
+
+void DataChunk::Reserve(size_t rows) {
+  for (ColumnVector& c : cols_) c.Reserve(rows);
+}
+
+void DataChunk::AppendRow(const Row& row) {
+  assert(row.size() == cols_.size());
+  for (size_t c = 0; c < cols_.size(); ++c) cols_[c].Append(row[c]);
+  ++size_;
+}
+
+void DataChunk::AppendRowFrom(const DataChunk& src, size_t i) {
+  assert(src.num_columns() == num_columns());
+  for (size_t c = 0; c < cols_.size(); ++c) cols_[c].AppendFrom(src.cols_[c], i);
+  ++size_;
+}
+
+void DataChunk::AppendSelected(const DataChunk& src, const Selection& sel) {
+  assert(src.num_columns() == num_columns());
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    cols_[c].AppendSelected(src.cols_[c], sel);
+  }
+  size_ += sel.size();
+}
+
+void DataChunk::AppendConcat(const DataChunk& left, size_t li,
+                             const Row& right) {
+  size_t ln = left.num_columns();
+  assert(ln + right.size() == cols_.size());
+  for (size_t c = 0; c < ln; ++c) cols_[c].AppendFrom(left.cols_[c], li);
+  for (size_t c = 0; c < right.size(); ++c) cols_[ln + c].Append(right[c]);
+  ++size_;
+}
+
+void DataChunk::Truncate(size_t n) {
+  if (n >= size_) return;
+  for (ColumnVector& c : cols_) c.Truncate(n);
+  size_ = n;
+}
+
+void DataChunk::AdoptColumns(std::vector<ColumnVector> cols, size_t rows) {
+  cols_ = std::move(cols);
+  size_ = rows;
+}
+
+Row DataChunk::GetRow(size_t i) const {
+  Row row;
+  row.reserve(cols_.size());
+  for (const ColumnVector& c : cols_) row.push_back(c.GetValue(i));
+  return row;
+}
+
+size_t AppendRowsToChunk(const std::vector<Row>& rows, size_t start,
+                         size_t max_rows, DataChunk* out) {
+  if (start >= rows.size()) return 0;
+  size_t n = std::min(max_rows, rows.size() - start);
+  if (out->num_columns() == 0) {
+    out->SetCardinality(out->size() + n);
+    return n;
+  }
+  out->Reserve(out->size() + n);
+  for (size_t c = 0; c < out->num_columns(); ++c) {
+    ColumnVector& col = out->column(c);
+    for (size_t i = start; i < start + n; ++i) col.Append(rows[i][c]);
+  }
+  out->SetCardinality(out->size() + n);
+  return n;
+}
+
+}  // namespace fgac::exec

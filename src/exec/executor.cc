@@ -17,7 +17,12 @@ Result<OperatorPtr> BuildPhysicalPlan(const PlanPtr& plan,
       if (data == nullptr) {
         return Status::ExecutionError("no data for table '" + plan->table + "'");
       }
-      return OperatorPtr(new ScanOp(&data->rows()));
+      // ScanOp BORROWS the table storage: the operator tree is only valid
+      // for the lifetime of `state`, and callers must not mutate the table
+      // while the tree is live. ExecutePlan satisfies both by building,
+      // draining, and discarding the tree within one call; longer-lived
+      // trees (prepared plans) must be rebuilt after any write.
+      return OperatorPtr(new ScanOp(data));
     }
     case PlanKind::kValues:
       return OperatorPtr(new ValuesOp(plan->rows));
@@ -85,10 +90,11 @@ Result<storage::Relation> ExecutePlan(const PlanPtr& plan,
   FGAC_ASSIGN_OR_RETURN(OperatorPtr root, BuildPhysicalPlan(plan, state));
   FGAC_RETURN_NOT_OK(root->Open());
   storage::Relation out(algebra::OutputNames(*plan));
+  DataChunk chunk;
   while (true) {
-    FGAC_ASSIGN_OR_RETURN(std::optional<Row> row, root->Next());
-    if (!row.has_value()) break;
-    out.AddRow(std::move(*row));
+    FGAC_ASSIGN_OR_RETURN(bool more, root->Next(chunk));
+    if (!more) break;
+    out.AppendChunk(chunk);
   }
   return out;
 }

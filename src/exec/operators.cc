@@ -2,71 +2,124 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "exec/eval.h"
+#include "storage/table_data.h"
 
 namespace fgac::exec {
 
 using algebra::AggAccumulator;
-using algebra::EvalScalar;
 using algebra::ScalarPtr;
 
-Result<std::optional<Row>> ScanOp::Next() {
-  if (pos_ >= rows_->size()) return std::optional<Row>();
-  return std::optional<Row>((*rows_)[pos_++]);
+namespace {
+
+/// Shared end-of-stream epilogue: leaves `out` empty per the Next contract.
+Result<bool> Exhausted(DataChunk& out) {
+  out.Reset(0);
+  return false;
 }
 
-Result<std::optional<Row>> ValuesOp::Next() {
-  if (pos_ >= rows_.size()) return std::optional<Row>();
-  return std::optional<Row>(rows_[pos_++]);
+/// Emits the filtered rows of `src` into `out`, stealing the whole chunk
+/// when the selection kept everything (the common all-pass case).
+bool EmitSelected(DataChunk& src, const Selection& sel, DataChunk& out) {
+  if (sel.empty()) return false;
+  if (sel.size() == src.size()) {
+    std::swap(out, src);
+    return true;
+  }
+  out.Reset(src.num_columns());
+  out.Reserve(sel.size());
+  out.AppendSelected(src, sel);
+  return true;
 }
 
-Result<std::optional<Row>> FilterOp::Next() {
+}  // namespace
+
+Result<bool> ScanOp::Next(DataChunk& out) {
+  if (table_ != nullptr) {
+    size_t n = table_->ScanChunk(pos_, DataChunk::kDefaultCapacity, &out);
+    pos_ += n;
+    return n > 0;
+  }
+  out.Reset(rows_->empty() ? 0 : (*rows_)[0].size());
+  size_t n = AppendRowsToChunk(*rows_, pos_, DataChunk::kDefaultCapacity, &out);
+  pos_ += n;
+  return n > 0;
+}
+
+Result<bool> ValuesOp::Next(DataChunk& out) {
+  out.Reset(rows_.empty() ? 0 : rows_[0].size());
+  size_t n = AppendRowsToChunk(rows_, pos_, DataChunk::kDefaultCapacity, &out);
+  pos_ += n;
+  return n > 0;
+}
+
+Result<bool> FilterOp::Next(DataChunk& out) {
   while (true) {
-    FGAC_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
-    if (!row.has_value()) return std::optional<Row>();
-    FGAC_ASSIGN_OR_RETURN(bool pass, PassesAll(predicates_, *row));
-    if (pass) return row;
+    FGAC_ASSIGN_OR_RETURN(bool more, child_->Next(input_));
+    if (!more) return Exhausted(out);
+    IdentitySelection(input_.size(), &sel_);
+    FGAC_RETURN_NOT_OK(FilterSelection(predicates_, input_, &sel_));
+    if (EmitSelected(input_, sel_, out)) return true;
   }
 }
 
-Result<std::optional<Row>> ProjectOp::Next() {
-  FGAC_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
-  if (!row.has_value()) return std::optional<Row>();
-  FGAC_ASSIGN_OR_RETURN(Row out, ProjectRow(exprs_, *row));
-  return std::optional<Row>(std::move(out));
+Result<bool> ProjectOp::Next(DataChunk& out) {
+  FGAC_ASSIGN_OR_RETURN(bool more, child_->Next(input_));
+  if (!more) return Exhausted(out);
+  FGAC_RETURN_NOT_OK(ProjectChunk(exprs_, input_, &out));
+  return true;
 }
+
+namespace {
+
+/// Drains `op` into a row vector (build sides, sorts).
+Status DrainToRows(Operator* op, std::vector<Row>* rows) {
+  DataChunk chunk;
+  while (true) {
+    Result<bool> more = op->Next(chunk);
+    if (!more.ok()) return more.status();
+    if (!more.value()) return Status::OK();
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      rows->push_back(chunk.GetRow(i));
+    }
+  }
+}
+
+}  // namespace
 
 Status NestedLoopJoinOp::Open() {
   FGAC_RETURN_NOT_OK(left_->Open());
   FGAC_RETURN_NOT_OK(right_->Open());
   right_rows_.clear();
-  while (true) {
-    Result<std::optional<Row>> row = right_->Next();
-    if (!row.ok()) return row.status();
-    if (!row.value().has_value()) break;
-    right_rows_.push_back(std::move(*row.value()));
-  }
-  current_left_.reset();
-  right_pos_ = 0;
+  FGAC_RETURN_NOT_OK(DrainToRows(right_.get(), &right_rows_));
+  right_width_ = right_rows_.empty() ? 0 : right_rows_[0].size();
+  left_chunk_.Reset(0);
+  left_pos_ = 0;
   return Status::OK();
 }
 
-Result<std::optional<Row>> NestedLoopJoinOp::Next() {
+Result<bool> NestedLoopJoinOp::Next(DataChunk& out) {
   while (true) {
-    if (!current_left_.has_value()) {
-      FGAC_ASSIGN_OR_RETURN(current_left_, left_->Next());
-      if (!current_left_.has_value()) return std::optional<Row>();
-      right_pos_ = 0;
+    if (left_pos_ >= left_chunk_.size()) {
+      FGAC_ASSIGN_OR_RETURN(bool more, left_->Next(left_chunk_));
+      if (!more) return Exhausted(out);
+      left_pos_ = 0;
     }
-    while (right_pos_ < right_rows_.size()) {
-      Row combined = *current_left_;
-      const Row& r = right_rows_[right_pos_++];
-      combined.insert(combined.end(), r.begin(), r.end());
-      FGAC_ASSIGN_OR_RETURN(bool pass, PassesAll(predicates_, combined));
-      if (pass) return std::optional<Row>(std::move(combined));
+    // Expand left rows against the materialized right side until the
+    // scratch chunk reaches capacity, then filter the block in one pass.
+    scratch_.Reset(left_chunk_.num_columns() + right_width_);
+    while (left_pos_ < left_chunk_.size() && !scratch_.full()) {
+      for (const Row& r : right_rows_) {
+        scratch_.AppendConcat(left_chunk_, left_pos_, r);
+      }
+      ++left_pos_;
     }
-    current_left_.reset();
+    if (scratch_.empty()) continue;
+    IdentitySelection(scratch_.size(), &sel_);
+    FGAC_RETURN_NOT_OK(FilterSelection(predicates_, scratch_, &sel_));
+    if (EmitSelected(scratch_, sel_, out)) return true;
   }
 }
 
@@ -74,54 +127,74 @@ Status HashJoinOp::Open() {
   FGAC_RETURN_NOT_OK(left_->Open());
   FGAC_RETURN_NOT_OK(right_->Open());
   build_.clear();
+  right_width_ = 0;
+  DataChunk chunk;
+  Selection id;
+  std::vector<ColumnVector> key_cols(right_keys_.size());
   while (true) {
-    Result<std::optional<Row>> row = right_->Next();
-    if (!row.ok()) return row.status();
-    if (!row.value().has_value()) break;
-    const Row& r = *row.value();
-    Row key;
-    key.reserve(right_keys_.size());
-    bool has_null = false;
-    for (const ScalarPtr& k : right_keys_) {
-      Result<Value> v = EvalScalar(k, r);
-      if (!v.ok()) return v.status();
-      if (v.value().is_null()) has_null = true;
-      key.push_back(std::move(v).value());
+    Result<bool> more = right_->Next(chunk);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    right_width_ = chunk.num_columns();
+    IdentitySelection(chunk.size(), &id);
+    for (size_t k = 0; k < right_keys_.size(); ++k) {
+      FGAC_RETURN_NOT_OK(EvalScalarBatch(right_keys_[k], chunk, id,
+                                         &key_cols[k]));
     }
-    if (has_null) continue;  // NULL keys never match in an equi-join.
-    build_[std::move(key)].push_back(r);
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      bool has_null = false;
+      for (const ColumnVector& c : key_cols) {
+        if (c.IsNull(i)) has_null = true;
+      }
+      if (has_null) continue;  // NULL keys never match in an equi-join.
+      Row key;
+      key.reserve(key_cols.size());
+      for (const ColumnVector& c : key_cols) key.push_back(c.GetValue(i));
+      build_[std::move(key)].push_back(chunk.GetRow(i));
+    }
   }
-  current_left_.reset();
-  current_bucket_ = nullptr;
-  bucket_pos_ = 0;
+  left_chunk_.Reset(0);
+  left_key_cols_.clear();
+  left_pos_ = 0;
   return Status::OK();
 }
 
-Result<std::optional<Row>> HashJoinOp::Next() {
+Result<bool> HashJoinOp::Next(DataChunk& out) {
+  Row key;
   while (true) {
-    if (current_bucket_ != nullptr && bucket_pos_ < current_bucket_->size()) {
-      Row combined = *current_left_;
-      const Row& r = (*current_bucket_)[bucket_pos_++];
-      combined.insert(combined.end(), r.begin(), r.end());
-      FGAC_ASSIGN_OR_RETURN(bool pass, PassesAll(residual_, combined));
-      if (pass) return std::optional<Row>(std::move(combined));
-      continue;
+    if (left_pos_ >= left_chunk_.size()) {
+      FGAC_ASSIGN_OR_RETURN(bool more, left_->Next(left_chunk_));
+      if (!more) return Exhausted(out);
+      left_pos_ = 0;
+      IdentitySelection(left_chunk_.size(), &sel_);
+      left_key_cols_.resize(left_keys_.size());
+      for (size_t k = 0; k < left_keys_.size(); ++k) {
+        FGAC_RETURN_NOT_OK(EvalScalarBatch(left_keys_[k], left_chunk_, sel_,
+                                           &left_key_cols_[k]));
+      }
     }
-    FGAC_ASSIGN_OR_RETURN(current_left_, left_->Next());
-    if (!current_left_.has_value()) return std::optional<Row>();
-    Row key;
-    key.reserve(left_keys_.size());
-    bool has_null = false;
-    for (const ScalarPtr& k : left_keys_) {
-      FGAC_ASSIGN_OR_RETURN(Value v, EvalScalar(k, *current_left_));
-      if (v.is_null()) has_null = true;
-      key.push_back(std::move(v));
+    scratch_.Reset(left_chunk_.num_columns() + right_width_);
+    while (left_pos_ < left_chunk_.size() && !scratch_.full()) {
+      size_t i = left_pos_++;
+      bool has_null = false;
+      for (const ColumnVector& c : left_key_cols_) {
+        if (c.IsNull(i)) has_null = true;
+      }
+      if (has_null) continue;
+      key.clear();
+      for (const ColumnVector& c : left_key_cols_) key.push_back(c.GetValue(i));
+      auto it = build_.find(key);
+      if (it == build_.end()) continue;
+      for (const Row& r : it->second) scratch_.AppendConcat(left_chunk_, i, r);
     }
-    current_bucket_ = nullptr;
-    bucket_pos_ = 0;
-    if (has_null) continue;
-    auto it = build_.find(key);
-    if (it != build_.end()) current_bucket_ = &it->second;
+    if (scratch_.empty()) continue;
+    if (residual_.empty()) {
+      std::swap(out, scratch_);
+      return true;
+    }
+    IdentitySelection(scratch_.size(), &sel_);
+    FGAC_RETURN_NOT_OK(FilterSelection(residual_, scratch_, &sel_));
+    if (EmitSelected(scratch_, sel_, out)) return true;
   }
 }
 
@@ -139,24 +212,37 @@ Status HashAggregateOp::Open() {
     return accs;
   };
 
+  DataChunk chunk;
+  Selection id;
+  std::vector<ColumnVector> group_cols(group_by_.size());
+  std::vector<ColumnVector> arg_cols(aggs_.size());
   while (true) {
-    Result<std::optional<Row>> row = child_->Next();
-    if (!row.ok()) return row.status();
-    if (!row.value().has_value()) break;
-    const Row& r = *row.value();
-    Row key;
-    key.reserve(group_by_.size());
-    for (const ScalarPtr& g : group_by_) {
-      Result<Value> v = EvalScalar(g, r);
-      if (!v.ok()) return v.status();
-      key.push_back(std::move(v).value());
+    Result<bool> more = child_->Next(chunk);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    IdentitySelection(chunk.size(), &id);
+    for (size_t g = 0; g < group_by_.size(); ++g) {
+      FGAC_RETURN_NOT_OK(EvalScalarBatch(group_by_[g], chunk, id,
+                                         &group_cols[g]));
     }
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      it = groups.emplace(std::move(key), make_accumulators()).first;
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      if (aggs_[a].arg == nullptr) continue;  // COUNT(*): no argument
+      FGAC_RETURN_NOT_OK(EvalScalarBatch(aggs_[a].arg, chunk, id,
+                                         &arg_cols[a]));
     }
-    for (AggAccumulator& acc : it->second) {
-      FGAC_RETURN_NOT_OK(acc.Add(r));
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      Row key;
+      key.reserve(group_by_.size());
+      for (const ColumnVector& g : group_cols) key.push_back(g.GetValue(i));
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        it = groups.emplace(std::move(key), make_accumulators()).first;
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        Value v = aggs_[a].arg == nullptr ? Value::Null()
+                                          : arg_cols[a].GetValue(i);
+        FGAC_RETURN_NOT_OK(it->second[a].AddValue(v));
+      }
     }
   }
   if (groups.empty() && group_by_.empty()) {
@@ -170,9 +256,12 @@ Status HashAggregateOp::Open() {
   return Status::OK();
 }
 
-Result<std::optional<Row>> HashAggregateOp::Next() {
-  if (pos_ >= results_.size()) return std::optional<Row>();
-  return std::optional<Row>(results_[pos_++]);
+Result<bool> HashAggregateOp::Next(DataChunk& out) {
+  out.Reset(group_by_.size() + aggs_.size());
+  size_t n =
+      AppendRowsToChunk(results_, pos_, DataChunk::kDefaultCapacity, &out);
+  pos_ += n;
+  return n > 0;
 }
 
 Status DistinctOp::Open() {
@@ -180,31 +269,45 @@ Status DistinctOp::Open() {
   return child_->Open();
 }
 
-Result<std::optional<Row>> DistinctOp::Next() {
+Result<bool> DistinctOp::Next(DataChunk& out) {
   while (true) {
-    FGAC_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
-    if (!row.has_value()) return std::optional<Row>();
-    if (seen_.emplace(*row, true).second) return row;
+    FGAC_ASSIGN_OR_RETURN(bool more, child_->Next(input_));
+    if (!more) return Exhausted(out);
+    sel_.clear();
+    for (size_t i = 0; i < input_.size(); ++i) {
+      if (seen_.insert(input_.GetRow(i)).second) {
+        sel_.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (EmitSelected(input_, sel_, out)) return true;
   }
 }
 
 Status SortOp::Open() {
   FGAC_RETURN_NOT_OK(child_->Open());
   rows_.clear();
+  width_ = 0;
   pos_ = 0;
   std::vector<std::pair<Row, Row>> keyed;
+  DataChunk chunk;
+  Selection id;
+  std::vector<ColumnVector> key_cols(items_.size());
   while (true) {
-    Result<std::optional<Row>> row = child_->Next();
-    if (!row.ok()) return row.status();
-    if (!row.value().has_value()) break;
-    Row key;
-    key.reserve(items_.size());
-    for (const algebra::SortItem& it : items_) {
-      Result<Value> v = EvalScalar(it.expr, *row.value());
-      if (!v.ok()) return v.status();
-      key.push_back(std::move(v).value());
+    Result<bool> more = child_->Next(chunk);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    width_ = chunk.num_columns();
+    IdentitySelection(chunk.size(), &id);
+    for (size_t k = 0; k < items_.size(); ++k) {
+      FGAC_RETURN_NOT_OK(EvalScalarBatch(items_[k].expr, chunk, id,
+                                         &key_cols[k]));
     }
-    keyed.emplace_back(std::move(key), std::move(*row.value()));
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      Row key;
+      key.reserve(items_.size());
+      for (const ColumnVector& c : key_cols) key.push_back(c.GetValue(i));
+      keyed.emplace_back(std::move(key), chunk.GetRow(i));
+    }
   }
   const auto& items = items_;
   std::stable_sort(keyed.begin(), keyed.end(),
@@ -220,17 +323,23 @@ Status SortOp::Open() {
   return Status::OK();
 }
 
-Result<std::optional<Row>> SortOp::Next() {
-  if (pos_ >= rows_.size()) return std::optional<Row>();
-  return std::optional<Row>(rows_[pos_++]);
+Result<bool> SortOp::Next(DataChunk& out) {
+  out.Reset(width_);
+  size_t n = AppendRowsToChunk(rows_, pos_, DataChunk::kDefaultCapacity, &out);
+  pos_ += n;
+  return n > 0;
 }
 
-Result<std::optional<Row>> LimitOp::Next() {
-  if (produced_ >= limit_) return std::optional<Row>();
-  FGAC_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
-  if (!row.has_value()) return std::optional<Row>();
-  ++produced_;
-  return row;
+Result<bool> LimitOp::Next(DataChunk& out) {
+  if (produced_ >= limit_) return Exhausted(out);
+  FGAC_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  int64_t remaining = limit_ - produced_;
+  if (static_cast<int64_t>(out.size()) > remaining) {
+    out.Truncate(static_cast<size_t>(remaining));
+  }
+  produced_ += static_cast<int64_t>(out.size());
+  return !out.empty();
 }
 
 Status UnionAllOp::Open() {
@@ -241,13 +350,13 @@ Status UnionAllOp::Open() {
   return Status::OK();
 }
 
-Result<std::optional<Row>> UnionAllOp::Next() {
+Result<bool> UnionAllOp::Next(DataChunk& out) {
   while (current_ < children_.size()) {
-    FGAC_ASSIGN_OR_RETURN(std::optional<Row> row, children_[current_]->Next());
-    if (row.has_value()) return row;
+    FGAC_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(out));
+    if (more) return true;
     ++current_;
   }
-  return std::optional<Row>();
+  return Exhausted(out);
 }
 
 }  // namespace fgac::exec

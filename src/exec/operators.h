@@ -4,17 +4,32 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "algebra/plan.h"
 #include "algebra/scalar.h"
 #include "common/result.h"
 #include "common/value.h"
+#include "exec/chunk.h"
+
+namespace fgac::storage {
+class TableData;
+}  // namespace fgac::storage
 
 namespace fgac::exec {
 
-/// Pull-based physical operator (the Volcano iterator model the paper's
-/// optimizer context assumes). Next() returns one row, or nullopt at end.
+/// Pull-based physical operator, vectorized: each Next() call fills a
+/// DataChunk with up to ~DataChunk::kDefaultCapacity rows instead of
+/// producing one tuple (the classic Volcano model this engine started from).
+///
+/// Contract:
+///  - Open() resets state and prepares for iteration; it may be called again
+///    after exhaustion to re-scan.
+///  - Next(out) reshapes `out` and fills it with the next batch. It returns
+///    true when `out` holds at least one row and false exactly at end of
+///    stream (with `out` empty). Operators never return true with an empty
+///    chunk, so callers can drive pipelines with `while (Next(chunk)) ...`.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -22,33 +37,35 @@ class Operator {
   Operator(const Operator&) = delete;
   Operator& operator=(const Operator&) = delete;
 
-  /// Resets state and prepares for iteration. May be called again after
-  /// exhaustion to re-scan.
   virtual Status Open() = 0;
 
-  /// Produces the next row or std::nullopt when exhausted.
-  virtual Result<std::optional<Row>> Next() = 0;
+  /// Fills `out` with the next batch; false = exhausted.
+  virtual Result<bool> Next(DataChunk& out) = 0;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-/// Scans a borrowed row vector (base table data or materialized input).
-/// The rows must outlive the operator.
+/// Scans a base table through TableData's chunked access path, or a borrowed
+/// row vector (materialized input). Either source is BORROWED and must
+/// outlive the operator — see BuildPhysicalPlan for the lifetime argument.
 class ScanOp final : public Operator {
  public:
+  explicit ScanOp(const storage::TableData* table) : table_(table) {}
   explicit ScanOp(const std::vector<Row>* rows) : rows_(rows) {}
   Status Open() override {
     pos_ = 0;
     return Status::OK();
   }
-  Result<std::optional<Row>> Next() override;
+  Result<bool> Next(DataChunk& out) override;
 
  private:
-  const std::vector<Row>* rows_;
+  const storage::TableData* table_ = nullptr;  // exactly one of table_/rows_
+  const std::vector<Row>* rows_ = nullptr;     // is non-null
   size_t pos_ = 0;
 };
 
-/// Emits an owned row vector (VALUES).
+/// Emits an owned row vector (VALUES). Rows may have arity zero
+/// (`SELECT 1` scans a one-row, zero-column VALUES).
 class ValuesOp final : public Operator {
  public:
   explicit ValuesOp(std::vector<Row> rows) : rows_(std::move(rows)) {}
@@ -56,7 +73,7 @@ class ValuesOp final : public Operator {
     pos_ = 0;
     return Status::OK();
   }
-  Result<std::optional<Row>> Next() override;
+  Result<bool> Next(DataChunk& out) override;
 
  private:
   std::vector<Row> rows_;
@@ -68,11 +85,13 @@ class FilterOp final : public Operator {
   FilterOp(std::vector<algebra::ScalarPtr> predicates, OperatorPtr child)
       : predicates_(std::move(predicates)), child_(std::move(child)) {}
   Status Open() override { return child_->Open(); }
-  Result<std::optional<Row>> Next() override;
+  Result<bool> Next(DataChunk& out) override;
 
  private:
   std::vector<algebra::ScalarPtr> predicates_;
   OperatorPtr child_;
+  DataChunk input_;
+  Selection sel_;
 };
 
 class ProjectOp final : public Operator {
@@ -80,15 +99,16 @@ class ProjectOp final : public Operator {
   ProjectOp(std::vector<algebra::ScalarPtr> exprs, OperatorPtr child)
       : exprs_(std::move(exprs)), child_(std::move(child)) {}
   Status Open() override { return child_->Open(); }
-  Result<std::optional<Row>> Next() override;
+  Result<bool> Next(DataChunk& out) override;
 
  private:
   std::vector<algebra::ScalarPtr> exprs_;
   OperatorPtr child_;
+  DataChunk input_;
 };
 
 /// Block nested-loop join: materializes the right input once, then streams
-/// the left input against it, applying all predicates.
+/// left chunks against it, applying all predicates to the cross product.
 class NestedLoopJoinOp final : public Operator {
  public:
   NestedLoopJoinOp(std::vector<algebra::ScalarPtr> predicates,
@@ -97,19 +117,22 @@ class NestedLoopJoinOp final : public Operator {
         left_(std::move(left)),
         right_(std::move(right)) {}
   Status Open() override;
-  Result<std::optional<Row>> Next() override;
+  Result<bool> Next(DataChunk& out) override;
 
  private:
   std::vector<algebra::ScalarPtr> predicates_;
   OperatorPtr left_;
   OperatorPtr right_;
   std::vector<Row> right_rows_;
-  std::optional<Row> current_left_;
-  size_t right_pos_ = 0;
+  size_t right_width_ = 0;
+  DataChunk left_chunk_;
+  size_t left_pos_ = 0;  // next left row to expand
+  DataChunk scratch_;
+  Selection sel_;
 };
 
 /// Hash join on equi-key expressions; residual predicates applied to the
-/// combined row. Builds on the right input.
+/// combined row. Builds on the right input, probes with left chunks.
 class HashJoinOp final : public Operator {
  public:
   HashJoinOp(std::vector<algebra::ScalarPtr> left_keys,
@@ -122,7 +145,7 @@ class HashJoinOp final : public Operator {
         left_(std::move(left)),
         right_(std::move(right)) {}
   Status Open() override;
-  Result<std::optional<Row>> Next() override;
+  Result<bool> Next(DataChunk& out) override;
 
  private:
   std::vector<algebra::ScalarPtr> left_keys_;
@@ -131,9 +154,12 @@ class HashJoinOp final : public Operator {
   OperatorPtr left_;
   OperatorPtr right_;
   std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> build_;
-  std::optional<Row> current_left_;
-  const std::vector<Row>* current_bucket_ = nullptr;
-  size_t bucket_pos_ = 0;
+  size_t right_width_ = 0;
+  DataChunk left_chunk_;
+  std::vector<ColumnVector> left_key_cols_;  // keys of left_chunk_, batched
+  size_t left_pos_ = 0;  // next probe row
+  DataChunk scratch_;
+  Selection sel_;
 };
 
 /// Hash aggregation; materializes all groups on Open.
@@ -145,7 +171,7 @@ class HashAggregateOp final : public Operator {
         aggs_(std::move(aggs)),
         child_(std::move(child)) {}
   Status Open() override;
-  Result<std::optional<Row>> Next() override;
+  Result<bool> Next(DataChunk& out) override;
 
  private:
   std::vector<algebra::ScalarPtr> group_by_;
@@ -159,11 +185,13 @@ class DistinctOp final : public Operator {
  public:
   explicit DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
   Status Open() override;
-  Result<std::optional<Row>> Next() override;
+  Result<bool> Next(DataChunk& out) override;
 
  private:
   OperatorPtr child_;
-  std::unordered_map<Row, bool, RowHash, RowEq> seen_;
+  std::unordered_set<Row, RowHash, RowEq> seen_;
+  DataChunk input_;
+  Selection sel_;
 };
 
 class SortOp final : public Operator {
@@ -171,12 +199,13 @@ class SortOp final : public Operator {
   SortOp(std::vector<algebra::SortItem> items, OperatorPtr child)
       : items_(std::move(items)), child_(std::move(child)) {}
   Status Open() override;
-  Result<std::optional<Row>> Next() override;
+  Result<bool> Next(DataChunk& out) override;
 
  private:
   std::vector<algebra::SortItem> items_;
   OperatorPtr child_;
   std::vector<Row> rows_;
+  size_t width_ = 0;
   size_t pos_ = 0;
 };
 
@@ -188,7 +217,7 @@ class LimitOp final : public Operator {
     produced_ = 0;
     return child_->Open();
   }
-  Result<std::optional<Row>> Next() override;
+  Result<bool> Next(DataChunk& out) override;
 
  private:
   int64_t limit_;
@@ -201,7 +230,7 @@ class UnionAllOp final : public Operator {
   explicit UnionAllOp(std::vector<OperatorPtr> children)
       : children_(std::move(children)) {}
   Status Open() override;
-  Result<std::optional<Row>> Next() override;
+  Result<bool> Next(DataChunk& out) override;
 
  private:
   std::vector<OperatorPtr> children_;

@@ -3,7 +3,16 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "exec/chunk.h"
+
 namespace fgac::storage {
+
+void Relation::AppendChunk(const exec::DataChunk& chunk) {
+  rows_.reserve(rows_.size() + chunk.size());
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    rows_.push_back(chunk.GetRow(i));
+  }
+}
 
 namespace {
 
@@ -81,9 +90,13 @@ std::string Relation::ToString(size_t max_rows) const {
     out += "\n";
   }
   if (rows_.size() > shown) {
-    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+    out += "... (";
+    out += std::to_string(rows_.size() - shown);
+    out += " more rows)\n";
   }
-  out += "(" + std::to_string(rows_.size()) + " rows)\n";
+  out += "(";
+  out += std::to_string(rows_.size());
+  out += " rows)\n";
   return out;
 }
 

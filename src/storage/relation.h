@@ -6,6 +6,10 @@
 
 #include "common/value.h"
 
+namespace fgac::exec {
+class DataChunk;
+}  // namespace fgac::exec
+
 namespace fgac::storage {
 
 /// A materialized query result or table snapshot: named columns plus a
@@ -25,6 +29,8 @@ class Relation {
   bool empty() const { return rows_.empty(); }
 
   void AddRow(Row row) { rows_.push_back(std::move(row)); }
+  /// Bulk append of one execution batch (rows materialize column-by-column).
+  void AppendChunk(const exec::DataChunk& chunk);
   void Clear() { rows_.clear(); }
 
   /// Multiset equality: same row bag regardless of order. Column names are

@@ -1,9 +1,44 @@
 #include "storage/table_data.h"
 
+#include <algorithm>
+
 namespace fgac::storage {
+
+void TableData::InsertRows(std::vector<Row> rows) {
+  columns_dirty_ = true;
+  if (rows_.empty()) {
+    rows_ = std::move(rows);
+    return;
+  }
+  rows_.reserve(rows_.size() + rows.size());
+  for (Row& r : rows) rows_.push_back(std::move(r));
+}
+
+void TableData::RebuildColumns() const {
+  columns_.assign(num_columns_, exec::ColumnVector());
+  for (exec::ColumnVector& c : columns_) c.Reserve(rows_.size());
+  for (const Row& r : rows_) {
+    for (size_t c = 0; c < num_columns_; ++c) columns_[c].Append(r[c]);
+  }
+  columns_dirty_ = false;
+}
+
+size_t TableData::ScanChunk(size_t start, size_t max_rows,
+                            exec::DataChunk* out) const {
+  if (columns_dirty_) RebuildColumns();
+  out->Reset(num_columns_);
+  if (start >= rows_.size()) return 0;
+  size_t n = std::min(max_rows, rows_.size() - start);
+  for (size_t c = 0; c < num_columns_; ++c) {
+    out->column(c).AppendRange(columns_[c], start, n);
+  }
+  out->SetCardinality(n);
+  return n;
+}
 
 void TableData::EraseIndices(const std::vector<size_t>& ascending_indices) {
   if (ascending_indices.empty()) return;
+  columns_dirty_ = true;
   std::vector<Row> kept;
   kept.reserve(rows_.size() - ascending_indices.size());
   size_t next = 0;

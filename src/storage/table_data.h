@@ -5,12 +5,19 @@
 #include <vector>
 
 #include "common/value.h"
+#include "exec/chunk.h"
 
 namespace fgac::storage {
 
 /// Row storage for one base table. Rows are stored in insertion order;
 /// deletion compacts. The schema lives in the catalog; TableData only
 /// validates row width.
+///
+/// Reads go through ScanChunk, which serves batches from a lazily-built
+/// columnar snapshot of the rows; any mutation invalidates the snapshot and
+/// the next scan rebuilds it in one pass. Read-heavy workloads therefore
+/// scan typed column arrays instead of re-pivoting row-major Values on
+/// every query.
 class TableData {
  public:
   TableData() = default;
@@ -18,17 +25,36 @@ class TableData {
 
   size_t num_columns() const { return num_columns_; }
   const std::vector<Row>& rows() const { return rows_; }
-  std::vector<Row>& mutable_rows() { return rows_; }
+  std::vector<Row>& mutable_rows() {
+    columns_dirty_ = true;  // caller may mutate through the reference
+    return rows_;
+  }
   size_t num_rows() const { return rows_.size(); }
 
-  void Insert(Row row) { rows_.push_back(std::move(row)); }
+  void Insert(Row row) {
+    rows_.push_back(std::move(row));
+    columns_dirty_ = true;
+  }
+
+  /// Bulk append with a single reservation (INSERT ... SELECT / seed data).
+  void InsertRows(std::vector<Row> rows);
+
+  /// Chunked scan access path: reshapes `out` to this table's width and
+  /// fills it with up to max_rows rows starting at row index `start`.
+  /// Returns the number of rows appended (0 past the end).
+  size_t ScanChunk(size_t start, size_t max_rows, exec::DataChunk* out) const;
 
   /// Removes all rows at the given (ascending, deduplicated) indices.
   void EraseIndices(const std::vector<size_t>& ascending_indices);
 
  private:
+  void RebuildColumns() const;
+
   size_t num_columns_ = 0;
   std::vector<Row> rows_;
+  // Columnar snapshot of rows_, rebuilt on first scan after a mutation.
+  mutable std::vector<exec::ColumnVector> columns_;
+  mutable bool columns_dirty_ = true;
 };
 
 }  // namespace fgac::storage

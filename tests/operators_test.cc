@@ -25,11 +25,14 @@ Row R(std::initializer_list<int64_t> vals) {
 std::vector<Row> Drain(Operator* op) {
   EXPECT_TRUE(op->Open().ok());
   std::vector<Row> out;
+  DataChunk chunk;
   while (true) {
-    auto next = op->Next();
-    EXPECT_TRUE(next.ok()) << next.status().ToString();
-    if (!next.ok() || !next.value().has_value()) break;
-    out.push_back(*next.value());
+    Result<bool> more = op->Next(chunk);
+    EXPECT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ok() || !more.value()) break;
+    // Contract: Next returning true implies a non-empty chunk.
+    EXPECT_FALSE(chunk.empty());
+    for (size_t i = 0; i < chunk.size(); ++i) out.push_back(chunk.GetRow(i));
   }
   return out;
 }
