@@ -12,9 +12,17 @@
 #                       their argv, so this is safe to set globally)
 #   FGAC_SEED_BASELINE  optional JSON-lines file with baseline measurements
 #                       (same format); matching names gain a
-#                       "speedup_vs_baseline" field in the output
-set -u
+#                       "speedup_vs_baseline" field in the output. Setting
+#                       it to a path that does not exist is an error (a
+#                       silently-missing baseline yields a results file with
+#                       no speedup fields, which reads as a regression).
+set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ -n "${FGAC_SEED_BASELINE:-}" ] && [ ! -f "${FGAC_SEED_BASELINE}" ]; then
+  echo "error: FGAC_SEED_BASELINE='${FGAC_SEED_BASELINE}' does not exist" >&2
+  exit 2
+fi
 
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${1:-BENCH_RESULTS.json}"

@@ -595,6 +595,39 @@ Status AggAccumulator::AddValue(const Value& v) {
   return Status::OK();
 }
 
+Status AggAccumulator::Merge(const AggAccumulator& other) {
+  if (agg_.distinct) {
+    // Replaying through AddValue re-deduplicates against our own seen-set
+    // and keeps count/sum consistent with the union.
+    for (const Value& v : other.distinct_seen_) {
+      FGAC_RETURN_NOT_OK(AddValue(v));
+    }
+    return Status::OK();
+  }
+  count_ += other.count_;
+  if (other.sum_is_double_ || sum_is_double_) {
+    if (!sum_is_double_) {
+      sum_double_ = static_cast<double>(sum_int_);
+      sum_is_double_ = true;
+    }
+    sum_double_ += other.sum_is_double_
+                       ? other.sum_double_
+                       : static_cast<double>(other.sum_int_);
+  } else {
+    sum_int_ += other.sum_int_;
+  }
+  if (other.any_) {
+    if (!any_ || (!other.min_.is_null() && other.min_.Compare(min_) < 0)) {
+      min_ = other.min_;
+    }
+    if (!any_ || (!other.max_.is_null() && other.max_.Compare(max_) > 0)) {
+      max_ = other.max_;
+    }
+  }
+  any_ = any_ || other.any_;
+  return Status::OK();
+}
+
 Value AggAccumulator::Finish() const {
   switch (agg_.func) {
     case AggFunc::kCountStar:

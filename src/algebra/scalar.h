@@ -170,6 +170,12 @@ class AggAccumulator {
   /// the argument column-at-a-time). For kCountStar the value is ignored.
   Status AddValue(const Value& v);
 
+  /// Folds another accumulator over the SAME aggregate expression into this
+  /// one (parallel partial aggregation). DISTINCT aggregates replay the
+  /// other side's seen-set through AddValue so cross-partition duplicates
+  /// are still eliminated.
+  Status Merge(const AggAccumulator& other);
+
   /// Final value (NULL for empty SUM/AVG/MIN/MAX, 0 for COUNT).
   Value Finish() const;
 

@@ -1,0 +1,72 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace fgac::common {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  struct Latch {
+    std::mutex m;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = tasks.size();
+  for (std::function<void()>& task : tasks) {
+    Submit([latch, task = std::move(task)] {
+      task();
+      std::lock_guard<std::mutex> lock(latch->m);
+      if (--latch->remaining == 0) latch->cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch->m);
+  latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max<size_t>(4, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+}  // namespace fgac::common

@@ -1,0 +1,58 @@
+#ifndef FGAC_COMMON_THREAD_POOL_H_
+#define FGAC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fgac::common {
+
+/// A small fixed-size thread pool with one shared FIFO queue — deliberately
+/// work-stealing-free: morsel-driven parallelism gets its load balancing
+/// from the shared morsel cursor, not from the scheduler, so a plain queue
+/// is sufficient and much easier to reason about under TSan.
+///
+/// Tasks must be independent: a task must never block on another task's
+/// completion (the pool has no nested-wait support), and tasks must not
+/// submit follow-up work and wait for it. Both execution-layer uses —
+/// per-thread pipeline drains and C3 probe batches — satisfy this by
+/// construction.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Runs all tasks and returns when every one has finished. The calling
+  /// thread does not execute tasks; it blocks on a completion latch, so the
+  /// pool must have at least one worker (the constructor guarantees it).
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  /// Process-wide pool sized for the host (at least 4 threads so that
+  /// multi-threaded execution paths are genuinely concurrent — and
+  /// observable by TSan — even on small CI machines). Created on first use.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fgac::common
+
+#endif  // FGAC_COMMON_THREAD_POOL_H_

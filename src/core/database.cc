@@ -10,6 +10,7 @@
 #include "core/auth_view.h"
 #include "core/truman.h"
 #include "exec/executor.h"
+#include "exec/parallel.h"
 #include "optimizer/optimizer.h"
 #include "sql/parser.h"
 
@@ -118,9 +119,12 @@ Result<PlanPtr> Database::BindQuery(const sql::SelectStmt& stmt,
   return binder.BindSelect(stmt);
 }
 
-Result<Relation> Database::RunPlan(const PlanPtr& plan) {
+Result<Relation> Database::RunPlan(const PlanPtr& plan,
+                                   const SessionContext& ctx) {
+  size_t threads = ctx.exec_parallelism() != 0 ? ctx.exec_parallelism()
+                                               : options_.parallelism;
   if (!options_.optimize_execution) {
-    return exec::ExecutePlan(plan, state_);
+    return exec::ParallelExecutePlan(plan, state_, threads);
   }
   auto row_count = [this](const std::string& table) -> double {
     const storage::TableData* t = state_.GetTable(table);
@@ -129,7 +133,13 @@ Result<Relation> Database::RunPlan(const PlanPtr& plan) {
   FGAC_ASSIGN_OR_RETURN(
       optimizer::OptimizeResult best,
       optimizer::Optimize(plan, options_.exec_expand, row_count));
-  return exec::ExecutePlan(best.plan, state_);
+  return exec::ParallelExecutePlan(best.plan, state_, threads);
+}
+
+ValidityOptions Database::ResolvedValidityOptions() const {
+  ValidityOptions v = options_.validity;
+  if (v.probe_parallelism == 0) v.probe_parallelism = options_.parallelism;
+  return v;
 }
 
 Result<ExecResult> Database::ExecuteSelect(const sql::SelectStmt& stmt,
@@ -158,7 +168,7 @@ Result<ExecResult> Database::ExecuteSelect(const sql::SelectStmt& stmt,
       }
       const ValidityReport* cached =
           options_.enable_validity_cache
-              ? cache_.Lookup(ctx.user(), fp, catalog_version_, data_version_)
+              ? cache_.Lookup(ctx.user(), fp, catalog_version_, data_version())
               : nullptr;
       if (cached != nullptr) {
         out.validity = *cached;
@@ -166,10 +176,10 @@ Result<ExecResult> Database::ExecuteSelect(const sql::SelectStmt& stmt,
       } else {
         FGAC_ASSIGN_OR_RETURN(std::vector<InstantiatedView> views,
                               InstantiateAvailableViews(catalog_, ctx));
-        ValidityChecker checker(catalog_, &state_, options_.validity);
+        ValidityChecker checker(catalog_, &state_, ResolvedValidityOptions());
         FGAC_ASSIGN_OR_RETURN(out.validity, checker.Check(plan, views));
         if (options_.enable_validity_cache) {
-          cache_.Insert(ctx.user(), fp, catalog_version_, data_version_,
+          cache_.Insert(ctx.user(), fp, catalog_version_, data_version(),
                         out.validity);
         }
       }
@@ -182,7 +192,7 @@ Result<ExecResult> Database::ExecuteSelect(const sql::SelectStmt& stmt,
     }
   }
 
-  FGAC_ASSIGN_OR_RETURN(out.relation, RunPlan(to_run));
+  FGAC_ASSIGN_OR_RETURN(out.relation, RunPlan(to_run, ctx));
   // The optimizer strips display names; restore the user-visible ones.
   Relation named(algebra::OutputNames(*plan));
   named.mutable_rows() = std::move(out.relation.mutable_rows());
@@ -209,7 +219,7 @@ Result<ExecResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt,
   if (ctx.mode() == EnforcementMode::kNonTruman) {
     FGAC_ASSIGN_OR_RETURN(std::vector<InstantiatedView> views,
                           InstantiateAvailableViews(catalog_, ctx));
-    ValidityChecker checker(catalog_, &state_, options_.validity);
+    ValidityChecker checker(catalog_, &state_, ResolvedValidityOptions());
     FGAC_ASSIGN_OR_RETURN(ValidityReport report, checker.Check(plan, views));
     if (report.valid) {
       text += std::string("validity: ") +
@@ -385,7 +395,6 @@ Result<ExecResult> Database::ExecuteInsert(const sql::InsertStmt& stmt,
   ExecResult out;
   out.affected_rows = static_cast<int64_t>(pending.size());
   data->InsertRows(std::move(pending));
-  ++data_version_;
   return out;
 }
 
@@ -461,10 +470,9 @@ Result<ExecResult> Database::ExecuteUpdate(const sql::UpdateStmt& stmt,
     updates.emplace_back(i, std::move(new_row));
   }
   for (auto& [idx, new_row] : updates) {
-    data->mutable_rows()[idx] = std::move(new_row);
+    data->UpdateRow(idx, std::move(new_row));
     ++affected;
   }
-  if (affected > 0) ++data_version_;
   ExecResult out;
   out.affected_rows = affected;
   return out;
@@ -501,7 +509,6 @@ Result<ExecResult> Database::ExecuteDelete(const sql::DeleteStmt& stmt,
     to_delete.push_back(i);
   }
   data->EraseIndices(to_delete);
-  if (!to_delete.empty()) ++data_version_;
   ExecResult out;
   out.affected_rows = static_cast<int64_t>(to_delete.size());
   return out;
@@ -653,7 +660,7 @@ Result<ValidityReport> Database::CheckQueryValidity(std::string_view sql,
   FGAC_ASSIGN_OR_RETURN(PlanPtr plan, BindQuery(*stmt, ctx));
   FGAC_ASSIGN_OR_RETURN(std::vector<InstantiatedView> views,
                         InstantiateAvailableViews(catalog_, ctx));
-  ValidityChecker checker(catalog_, &state_, options_.validity);
+  ValidityChecker checker(catalog_, &state_, ResolvedValidityOptions());
   return checker.Check(plan, views);
 }
 

@@ -39,6 +39,11 @@ struct DatabaseOptions {
   bool optimize_execution = true;
   /// Use the prepared-statement validity cache (Section 5.6 optimization).
   bool enable_validity_cache = true;
+  /// Threads for morsel-driven parallel execution of SELECT plans and for
+  /// batched validity probes. 1 = serial (the default: results are
+  /// identical either way, so parallelism is strictly an opt-in speedup).
+  /// A session can override per-query via SessionContext::exec_parallelism.
+  size_t parallelism = 1;
   /// Validity engine configuration.
   ValidityOptions validity;
   /// Expansion budget for cost-based optimization of the executed plan
@@ -83,7 +88,11 @@ class Database {
   DatabaseOptions& options() { return options_; }
   ValidityCache& validity_cache() { return cache_; }
   uint64_t catalog_version() const { return catalog_version_; }
-  uint64_t data_version() const { return data_version_; }
+  /// Data version used for ValidityCache invalidation. Derived from the
+  /// storage layer's per-table mutation counters, so direct TableData
+  /// writers (bench/test seeding) are covered — not only DML routed
+  /// through Execute().
+  uint64_t data_version() const { return state_.DataVersion(); }
 
   /// Binds a SELECT under `ctx` to a canonical logical plan (exposed for
   /// benches/tests that drive the optimizer directly).
@@ -110,9 +119,14 @@ class Database {
   Result<ExecResult> ApplyAuthorize(const sql::AuthorizeStmt& stmt);
   Result<ExecResult> ApplyDrop(const sql::DropStmt& stmt);
 
-  /// Optimizes (optionally) and executes a plan; restores `names` on the
-  /// result columns.
-  Result<storage::Relation> RunPlan(const algebra::PlanPtr& plan);
+  /// Optimizes (optionally) and executes a plan through the morsel-driven
+  /// parallel executor (serial when the resolved parallelism is 1).
+  Result<storage::Relation> RunPlan(const algebra::PlanPtr& plan,
+                                    const SessionContext& ctx);
+
+  /// Validity options with the probe-parallelism default (0) resolved to
+  /// this database's `parallelism` knob.
+  ValidityOptions ResolvedValidityOptions() const;
 
   Status CheckRowConstraints(const catalog::TableSchema& schema,
                              const Row& row) const;
@@ -123,7 +137,6 @@ class Database {
   storage::DatabaseState state_;
   ValidityCache cache_;
   uint64_t catalog_version_ = 1;
-  uint64_t data_version_ = 1;
 };
 
 }  // namespace fgac::core

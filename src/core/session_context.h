@@ -44,10 +44,16 @@ class SessionContext {
   EnforcementMode mode() const { return mode_; }
   void set_mode(EnforcementMode mode) { mode_ = mode; }
 
+  /// Per-session override of the database's `parallelism` option for this
+  /// session's SELECTs. 0 = inherit the database default.
+  size_t exec_parallelism() const { return exec_parallelism_; }
+  void set_exec_parallelism(size_t n) { exec_parallelism_ = n; }
+
  private:
   std::string user_;
   std::map<std::string, Value> params_;
   EnforcementMode mode_ = EnforcementMode::kNonTruman;
+  size_t exec_parallelism_ = 0;
 };
 
 }  // namespace fgac::core

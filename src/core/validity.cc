@@ -1,10 +1,12 @@
 #include "core/validity.h"
 
 #include <algorithm>
+#include <functional>
 #include <set>
 
 #include "algebra/binder.h"
 #include "algebra/normalize.h"
+#include "common/thread_pool.h"
 #include "core/view_pruning.h"
 #include "exec/executor.h"
 #include "optimizer/implication.h"
@@ -50,6 +52,35 @@ MemoExpr DistinctExpr(GroupId child) {
   e.kind = PlanKind::kDistinct;
   e.children = {child};
   return e;
+}
+
+/// Runs the LIMIT-1 visible-non-emptiness probes of one inference round as
+/// a batch: nonempty[i] tells whether plans[i] produced at least one row.
+/// With `parallelism` > 1 the probes run concurrently on the shared pool;
+/// each task uses the SERIAL executor because pool tasks must not re-enter
+/// the pool (no nested waits). Safe because probes only read `state` and
+/// immutable plan nodes — all memo mutation happens outside this function.
+/// A probe that errors counts as empty, as in the serial code.
+std::vector<char> RunNonEmptinessProbes(const std::vector<PlanPtr>& plans,
+                                        const storage::DatabaseState& state,
+                                        size_t parallelism) {
+  std::vector<char> nonempty(plans.size(), 0);
+  auto run_one = [&plans, &state, &nonempty](size_t i) {
+    Result<storage::Relation> r =
+        exec::ExecutePlan(algebra::MakeLimit(1, plans[i]), state);
+    nonempty[i] = r.ok() && !r.value().empty() ? 1 : 0;
+  };
+  if (parallelism <= 1 || plans.size() <= 1) {
+    for (size_t i = 0; i < plans.size(); ++i) run_one(i);
+    return nonempty;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    tasks.push_back([&run_one, i] { run_one(i); });
+  }
+  common::ThreadPool::Shared().RunAll(std::move(tasks));
+  return nonempty;
 }
 
 /// Binds every $$ parameter in a plan to concrete values.
@@ -519,12 +550,21 @@ bool ValidityChecker::ApplyCAggRules() {
     return 0;
   };
 
+  // Probes are collected during the walk and executed as one batch at the
+  // end (concurrently when configured) — the memo is not thread-safe, so
+  // marking is also deferred until after the batch.
+  struct AggProbe {
+    PlanPtr plan;        // σ_{P1}(v), conditionally valid
+    GroupId target = -1; // query selection group to promote when non-empty
+  };
+  std::vector<AggProbe> pending;
+
   // Shared tail: given that the restriction of the keyed aggregate `x` is
   // visible as the valid group `v` (same column layout as the query's
   // selection input `z`), and `key_slots` are z-slots carrying the whole
   // key of x, promote query selections σ_{P1}(z) that pin every key slot
   // whenever the probe σ_{P1}(v) is visibly non-empty.
-  auto promote = [this, &changed](GroupId z, GroupId v,
+  auto promote = [this, &pending](GroupId z, GroupId v,
                                   const std::vector<int>& key_slots) {
     for (ExprId sid : memo_.ParentsOf(z)) {
       const MemoExpr s = memo_.expr(sid);  // copy
@@ -557,12 +597,7 @@ bool ValidityChecker::ApplyCAggRules() {
       if (!memo_.IsValidC(probe)) continue;
       Result<PlanPtr> plan = memo_.AnyPlan(probe);
       if (!plan.ok()) continue;
-      ++c3_probes_;
-      Result<storage::Relation> rows =
-          exec::ExecutePlan(algebra::MakeLimit(1, plan.value()), *state_);
-      if (!rows.ok() || rows.value().empty()) continue;
-      MarkC(sg, "C3 over keyed aggregate (visibly non-empty key)");
-      changed = true;
+      pending.push_back({plan.value(), sg});
     }
   };
 
@@ -630,6 +665,21 @@ bool ValidityChecker::ApplyCAggRules() {
         }
       }
     }
+  }
+
+  // Batched probe + serial marking.
+  c3_probes_ += pending.size();
+  std::vector<PlanPtr> plans;
+  plans.reserve(pending.size());
+  for (const AggProbe& p : pending) plans.push_back(p.plan);
+  std::vector<char> nonempty =
+      RunNonEmptinessProbes(plans, *state_, options_.probe_parallelism);
+  for (size_t i = 0; i < pending.size(); ++i) {
+    if (!nonempty[i]) continue;
+    GroupId target = memo_.Find(pending[i].target);
+    if (memo_.IsValidC(target)) continue;
+    MarkC(target, "C3 over keyed aggregate (visibly non-empty key)");
+    changed = true;
   }
   memo_.Canonicalize();
   return changed;
@@ -719,6 +769,21 @@ bool ValidityChecker::ApplyJoinIntroduction() {
 bool ValidityChecker::ApplyC3Rules() {
   if (state_ == nullptr) return false;
   bool changed = false;
+
+  // Phase 1 (serial): walk the memo and collect candidates. All memo
+  // mutation — inserting the instantiated remainders v_r — happens here,
+  // because the memo is not thread-safe. The q' insertion and marking is
+  // deferred to phase 3 so the probe batch in between touches nothing but
+  // the database state. A marking that would have enabled further
+  // candidates within this round is picked up by the next fixpoint round.
+  struct C3Candidate {
+    PlanPtr probe_plan;             // v_r, conditionally valid
+    GroupId core = -1;              // join core group
+    std::vector<ScalarPtr> a_core;  // core-side projection at the valid node
+    std::vector<ScalarPtr> p_ic;    // selection pinning the core join cols
+  };
+  std::vector<C3Candidate> candidates;
+
   size_t group_snapshot = memo_.num_groups();
   for (GroupId g = 0; g < static_cast<GroupId>(group_snapshot); ++g) {
     if (memo_.Find(g) != g || !memo_.IsValidC(g)) continue;
@@ -755,7 +820,9 @@ bool ValidityChecker::ApplyC3Rules() {
 
       // Candidate instantiations: selections over the core that pin every
       // core-side join column to a constant (condition 2 / Example 5.5).
-      for (ExprId sid : memo_.ParentsOf(core)) {
+      // Snapshot the parent list: the loop body inserts v_r expressions.
+      const auto core_parents = memo_.ParentsOf(core);
+      for (ExprId sid : core_parents) {
         const MemoExpr sel = memo_.expr(sid);  // copy
         if (sel.kind != PlanKind::kSelect || memo_.Find(sel.children[0]) != core)
           continue;
@@ -794,27 +861,42 @@ bool ValidityChecker::ApplyC3Rules() {
 
         Result<PlanPtr> vr_plan = memo_.AnyPlan(vr);
         if (!vr_plan.ok()) continue;
-        ++c3_probes_;
-        Result<storage::Relation> probe = exec::ExecutePlan(
-            algebra::MakeLimit(1, vr_plan.value()), *state_);
-        if (!probe.ok() || probe.value().empty()) continue;
 
         // q': selection of the pinned core, projected to A_c. The join is
         // an equi-join, so P_ic determines P_ir and rule C3b lets us keep
-        // multiplicities (no DISTINCT needed).
+        // multiplicities (no DISTINCT needed). Built (not yet inserted)
+        // here; inserted and marked in phase 3 if the probe succeeds.
         std::vector<ScalarPtr> p_ic;
         for (size_t i = 0; i < pairs->size(); ++i) {
           p_ic.push_back(MakeBinaryScalar(sql::BinOp::kEq,
                                           MakeColumn((*pairs)[i].core_slot),
                                           MakeLiteralScalar(pin_values[i])));
         }
-        GroupId qsel = memo_.InsertExpr(SelectExpr(std::move(p_ic), core));
-        GroupId qproj = memo_.InsertExpr(ProjectExpr(a_core, qsel));
-        if (!memo_.IsValidC(qproj)) {
-          MarkC(qproj, "C3a/C3b (visibly non-empty remainder)");
-          changed = true;
-        }
+        candidates.push_back(
+            {vr_plan.value(), core, a_core, std::move(p_ic)});
       }
+    }
+  }
+
+  // Phase 2: probe every candidate remainder for visible non-emptiness,
+  // concurrently when options_.probe_parallelism allows.
+  c3_probes_ += candidates.size();
+  std::vector<PlanPtr> plans;
+  plans.reserve(candidates.size());
+  for (const C3Candidate& c : candidates) plans.push_back(c.probe_plan);
+  std::vector<char> nonempty =
+      RunNonEmptinessProbes(plans, *state_, options_.probe_parallelism);
+
+  // Phase 3 (serial): admit q' for every non-empty remainder.
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!nonempty[i]) continue;
+    C3Candidate& c = candidates[i];
+    GroupId qsel =
+        memo_.InsertExpr(SelectExpr(std::move(c.p_ic), memo_.Find(c.core)));
+    GroupId qproj = memo_.InsertExpr(ProjectExpr(c.a_core, qsel));
+    if (!memo_.IsValidC(qproj)) {
+      MarkC(qproj, "C3a/C3b (visibly non-empty remainder)");
+      changed = true;
     }
   }
   memo_.Canonicalize();
@@ -1132,8 +1214,8 @@ Result<storage::Relation> ValidityChecker::ExecuteWitness(
                           exec::ExecutePlan(v.plan, state));
     FGAC_RETURN_NOT_OK(
         augmented.CreateTable("view:" + v.name, rel.num_columns()));
-    augmented.GetMutableTable("view:" + v.name)->mutable_rows() =
-        std::move(rel.mutable_rows());
+    augmented.GetMutableTable("view:" + v.name)
+        ->ReplaceAllRows(std::move(rel.mutable_rows()));
   }
   // The witness may reference only the pseudo-tables, but evaluating over
   // the augmented state is equivalent and simpler.

@@ -46,6 +46,13 @@ struct ValidityOptions {
   size_t max_access_instantiations = 64;
   /// Cap on U3/C3 fixpoint iterations.
   size_t max_inference_rounds = 8;
+  /// Threads for the C3a/C3b and C-aggregate visible-non-emptiness probes
+  /// (the database probes of Section 5.4). Each inference round now
+  /// collects its probe plans serially, runs them as a batch — concurrently
+  /// when this is > 1 — and applies the markings serially afterwards.
+  /// 0 = inherit the owning Database's `parallelism` option; standalone
+  /// ValidityChecker users get serial probes at 0 or 1.
+  size_t probe_parallelism = 0;
 };
 
 /// Outcome of a validity test plus diagnostics for the benchmarks.

@@ -123,23 +123,21 @@ Result<bool> NestedLoopJoinOp::Next(DataChunk& out) {
   }
 }
 
-Status HashJoinOp::Open() {
-  FGAC_RETURN_NOT_OK(left_->Open());
-  FGAC_RETURN_NOT_OK(right_->Open());
-  build_.clear();
-  right_width_ = 0;
+Status HashJoinTable::BuildFrom(Operator& build,
+                                const std::vector<ScalarPtr>& keys) {
+  map.clear();
+  build_width = 0;
   DataChunk chunk;
   Selection id;
-  std::vector<ColumnVector> key_cols(right_keys_.size());
+  std::vector<ColumnVector> key_cols(keys.size());
   while (true) {
-    Result<bool> more = right_->Next(chunk);
+    Result<bool> more = build.Next(chunk);
     if (!more.ok()) return more.status();
     if (!more.value()) break;
-    right_width_ = chunk.num_columns();
+    build_width = chunk.num_columns();
     IdentitySelection(chunk.size(), &id);
-    for (size_t k = 0; k < right_keys_.size(); ++k) {
-      FGAC_RETURN_NOT_OK(EvalScalarBatch(right_keys_[k], chunk, id,
-                                         &key_cols[k]));
+    for (size_t k = 0; k < keys.size(); ++k) {
+      FGAC_RETURN_NOT_OK(EvalScalarBatch(keys[k], chunk, id, &key_cols[k]));
     }
     for (size_t i = 0; i < chunk.size(); ++i) {
       bool has_null = false;
@@ -150,30 +148,36 @@ Status HashJoinOp::Open() {
       Row key;
       key.reserve(key_cols.size());
       for (const ColumnVector& c : key_cols) key.push_back(c.GetValue(i));
-      build_[std::move(key)].push_back(chunk.GetRow(i));
+      map[std::move(key)].push_back(chunk.GetRow(i));
     }
   }
-  left_chunk_.Reset(0);
-  left_key_cols_.clear();
-  left_pos_ = 0;
   return Status::OK();
 }
 
-Result<bool> HashJoinOp::Next(DataChunk& out) {
+void HashProbeCursor::Reset() {
+  left_chunk_.Reset(0);
+  left_key_cols_.clear();
+  left_pos_ = 0;
+}
+
+Result<bool> HashProbeCursor::Next(Operator& left,
+                                   const std::vector<ScalarPtr>& left_keys,
+                                   const std::vector<ScalarPtr>& residual,
+                                   const HashJoinTable& table, DataChunk& out) {
   Row key;
   while (true) {
     if (left_pos_ >= left_chunk_.size()) {
-      FGAC_ASSIGN_OR_RETURN(bool more, left_->Next(left_chunk_));
+      FGAC_ASSIGN_OR_RETURN(bool more, left.Next(left_chunk_));
       if (!more) return Exhausted(out);
       left_pos_ = 0;
       IdentitySelection(left_chunk_.size(), &sel_);
-      left_key_cols_.resize(left_keys_.size());
-      for (size_t k = 0; k < left_keys_.size(); ++k) {
-        FGAC_RETURN_NOT_OK(EvalScalarBatch(left_keys_[k], left_chunk_, sel_,
+      left_key_cols_.resize(left_keys.size());
+      for (size_t k = 0; k < left_keys.size(); ++k) {
+        FGAC_RETURN_NOT_OK(EvalScalarBatch(left_keys[k], left_chunk_, sel_,
                                            &left_key_cols_[k]));
       }
     }
-    scratch_.Reset(left_chunk_.num_columns() + right_width_);
+    scratch_.Reset(left_chunk_.num_columns() + table.build_width);
     while (left_pos_ < left_chunk_.size() && !scratch_.full()) {
       size_t i = left_pos_++;
       bool has_null = false;
@@ -183,76 +187,106 @@ Result<bool> HashJoinOp::Next(DataChunk& out) {
       if (has_null) continue;
       key.clear();
       for (const ColumnVector& c : left_key_cols_) key.push_back(c.GetValue(i));
-      auto it = build_.find(key);
-      if (it == build_.end()) continue;
+      auto it = table.map.find(key);
+      if (it == table.map.end()) continue;
       for (const Row& r : it->second) scratch_.AppendConcat(left_chunk_, i, r);
     }
     if (scratch_.empty()) continue;
-    if (residual_.empty()) {
+    if (residual.empty()) {
       std::swap(out, scratch_);
       return true;
     }
     IdentitySelection(scratch_.size(), &sel_);
-    FGAC_RETURN_NOT_OK(FilterSelection(residual_, scratch_, &sel_));
+    FGAC_RETURN_NOT_OK(FilterSelection(residual, scratch_, &sel_));
     if (EmitSelected(scratch_, sel_, out)) return true;
   }
+}
+
+Status HashJoinOp::Open() {
+  FGAC_RETURN_NOT_OK(left_->Open());
+  FGAC_RETURN_NOT_OK(right_->Open());
+  FGAC_RETURN_NOT_OK(table_.BuildFrom(*right_, right_keys_));
+  probe_.Reset();
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::Next(DataChunk& out) {
+  return probe_.Next(*left_, left_keys_, residual_, table_, out);
+}
+
+Status AccumulateGroups(Operator& child,
+                        const std::vector<ScalarPtr>& group_by,
+                        const std::vector<algebra::AggExpr>& aggs,
+                        AggGroups* groups) {
+  auto make_accumulators = [&aggs]() {
+    std::vector<AggAccumulator> accs;
+    accs.reserve(aggs.size());
+    for (const algebra::AggExpr& a : aggs) accs.emplace_back(a);
+    return accs;
+  };
+
+  DataChunk chunk;
+  Selection id;
+  std::vector<ColumnVector> group_cols(group_by.size());
+  std::vector<ColumnVector> arg_cols(aggs.size());
+  while (true) {
+    Result<bool> more = child.Next(chunk);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    IdentitySelection(chunk.size(), &id);
+    for (size_t g = 0; g < group_by.size(); ++g) {
+      FGAC_RETURN_NOT_OK(EvalScalarBatch(group_by[g], chunk, id,
+                                         &group_cols[g]));
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      if (aggs[a].arg == nullptr) continue;  // COUNT(*): no argument
+      FGAC_RETURN_NOT_OK(EvalScalarBatch(aggs[a].arg, chunk, id,
+                                         &arg_cols[a]));
+    }
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      Row key;
+      key.reserve(group_by.size());
+      for (const ColumnVector& g : group_cols) key.push_back(g.GetValue(i));
+      auto it = groups->find(key);
+      if (it == groups->end()) {
+        it = groups->emplace(std::move(key), make_accumulators()).first;
+      }
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        Value v = aggs[a].arg == nullptr ? Value::Null()
+                                         : arg_cols[a].GetValue(i);
+        FGAC_RETURN_NOT_OK(it->second[a].AddValue(v));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Row> FinishGroups(AggGroups groups,
+                              const std::vector<algebra::AggExpr>& aggs,
+                              bool scalar_aggregate) {
+  if (groups.empty() && scalar_aggregate) {
+    std::vector<AggAccumulator> accs;
+    accs.reserve(aggs.size());
+    for (const algebra::AggExpr& a : aggs) accs.emplace_back(a);
+    groups.emplace(Row{}, std::move(accs));
+  }
+  std::vector<Row> results;
+  results.reserve(groups.size());
+  for (const auto& [key, accs] : groups) {
+    Row out = key;
+    for (const AggAccumulator& acc : accs) out.push_back(acc.Finish());
+    results.push_back(std::move(out));
+  }
+  return results;
 }
 
 Status HashAggregateOp::Open() {
   FGAC_RETURN_NOT_OK(child_->Open());
   results_.clear();
   pos_ = 0;
-
-  // Ordered map keeps output deterministic.
-  std::map<Row, std::vector<AggAccumulator>> groups;
-  auto make_accumulators = [this]() {
-    std::vector<AggAccumulator> accs;
-    accs.reserve(aggs_.size());
-    for (const algebra::AggExpr& a : aggs_) accs.emplace_back(a);
-    return accs;
-  };
-
-  DataChunk chunk;
-  Selection id;
-  std::vector<ColumnVector> group_cols(group_by_.size());
-  std::vector<ColumnVector> arg_cols(aggs_.size());
-  while (true) {
-    Result<bool> more = child_->Next(chunk);
-    if (!more.ok()) return more.status();
-    if (!more.value()) break;
-    IdentitySelection(chunk.size(), &id);
-    for (size_t g = 0; g < group_by_.size(); ++g) {
-      FGAC_RETURN_NOT_OK(EvalScalarBatch(group_by_[g], chunk, id,
-                                         &group_cols[g]));
-    }
-    for (size_t a = 0; a < aggs_.size(); ++a) {
-      if (aggs_[a].arg == nullptr) continue;  // COUNT(*): no argument
-      FGAC_RETURN_NOT_OK(EvalScalarBatch(aggs_[a].arg, chunk, id,
-                                         &arg_cols[a]));
-    }
-    for (size_t i = 0; i < chunk.size(); ++i) {
-      Row key;
-      key.reserve(group_by_.size());
-      for (const ColumnVector& g : group_cols) key.push_back(g.GetValue(i));
-      auto it = groups.find(key);
-      if (it == groups.end()) {
-        it = groups.emplace(std::move(key), make_accumulators()).first;
-      }
-      for (size_t a = 0; a < aggs_.size(); ++a) {
-        Value v = aggs_[a].arg == nullptr ? Value::Null()
-                                          : arg_cols[a].GetValue(i);
-        FGAC_RETURN_NOT_OK(it->second[a].AddValue(v));
-      }
-    }
-  }
-  if (groups.empty() && group_by_.empty()) {
-    groups.emplace(Row{}, make_accumulators());
-  }
-  for (const auto& [key, accs] : groups) {
-    Row out = key;
-    for (const AggAccumulator& acc : accs) out.push_back(acc.Finish());
-    results_.push_back(std::move(out));
-  }
+  AggGroups groups;
+  FGAC_RETURN_NOT_OK(AccumulateGroups(*child_, group_by_, aggs_, &groups));
+  results_ = FinishGroups(std::move(groups), aggs_, group_by_.empty());
   return Status::OK();
 }
 

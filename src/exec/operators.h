@@ -1,6 +1,7 @@
 #ifndef FGAC_EXEC_OPERATORS_H_
 #define FGAC_EXEC_OPERATORS_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -131,6 +132,41 @@ class NestedLoopJoinOp final : public Operator {
   Selection sel_;
 };
 
+/// Materialized build side of a hash join: equi-key image -> matching build
+/// rows. Built once by draining the build input, then probed read-only —
+/// which is what lets the parallel executor share one build across several
+/// concurrent probe pipelines.
+struct HashJoinTable {
+  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> map;
+  size_t build_width = 0;
+
+  /// Drains `build` (already Open) into the table, evaluating `keys`
+  /// against each build chunk. Rows with a NULL key are skipped (NULL keys
+  /// never match in an equi-join).
+  Status BuildFrom(Operator& build, const std::vector<algebra::ScalarPtr>& keys);
+};
+
+/// Streaming probe state over a HashJoinTable. Owned per pipeline (each
+/// probing thread has its own cursor) while the table itself is shared.
+class HashProbeCursor {
+ public:
+  void Reset();
+  /// Pulls probe chunks from `left`, joins them against `table`, applies
+  /// `residual` to the concatenated rows, and fills `out` with the next
+  /// batch of matches. Same contract as Operator::Next.
+  Result<bool> Next(Operator& left,
+                    const std::vector<algebra::ScalarPtr>& left_keys,
+                    const std::vector<algebra::ScalarPtr>& residual,
+                    const HashJoinTable& table, DataChunk& out);
+
+ private:
+  DataChunk left_chunk_;
+  std::vector<ColumnVector> left_key_cols_;  // keys of left_chunk_, batched
+  size_t left_pos_ = 0;  // next probe row
+  DataChunk scratch_;
+  Selection sel_;
+};
+
 /// Hash join on equi-key expressions; residual predicates applied to the
 /// combined row. Builds on the right input, probes with left chunks.
 class HashJoinOp final : public Operator {
@@ -153,14 +189,28 @@ class HashJoinOp final : public Operator {
   std::vector<algebra::ScalarPtr> residual_;
   OperatorPtr left_;
   OperatorPtr right_;
-  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> build_;
-  size_t right_width_ = 0;
-  DataChunk left_chunk_;
-  std::vector<ColumnVector> left_key_cols_;  // keys of left_chunk_, batched
-  size_t left_pos_ = 0;  // next probe row
-  DataChunk scratch_;
-  Selection sel_;
+  HashJoinTable table_;
+  HashProbeCursor probe_;
 };
+
+/// Aggregation groups keyed by the group-by value image. An ordered map
+/// keeps output deterministic across runs and thread counts.
+using AggGroups = std::map<Row, std::vector<algebra::AggAccumulator>>;
+
+/// Drains `child` (already Open), accumulating every row into `groups`.
+/// Shared by HashAggregateOp and the parallel executor's per-thread partial
+/// aggregation.
+Status AccumulateGroups(Operator& child,
+                        const std::vector<algebra::ScalarPtr>& group_by,
+                        const std::vector<algebra::AggExpr>& aggs,
+                        AggGroups* groups);
+
+/// Renders accumulated groups to output rows (group key columns, then one
+/// column per aggregate). Adds the global empty group for scalar aggregates
+/// over empty input.
+std::vector<Row> FinishGroups(AggGroups groups,
+                              const std::vector<algebra::AggExpr>& aggs,
+                              bool scalar_aggregate);
 
 /// Hash aggregation; materializes all groups on Open.
 class HashAggregateOp final : public Operator {

@@ -1,0 +1,392 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "exec/eval.h"
+#include "exec/executor.h"
+#include "exec/operators.h"
+#include "storage/table_data.h"
+
+namespace fgac::exec {
+
+using algebra::PlanKind;
+using algebra::PlanPtr;
+using common::ThreadPool;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared pipeline state (prepared serially, then read-only across threads)
+// ---------------------------------------------------------------------------
+
+/// Shared morsel cursor over one base table: every pipeline thread claims
+/// [next, next + kMorselSize) ranges until the table is exhausted. This is
+/// where the load balancing comes from — no work stealing needed.
+struct MorselSource {
+  const storage::TableData* table = nullptr;
+  std::atomic<size_t> next{0};
+};
+
+/// One hash-join stage on the pipeline's left spine: the build side is
+/// executed serially exactly once, then probed read-only by every thread.
+struct JoinStage {
+  JoinKeys keys;
+  HashJoinTable table;
+};
+
+/// Everything the per-thread pipelines share. Joins are stored in left-spine
+/// bottom-up order; BuildThreadPipeline consumes them in the same order.
+struct SharedPipeline {
+  MorselSource source;
+  std::vector<std::unique_ptr<JoinStage>> joins;
+};
+
+/// Walks the left spine down to the pipeline's source. Returns the kGet node
+/// feeding the pipeline, or nullptr when the shape cannot be parallelized
+/// (non-table source, or a join without equi-keys, which would need a
+/// nested-loop join).
+const algebra::Plan* PipelineSourceNode(const PlanPtr& plan) {
+  switch (plan->kind) {
+    case PlanKind::kGet:
+      return plan.get();
+    case PlanKind::kSelect:
+    case PlanKind::kProject:
+      return PipelineSourceNode(plan->children[0]);
+    case PlanKind::kJoin: {
+      size_t left_arity = algebra::OutputArity(*plan->children[0]);
+      JoinKeys keys = SplitJoinKeys(plan->predicates, left_arity);
+      if (keys.left_keys.empty()) return nullptr;
+      return PipelineSourceNode(plan->children[0]);
+    }
+    default:
+      return nullptr;
+  }
+}
+
+/// Resolves the source table and executes every join build side serially.
+Status PrepareShared(const PlanPtr& plan, const storage::DatabaseState& state,
+                     SharedPipeline* shared) {
+  switch (plan->kind) {
+    case PlanKind::kGet: {
+      const storage::TableData* data = state.GetTable(plan->table);
+      if (data == nullptr) {
+        return Status::ExecutionError("no data for table '" + plan->table +
+                                      "'");
+      }
+      shared->source.table = data;
+      return Status::OK();
+    }
+    case PlanKind::kSelect:
+    case PlanKind::kProject:
+      return PrepareShared(plan->children[0], state, shared);
+    case PlanKind::kJoin: {
+      FGAC_RETURN_NOT_OK(PrepareShared(plan->children[0], state, shared));
+      auto stage = std::make_unique<JoinStage>();
+      stage->keys = SplitJoinKeys(plan->predicates,
+                                  algebra::OutputArity(*plan->children[0]));
+      FGAC_ASSIGN_OR_RETURN(OperatorPtr build,
+                            BuildPhysicalPlan(plan->children[1], state));
+      FGAC_RETURN_NOT_OK(build->Open());
+      FGAC_RETURN_NOT_OK(
+          stage->table.BuildFrom(*build, stage->keys.right_keys));
+      shared->joins.push_back(std::move(stage));
+      return Status::OK();
+    }
+    default:
+      return Status::ExecutionError("plan shape is not a parallel pipeline");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread operators
+// ---------------------------------------------------------------------------
+
+/// Base-table scan over the shared morsel cursor. Unlike ScanOp, Open() does
+/// NOT rewind (the cursor is shared); parallel pipelines are built, drained
+/// once, and discarded inside ParallelExecutePlan, so re-Open never happens.
+class MorselScanOp final : public Operator {
+ public:
+  explicit MorselScanOp(MorselSource* source) : source_(source) {}
+  Status Open() override { return Status::OK(); }
+  Result<bool> Next(DataChunk& out) override {
+    size_t total = source_->table->num_rows();
+    while (true) {
+      size_t start =
+          source_->next.fetch_add(kMorselSize, std::memory_order_relaxed);
+      if (start >= total) {
+        out.Reset(0);
+        return false;
+      }
+      size_t n = source_->table->ScanChunk(
+          start, std::min(kMorselSize, total - start), &out);
+      if (n > 0) return true;
+    }
+  }
+
+ private:
+  MorselSource* source_;
+};
+
+/// Probe side of a shared hash join: owns its probe cursor (per-thread
+/// state), borrows the build table from the JoinStage.
+class SharedProbeOp final : public Operator {
+ public:
+  SharedProbeOp(const JoinStage* stage, OperatorPtr left)
+      : stage_(stage), left_(std::move(left)) {}
+  Status Open() override {
+    cursor_.Reset();
+    return left_->Open();
+  }
+  Result<bool> Next(DataChunk& out) override {
+    return cursor_.Next(*left_, stage_->keys.left_keys, stage_->keys.residual,
+                        stage_->table, out);
+  }
+
+ private:
+  const JoinStage* stage_;
+  OperatorPtr left_;
+  HashProbeCursor cursor_;
+};
+
+/// Builds one thread's private operator tree over the shared state. Shape
+/// has already been validated by PipelineSourceNode; joins are consumed in
+/// the same bottom-up order PrepareShared produced them.
+OperatorPtr BuildThreadPipeline(const PlanPtr& plan, SharedPipeline* shared,
+                                size_t* next_join) {
+  switch (plan->kind) {
+    case PlanKind::kGet:
+      return OperatorPtr(new MorselScanOp(&shared->source));
+    case PlanKind::kSelect:
+      return OperatorPtr(new FilterOp(
+          plan->predicates,
+          BuildThreadPipeline(plan->children[0], shared, next_join)));
+    case PlanKind::kProject:
+      return OperatorPtr(new ProjectOp(
+          plan->exprs,
+          BuildThreadPipeline(plan->children[0], shared, next_join)));
+    case PlanKind::kJoin: {
+      OperatorPtr left =
+          BuildThreadPipeline(plan->children[0], shared, next_join);
+      const JoinStage* stage = shared->joins[(*next_join)++].get();
+      return OperatorPtr(new SharedProbeOp(stage, std::move(left)));
+    }
+    default:
+      return nullptr;  // unreachable: shape checked before fan-out
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out harness
+// ---------------------------------------------------------------------------
+
+/// Runs fn(0..n-1) on the shared pool and returns the lowest-indexed
+/// failure (deterministic regardless of completion order).
+Status FanOut(size_t n, const std::function<Status(size_t)>& fn) {
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n);
+  for (size_t t = 0; t < n; ++t) {
+    tasks.push_back([t, &fn, &statuses] { statuses[t] = fn(t); });
+  }
+  ThreadPool::Shared().RunAll(std::move(tasks));
+  for (Status& s : statuses) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::OK();
+}
+
+Status DrainRows(Operator& root, std::vector<Row>* rows) {
+  DataChunk chunk;
+  while (true) {
+    Result<bool> more = root.Next(chunk);
+    if (!more.ok()) return more.status();
+    if (!more.value()) return Status::OK();
+    for (size_t i = 0; i < chunk.size(); ++i) rows->push_back(chunk.GetRow(i));
+  }
+}
+
+/// Runs the pipeline `plan` on `n` threads, gathering each thread's output
+/// rows separately. `wrap` may decorate the per-thread tree (e.g. with a
+/// per-thread DistinctOp).
+Result<std::vector<std::vector<Row>>> RunPipelineGather(
+    const PlanPtr& plan, const storage::DatabaseState& state, size_t n,
+    const std::function<OperatorPtr(OperatorPtr)>& wrap = nullptr) {
+  auto shared = std::make_unique<SharedPipeline>();
+  FGAC_RETURN_NOT_OK(PrepareShared(plan, state, shared.get()));
+  std::vector<std::vector<Row>> per_thread(n);
+  FGAC_RETURN_NOT_OK(FanOut(n, [&](size_t t) -> Status {
+    size_t next_join = 0;
+    OperatorPtr root = BuildThreadPipeline(plan, shared.get(), &next_join);
+    if (wrap) root = wrap(std::move(root));
+    FGAC_RETURN_NOT_OK(root->Open());
+    return DrainRows(*root, &per_thread[t]);
+  }));
+  return per_thread;
+}
+
+/// Partial per-thread aggregation + serial merge via AggAccumulator::Merge.
+Result<storage::Relation> ParallelAggregate(const PlanPtr& plan,
+                                            const storage::DatabaseState& state,
+                                            size_t n) {
+  const PlanPtr& child = plan->children[0];
+  auto shared = std::make_unique<SharedPipeline>();
+  FGAC_RETURN_NOT_OK(PrepareShared(child, state, shared.get()));
+  std::vector<AggGroups> partials(n);
+  FGAC_RETURN_NOT_OK(FanOut(n, [&](size_t t) -> Status {
+    size_t next_join = 0;
+    OperatorPtr root = BuildThreadPipeline(child, shared.get(), &next_join);
+    FGAC_RETURN_NOT_OK(root->Open());
+    return AccumulateGroups(*root, plan->group_by, plan->aggs, &partials[t]);
+  }));
+  AggGroups merged = std::move(partials[0]);
+  for (size_t t = 1; t < n; ++t) {
+    for (auto& [key, accs] : partials[t]) {
+      auto it = merged.find(key);
+      if (it == merged.end()) {
+        merged.emplace(key, std::move(accs));
+      } else {
+        for (size_t a = 0; a < accs.size(); ++a) {
+          FGAC_RETURN_NOT_OK(it->second[a].Merge(accs[a]));
+        }
+      }
+    }
+  }
+  storage::Relation out(algebra::OutputNames(*plan));
+  out.mutable_rows() =
+      FinishGroups(std::move(merged), plan->aggs, plan->group_by.empty());
+  return out;
+}
+
+storage::Relation GatherToRelation(const PlanPtr& plan,
+                                   std::vector<std::vector<Row>> per_thread) {
+  storage::Relation out(algebra::OutputNames(*plan));
+  size_t total = 0;
+  for (const std::vector<Row>& rows : per_thread) total += rows.size();
+  out.mutable_rows().reserve(total);
+  for (std::vector<Row>& rows : per_thread) {
+    for (Row& r : rows) out.mutable_rows().push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsParallelizable(const PlanPtr& plan,
+                      const storage::DatabaseState& state) {
+  if (plan == nullptr) return false;
+  auto pipeline_ok = [&state](const PlanPtr& p) {
+    const algebra::Plan* src = PipelineSourceNode(p);
+    return src != nullptr && state.GetTable(src->table) != nullptr;
+  };
+  switch (plan->kind) {
+    case PlanKind::kGet:
+    case PlanKind::kSelect:
+    case PlanKind::kProject:
+    case PlanKind::kJoin:
+      return pipeline_ok(plan);
+    case PlanKind::kAggregate:
+    case PlanKind::kDistinct:
+    case PlanKind::kSort:
+      return pipeline_ok(plan->children[0]);
+    case PlanKind::kUnionAll:
+      return std::any_of(
+          plan->children.begin(), plan->children.end(),
+          [&](const PlanPtr& c) { return IsParallelizable(c, state); });
+    default:
+      return false;
+  }
+}
+
+Result<storage::Relation> ParallelExecutePlan(
+    const PlanPtr& plan, const storage::DatabaseState& state,
+    size_t num_threads) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  if (num_threads <= 1) return ExecutePlan(plan, state);
+  switch (plan->kind) {
+    case PlanKind::kGet:
+    case PlanKind::kSelect:
+    case PlanKind::kProject:
+    case PlanKind::kJoin: {
+      if (PipelineSourceNode(plan) == nullptr) return ExecutePlan(plan, state);
+      FGAC_ASSIGN_OR_RETURN(auto per_thread,
+                            RunPipelineGather(plan, state, num_threads));
+      return GatherToRelation(plan, std::move(per_thread));
+    }
+    case PlanKind::kAggregate: {
+      if (PipelineSourceNode(plan->children[0]) == nullptr) {
+        return ExecutePlan(plan, state);
+      }
+      return ParallelAggregate(plan, state, num_threads);
+    }
+    case PlanKind::kDistinct: {
+      if (PipelineSourceNode(plan->children[0]) == nullptr) {
+        return ExecutePlan(plan, state);
+      }
+      // Per-thread pre-dedup shrinks what crosses the merge; the final pass
+      // eliminates duplicates that appeared on different threads.
+      FGAC_ASSIGN_OR_RETURN(
+          auto per_thread,
+          RunPipelineGather(plan->children[0], state, num_threads,
+                            [](OperatorPtr child) {
+                              return OperatorPtr(
+                                  new DistinctOp(std::move(child)));
+                            }));
+      storage::Relation out(algebra::OutputNames(*plan));
+      std::unordered_set<Row, RowHash, RowEq> seen;
+      for (std::vector<Row>& rows : per_thread) {
+        for (Row& r : rows) {
+          if (seen.insert(r).second) out.mutable_rows().push_back(std::move(r));
+        }
+      }
+      return out;
+    }
+    case PlanKind::kSort: {
+      if (PipelineSourceNode(plan->children[0]) == nullptr) {
+        return ExecutePlan(plan, state);
+      }
+      // Parallel gather, serial sort: sorting is a full-input barrier anyway,
+      // so only the scan/filter/join work below it is worth fanning out.
+      FGAC_ASSIGN_OR_RETURN(
+          auto per_thread,
+          RunPipelineGather(plan->children[0], state, num_threads));
+      storage::Relation gathered =
+          GatherToRelation(plan->children[0], std::move(per_thread));
+      SortOp sorter(plan->sort_items,
+                    OperatorPtr(new ScanOp(&gathered.rows())));
+      FGAC_RETURN_NOT_OK(sorter.Open());
+      storage::Relation out(algebra::OutputNames(*plan));
+      DataChunk chunk;
+      while (true) {
+        FGAC_ASSIGN_OR_RETURN(bool more, sorter.Next(chunk));
+        if (!more) break;
+        out.AppendChunk(chunk);
+      }
+      return out;
+    }
+    case PlanKind::kUnionAll: {
+      storage::Relation out(algebra::OutputNames(*plan));
+      for (const PlanPtr& child : plan->children) {
+        FGAC_ASSIGN_OR_RETURN(
+            storage::Relation r,
+            ParallelExecutePlan(child, state, num_threads));
+        for (Row& row : r.mutable_rows()) {
+          out.mutable_rows().push_back(std::move(row));
+        }
+      }
+      return out;
+    }
+    default:
+      // kValues, kLimit: nothing to fan out (LIMIT's early-out is
+      // inherently serial).
+      return ExecutePlan(plan, state);
+  }
+}
+
+}  // namespace fgac::exec

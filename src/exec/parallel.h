@@ -1,0 +1,49 @@
+#ifndef FGAC_EXEC_PARALLEL_H_
+#define FGAC_EXEC_PARALLEL_H_
+
+#include <cstddef>
+
+#include "algebra/plan.h"
+#include "common/result.h"
+#include "storage/database_state.h"
+#include "storage/relation.h"
+
+namespace fgac::exec {
+
+/// Rows claimed per fetch from the shared morsel cursor. One morsel is one
+/// output chunk, so load balancing granularity equals the vector size: small
+/// enough that a thread stuck on an expensive filter does not hold up the
+/// others, large enough that the atomic increment is amortized over ~1k rows.
+inline constexpr size_t kMorselSize = 1024;
+
+/// True when ParallelExecutePlan(plan, state, n>1) would actually fan the
+/// plan out over multiple pipelines rather than falling back to the serial
+/// executor. Exposed so tests and benchmarks can assert coverage.
+bool IsParallelizable(const algebra::PlanPtr& plan,
+                      const storage::DatabaseState& state);
+
+/// Morsel-driven parallel variant of ExecutePlan. Semantics are identical to
+/// the serial executor (same rows as a multiset, same error statuses); only
+/// scheduling differs.
+///
+/// Parallelized shapes: any left-spine pipeline of kGet / kSelect /
+/// kProject / equi-key kJoin rooted at a base-table scan, optionally topped
+/// by one kAggregate (partial per-thread aggregation + merge), kDistinct
+/// (per-thread pre-dedup + final dedup), or kSort (parallel gather + serial
+/// sort); kUnionAll recurses per child. Everything else — kValues sources,
+/// non-equi joins, kLimit (inherently serial early-out) — falls back to
+/// ExecutePlan.
+///
+/// Join build sides are executed serially once and shared read-only across
+/// all probe pipelines; base-table scans share a single atomic morsel
+/// cursor. `num_threads <= 1` is the serial executor. Callers must not
+/// mutate `state` while the call is in flight (same contract as
+/// ExecutePlan, now enforced across threads by TableData's columnar
+/// snapshot synchronization).
+Result<storage::Relation> ParallelExecutePlan(const algebra::PlanPtr& plan,
+                                              const storage::DatabaseState& state,
+                                              size_t num_threads);
+
+}  // namespace fgac::exec
+
+#endif  // FGAC_EXEC_PARALLEL_H_

@@ -7,13 +7,19 @@ Status DatabaseState::CreateTable(const std::string& name, size_t num_columns) {
     return Status::CatalogError("table data for '" + name + "' already exists");
   }
   tables_.emplace(name, TableData(num_columns));
+  ++structural_version_;
   return Status::OK();
 }
 
 Status DatabaseState::DropTable(const std::string& name) {
-  if (tables_.erase(name) == 0) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
     return Status::CatalogError("table data for '" + name + "' does not exist");
   }
+  // Fold the dropped table's mutation count into the structural component
+  // so DataVersion never regresses to an earlier value.
+  structural_version_ += it->second.version() + 1;
+  tables_.erase(it);
   return Status::OK();
 }
 
@@ -35,7 +41,7 @@ DatabaseState DatabaseState::Clone() const {
   DatabaseState copy;
   for (const auto& [name, data] : tables_) {
     TableData t(data.num_columns());
-    t.mutable_rows() = data.rows();
+    t.ReplaceAllRows(data.rows());
     copy.tables_.emplace(name, std::move(t));
   }
   return copy;
@@ -45,6 +51,12 @@ size_t DatabaseState::TotalRows() const {
   size_t n = 0;
   for (const auto& [name, data] : tables_) n += data.num_rows();
   return n;
+}
+
+uint64_t DatabaseState::DataVersion() const {
+  uint64_t v = structural_version_;
+  for (const auto& [name, data] : tables_) v += data.version();
+  return v;
 }
 
 }  // namespace fgac::storage

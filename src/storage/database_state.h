@@ -1,6 +1,7 @@
 #ifndef FGAC_STORAGE_DATABASE_STATE_H_
 #define FGAC_STORAGE_DATABASE_STATE_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -33,8 +34,18 @@ class DatabaseState {
   /// Total number of rows across all tables (diagnostics).
   size_t TotalRows() const;
 
+  /// Monotonic version of the stored data, advanced by EVERY mutation path:
+  /// per-table mutation counters plus a structural component for table
+  /// creation/removal. Direct TableData writers (bench seeding, tests)
+  /// therefore invalidate ValidityCache conditional verdicts exactly like
+  /// DML routed through Database — there is no bypass.
+  uint64_t DataVersion() const;
+
  private:
   std::map<std::string, TableData> tables_;
+  /// Structural changes; absorbs the version of dropped tables so the
+  /// aggregate never repeats a previously observed value.
+  uint64_t structural_version_ = 0;
 };
 
 }  // namespace fgac::storage

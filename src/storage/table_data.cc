@@ -4,8 +4,17 @@
 
 namespace fgac::storage {
 
+void TableData::MoveFrom(TableData&& other) noexcept {
+  num_columns_ = other.num_columns_;
+  rows_ = std::move(other.rows_);
+  version_ = other.version_;
+  columns_ = std::move(other.columns_);
+  columns_dirty_.store(other.columns_dirty_.load(std::memory_order_acquire),
+                       std::memory_order_release);
+}
+
 void TableData::InsertRows(std::vector<Row> rows) {
-  columns_dirty_ = true;
+  Invalidate();
   if (rows_.empty()) {
     rows_ = std::move(rows);
     return;
@@ -14,18 +23,31 @@ void TableData::InsertRows(std::vector<Row> rows) {
   for (Row& r : rows) rows_.push_back(std::move(r));
 }
 
-void TableData::RebuildColumns() const {
+void TableData::UpdateRow(size_t i, Row row) {
+  rows_[i] = std::move(row);
+  Invalidate();
+}
+
+void TableData::ReplaceAllRows(std::vector<Row> rows) {
+  rows_ = std::move(rows);
+  Invalidate();
+}
+
+void TableData::EnsureColumnsBuilt() const {
+  if (!columns_dirty_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(columns_mutex_);
+  if (!columns_dirty_.load(std::memory_order_relaxed)) return;
   columns_.assign(num_columns_, exec::ColumnVector());
   for (exec::ColumnVector& c : columns_) c.Reserve(rows_.size());
   for (const Row& r : rows_) {
     for (size_t c = 0; c < num_columns_; ++c) columns_[c].Append(r[c]);
   }
-  columns_dirty_ = false;
+  columns_dirty_.store(false, std::memory_order_release);
 }
 
 size_t TableData::ScanChunk(size_t start, size_t max_rows,
                             exec::DataChunk* out) const {
-  if (columns_dirty_) RebuildColumns();
+  EnsureColumnsBuilt();
   out->Reset(num_columns_);
   if (start >= rows_.size()) return 0;
   size_t n = std::min(max_rows, rows_.size() - start);
@@ -38,7 +60,7 @@ size_t TableData::ScanChunk(size_t start, size_t max_rows,
 
 void TableData::EraseIndices(const std::vector<size_t>& ascending_indices) {
   if (ascending_indices.empty()) return;
-  columns_dirty_ = true;
+  Invalidate();
   std::vector<Row> kept;
   kept.reserve(rows_.size() - ascending_indices.size());
   size_t next = 0;

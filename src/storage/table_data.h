@@ -1,7 +1,10 @@
 #ifndef FGAC_STORAGE_TABLE_DATA_H_
 #define FGAC_STORAGE_TABLE_DATA_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/value.h"
@@ -18,43 +21,87 @@ namespace fgac::storage {
 /// the next scan rebuilds it in one pass. Read-heavy workloads therefore
 /// scan typed column arrays instead of re-pivoting row-major Values on
 /// every query.
+///
+/// Concurrency contract: any number of threads may call the const read API
+/// (rows(), ScanChunk, num_rows) concurrently — the snapshot (re)build is an
+/// explicit synchronized step (EnsureColumnsBuilt, double-checked under
+/// columns_mutex_). Mutations are NOT thread-safe against readers or each
+/// other; callers must quiesce scans before writing, exactly as with the
+/// operator-tree borrow contract in BuildPhysicalPlan.
+///
+/// Every mutation goes through a version-bumping member function — there is
+/// deliberately no mutable_rows() escape hatch. A reference leaked from such
+/// an accessor could be written through *after* the next scan rebuilt the
+/// snapshot (leaving the snapshot silently stale), and writes through it
+/// would bypass the version counter that ValidityCache conditional verdicts
+/// depend on.
 class TableData {
  public:
   TableData() = default;
   explicit TableData(size_t num_columns) : num_columns_(num_columns) {}
 
+  // Movable (for container use during setup) but not copyable; moves are
+  // not thread-safe and must not race scans.
+  TableData(TableData&& other) noexcept { MoveFrom(std::move(other)); }
+  TableData& operator=(TableData&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+  TableData(const TableData&) = delete;
+  TableData& operator=(const TableData&) = delete;
+
   size_t num_columns() const { return num_columns_; }
   const std::vector<Row>& rows() const { return rows_; }
-  std::vector<Row>& mutable_rows() {
-    columns_dirty_ = true;  // caller may mutate through the reference
-    return rows_;
-  }
   size_t num_rows() const { return rows_.size(); }
+
+  /// Counts mutations (inserts, updates, deletes, wholesale replacement).
+  /// ValidityCache keys conditional verdicts on the aggregate of these
+  /// counters, so every write path — including bench/test seeding that
+  /// bypasses Database — advances it.
+  uint64_t version() const { return version_; }
 
   void Insert(Row row) {
     rows_.push_back(std::move(row));
-    columns_dirty_ = true;
+    Invalidate();
   }
 
   /// Bulk append with a single reservation (INSERT ... SELECT / seed data).
   void InsertRows(std::vector<Row> rows);
 
+  /// Replaces row `i` wholesale (UPDATE's write phase).
+  void UpdateRow(size_t i, Row row);
+
+  /// Replaces the entire contents (state cloning, view materialization).
+  void ReplaceAllRows(std::vector<Row> rows);
+
   /// Chunked scan access path: reshapes `out` to this table's width and
   /// fills it with up to max_rows rows starting at row index `start`.
-  /// Returns the number of rows appended (0 past the end).
+  /// Returns the number of rows appended (0 past the end). Safe to call
+  /// from multiple threads concurrently.
   size_t ScanChunk(size_t start, size_t max_rows, exec::DataChunk* out) const;
 
   /// Removes all rows at the given (ascending, deduplicated) indices.
   void EraseIndices(const std::vector<size_t>& ascending_indices);
 
  private:
-  void RebuildColumns() const;
+  /// Builds the columnar snapshot if (and only if) it is stale. Double
+  /// checked: the atomic dirty flag is read outside the mutex, re-read
+  /// under it, so concurrent scanners serialize only while a rebuild is
+  /// actually pending.
+  void EnsureColumnsBuilt() const;
+  void Invalidate() {
+    ++version_;
+    columns_dirty_.store(true, std::memory_order_release);
+  }
+  void MoveFrom(TableData&& other) noexcept;
 
   size_t num_columns_ = 0;
   std::vector<Row> rows_;
+  uint64_t version_ = 0;
   // Columnar snapshot of rows_, rebuilt on first scan after a mutation.
+  mutable std::mutex columns_mutex_;
   mutable std::vector<exec::ColumnVector> columns_;
-  mutable bool columns_dirty_ = true;
+  mutable std::atomic<bool> columns_dirty_{true};
 };
 
 }  // namespace fgac::storage

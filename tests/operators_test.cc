@@ -162,6 +162,62 @@ TEST(OperatorsTest, LimitStopsEarlyAndReopens) {
   EXPECT_EQ(Drain(&limit).size(), 2u);
 }
 
+// Re-Open after *partial* consumption: a blocking operator abandoned
+// mid-stream (e.g. by a LIMIT above it, or by a validity probe that only
+// needed one chunk) must rebuild its state on the next Open rather than
+// resume from a half-drained cursor.
+std::vector<Row> PartialThenReopenDrain(Operator* op) {
+  EXPECT_TRUE(op->Open().ok());
+  DataChunk chunk;
+  Result<bool> first = op->Next(chunk);
+  EXPECT_TRUE(first.ok());
+  // Abandon the stream after at most one chunk and start over.
+  return Drain(op);
+}
+
+TEST(OperatorsTest, SortReopenAfterPartialConsumption) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 3000; ++i) rows.push_back(R({3000 - i}));
+  SortOp sort({{MakeColumn(0), /*descending=*/false}},
+              std::make_unique<ScanOp>(&rows));
+  auto out = PartialThenReopenDrain(&sort);
+  ASSERT_EQ(out.size(), rows.size());
+  EXPECT_EQ(out[0][0], Value::Int(1));
+  EXPECT_EQ(out.back()[0], Value::Int(3000));
+}
+
+TEST(OperatorsTest, HashAggregateReopenAfterPartialConsumption) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 3000; ++i) rows.push_back(R({i % 1500, i}));
+  std::vector<algebra::AggExpr> aggs = {
+      {algebra::AggFunc::kCountStar, nullptr, false}};
+  HashAggregateOp agg({MakeColumn(0)}, aggs, std::make_unique<ScanOp>(&rows));
+  auto out = PartialThenReopenDrain(&agg);
+  // Every group must reappear with a fresh (not doubled) count.
+  ASSERT_EQ(out.size(), 1500u);
+  for (const Row& row : out) EXPECT_EQ(row[1], Value::Int(2));
+}
+
+TEST(OperatorsTest, HashJoinReopenAfterPartialConsumption) {
+  std::vector<Row> left, right;
+  for (int64_t i = 0; i < 3000; ++i) left.push_back(R({i % 100}));
+  for (int64_t i = 0; i < 100; ++i) right.push_back(R({i}));
+  HashJoinOp join({MakeColumn(0)}, {MakeColumn(0)}, {},
+                  std::make_unique<ScanOp>(&left),
+                  std::make_unique<ScanOp>(&right));
+  auto out = PartialThenReopenDrain(&join);
+  // Each left row matches exactly one right row; the rebuilt hash table
+  // must not retain stale or duplicated build-side entries.
+  EXPECT_EQ(out.size(), 3000u);
+}
+
+TEST(OperatorsTest, DistinctReopenAfterPartialConsumption) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 3000; ++i) rows.push_back(R({i % 2000}));
+  DistinctOp distinct(std::make_unique<ScanOp>(&rows));
+  EXPECT_EQ(PartialThenReopenDrain(&distinct).size(), 2000u);
+}
+
 TEST(OperatorsTest, UnionAllConcatenates) {
   std::vector<Row> a = {R({1})}, b = {R({2}), R({3})};
   std::vector<OperatorPtr> children;

@@ -97,15 +97,16 @@ class PaEquivalenceTest
       return true;
     }
     if (data->num_rows() == 0) return false;
-    // update one cell
+    // update one cell (read-modify-write through the versioned API)
     size_t r = (*rng)() % data->num_rows();
-    Row& row = data->mutable_rows()[r];
+    Row row = data->rows()[r];
     size_t c = (*rng)() % row.size();
     if (row[c].is_double()) {
       row[c] = Value::Double(1.0 + static_cast<double>((*rng)() % 7) * 0.5);
     } else {
       row[c] = Value::String("m" + std::to_string((*rng)() % 100));
     }
+    data->UpdateRow(r, std::move(row));
     return true;
   }
 
@@ -226,7 +227,7 @@ TEST(PaEquivalenceRegressionTest, Example43RejectionIsNecessary) {
     }
   }
   ASSERT_LT(kept.size(), reg->rows().size());
-  reg->mutable_rows() = kept;
+  reg->ReplaceAllRows(kept);
   auto out2 = algebra::ReferenceEval(view.value().plan, alt);
   ASSERT_TRUE(out2.ok());
   EXPECT_TRUE(out1.value().MultisetEquals(out2.value()))

@@ -117,6 +117,39 @@ TEST_F(DatabaseCacheTest, DataChangeInvalidatesConditionalVerdict) {
   EXPECT_FALSE(r2.value().validity_from_cache);
 }
 
+TEST_F(DatabaseCacheTest, DirectStorageDeleteInvalidatesConditionalVerdict) {
+  // Regression: a remainder-tuple delete that bypasses Database DML and
+  // writes storage directly (bench/test seeding style) must still kill the
+  // cached conditional verdict. Before the version counter moved into
+  // TableData, data_version() only saw Execute()-routed DML, so the stale
+  // verdict kept admitting a query whose C3 witness was gone.
+  const std::string q = "select * from grades where course-id = 'cs101'";
+  auto r1 = db_.Execute(q, Student());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_FALSE(r1.value().validity.unconditional);
+
+  // Delete student 11's cs101 registration straight out of TableData.
+  storage::TableData* reg = db_.state().GetMutableTable("registered");
+  ASSERT_NE(reg, nullptr);
+  std::vector<size_t> doomed;
+  for (size_t i = 0; i < reg->rows().size(); ++i) {
+    const Row& row = reg->rows()[i];
+    if (row[0] == Value::String("11") && row[1] == Value::String("cs101"))
+      doomed.push_back(i);
+  }
+  ASSERT_FALSE(doomed.empty());
+  reg->EraseIndices(doomed);
+
+  // The verdict's supporting fact is gone: the cache entry must not be
+  // served, and re-derivation must now reject the query.
+  auto r2 = db_.Execute(q, Student());
+  if (r2.ok()) {
+    EXPECT_FALSE(r2.value().validity_from_cache)
+        << "stale conditional verdict served from cache";
+  }
+  EXPECT_FALSE(r2.ok()) << "query admitted without its C3 witness";
+}
+
 TEST_F(DatabaseCacheTest, ConditionalVerdictFlipsWithState) {
   // Student 11 not registered for ee150 -> rejected; after registering
   // (and the data version bump), the same query becomes valid.
