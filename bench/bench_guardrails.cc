@@ -1,0 +1,121 @@
+// Guardrail overhead microbench — the cost of a *quiet* guard.
+//
+// The same physical plan is executed with no guard (baseline) and with a
+// guard whose deadline and budgets are generous enough never to trip, so
+// the measured delta is pure bookkeeping: one Check() per DataChunk at
+// pipeline sources plus Charge*() at materialization points. The design
+// target (EXPERIMENTS.md) is < 2% on the E1-E3 style execution workloads;
+// per-chunk batching is what keeps it there — the guard fires once per
+// 1024 rows, not once per row.
+//
+// Run at 1 and 4 threads: the 4-thread rows also price the shared atomic
+// counters all morsel workers charge into.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+
+#include "algebra/binder.h"
+#include "bench/bench_report.h"
+#include "bench/workload.h"
+#include "common/query_guard.h"
+#include "exec/parallel.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+
+namespace {
+
+using fgac::bench::LoadScaledUniversity;
+using fgac::bench::UniversityScale;
+using fgac::common::QueryGuard;
+using fgac::common::QueryLimits;
+using fgac::core::Database;
+
+constexpr const char* kScanQuery =
+    "select count(*) from grades where grade >= 2.5";
+constexpr const char* kAggQuery =
+    "select course-id, avg(grade), count(*) from grades group by course-id";
+constexpr const char* kJoinQuery =
+    "select students.name, grades.grade from students, grades "
+    "where students.student-id = grades.student-id and grades.grade >= 3.0";
+
+Database* SharedDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    UniversityScale scale;
+    scale.students = 8000;
+    scale.courses = 40;
+    LoadScaledUniversity(d, scale);
+    return d;
+  }();
+  return db;
+}
+
+// range(0): 0 = no guard, 1 = quiet guard. range(1): threads.
+void RunGuarded(benchmark::State& state, const char* query) {
+  Database* db = SharedDb();
+  const bool guarded = state.range(0) != 0;
+  const size_t threads = static_cast<size_t>(state.range(1));
+  auto stmt = fgac::sql::Parser::ParseSelect(query);
+  fgac::algebra::Binder binder(db->catalog(), {});
+  auto plan = binder.BindSelect(*stmt.value());
+  if (!plan.ok()) {
+    state.SkipWithError("bind failed");
+    return;
+  }
+  auto row_count = [db](const std::string& table) -> double {
+    const auto* t = db->state().GetTable(table);
+    return t != nullptr ? static_cast<double>(t->num_rows()) : 0.0;
+  };
+  auto best = fgac::optimizer::Optimize(plan.value(),
+                                        fgac::optimizer::ExpandOptions{},
+                                        row_count);
+  if (!best.ok()) {
+    state.SkipWithError("optimize failed");
+    return;
+  }
+  QueryLimits limits;
+  limits.timeout = std::chrono::minutes(10);
+  limits.max_rows = 1ull << 40;
+  limits.max_memory_bytes = 1ull << 50;
+  for (auto _ : state) {
+    QueryGuard guard(limits);
+    auto rel = fgac::exec::ParallelExecutePlan(best.value().plan, db->state(),
+                                               threads,
+                                               guarded ? &guard : nullptr);
+    if (!rel.ok()) {
+      state.SkipWithError(rel.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(rel.value().num_rows());
+  }
+  state.counters["guarded"] =
+      benchmark::Counter(guarded ? 1.0 : 0.0);
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(threads));
+}
+
+void BM_GuardOverheadScan(benchmark::State& state) {
+  RunGuarded(state, kScanQuery);
+}
+void BM_GuardOverheadAgg(benchmark::State& state) {
+  RunGuarded(state, kAggQuery);
+}
+void BM_GuardOverheadJoin(benchmark::State& state) {
+  RunGuarded(state, kJoinQuery);
+}
+
+}  // namespace
+
+BENCHMARK(BM_GuardOverheadScan)
+    ->Args({0, 1})->Args({1, 1})->Args({0, 4})->Args({1, 4})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GuardOverheadAgg)
+    ->Args({0, 1})->Args({1, 1})->Args({0, 4})->Args({1, 4})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GuardOverheadJoin)
+    ->Args({0, 1})->Args({1, 1})->Args({0, 4})->Args({1, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+FGAC_BENCHMARK_MAIN();

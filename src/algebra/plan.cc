@@ -86,6 +86,13 @@ PlanPtr MakeLimit(int64_t limit, PlanPtr child) {
 
 PlanPtr MakeUnionAll(std::vector<PlanPtr> children) {
   assert(!children.empty());
+  if (children.empty()) {
+    // A zero-branch union is an empty relation; produce one explicitly
+    // instead of a malformed node downstream code would trip over.
+    auto empty = NewPlan(PlanKind::kValues);
+    empty->values_arity = 0;
+    return empty;
+  }
   auto p = NewPlan(PlanKind::kUnionAll);
   p->children = std::move(children);
   return p;

@@ -171,6 +171,13 @@ ScalarPtr RemapSlots(const ScalarPtr& s, const std::function<int(int)>& remap) {
     case ScalarKind::kColumn: {
       int target = remap(s->slot);
       assert(target >= 0);
+      if (target < 0) {
+        // A slot with no image means the rewrite lost track of a column —
+        // an optimizer bug. Fail closed: NULL compares false under
+        // three-valued logic, so a predicate over it rejects rows rather
+        // than exposing ones the policy would hide.
+        return MakeLiteralScalar(Value::Null());
+      }
       if (target == s->slot) return s;
       return MakeColumn(target);
     }
@@ -199,6 +206,10 @@ ScalarPtr SubstituteSlots(const ScalarPtr& s,
   switch (s->kind) {
     case ScalarKind::kColumn:
       assert(s->slot >= 0 && static_cast<size_t>(s->slot) < substitution.size());
+      if (s->slot < 0 || static_cast<size_t>(s->slot) >= substitution.size()) {
+        // Out-of-range slot: same fail-closed degrade as RemapSlots.
+        return MakeLiteralScalar(Value::Null());
+      }
       return substitution[s->slot];
     case ScalarKind::kLiteral:
     case ScalarKind::kAccessParam:

@@ -1,0 +1,98 @@
+#include "common/fault_injection.h"
+
+#include <utility>
+
+namespace fgac::common {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::FailOnHit(const std::string& site, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Arm arm;
+  arm.mode = Mode::kFailOnHit;
+  arm.nth = nth == 0 ? 1 : nth;
+  arms_[site] = std::move(arm);
+}
+
+void FaultInjector::FailWithProbability(const std::string& site, double p,
+                                        uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Arm arm;
+  arm.mode = Mode::kFailWithProbability;
+  arm.probability = p;
+  arm.rng.seed(seed);
+  arms_[site] = std::move(arm);
+}
+
+void FaultInjector::OnHit(const std::string& site,
+                          std::function<void()> callback, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Arm arm;
+  arm.mode = Mode::kCallback;
+  arm.nth = nth == 0 ? 1 : nth;
+  arm.callback = std::move(callback);
+  arms_[site] = std::move(arm);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  arms_.erase(site);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  arms_.clear();
+  hits_.clear();
+}
+
+uint64_t FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+Status FaultInjector::Hit(const char* site) {
+  std::function<void()> fire;
+  Status injected = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hits_[site];
+    auto it = arms_.find(site);
+    if (it != arms_.end()) {
+      Arm& arm = it->second;
+      ++arm.hits_seen;
+      switch (arm.mode) {
+        case Mode::kFailOnHit:
+          if (arm.hits_seen == arm.nth) {
+            injected = Status::Internal(std::string("fault injected at '") +
+                                        site + "'");
+            arms_.erase(it);
+          }
+          break;
+        case Mode::kFailWithProbability: {
+          std::uniform_real_distribution<double> dist(0.0, 1.0);
+          if (dist(arm.rng) < arm.probability) {
+            injected = Status::Internal(std::string("fault injected at '") +
+                                        site + "'");
+          }
+          break;
+        }
+        case Mode::kCallback:
+          if (arm.hits_seen == arm.nth) {
+            fire = std::move(arm.callback);
+            arms_.erase(it);
+          }
+          break;
+      }
+    }
+  }
+  // Run callbacks outside the lock: they may re-arm sites or poke other
+  // subsystems that hit fault points themselves.
+  if (fire) fire();
+  return injected;
+}
+
+}  // namespace fgac::common

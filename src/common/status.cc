@@ -22,6 +22,14 @@ const char* StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kInvalidArgument:
       return "InvalidArgument";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
   }
   return "Unknown";
 }

@@ -28,6 +28,17 @@ enum class StatusCode {
   kNotImplemented,
   /// Precondition violated by the caller.
   kInvalidArgument,
+  /// The query exceeded its wall-clock deadline (QueryLimits::timeout).
+  kTimeout,
+  /// The query was cancelled cooperatively (QueryGuard::Cancel or a
+  /// session cancel token).
+  kCancelled,
+  /// A row/memory/probe budget was exhausted (QueryLimits, validity
+  /// probe caps).
+  kResourceExhausted,
+  /// An internal invariant failed; the engine degraded instead of
+  /// aborting the process.
+  kInternal,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotAuthorized").
@@ -69,6 +80,18 @@ class Status {
   }
   static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -39,7 +39,9 @@ SessionContext AdminContext() {
 
 Database::Database() : Database(DefaultOptions()) {}
 
-Database::Database(DatabaseOptions options) : options_(std::move(options)) {
+Database::Database(DatabaseOptions options)
+    : options_(std::move(options)),
+      cache_(options_.validity_cache_capacity) {
   // Let execution-time distinct elimination see primary keys.
   options_.exec_expand.table_pk_slots =
       [this](const std::string& table) -> std::vector<int> {
@@ -120,11 +122,13 @@ Result<PlanPtr> Database::BindQuery(const sql::SelectStmt& stmt,
 }
 
 Result<Relation> Database::RunPlan(const PlanPtr& plan,
-                                   const SessionContext& ctx) {
+                                   const SessionContext& ctx,
+                                   common::QueryGuard* guard) {
+  FGAC_RETURN_NOT_OK(common::GuardCheck(guard));
   size_t threads = ctx.exec_parallelism() != 0 ? ctx.exec_parallelism()
                                                : options_.parallelism;
   if (!options_.optimize_execution) {
-    return exec::ParallelExecutePlan(plan, state_, threads);
+    return exec::ParallelExecutePlan(plan, state_, threads, guard);
   }
   auto row_count = [this](const std::string& table) -> double {
     const storage::TableData* t = state_.GetTable(table);
@@ -133,7 +137,7 @@ Result<Relation> Database::RunPlan(const PlanPtr& plan,
   FGAC_ASSIGN_OR_RETURN(
       optimizer::OptimizeResult best,
       optimizer::Optimize(plan, options_.exec_expand, row_count));
-  return exec::ParallelExecutePlan(best.plan, state_, threads);
+  return exec::ParallelExecutePlan(best.plan, state_, threads, guard);
 }
 
 ValidityOptions Database::ResolvedValidityOptions() const {
@@ -146,6 +150,16 @@ Result<ExecResult> Database::ExecuteSelect(const sql::SelectStmt& stmt,
                                            const SessionContext& ctx) {
   FGAC_ASSIGN_OR_RETURN(PlanPtr plan, BindQuery(stmt, ctx));
   ExecResult out;
+
+  // One guard spans validity checking and execution: database-default
+  // limits, optionally overridden per session, observing the session's
+  // cancel token when one is attached.
+  common::QueryLimits limits =
+      ctx.query_limits().has_value() ? *ctx.query_limits() : options_.limits;
+  common::QueryGuard guard(limits);
+  if (ctx.cancel_token() != nullptr) {
+    guard.AttachExternalCancel(ctx.cancel_token());
+  }
 
   PlanPtr to_run = plan;
   switch (ctx.mode()) {
@@ -177,7 +191,34 @@ Result<ExecResult> Database::ExecuteSelect(const sql::SelectStmt& stmt,
         FGAC_ASSIGN_OR_RETURN(std::vector<InstantiatedView> views,
                               InstantiateAvailableViews(catalog_, ctx));
         ValidityChecker checker(catalog_, &state_, ResolvedValidityOptions());
-        FGAC_ASSIGN_OR_RETURN(out.validity, checker.Check(plan, views));
+        checker.set_guard(&guard);
+        Result<ValidityReport> verdict = checker.Check(plan, views);
+        if (!verdict.ok()) {
+          StatusCode code = verdict.status().code();
+          // kCancelled always propagates — the user asked to stop, not to
+          // get a cheaper answer. Only blown budgets are degradable.
+          bool budget_blown = code == StatusCode::kTimeout ||
+                              code == StatusCode::kResourceExhausted;
+          if (budget_blown &&
+              limits.degrade_policy == common::DegradePolicy::kTruman) {
+            // Principled degradation (paper Section 3 vs 4): the validity
+            // test could not finish within budget, so fall back to the
+            // Truman rewriter — answer against the user's policy views and
+            // flag the result as filtered. Sound (never reveals more than
+            // the views), though possibly misleading; never cached as a
+            // verdict.
+            FGAC_ASSIGN_OR_RETURN(PlanPtr rewritten,
+                                  TrumanRewrite(plan, catalog_, ctx));
+            to_run = algebra::NormalizePlan(rewritten);
+            out.degraded_to_truman = true;
+            out.validity = ValidityReport{};
+            out.validity.reason =
+                "degraded to Truman rewriting: " + verdict.status().message();
+            break;
+          }
+          return verdict.status();
+        }
+        out.validity = std::move(verdict).value();
         if (options_.enable_validity_cache) {
           cache_.Insert(ctx.user(), fp, catalog_version_, data_version(),
                         out.validity);
@@ -192,7 +233,7 @@ Result<ExecResult> Database::ExecuteSelect(const sql::SelectStmt& stmt,
     }
   }
 
-  FGAC_ASSIGN_OR_RETURN(out.relation, RunPlan(to_run, ctx));
+  FGAC_ASSIGN_OR_RETURN(out.relation, RunPlan(to_run, ctx, &guard));
   // The optimizer strips display names; restore the user-visible ones.
   Relation named(algebra::OutputNames(*plan));
   named.mutable_rows() = std::move(out.relation.mutable_rows());

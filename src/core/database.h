@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "catalog/catalog.h"
+#include "common/query_guard.h"
 #include "common/result.h"
 #include "core/session_context.h"
 #include "core/update_auth.h"
@@ -28,6 +29,11 @@ struct ExecResult {
   ValidityReport validity;
   /// True when the validity verdict came from the prepared-statement cache.
   bool validity_from_cache = false;
+  /// True when the Non-Truman validity test blew its budget and the answer
+  /// was produced by the Truman rewriter instead (DegradePolicy::kTruman):
+  /// the result is sound but FILTERED — it may reflect only the data the
+  /// user's policy views expose, not the query's literal answer.
+  bool degraded_to_truman = false;
   /// Informational message for DDL.
   std::string message;
 };
@@ -49,6 +55,12 @@ struct DatabaseOptions {
   /// Expansion budget for cost-based optimization of the executed plan
   /// (kept smaller than the validity engine's, which also hosts views).
   optimizer::ExpandOptions exec_expand;
+  /// Default per-query guardrails (deadline, row/memory budgets, Truman
+  /// degradation policy). Unlimited by default; a session can override via
+  /// SessionContext::set_query_limits.
+  common::QueryLimits limits;
+  /// Bound on the validity cache (LRU-evicted beyond this many verdicts).
+  size_t validity_cache_capacity = ValidityCache::kDefaultMaxEntries;
 };
 
 /// The embedded database facade tying every subsystem together: SQL in,
@@ -121,8 +133,10 @@ class Database {
 
   /// Optimizes (optionally) and executes a plan through the morsel-driven
   /// parallel executor (serial when the resolved parallelism is 1).
+  /// `guard` (may be null) limits the execution.
   Result<storage::Relation> RunPlan(const algebra::PlanPtr& plan,
-                                    const SessionContext& ctx);
+                                    const SessionContext& ctx,
+                                    common::QueryGuard* guard);
 
   /// Validity options with the probe-parallelism default (0) resolved to
   /// this database's `parallelism` knob.

@@ -1,9 +1,13 @@
 #ifndef FGAC_CORE_SESSION_CONTEXT_H_
 #define FGAC_CORE_SESSION_CONTEXT_H_
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 
+#include "common/query_guard.h"
 #include "common/value.h"
 
 namespace fgac::core {
@@ -49,11 +53,33 @@ class SessionContext {
   size_t exec_parallelism() const { return exec_parallelism_; }
   void set_exec_parallelism(size_t n) { exec_parallelism_ = n; }
 
+  /// Per-session override of the database's default QueryLimits (deadline,
+  /// row/memory budgets, degradation policy). Unset = inherit.
+  const std::optional<common::QueryLimits>& query_limits() const {
+    return query_limits_;
+  }
+  void set_query_limits(common::QueryLimits limits) {
+    query_limits_ = limits;
+  }
+  void clear_query_limits() { query_limits_.reset(); }
+
+  /// Cross-thread cancellation: when set, every statement this session
+  /// executes observes the token — another thread storing `true` makes the
+  /// in-flight query unwind with kCancelled at its next guard check.
+  const std::shared_ptr<std::atomic<bool>>& cancel_token() const {
+    return cancel_token_;
+  }
+  void set_cancel_token(std::shared_ptr<std::atomic<bool>> token) {
+    cancel_token_ = std::move(token);
+  }
+
  private:
   std::string user_;
   std::map<std::string, Value> params_;
   EnforcementMode mode_ = EnforcementMode::kNonTruman;
   size_t exec_parallelism_ = 0;
+  std::optional<common::QueryLimits> query_limits_;
+  std::shared_ptr<std::atomic<bool>> cancel_token_;
 };
 
 }  // namespace fgac::core

@@ -6,6 +6,7 @@
 
 #include "algebra/binder.h"
 #include "algebra/normalize.h"
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "core/view_pruning.h"
 #include "exec/executor.h"
@@ -60,14 +61,23 @@ MemoExpr DistinctExpr(GroupId child) {
 /// each task uses the SERIAL executor because pool tasks must not re-enter
 /// the pool (no nested waits). Safe because probes only read `state` and
 /// immutable plan nodes — all memo mutation happens outside this function.
-/// A probe that errors counts as empty, as in the serial code.
+/// A probe that errors counts as empty, as in the serial code — including
+/// a probe tripping its own `limits` (per-probe guard) or an injected
+/// "validity.probe" fault. Missing a conditional marking is sound: it can
+/// only reject more. `parent` (the whole-check guard) propagates the
+/// check-wide deadline and cancellation into every probe.
 std::vector<char> RunNonEmptinessProbes(const std::vector<PlanPtr>& plans,
                                         const storage::DatabaseState& state,
-                                        size_t parallelism) {
+                                        size_t parallelism,
+                                        const common::QueryLimits& limits,
+                                        const common::QueryGuard* parent) {
   std::vector<char> nonempty(plans.size(), 0);
-  auto run_one = [&plans, &state, &nonempty](size_t i) {
-    Result<storage::Relation> r =
-        exec::ExecutePlan(algebra::MakeLimit(1, plans[i]), state);
+  auto run_one = [&plans, &state, &nonempty, &limits, parent](size_t i) {
+    Status injected = FGAC_FAULT_CHECK("validity.probe");
+    if (!injected.ok()) return;
+    common::QueryGuard probe_guard(limits, parent);
+    Result<storage::Relation> r = exec::ExecutePlan(
+        algebra::MakeLimit(1, plans[i]), state, &probe_guard);
     nonempty[i] = r.ok() && !r.value().empty() ? 1 : 0;
   };
   if (parallelism <= 1 || plans.size() <= 1) {
@@ -149,6 +159,26 @@ void ValidityChecker::SetupExpandOptions() {
     }
     return out;
   };
+}
+
+std::vector<char> ValidityChecker::RunProbeBatch(
+    const std::vector<PlanPtr>& plans) {
+  if (plans.empty()) return {};
+  // Once a budget failure is recorded, every later batch answers all-empty
+  // without touching the database; Check() surfaces probe_status_ at the
+  // end of the round.
+  if (!probe_status_.ok()) return std::vector<char>(plans.size(), 0);
+  if (options_.max_total_probes > 0 &&
+      c3_probes_ + plans.size() > options_.max_total_probes) {
+    probe_status_ = Status::ResourceExhausted(
+        "validity test exceeded its probe budget of " +
+        std::to_string(options_.max_total_probes) + " database probes (" +
+        std::to_string(c3_probes_ + plans.size()) + " needed)");
+    return std::vector<char>(plans.size(), 0);
+  }
+  c3_probes_ += plans.size();
+  return RunNonEmptinessProbes(plans, *state_, options_.probe_parallelism,
+                               options_.probe_limits, check_guard_.get());
 }
 
 void ValidityChecker::MarkU(GroupId g, const std::string& why) {
@@ -668,12 +698,10 @@ bool ValidityChecker::ApplyCAggRules() {
   }
 
   // Batched probe + serial marking.
-  c3_probes_ += pending.size();
   std::vector<PlanPtr> plans;
   plans.reserve(pending.size());
   for (const AggProbe& p : pending) plans.push_back(p.plan);
-  std::vector<char> nonempty =
-      RunNonEmptinessProbes(plans, *state_, options_.probe_parallelism);
+  std::vector<char> nonempty = RunProbeBatch(plans);
   for (size_t i = 0; i < pending.size(); ++i) {
     if (!nonempty[i]) continue;
     GroupId target = memo_.Find(pending[i].target);
@@ -880,12 +908,10 @@ bool ValidityChecker::ApplyC3Rules() {
 
   // Phase 2: probe every candidate remainder for visible non-emptiness,
   // concurrently when options_.probe_parallelism allows.
-  c3_probes_ += candidates.size();
   std::vector<PlanPtr> plans;
   plans.reserve(candidates.size());
   for (const C3Candidate& c : candidates) plans.push_back(c.probe_plan);
-  std::vector<char> nonempty =
-      RunNonEmptinessProbes(plans, *state_, options_.probe_parallelism);
+  std::vector<char> nonempty = RunProbeBatch(plans);
 
   // Phase 3 (serial): admit q' for every non-empty remainder.
   for (size_t i = 0; i < candidates.size(); ++i) {
@@ -1228,6 +1254,16 @@ Result<ValidityReport> ValidityChecker::Check(
     return Status::InvalidArgument(
         "ValidityChecker is single-use; construct a fresh one per query");
   }
+  // The whole-check guard: own deadline from ValidityOptions, inheriting
+  // the executing query's cancellation/deadline when set_guard was called.
+  // Probes derive per-probe child guards from it.
+  common::QueryLimits check_limits;
+  check_limits.timeout = options_.check_timeout;
+  check_guard_ =
+      std::make_unique<common::QueryGuard>(check_limits, parent_guard_);
+  probe_status_ = Status::OK();
+  FGAC_RETURN_NOT_OK(check_guard_->Check());
+
   ValidityReport report;
   report.views_considered = views.size();
 
@@ -1285,6 +1321,7 @@ Result<ValidityReport> ValidityChecker::Check(
     optimizer::ExpandMemo(&memo_, subsumption_only);
   }
 
+  FGAC_RETURN_NOT_OK(check_guard_->Check());
   PropagateValidity(nullptr);
   if (options_.enable_access_patterns) {
     if (ApplyDependentJoinRule(views)) PropagateValidity(nullptr);
@@ -1292,6 +1329,7 @@ Result<ValidityReport> ValidityChecker::Check(
 
   if (options_.enable_complex_rules) {
     for (size_t round = 0; round < options_.max_inference_rounds; ++round) {
+      FGAC_RETURN_NOT_OK(check_guard_->Check());
       bool changed = ApplyU3Rules();
       if (options_.enable_conditional_rules) {
         changed = ApplyC3Rules() || changed;
@@ -1307,6 +1345,15 @@ Result<ValidityReport> ValidityChecker::Check(
           ApplyRedundantJoinDecomposition()) {
         changed = true;
       }
+      // A blown probe budget fails the whole check — unless the query is
+      // already admitted (U or C), in which case the verdict in hand is
+      // sound and further probing could only refine it; stop burning
+      // budget and report it.
+      if (!probe_status_.ok()) {
+        GroupId r = memo_.Find(root_);
+        if (memo_.IsValidU(r) || memo_.IsValidC(r)) break;
+        return probe_status_;
+      }
       // Newly derived expressions (U3 cores, factored projections,
       // introduced joins) may enable further equivalence rules.
       if (changed) optimizer::ExpandMemo(&memo_, options_.expand);
@@ -1315,6 +1362,7 @@ Result<ValidityReport> ValidityChecker::Check(
       if (!changed || memo_.IsValidU(root)) break;
     }
   }
+  FGAC_RETURN_NOT_OK(check_guard_->Check());
 
   GroupId root = memo_.Find(root_);
   report.memo_groups = memo_.num_live_groups();

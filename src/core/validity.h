@@ -1,12 +1,15 @@
 #ifndef FGAC_CORE_VALIDITY_H_
 #define FGAC_CORE_VALIDITY_H_
 
+#include <chrono>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "algebra/plan.h"
 #include "catalog/catalog.h"
+#include "common/query_guard.h"
 #include "common/result.h"
 #include "core/auth_view.h"
 #include "optimizer/memo.h"
@@ -53,6 +56,19 @@ struct ValidityOptions {
   /// 0 = inherit the owning Database's `parallelism` option; standalone
   /// ValidityChecker users get serial probes at 0 or 1.
   size_t probe_parallelism = 0;
+  /// Wall-clock budget for one whole validity test — inference rounds,
+  /// expansion and probes together. 0 = unlimited. Exceeding it aborts
+  /// Check() with kTimeout so the caller can degrade per policy.
+  std::chrono::microseconds check_timeout{0};
+  /// Whole-check cap on C3a/C3b/CAgg database probes. 0 = unlimited.
+  /// Exceeding it aborts Check() with kResourceExhausted: these probes run
+  /// extra queries before the user's query executes, so they are the
+  /// validity test's unbounded-cost attack surface.
+  size_t max_total_probes = 0;
+  /// Execution limits applied to each individual probe (each probe is one
+  /// LIMIT-1 query). A probe tripping its own limits merely counts as
+  /// empty — sound, since fewer conditional markings only reject more.
+  common::QueryLimits probe_limits;
 };
 
 /// Outcome of a validity test plus diagnostics for the benchmarks.
@@ -89,8 +105,15 @@ class ValidityChecker {
   ValidityChecker(const catalog::Catalog& catalog,
                   const storage::DatabaseState* state, ValidityOptions options);
 
+  /// Attaches the executing query's guardrail: the check inherits its
+  /// cancellation and never outlives its deadline, while keeping separate
+  /// probe/time budgets (ValidityOptions). Call before Check().
+  void set_guard(const common::QueryGuard* parent) { parent_guard_ = parent; }
+
   /// Tests whether `query` (a bound, normalized plan) can be answered using
   /// only the information in `views` (already instantiated for the session).
+  /// Fails with kTimeout / kResourceExhausted / kCancelled when a budget
+  /// trips mid-inference (see ValidityOptions and set_guard).
   Result<ValidityReport> Check(const algebra::PlanPtr& query,
                                const std::vector<InstantiatedView>& views);
 
@@ -169,6 +192,12 @@ class ValidityChecker {
   void MarkU(optimizer::GroupId g, const std::string& why);
   void MarkC(optimizer::GroupId g, const std::string& why);
 
+  /// Budgeted batch probe used by the C3/CAgg rules: refuses (all-empty)
+  /// once the whole-check probe cap is hit, recording the failure in
+  /// probe_status_ — the rules return bool, so Check() surfaces it at the
+  /// end of the round.
+  std::vector<char> RunProbeBatch(const std::vector<algebra::PlanPtr>& plans);
+
   const catalog::Catalog& catalog_;
   const storage::DatabaseState* state_;
   ValidityOptions options_;
@@ -187,6 +216,9 @@ class ValidityChecker {
   std::map<optimizer::GroupId, optimizer::ExprId> witness_expr_;
   size_t c3_probes_ = 0;
   size_t joins_introduced_ = 0;
+  const common::QueryGuard* parent_guard_ = nullptr;
+  std::unique_ptr<common::QueryGuard> check_guard_;
+  Status probe_status_;
 };
 
 }  // namespace fgac::core

@@ -10,6 +10,12 @@ std::string MakeKey(const std::string& user, uint64_t plan_fp) {
 
 }  // namespace
 
+void ValidityCache::Erase(
+    std::unordered_map<std::string, Entry>::iterator it) {
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
 const ValidityReport* ValidityCache::Lookup(const std::string& user,
                                             uint64_t plan_fp,
                                             uint64_t catalog_version,
@@ -19,19 +25,20 @@ const ValidityReport* ValidityCache::Lookup(const std::string& user,
     ++misses_;
     return nullptr;
   }
-  const Entry& entry = it->second;
+  Entry& entry = it->second;
   if (entry.catalog_version != catalog_version) {
-    entries_.erase(it);
+    Erase(it);
     ++misses_;
     return nullptr;
   }
   bool data_sensitive =
       !entry.report.valid || !entry.report.unconditional;
   if (data_sensitive && entry.data_version != data_version) {
-    entries_.erase(it);
+    Erase(it);
     ++misses_;
     return nullptr;
   }
+  lru_.splice(lru_.begin(), lru_, entry.lru_pos);
   ++hits_;
   return &entry.report;
 }
@@ -39,11 +46,27 @@ const ValidityReport* ValidityCache::Lookup(const std::string& user,
 void ValidityCache::Insert(const std::string& user, uint64_t plan_fp,
                            uint64_t catalog_version, uint64_t data_version,
                            ValidityReport report) {
+  std::string key = MakeKey(user, plan_fp);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.report = std::move(report);
+    it->second.catalog_version = catalog_version;
+    it->second.data_version = data_version;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  while (entries_.size() >= max_entries_) {
+    auto victim = entries_.find(lru_.back());
+    Erase(victim);
+    ++evictions_;
+  }
+  lru_.push_front(key);
   Entry entry;
   entry.report = std::move(report);
   entry.catalog_version = catalog_version;
   entry.data_version = data_version;
-  entries_[MakeKey(user, plan_fp)] = std::move(entry);
+  entry.lru_pos = lru_.begin();
+  entries_[std::move(key)] = std::move(entry);
 }
 
 }  // namespace fgac::core

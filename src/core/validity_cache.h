@@ -2,6 +2,7 @@
 #define FGAC_CORE_VALIDITY_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <string>
 #include <unordered_map>
 
@@ -25,15 +26,20 @@ namespace fgac::core {
 /// changes during the session") and are dropped when `data_version`
 /// advances. Rejections are cached like conditional verdicts (new data
 /// could make a query conditionally valid).
+///
+/// Capacity is bounded: at most `max_entries` verdicts are kept, evicting
+/// least-recently-used ones — unique-query traffic (the adversarial case)
+/// cycles the cache instead of growing it without bound.
 class ValidityCache {
  public:
-  struct Entry {
-    ValidityReport report;
-    uint64_t catalog_version = 0;
-    uint64_t data_version = 0;
-  };
+  static constexpr size_t kDefaultMaxEntries = 4096;
+
+  explicit ValidityCache(size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
 
   /// Looks up a cached verdict; returns nullptr on miss or a stale entry.
+  /// A hit refreshes the entry's recency. The pointer is invalidated by
+  /// the next Insert/Clear.
   const ValidityReport* Lookup(const std::string& user, uint64_t plan_fp,
                                uint64_t catalog_version, uint64_t data_version);
 
@@ -41,15 +47,34 @@ class ValidityCache {
               uint64_t catalog_version, uint64_t data_version,
               ValidityReport report);
 
-  void Clear() { entries_.clear(); }
+  void Clear() {
+    entries_.clear();
+    lru_.clear();
+  }
   size_t size() const { return entries_.size(); }
+  size_t max_entries() const { return max_entries_; }
   size_t hits() const { return hits_; }
   size_t misses() const { return misses_; }
+  /// Entries dropped to respect max_entries (stale drops not counted).
+  size_t evictions() const { return evictions_; }
 
  private:
+  struct Entry {
+    ValidityReport report;
+    uint64_t catalog_version = 0;
+    uint64_t data_version = 0;
+    /// Position in lru_ (front = most recently used).
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  void Erase(std::unordered_map<std::string, Entry>::iterator it);
+
+  size_t max_entries_;
   std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t evictions_ = 0;
 };
 
 }  // namespace fgac::core

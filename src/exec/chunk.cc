@@ -422,22 +422,34 @@ void DataChunk::Reserve(size_t rows) {
   for (ColumnVector& c : cols_) c.Reserve(rows);
 }
 
+// Arity mismatches below indicate an operator bug. Debug builds still
+// assert; release builds degrade by truncating extra source columns and
+// NULL-padding missing ones instead of reading out of bounds.
+
 void DataChunk::AppendRow(const Row& row) {
   assert(row.size() == cols_.size());
-  for (size_t c = 0; c < cols_.size(); ++c) cols_[c].Append(row[c]);
+  size_t shared = std::min(row.size(), cols_.size());
+  for (size_t c = 0; c < shared; ++c) cols_[c].Append(row[c]);
+  for (size_t c = shared; c < cols_.size(); ++c) cols_[c].AppendNull();
   ++size_;
 }
 
 void DataChunk::AppendRowFrom(const DataChunk& src, size_t i) {
   assert(src.num_columns() == num_columns());
-  for (size_t c = 0; c < cols_.size(); ++c) cols_[c].AppendFrom(src.cols_[c], i);
+  size_t shared = std::min(src.num_columns(), num_columns());
+  for (size_t c = 0; c < shared; ++c) cols_[c].AppendFrom(src.cols_[c], i);
+  for (size_t c = shared; c < cols_.size(); ++c) cols_[c].AppendNull();
   ++size_;
 }
 
 void DataChunk::AppendSelected(const DataChunk& src, const Selection& sel) {
   assert(src.num_columns() == num_columns());
-  for (size_t c = 0; c < cols_.size(); ++c) {
+  size_t shared = std::min(src.num_columns(), num_columns());
+  for (size_t c = 0; c < shared; ++c) {
     cols_[c].AppendSelected(src.cols_[c], sel);
+  }
+  for (size_t c = shared; c < cols_.size(); ++c) {
+    for (size_t k = 0; k < sel.size(); ++k) cols_[c].AppendNull();
   }
   size_ += sel.size();
 }
@@ -446,8 +458,16 @@ void DataChunk::AppendConcat(const DataChunk& left, size_t li,
                              const Row& right) {
   size_t ln = left.num_columns();
   assert(ln + right.size() == cols_.size());
-  for (size_t c = 0; c < ln; ++c) cols_[c].AppendFrom(left.cols_[c], li);
-  for (size_t c = 0; c < right.size(); ++c) cols_[ln + c].Append(right[c]);
+  size_t shared_left = std::min(ln, cols_.size());
+  for (size_t c = 0; c < shared_left; ++c) {
+    cols_[c].AppendFrom(left.cols_[c], li);
+  }
+  for (size_t c = 0; c < right.size() && shared_left + c < cols_.size(); ++c) {
+    cols_[shared_left + c].Append(right[c]);
+  }
+  for (ColumnVector& col : cols_) {
+    if (col.size() <= size_) col.AppendNull();
+  }
   ++size_;
 }
 

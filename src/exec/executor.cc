@@ -8,14 +8,52 @@ using algebra::OutputArity;
 using algebra::PlanKind;
 using algebra::PlanPtr;
 
-Result<OperatorPtr> BuildPhysicalPlan(const PlanPtr& plan,
-                                      const storage::DatabaseState& state) {
-  if (plan == nullptr) return Status::InvalidArgument("null plan");
+namespace {
+
+/// Plan shapes arrive from the binder/optimizer, but a malformed tree must
+/// degrade to a Status in Release builds instead of indexing past
+/// `children` — plans are ultimately derived from user input.
+Status ValidatePlanShape(const algebra::Plan& plan) {
+  size_t have = plan.children.size();
+  switch (plan.kind) {
+    case PlanKind::kGet:
+    case PlanKind::kValues:
+      return Status::OK();
+    case PlanKind::kSelect:
+    case PlanKind::kProject:
+    case PlanKind::kAggregate:
+    case PlanKind::kDistinct:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+      if (have != 1) {
+        return Status::Internal("plan node expects 1 child, has " +
+                                std::to_string(have));
+      }
+      return Status::OK();
+    case PlanKind::kJoin:
+      if (have != 2) {
+        return Status::Internal("join node expects 2 children, has " +
+                                std::to_string(have));
+      }
+      return Status::OK();
+    case PlanKind::kUnionAll:
+      if (have == 0) {
+        return Status::Internal("union-all node has no children");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+Result<OperatorPtr> BuildNode(const PlanPtr& plan,
+                              const storage::DatabaseState& state,
+                              common::QueryGuard* guard) {
   switch (plan->kind) {
     case PlanKind::kGet: {
       const storage::TableData* data = state.GetTable(plan->table);
       if (data == nullptr) {
-        return Status::ExecutionError("no data for table '" + plan->table + "'");
+        return Status::ExecutionError("no data for table '" + plan->table +
+                                      "'");
       }
       // ScanOp BORROWS the table storage: the operator tree is only valid
       // for the lifetime of `state`, and callers must not mutate the table
@@ -28,19 +66,19 @@ Result<OperatorPtr> BuildPhysicalPlan(const PlanPtr& plan,
       return OperatorPtr(new ValuesOp(plan->rows));
     case PlanKind::kSelect: {
       FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
-                            BuildPhysicalPlan(plan->children[0], state));
+                            BuildPhysicalPlan(plan->children[0], state, guard));
       return OperatorPtr(new FilterOp(plan->predicates, std::move(child)));
     }
     case PlanKind::kProject: {
       FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
-                            BuildPhysicalPlan(plan->children[0], state));
+                            BuildPhysicalPlan(plan->children[0], state, guard));
       return OperatorPtr(new ProjectOp(plan->exprs, std::move(child)));
     }
     case PlanKind::kJoin: {
       FGAC_ASSIGN_OR_RETURN(OperatorPtr left,
-                            BuildPhysicalPlan(plan->children[0], state));
+                            BuildPhysicalPlan(plan->children[0], state, guard));
       FGAC_ASSIGN_OR_RETURN(OperatorPtr right,
-                            BuildPhysicalPlan(plan->children[1], state));
+                            BuildPhysicalPlan(plan->children[1], state, guard));
       size_t left_arity = OutputArity(*plan->children[0]);
       JoinKeys keys = SplitJoinKeys(plan->predicates, left_arity);
       if (!keys.left_keys.empty()) {
@@ -53,30 +91,31 @@ Result<OperatorPtr> BuildPhysicalPlan(const PlanPtr& plan,
     }
     case PlanKind::kAggregate: {
       FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
-                            BuildPhysicalPlan(plan->children[0], state));
+                            BuildPhysicalPlan(plan->children[0], state, guard));
       return OperatorPtr(
           new HashAggregateOp(plan->group_by, plan->aggs, std::move(child)));
     }
     case PlanKind::kDistinct: {
       FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
-                            BuildPhysicalPlan(plan->children[0], state));
+                            BuildPhysicalPlan(plan->children[0], state, guard));
       return OperatorPtr(new DistinctOp(std::move(child)));
     }
     case PlanKind::kSort: {
       FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
-                            BuildPhysicalPlan(plan->children[0], state));
+                            BuildPhysicalPlan(plan->children[0], state, guard));
       return OperatorPtr(new SortOp(plan->sort_items, std::move(child)));
     }
     case PlanKind::kLimit: {
       FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
-                            BuildPhysicalPlan(plan->children[0], state));
+                            BuildPhysicalPlan(plan->children[0], state, guard));
       return OperatorPtr(new LimitOp(plan->limit, std::move(child)));
     }
     case PlanKind::kUnionAll: {
       std::vector<OperatorPtr> children;
       children.reserve(plan->children.size());
       for (const PlanPtr& c : plan->children) {
-        FGAC_ASSIGN_OR_RETURN(OperatorPtr child, BuildPhysicalPlan(c, state));
+        FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
+                              BuildPhysicalPlan(c, state, guard));
         children.push_back(std::move(child));
       }
       return OperatorPtr(new UnionAllOp(std::move(children)));
@@ -85,9 +124,22 @@ Result<OperatorPtr> BuildPhysicalPlan(const PlanPtr& plan,
   return Status::ExecutionError("unsupported plan kind");
 }
 
+}  // namespace
+
+Result<OperatorPtr> BuildPhysicalPlan(const PlanPtr& plan,
+                                      const storage::DatabaseState& state,
+                                      common::QueryGuard* guard) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  FGAC_RETURN_NOT_OK(ValidatePlanShape(*plan));
+  FGAC_ASSIGN_OR_RETURN(OperatorPtr op, BuildNode(plan, state, guard));
+  op->set_guard(guard);
+  return op;
+}
+
 Result<storage::Relation> ExecutePlan(const PlanPtr& plan,
-                                      const storage::DatabaseState& state) {
-  FGAC_ASSIGN_OR_RETURN(OperatorPtr root, BuildPhysicalPlan(plan, state));
+                                      const storage::DatabaseState& state,
+                                      common::QueryGuard* guard) {
+  FGAC_ASSIGN_OR_RETURN(OperatorPtr root, BuildPhysicalPlan(plan, state, guard));
   FGAC_RETURN_NOT_OK(root->Open());
   storage::Relation out(algebra::OutputNames(*plan));
   DataChunk chunk;

@@ -11,14 +11,18 @@ namespace fgac::exec {
 
 /// Lowers a logical plan to a physical operator tree over `state` (borrowed
 /// for the lifetime of the returned operator). Joins with equi-predicates
-/// become hash joins; others become block nested-loop joins.
+/// become hash joins; others become block nested-loop joins. `guard` (may
+/// be null = no limits) is attached to every operator and must outlive the
+/// tree.
 Result<OperatorPtr> BuildPhysicalPlan(const algebra::PlanPtr& plan,
-                                      const storage::DatabaseState& state);
+                                      const storage::DatabaseState& state,
+                                      common::QueryGuard* guard = nullptr);
 
 /// Builds, opens, and drains a physical plan into a Relation (column names
 /// from the logical plan).
 Result<storage::Relation> ExecutePlan(const algebra::PlanPtr& plan,
-                                      const storage::DatabaseState& state);
+                                      const storage::DatabaseState& state,
+                                      common::QueryGuard* guard = nullptr);
 
 }  // namespace fgac::exec
 

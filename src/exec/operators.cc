@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "exec/eval.h"
 #include "storage/table_data.h"
 
@@ -37,21 +38,30 @@ bool EmitSelected(DataChunk& src, const Selection& sel, DataChunk& out) {
 }  // namespace
 
 Result<bool> ScanOp::Next(DataChunk& out) {
+  // Pipeline sources are where per-chunk guard checks live: every chunk a
+  // pipeline processes was pulled through a source, so a deadline/cancel
+  // trips within one chunk of work.
+  FGAC_RETURN_NOT_OK(common::GuardCheck(guard_));
   if (table_ != nullptr) {
-    size_t n = table_->ScanChunk(pos_, DataChunk::kDefaultCapacity, &out);
+    FGAC_ASSIGN_OR_RETURN(
+        size_t n, table_->ScanChunk(pos_, DataChunk::kDefaultCapacity, &out));
     pos_ += n;
+    FGAC_RETURN_NOT_OK(common::GuardChargeRows(guard_, n));
     return n > 0;
   }
   out.Reset(rows_->empty() ? 0 : (*rows_)[0].size());
   size_t n = AppendRowsToChunk(*rows_, pos_, DataChunk::kDefaultCapacity, &out);
   pos_ += n;
+  FGAC_RETURN_NOT_OK(common::GuardChargeRows(guard_, n));
   return n > 0;
 }
 
 Result<bool> ValuesOp::Next(DataChunk& out) {
+  FGAC_RETURN_NOT_OK(common::GuardCheck(guard_));
   out.Reset(rows_.empty() ? 0 : rows_[0].size());
   size_t n = AppendRowsToChunk(rows_, pos_, DataChunk::kDefaultCapacity, &out);
   pos_ += n;
+  FGAC_RETURN_NOT_OK(common::GuardChargeRows(guard_, n));
   return n > 0;
 }
 
@@ -95,6 +105,8 @@ Status NestedLoopJoinOp::Open() {
   right_rows_.clear();
   FGAC_RETURN_NOT_OK(DrainToRows(right_.get(), &right_rows_));
   right_width_ = right_rows_.empty() ? 0 : right_rows_[0].size();
+  FGAC_RETURN_NOT_OK(common::GuardChargeBytes(
+      guard_, right_rows_.size() * common::ApproxRowBytes(right_width_)));
   left_chunk_.Reset(0);
   left_pos_ = 0;
   return Status::OK();
@@ -102,6 +114,9 @@ Status NestedLoopJoinOp::Open() {
 
 Result<bool> NestedLoopJoinOp::Next(DataChunk& out) {
   while (true) {
+    // The cross product can dwarf the inputs, so the join itself checks
+    // and charges per scratch block in addition to the source's checks.
+    FGAC_RETURN_NOT_OK(common::GuardCheck(guard_));
     if (left_pos_ >= left_chunk_.size()) {
       FGAC_ASSIGN_OR_RETURN(bool more, left_->Next(left_chunk_));
       if (!more) return Exhausted(out);
@@ -117,6 +132,7 @@ Result<bool> NestedLoopJoinOp::Next(DataChunk& out) {
       ++left_pos_;
     }
     if (scratch_.empty()) continue;
+    FGAC_RETURN_NOT_OK(common::GuardChargeRows(guard_, scratch_.size()));
     IdentitySelection(scratch_.size(), &sel_);
     FGAC_RETURN_NOT_OK(FilterSelection(predicates_, scratch_, &sel_));
     if (EmitSelected(scratch_, sel_, out)) return true;
@@ -124,17 +140,22 @@ Result<bool> NestedLoopJoinOp::Next(DataChunk& out) {
 }
 
 Status HashJoinTable::BuildFrom(Operator& build,
-                                const std::vector<ScalarPtr>& keys) {
+                                const std::vector<ScalarPtr>& keys,
+                                common::QueryGuard* guard) {
   map.clear();
   build_width = 0;
   DataChunk chunk;
   Selection id;
   std::vector<ColumnVector> key_cols(keys.size());
   while (true) {
+    FGAC_FAULT_POINT("exec.hash_join.build");
+    FGAC_RETURN_NOT_OK(common::GuardCheck(guard));
     Result<bool> more = build.Next(chunk);
     if (!more.ok()) return more.status();
     if (!more.value()) break;
     build_width = chunk.num_columns();
+    FGAC_RETURN_NOT_OK(common::GuardChargeBytes(
+        guard, chunk.size() * common::ApproxRowBytes(build_width)));
     IdentitySelection(chunk.size(), &id);
     for (size_t k = 0; k < keys.size(); ++k) {
       FGAC_RETURN_NOT_OK(EvalScalarBatch(keys[k], chunk, id, &key_cols[k]));
@@ -205,19 +226,24 @@ Result<bool> HashProbeCursor::Next(Operator& left,
 Status HashJoinOp::Open() {
   FGAC_RETURN_NOT_OK(left_->Open());
   FGAC_RETURN_NOT_OK(right_->Open());
-  FGAC_RETURN_NOT_OK(table_.BuildFrom(*right_, right_keys_));
+  FGAC_RETURN_NOT_OK(table_.BuildFrom(*right_, right_keys_, guard_));
   probe_.Reset();
   return Status::OK();
 }
 
 Result<bool> HashJoinOp::Next(DataChunk& out) {
-  return probe_.Next(*left_, left_keys_, residual_, table_, out);
+  FGAC_ASSIGN_OR_RETURN(
+      bool more, probe_.Next(*left_, left_keys_, residual_, table_, out));
+  // Duplicate keys can fan one probe row out into many matches, so join
+  // output is charged as work on top of what the sources charged.
+  if (more) FGAC_RETURN_NOT_OK(common::GuardChargeRows(guard_, out.size()));
+  return more;
 }
 
 Status AccumulateGroups(Operator& child,
                         const std::vector<ScalarPtr>& group_by,
                         const std::vector<algebra::AggExpr>& aggs,
-                        AggGroups* groups) {
+                        AggGroups* groups, common::QueryGuard* guard) {
   auto make_accumulators = [&aggs]() {
     std::vector<AggAccumulator> accs;
     accs.reserve(aggs.size());
@@ -243,6 +269,8 @@ Status AccumulateGroups(Operator& child,
       FGAC_RETURN_NOT_OK(EvalScalarBatch(aggs[a].arg, chunk, id,
                                          &arg_cols[a]));
     }
+    FGAC_RETURN_NOT_OK(common::GuardCheck(guard));
+    size_t new_groups = 0;
     for (size_t i = 0; i < chunk.size(); ++i) {
       Row key;
       key.reserve(group_by.size());
@@ -250,6 +278,7 @@ Status AccumulateGroups(Operator& child,
       auto it = groups->find(key);
       if (it == groups->end()) {
         it = groups->emplace(std::move(key), make_accumulators()).first;
+        ++new_groups;
       }
       for (size_t a = 0; a < aggs.size(); ++a) {
         Value v = aggs[a].arg == nullptr ? Value::Null()
@@ -257,6 +286,9 @@ Status AccumulateGroups(Operator& child,
         FGAC_RETURN_NOT_OK(it->second[a].AddValue(v));
       }
     }
+    FGAC_RETURN_NOT_OK(common::GuardChargeBytes(
+        guard,
+        new_groups * common::ApproxRowBytes(group_by.size() + aggs.size())));
   }
   return Status::OK();
 }
@@ -285,7 +317,8 @@ Status HashAggregateOp::Open() {
   results_.clear();
   pos_ = 0;
   AggGroups groups;
-  FGAC_RETURN_NOT_OK(AccumulateGroups(*child_, group_by_, aggs_, &groups));
+  FGAC_RETURN_NOT_OK(
+      AccumulateGroups(*child_, group_by_, aggs_, &groups, guard_));
   results_ = FinishGroups(std::move(groups), aggs_, group_by_.empty());
   return Status::OK();
 }
@@ -313,6 +346,9 @@ Result<bool> DistinctOp::Next(DataChunk& out) {
         sel_.push_back(static_cast<uint32_t>(i));
       }
     }
+    // The seen-set grows by one materialized row per kept input row.
+    FGAC_RETURN_NOT_OK(common::GuardChargeBytes(
+        guard_, sel_.size() * common::ApproxRowBytes(input_.num_columns())));
     if (EmitSelected(input_, sel_, out)) return true;
   }
 }
@@ -331,6 +367,10 @@ Status SortOp::Open() {
     if (!more.ok()) return more.status();
     if (!more.value()) break;
     width_ = chunk.num_columns();
+    // Sort materializes its whole input (plus sort keys).
+    FGAC_RETURN_NOT_OK(common::GuardChargeBytes(
+        guard_,
+        chunk.size() * common::ApproxRowBytes(width_ + items_.size())));
     IdentitySelection(chunk.size(), &id);
     for (size_t k = 0; k < items_.size(); ++k) {
       FGAC_RETURN_NOT_OK(EvalScalarBatch(items_[k].expr, chunk, id,

@@ -10,6 +10,7 @@
 
 #include "algebra/plan.h"
 #include "algebra/scalar.h"
+#include "common/query_guard.h"
 #include "common/result.h"
 #include "common/value.h"
 #include "exec/chunk.h"
@@ -42,6 +43,16 @@ class Operator {
 
   /// Fills `out` with the next batch; false = exhausted.
   virtual Result<bool> Next(DataChunk& out) = 0;
+
+  /// Attaches a query guardrail (may be null = no limits). Pipeline
+  /// sources check it per chunk; materializing operators also charge
+  /// rows/bytes. BuildPhysicalPlan sets it on every node, so manual
+  /// operator assembly (tests, benches) may skip it entirely.
+  void set_guard(common::QueryGuard* guard) { guard_ = guard; }
+  common::QueryGuard* guard() const { return guard_; }
+
+ protected:
+  common::QueryGuard* guard_ = nullptr;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -142,8 +153,10 @@ struct HashJoinTable {
 
   /// Drains `build` (already Open) into the table, evaluating `keys`
   /// against each build chunk. Rows with a NULL key are skipped (NULL keys
-  /// never match in an equi-join).
-  Status BuildFrom(Operator& build, const std::vector<algebra::ScalarPtr>& keys);
+  /// never match in an equi-join). `guard` (may be null) is charged for
+  /// the materialized build rows.
+  Status BuildFrom(Operator& build, const std::vector<algebra::ScalarPtr>& keys,
+                   common::QueryGuard* guard = nullptr);
 };
 
 /// Streaming probe state over a HashJoinTable. Owned per pipeline (each
@@ -199,11 +212,12 @@ using AggGroups = std::map<Row, std::vector<algebra::AggAccumulator>>;
 
 /// Drains `child` (already Open), accumulating every row into `groups`.
 /// Shared by HashAggregateOp and the parallel executor's per-thread partial
-/// aggregation.
+/// aggregation. `guard` (may be null) is charged for group-state growth.
 Status AccumulateGroups(Operator& child,
                         const std::vector<algebra::ScalarPtr>& group_by,
                         const std::vector<algebra::AggExpr>& aggs,
-                        AggGroups* groups);
+                        AggGroups* groups,
+                        common::QueryGuard* guard = nullptr);
 
 /// Renders accumulated groups to output rows (group key columns, then one
 /// column per aggregate). Adds the global empty group for scalar aggregates

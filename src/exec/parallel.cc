@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "exec/eval.h"
 #include "exec/executor.h"
@@ -32,6 +33,15 @@ namespace {
 struct MorselSource {
   const storage::TableData* table = nullptr;
   std::atomic<size_t> next{0};
+  /// Shared guardrail for the whole parallel query (may be null). One
+  /// instance serves every worker: its counters are atomic and Check() is
+  /// read-only, so no extra synchronization is needed.
+  common::QueryGuard* guard = nullptr;
+  /// First-error-wins abort: a failing worker raises it; the others see it
+  /// at their next morsel claim and end their streams cleanly, so the
+  /// fan-out joins all workers fast without burning through the rest of
+  /// the table.
+  std::atomic<bool> abort{false};
 };
 
 /// One hash-join stage on the pipeline's left spine: the build side is
@@ -72,7 +82,7 @@ const algebra::Plan* PipelineSourceNode(const PlanPtr& plan) {
 
 /// Resolves the source table and executes every join build side serially.
 Status PrepareShared(const PlanPtr& plan, const storage::DatabaseState& state,
-                     SharedPipeline* shared) {
+                     SharedPipeline* shared, common::QueryGuard* guard) {
   switch (plan->kind) {
     case PlanKind::kGet: {
       const storage::TableData* data = state.GetTable(plan->table);
@@ -81,21 +91,22 @@ Status PrepareShared(const PlanPtr& plan, const storage::DatabaseState& state,
                                       "'");
       }
       shared->source.table = data;
+      shared->source.guard = guard;
       return Status::OK();
     }
     case PlanKind::kSelect:
     case PlanKind::kProject:
-      return PrepareShared(plan->children[0], state, shared);
+      return PrepareShared(plan->children[0], state, shared, guard);
     case PlanKind::kJoin: {
-      FGAC_RETURN_NOT_OK(PrepareShared(plan->children[0], state, shared));
+      FGAC_RETURN_NOT_OK(PrepareShared(plan->children[0], state, shared, guard));
       auto stage = std::make_unique<JoinStage>();
       stage->keys = SplitJoinKeys(plan->predicates,
                                   algebra::OutputArity(*plan->children[0]));
       FGAC_ASSIGN_OR_RETURN(OperatorPtr build,
-                            BuildPhysicalPlan(plan->children[1], state));
+                            BuildPhysicalPlan(plan->children[1], state, guard));
       FGAC_RETURN_NOT_OK(build->Open());
       FGAC_RETURN_NOT_OK(
-          stage->table.BuildFrom(*build, stage->keys.right_keys));
+          stage->table.BuildFrom(*build, stage->keys.right_keys, guard));
       shared->joins.push_back(std::move(stage));
       return Status::OK();
     }
@@ -116,6 +127,14 @@ class MorselScanOp final : public Operator {
   explicit MorselScanOp(MorselSource* source) : source_(source) {}
   Status Open() override { return Status::OK(); }
   Result<bool> Next(DataChunk& out) override {
+    FGAC_FAULT_POINT("parallel.morsel");
+    // Another worker already failed: end this stream cleanly (the fan-out
+    // discards partial output once it sees the failing worker's status).
+    if (source_->abort.load(std::memory_order_acquire)) {
+      out.Reset(0);
+      return false;
+    }
+    FGAC_RETURN_NOT_OK(common::GuardCheck(source_->guard));
     size_t total = source_->table->num_rows();
     while (true) {
       size_t start =
@@ -124,9 +143,13 @@ class MorselScanOp final : public Operator {
         out.Reset(0);
         return false;
       }
-      size_t n = source_->table->ScanChunk(
-          start, std::min(kMorselSize, total - start), &out);
-      if (n > 0) return true;
+      FGAC_ASSIGN_OR_RETURN(
+          size_t n, source_->table->ScanChunk(
+                        start, std::min(kMorselSize, total - start), &out));
+      if (n > 0) {
+        FGAC_RETURN_NOT_OK(common::GuardChargeRows(source_->guard, n));
+        return true;
+      }
     }
   }
 
@@ -145,8 +168,13 @@ class SharedProbeOp final : public Operator {
     return left_->Open();
   }
   Result<bool> Next(DataChunk& out) override {
-    return cursor_.Next(*left_, stage_->keys.left_keys, stage_->keys.residual,
-                        stage_->table, out);
+    FGAC_ASSIGN_OR_RETURN(
+        bool more, cursor_.Next(*left_, stage_->keys.left_keys,
+                                stage_->keys.residual, stage_->table, out));
+    // Same work-bound accounting as the serial HashJoinOp: duplicate build
+    // keys can fan probe rows out well past what the scan charged.
+    if (more) FGAC_RETURN_NOT_OK(common::GuardChargeRows(guard_, out.size()));
+    return more;
   }
 
  private:
@@ -175,7 +203,9 @@ OperatorPtr BuildThreadPipeline(const PlanPtr& plan, SharedPipeline* shared,
       OperatorPtr left =
           BuildThreadPipeline(plan->children[0], shared, next_join);
       const JoinStage* stage = shared->joins[(*next_join)++].get();
-      return OperatorPtr(new SharedProbeOp(stage, std::move(left)));
+      OperatorPtr probe(new SharedProbeOp(stage, std::move(left)));
+      probe->set_guard(shared->source.guard);
+      return probe;
     }
     default:
       return nullptr;  // unreachable: shape checked before fan-out
@@ -187,13 +217,24 @@ OperatorPtr BuildThreadPipeline(const PlanPtr& plan, SharedPipeline* shared,
 // ---------------------------------------------------------------------------
 
 /// Runs fn(0..n-1) on the shared pool and returns the lowest-indexed
-/// failure (deterministic regardless of completion order).
-Status FanOut(size_t n, const std::function<Status(size_t)>& fn) {
+/// failure (deterministic regardless of completion order). RunAll joins
+/// every worker before returning, so no task can outlive the shared state.
+/// A failing worker raises `abort` (when given) so its peers drain early
+/// instead of finishing their share of the table.
+Status FanOut(size_t n, const std::function<Status(size_t)>& fn,
+              std::atomic<bool>* abort = nullptr) {
   std::vector<Status> statuses(n, Status::OK());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(n);
   for (size_t t = 0; t < n; ++t) {
-    tasks.push_back([t, &fn, &statuses] { statuses[t] = fn(t); });
+    tasks.push_back([t, &fn, &statuses, abort] {
+      Status injected = FGAC_FAULT_CHECK("threadpool.dispatch");
+      if (injected.ok()) statuses[t] = fn(t);
+      else statuses[t] = std::move(injected);
+      if (!statuses[t].ok() && abort != nullptr) {
+        abort->store(true, std::memory_order_release);
+      }
+    });
   }
   ThreadPool::Shared().RunAll(std::move(tasks));
   for (Status& s : statuses) {
@@ -217,34 +258,43 @@ Status DrainRows(Operator& root, std::vector<Row>* rows) {
 /// per-thread DistinctOp).
 Result<std::vector<std::vector<Row>>> RunPipelineGather(
     const PlanPtr& plan, const storage::DatabaseState& state, size_t n,
+    common::QueryGuard* guard,
     const std::function<OperatorPtr(OperatorPtr)>& wrap = nullptr) {
   auto shared = std::make_unique<SharedPipeline>();
-  FGAC_RETURN_NOT_OK(PrepareShared(plan, state, shared.get()));
+  FGAC_RETURN_NOT_OK(PrepareShared(plan, state, shared.get(), guard));
   std::vector<std::vector<Row>> per_thread(n);
-  FGAC_RETURN_NOT_OK(FanOut(n, [&](size_t t) -> Status {
-    size_t next_join = 0;
-    OperatorPtr root = BuildThreadPipeline(plan, shared.get(), &next_join);
-    if (wrap) root = wrap(std::move(root));
-    FGAC_RETURN_NOT_OK(root->Open());
-    return DrainRows(*root, &per_thread[t]);
-  }));
+  FGAC_RETURN_NOT_OK(FanOut(
+      n,
+      [&](size_t t) -> Status {
+        size_t next_join = 0;
+        OperatorPtr root = BuildThreadPipeline(plan, shared.get(), &next_join);
+        if (wrap) root = wrap(std::move(root));
+        FGAC_RETURN_NOT_OK(root->Open());
+        return DrainRows(*root, &per_thread[t]);
+      },
+      &shared->source.abort));
   return per_thread;
 }
 
 /// Partial per-thread aggregation + serial merge via AggAccumulator::Merge.
 Result<storage::Relation> ParallelAggregate(const PlanPtr& plan,
                                             const storage::DatabaseState& state,
-                                            size_t n) {
+                                            size_t n,
+                                            common::QueryGuard* guard) {
   const PlanPtr& child = plan->children[0];
   auto shared = std::make_unique<SharedPipeline>();
-  FGAC_RETURN_NOT_OK(PrepareShared(child, state, shared.get()));
+  FGAC_RETURN_NOT_OK(PrepareShared(child, state, shared.get(), guard));
   std::vector<AggGroups> partials(n);
-  FGAC_RETURN_NOT_OK(FanOut(n, [&](size_t t) -> Status {
-    size_t next_join = 0;
-    OperatorPtr root = BuildThreadPipeline(child, shared.get(), &next_join);
-    FGAC_RETURN_NOT_OK(root->Open());
-    return AccumulateGroups(*root, plan->group_by, plan->aggs, &partials[t]);
-  }));
+  FGAC_RETURN_NOT_OK(FanOut(
+      n,
+      [&](size_t t) -> Status {
+        size_t next_join = 0;
+        OperatorPtr root = BuildThreadPipeline(child, shared.get(), &next_join);
+        FGAC_RETURN_NOT_OK(root->Open());
+        return AccumulateGroups(*root, plan->group_by, plan->aggs, &partials[t],
+                                guard);
+      },
+      &shared->source.abort));
   AggGroups merged = std::move(partials[0]);
   for (size_t t = 1; t < n; ++t) {
     for (auto& [key, accs] : partials[t]) {
@@ -306,37 +356,40 @@ bool IsParallelizable(const PlanPtr& plan,
 
 Result<storage::Relation> ParallelExecutePlan(
     const PlanPtr& plan, const storage::DatabaseState& state,
-    size_t num_threads) {
+    size_t num_threads, common::QueryGuard* guard) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
-  if (num_threads <= 1) return ExecutePlan(plan, state);
+  if (num_threads <= 1) return ExecutePlan(plan, state, guard);
   switch (plan->kind) {
     case PlanKind::kGet:
     case PlanKind::kSelect:
     case PlanKind::kProject:
     case PlanKind::kJoin: {
-      if (PipelineSourceNode(plan) == nullptr) return ExecutePlan(plan, state);
-      FGAC_ASSIGN_OR_RETURN(auto per_thread,
-                            RunPipelineGather(plan, state, num_threads));
+      if (PipelineSourceNode(plan) == nullptr) {
+        return ExecutePlan(plan, state, guard);
+      }
+      FGAC_ASSIGN_OR_RETURN(
+          auto per_thread, RunPipelineGather(plan, state, num_threads, guard));
       return GatherToRelation(plan, std::move(per_thread));
     }
     case PlanKind::kAggregate: {
       if (PipelineSourceNode(plan->children[0]) == nullptr) {
-        return ExecutePlan(plan, state);
+        return ExecutePlan(plan, state, guard);
       }
-      return ParallelAggregate(plan, state, num_threads);
+      return ParallelAggregate(plan, state, num_threads, guard);
     }
     case PlanKind::kDistinct: {
       if (PipelineSourceNode(plan->children[0]) == nullptr) {
-        return ExecutePlan(plan, state);
+        return ExecutePlan(plan, state, guard);
       }
       // Per-thread pre-dedup shrinks what crosses the merge; the final pass
       // eliminates duplicates that appeared on different threads.
       FGAC_ASSIGN_OR_RETURN(
           auto per_thread,
-          RunPipelineGather(plan->children[0], state, num_threads,
-                            [](OperatorPtr child) {
-                              return OperatorPtr(
-                                  new DistinctOp(std::move(child)));
+          RunPipelineGather(plan->children[0], state, num_threads, guard,
+                            [guard](OperatorPtr child) {
+                              OperatorPtr op(new DistinctOp(std::move(child)));
+                              op->set_guard(guard);
+                              return op;
                             }));
       storage::Relation out(algebra::OutputNames(*plan));
       std::unordered_set<Row, RowHash, RowEq> seen;
@@ -349,17 +402,18 @@ Result<storage::Relation> ParallelExecutePlan(
     }
     case PlanKind::kSort: {
       if (PipelineSourceNode(plan->children[0]) == nullptr) {
-        return ExecutePlan(plan, state);
+        return ExecutePlan(plan, state, guard);
       }
       // Parallel gather, serial sort: sorting is a full-input barrier anyway,
       // so only the scan/filter/join work below it is worth fanning out.
       FGAC_ASSIGN_OR_RETURN(
           auto per_thread,
-          RunPipelineGather(plan->children[0], state, num_threads));
+          RunPipelineGather(plan->children[0], state, num_threads, guard));
       storage::Relation gathered =
           GatherToRelation(plan->children[0], std::move(per_thread));
       SortOp sorter(plan->sort_items,
                     OperatorPtr(new ScanOp(&gathered.rows())));
+      sorter.set_guard(guard);
       FGAC_RETURN_NOT_OK(sorter.Open());
       storage::Relation out(algebra::OutputNames(*plan));
       DataChunk chunk;
@@ -375,7 +429,7 @@ Result<storage::Relation> ParallelExecutePlan(
       for (const PlanPtr& child : plan->children) {
         FGAC_ASSIGN_OR_RETURN(
             storage::Relation r,
-            ParallelExecutePlan(child, state, num_threads));
+            ParallelExecutePlan(child, state, num_threads, guard));
         for (Row& row : r.mutable_rows()) {
           out.mutable_rows().push_back(std::move(row));
         }
@@ -385,7 +439,7 @@ Result<storage::Relation> ParallelExecutePlan(
     default:
       // kValues, kLimit: nothing to fan out (LIMIT's early-out is
       // inherently serial).
-      return ExecutePlan(plan, state);
+      return ExecutePlan(plan, state, guard);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "algebra/plan.h"
+#include "common/query_guard.h"
 #include "common/result.h"
 #include "storage/database_state.h"
 #include "storage/relation.h"
@@ -40,9 +41,15 @@ bool IsParallelizable(const algebra::PlanPtr& plan,
 /// mutate `state` while the call is in flight (same contract as
 /// ExecutePlan, now enforced across threads by TableData's columnar
 /// snapshot synchronization).
+///
+/// All workers share `guard` (may be null): a cancel/deadline/budget trip
+/// observed by any worker sets a pipeline-wide abort flag, the remaining
+/// workers drain cleanly at their next morsel claim, every worker is
+/// joined, and the first failure (lowest worker index) is returned.
 Result<storage::Relation> ParallelExecutePlan(const algebra::PlanPtr& plan,
                                               const storage::DatabaseState& state,
-                                              size_t num_threads);
+                                              size_t num_threads,
+                                              common::QueryGuard* guard = nullptr);
 
 }  // namespace fgac::exec
 

@@ -235,8 +235,18 @@ GroupId Memo::InsertExpr(MemoExpr expr, GroupId target) {
     groups_.push_back(std::move(g));
     uf_.push_back(target);
   }
-  expr.group = target;
   assert(groups_[target].arity == ExprArity(expr));
+  if (groups_[target].arity != ExprArity(expr)) {
+    // Arity clash means the caller routed the expression to the wrong
+    // equivalence node (a rule bug). Isolate it in a fresh node rather
+    // than corrupting an existing one's invariants.
+    target = static_cast<GroupId>(groups_.size());
+    MemoGroup g;
+    g.arity = ExprArity(expr);
+    groups_.push_back(std::move(g));
+    uf_.push_back(target);
+  }
+  expr.group = target;
   for (GroupId c : expr.children) parents_[Find(c)].push_back(eid);
   exprs_.push_back(std::move(expr));
   groups_[target].exprs.push_back(eid);
@@ -247,6 +257,14 @@ GroupId Memo::InsertExpr(MemoExpr expr, GroupId target) {
 
 GroupId Memo::InsertPlan(const algebra::PlanPtr& plan) {
   assert(plan != nullptr);
+  if (plan == nullptr) {
+    // Treat a missing subtree as the empty relation so exploration can
+    // proceed; the planner will simply find no rows on this branch.
+    MemoExpr empty;
+    empty.kind = algebra::PlanKind::kValues;
+    empty.values_arity = 0;
+    return InsertExpr(std::move(empty));
+  }
   MemoExpr e;
   e.kind = plan->kind;
   for (const algebra::PlanPtr& c : plan->children) {
@@ -279,6 +297,12 @@ void Memo::MergeGroups(GroupId a, GroupId b) {
   MemoGroup& w = groups_[winner];
   MemoGroup& l = groups_[loser];
   assert(w.arity == l.arity);
+  if (w.arity != l.arity) {
+    // Merging nodes of different arity would make every expression in one
+    // of them ill-typed. Refuse the merge: keeping the nodes separate only
+    // costs duplicate exploration, never a wrong plan.
+    return;
+  }
   for (ExprId eid : l.exprs) {
     exprs_[eid].group = winner;
     w.exprs.push_back(eid);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
+
 namespace fgac::storage {
 
 void TableData::MoveFrom(TableData&& other) noexcept {
@@ -33,21 +35,31 @@ void TableData::ReplaceAllRows(std::vector<Row> rows) {
   Invalidate();
 }
 
-void TableData::EnsureColumnsBuilt() const {
-  if (!columns_dirty_.load(std::memory_order_acquire)) return;
+Status TableData::EnsureColumnsBuilt() const {
+  if (!columns_dirty_.load(std::memory_order_acquire)) return Status::OK();
   std::lock_guard<std::mutex> lock(columns_mutex_);
-  if (!columns_dirty_.load(std::memory_order_relaxed)) return;
+  if (!columns_dirty_.load(std::memory_order_relaxed)) return Status::OK();
+  FGAC_FAULT_POINT("storage.rebuild");
   columns_.assign(num_columns_, exec::ColumnVector());
   for (exec::ColumnVector& c : columns_) c.Reserve(rows_.size());
   for (const Row& r : rows_) {
-    for (size_t c = 0; c < num_columns_; ++c) columns_[c].Append(r[c]);
+    for (size_t c = 0; c < num_columns_; ++c) {
+      // A malformed (narrow) row degrades to NULL padding rather than
+      // reading past its end.
+      if (c < r.size()) {
+        columns_[c].Append(r[c]);
+      } else {
+        columns_[c].AppendNull();
+      }
+    }
   }
   columns_dirty_.store(false, std::memory_order_release);
+  return Status::OK();
 }
 
-size_t TableData::ScanChunk(size_t start, size_t max_rows,
-                            exec::DataChunk* out) const {
-  EnsureColumnsBuilt();
+Result<size_t> TableData::ScanChunk(size_t start, size_t max_rows,
+                                    exec::DataChunk* out) const {
+  FGAC_RETURN_NOT_OK(EnsureColumnsBuilt());
   out->Reset(num_columns_);
   if (start >= rows_.size()) return 0;
   size_t n = std::min(max_rows, rows_.size() - start);

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <vector>
 
+#include "common/result.h"
+#include "common/status.h"
 #include "common/value.h"
 #include "exec/chunk.h"
 
@@ -77,8 +79,10 @@ class TableData {
   /// Chunked scan access path: reshapes `out` to this table's width and
   /// fills it with up to max_rows rows starting at row index `start`.
   /// Returns the number of rows appended (0 past the end). Safe to call
-  /// from multiple threads concurrently.
-  size_t ScanChunk(size_t start, size_t max_rows, exec::DataChunk* out) const;
+  /// from multiple threads concurrently. Fails only when the lazy columnar
+  /// rebuild fails (today: fault injection at "storage.rebuild").
+  Result<size_t> ScanChunk(size_t start, size_t max_rows,
+                           exec::DataChunk* out) const;
 
   /// Removes all rows at the given (ascending, deduplicated) indices.
   void EraseIndices(const std::vector<size_t>& ascending_indices);
@@ -87,8 +91,9 @@ class TableData {
   /// Builds the columnar snapshot if (and only if) it is stale. Double
   /// checked: the atomic dirty flag is read outside the mutex, re-read
   /// under it, so concurrent scanners serialize only while a rebuild is
-  /// actually pending.
-  void EnsureColumnsBuilt() const;
+  /// actually pending. On failure the snapshot stays dirty, so a later
+  /// scan retries the rebuild.
+  Status EnsureColumnsBuilt() const;
   void Invalidate() {
     ++version_;
     columns_dirty_.store(true, std::memory_order_release);

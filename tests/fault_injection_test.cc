@@ -1,0 +1,209 @@
+// Fault-injection-driven tests: error paths that are unreachable from SQL
+// alone. Each test arms a named site compiled into the engine (storage
+// rebuild, hash-join build, validity probes, thread-pool dispatch, morsel
+// claims) and asserts the failure unwinds as a clean Status — no crash, no
+// hang, no half-written state.
+//
+// Sites exist only when NDEBUG is undefined (Debug / sanitizer builds) or
+// the build sets -DFGAC_FAULT_INJECTION=ON; elsewhere the whole suite
+// skips.
+
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "tests/test_util.h"
+
+namespace fgac {
+namespace {
+
+using common::FaultInjector;
+using core::Database;
+using core::EnforcementMode;
+using core::SessionContext;
+using fgac::testing::CreateUniversityViews;
+using fgac::testing::SetupUniversity;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!FaultInjector::compiled_in()) {
+      GTEST_SKIP() << "fault-injection sites not compiled into this build";
+    }
+    FaultInjector::Instance().Reset();
+    SetupUniversity(&db_);
+    CreateUniversityViews(&db_);
+    ASSERT_TRUE(db_.ExecuteScript("grant select on costudentgrades to 11;"
+                                  "grant select on myregistrations to 11")
+                    .ok());
+  }
+
+  void TearDown() override {
+    if (FaultInjector::compiled_in()) FaultInjector::Instance().Reset();
+  }
+
+  static SessionContext Admin() {
+    SessionContext ctx("admin");
+    ctx.set_mode(EnforcementMode::kNone);
+    return ctx;
+  }
+
+  void GrowStudents(size_t n) {
+    std::vector<Row> rows;
+    rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      rows.push_back({Value::String("s" + std::to_string(i + 100)),
+                      Value::String("name"), Value::String("fulltime")});
+    }
+    db_.state().GetMutableTable("students")->InsertRows(std::move(rows));
+  }
+
+  Database db_;
+};
+
+TEST_F(FaultInjectionTest, InjectorIsDeterministic) {
+  auto& fi = FaultInjector::Instance();
+  auto run = [&fi] {
+    fi.Reset();
+    fi.FailWithProbability("det.site", 0.5, /*seed=*/42);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 32; ++i) pattern.push_back(!fi.Hit("det.site").ok());
+    return pattern;
+  };
+  EXPECT_EQ(run(), run());
+
+  fi.Reset();
+  fi.FailOnHit("nth.site", /*nth=*/3);
+  EXPECT_TRUE(fi.Hit("nth.site").ok());
+  EXPECT_TRUE(fi.Hit("nth.site").ok());
+  EXPECT_FALSE(fi.Hit("nth.site").ok());
+  // Fires once, then disarms.
+  EXPECT_TRUE(fi.Hit("nth.site").ok());
+  EXPECT_EQ(fi.HitCount("nth.site"), 4u);
+}
+
+TEST_F(FaultInjectionTest, StorageRebuildFailureIsRetryable) {
+  // A failed columnar-snapshot rebuild must surface as a clean error and
+  // leave the snapshot dirty, so the next scan rebuilds successfully —
+  // not serve a half-built snapshot.
+  FaultInjector::Instance().FailOnHit("storage.rebuild");
+  auto broken = db_.Execute("select * from students", Admin());
+  ASSERT_FALSE(broken.ok());
+  EXPECT_NE(broken.status().message().find("fault injected"),
+            std::string::npos);
+  auto retried = db_.Execute("select * from students", Admin());
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(retried.value().relation.num_rows(), 4u);
+}
+
+TEST_F(FaultInjectionTest, HashJoinBuildFailurePropagates) {
+  FaultInjector::Instance().FailOnHit("exec.hash_join.build");
+  auto r = db_.Execute(
+      "select g.grade from grades g, students s "
+      "where g.student-id = s.student-id",
+      Admin());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("fault injected"), std::string::npos);
+  // The table is intact afterwards.
+  auto again = db_.Execute("select * from grades", Admin());
+  EXPECT_TRUE(again.ok());
+}
+
+TEST_F(FaultInjectionTest, FailedValidityProbeFailsClosed) {
+  // Example 4.4: conditional validity hinges on C3 database probes. A
+  // probe that dies mid-flight counts as EMPTY, so the query is rejected —
+  // an infrastructure fault must narrow access, never widen it.
+  SessionContext ctx("11");
+  ctx.set_mode(EnforcementMode::kNonTruman);
+  const std::string q = "select * from grades where course-id = 'cs101'";
+  db_.options().enable_validity_cache = false;
+
+  auto healthy = db_.Execute(q, ctx);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+
+  FaultInjector::Instance().FailWithProbability("validity.probe", 1.0,
+                                                /*seed=*/1);
+  auto faulted = db_.Execute(q, ctx);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kNotAuthorized);
+
+  FaultInjector::Instance().Disarm("validity.probe");
+  auto recovered = db_.Execute(q, ctx);
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+}
+
+TEST_F(FaultInjectionTest, ThreadPoolDispatchFailureJoinsAllWorkers) {
+  GrowStudents(20000);
+  FaultInjector::Instance().FailOnHit("threadpool.dispatch");
+  SessionContext ctx = Admin();
+  ctx.set_exec_parallelism(4);
+  // One worker's dispatch fails; the others must observe the shared abort,
+  // drain, and join — returning here at all proves no worker was leaked.
+  auto r = db_.Execute("select * from students", ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("fault injected"), std::string::npos);
+  auto again = db_.Execute("select * from students", ctx);
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST_F(FaultInjectionTest, CallbackCancelsAtExactMorselBoundary) {
+  // OnHit turns a site into a deterministic trigger: cancel the session
+  // the moment the 8th morsel is claimed — no sleeps, no racing clocks.
+  GrowStudents(20000);
+  auto token = std::make_shared<std::atomic<bool>>(false);
+  FaultInjector::Instance().OnHit(
+      "parallel.morsel", [token] { token->store(true); }, /*nth=*/8);
+  SessionContext ctx = Admin();
+  ctx.set_exec_parallelism(4);
+  ctx.set_cancel_token(token);
+  auto r = db_.Execute("select * from students", ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_GE(FaultInjector::Instance().HitCount("parallel.morsel"), 8u);
+}
+
+TEST_F(FaultInjectionTest, MorselClaimFailureDrainsPeers) {
+  GrowStudents(20000);
+  FaultInjector::Instance().FailOnHit("parallel.morsel", /*nth=*/5);
+  SessionContext ctx = Admin();
+  ctx.set_exec_parallelism(4);
+  auto r = db_.Execute("select * from students", ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("fault injected"), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, ProbabilisticFaultStormNeverHangs) {
+  // Sustained 30% failure across every site: queries fail or succeed, but
+  // the engine always returns and later recovers completely.
+  GrowStudents(4000);
+  auto& fi = FaultInjector::Instance();
+  SessionContext ctx("11");
+  ctx.set_mode(EnforcementMode::kNonTruman);
+  db_.options().enable_validity_cache = false;
+  const char* sites[] = {"storage.rebuild", "exec.hash_join.build",
+                         "validity.probe", "threadpool.dispatch",
+                         "parallel.morsel"};
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    for (const char* site : sites) fi.FailWithProbability(site, 0.3, seed);
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      SessionContext run = ctx;
+      run.set_exec_parallelism(threads);
+      auto r =
+          db_.Execute("select * from grades where course-id = 'cs101'", run);
+      if (!r.ok()) EXPECT_FALSE(r.status().message().empty());
+    }
+  }
+  fi.Reset();
+  auto recovered =
+      db_.Execute("select * from grades where course-id = 'cs101'", ctx);
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+}
+
+}  // namespace
+}  // namespace fgac
