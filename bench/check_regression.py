@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a BENCH_RESULTS.json against a baseline.
+
+Usage:
+    bench/check_regression.py RESULTS.json BASELINE.jsonl [options]
+
+RESULTS.json is the aggregate written by bench/run_all.sh; BASELINE.jsonl
+is a JSON-lines file of {"name": ..., "ns_per_op": ...} entries (the
+checked-in bench/seed_baseline.jsonl, or a previous run's raw lines).
+
+A benchmark REGRESSES when its ns_per_op exceeds baseline * --tolerance.
+Shared CI runners are noisy, so the default tolerance is deliberately
+loose (2.0x): the gate exists to catch algorithmic cliffs (accidental
+O(n^2), a dropped cache, serial fallback), not 10% jitter. Benchmarks
+missing from the baseline are reported but never fail the gate; a results
+file that matches fewer than --min-matches baseline entries fails it,
+because an empty comparison would otherwise read as a pass.
+
+Exit codes: 0 ok, 1 regression (or too few matches), 2 usage/IO error.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def read_results(path):
+    with open(path) as f:
+        doc = json.load(f)
+    entries = doc.get("benchmarks", doc if isinstance(doc, list) else [])
+    return [e for e in entries if e.get("name") and e.get("ns_per_op")]
+
+
+def read_baseline(path):
+    out = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if entry.get("name") and entry.get("ns_per_op"):
+                out[entry["name"]] = entry
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("results")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=2.0,
+                    help="fail when ns_per_op > baseline * TOLERANCE "
+                         "(default: %(default)s)")
+    ap.add_argument("--only", default="",
+                    help="regex: gate only benchmark names matching it")
+    ap.add_argument("--min-matches", type=int, default=1,
+                    help="fail unless at least this many benchmarks were "
+                         "compared (default: %(default)s)")
+    args = ap.parse_args()
+
+    if args.tolerance <= 0:
+        print("error: --tolerance must be positive", file=sys.stderr)
+        return 2
+    try:
+        results = read_results(args.results)
+        baseline = read_baseline(args.baseline)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    name_re = re.compile(args.only) if args.only else None
+    compared = 0
+    regressions = []
+    unmatched = []
+    for entry in results:
+        name = entry["name"]
+        if name_re and not name_re.search(name):
+            continue
+        base = baseline.get(name)
+        if base is None:
+            unmatched.append(name)
+            continue
+        compared += 1
+        ratio = entry["ns_per_op"] / base["ns_per_op"]
+        verdict = "REGRESSED" if ratio > args.tolerance else "ok"
+        print(f"{verdict:>9}  {name}: {entry['ns_per_op']:.0f} ns/op "
+              f"vs baseline {base['ns_per_op']:.0f} ({ratio:.2f}x)")
+        if ratio > args.tolerance:
+            regressions.append((name, ratio))
+
+    for name in unmatched:
+        print(f"   no-base  {name}: not in baseline, skipped")
+
+    print(f"\ncompared {compared} benchmark(s), "
+          f"{len(regressions)} regression(s), tolerance {args.tolerance}x")
+    if compared < args.min_matches:
+        print(f"error: only {compared} benchmark(s) matched the baseline "
+              f"(need {args.min_matches}); gate cannot pass vacuously",
+              file=sys.stderr)
+        return 1
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        print(f"error: perf regression — worst is {worst[0]} "
+              f"at {worst[1]:.2f}x baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,9 @@
 #   GBENCH_FLAGS        extra flags passed to every binary, e.g.
 #                       "--benchmark_min_time=0.1" (hand-rolled mains ignore
 #                       their argv, so this is safe to set globally)
+#   FGAC_BENCH_ONLY     optional extended-regex filter applied to the bench
+#                       binary basenames (e.g. 'bench_(validity_basic|dag)');
+#                       CI's quick gate uses this to run a curated subset.
 #   FGAC_SEED_BASELINE  optional JSON-lines file with baseline measurements
 #                       (same format); matching names gain a
 #                       "speedup_vs_baseline" field in the output. Setting
@@ -32,6 +35,11 @@ trap 'rm -f "$TMP"' EXIT
 failed=0
 for bin in "$BUILD_DIR"/bench/bench_*; do
   [ -x "$bin" ] && [ -f "$bin" ] || continue
+  if [ -n "${FGAC_BENCH_ONLY:-}" ] &&
+     ! basename "$bin" | grep -Eq "${FGAC_BENCH_ONLY}"; then
+    echo "== $(basename "$bin") (skipped by FGAC_BENCH_ONLY)" >&2
+    continue
+  fi
   echo "== $(basename "$bin")" >&2
   if ! FGAC_BENCH_JSON="$TMP" "$bin" ${GBENCH_FLAGS:-} >/dev/null 2>&1; then
     echo "   FAILED: $(basename "$bin")" >&2

@@ -54,6 +54,14 @@ uint64_t FaultInjector::HitCount(const std::string& site) const {
   return it == hits_.end() ? 0 : it->second;
 }
 
+std::vector<std::pair<std::string, uint64_t>> FaultInjector::AllHitCounts()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out(hits_.begin(),
+                                                    hits_.end());
+  return out;
+}
+
 Status FaultInjector::Hit(const char* site) {
   std::function<void()> fire;
   Status injected = Status::OK();

@@ -7,6 +7,7 @@
 #include <random>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 
@@ -58,6 +59,10 @@ class FaultInjector {
 
   /// Total hits observed at `site` since the last Reset().
   uint64_t HitCount(const std::string& site) const;
+
+  /// Snapshot of every site with at least one hit since the last Reset(),
+  /// for export into the metrics registry.
+  std::vector<std::pair<std::string, uint64_t>> AllHitCounts() const;
 
   /// Called by the FGAC_FAULT_POINT/FGAC_FAULT_CHECK macros: counts the
   /// hit and returns the injected failure if the site is armed and

@@ -1,0 +1,145 @@
+#include "common/metrics.h"
+
+#include <bit>
+#include <functional>
+
+namespace fgac::common {
+
+namespace {
+
+size_t BucketOf(uint64_t v) { return v == 0 ? 0 : std::bit_width(v); }
+
+/// Upper bound of bucket i (inclusive range end for percentile reporting).
+uint64_t BucketUpper(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return ~0ull;
+  return (1ull << i) - 1;
+}
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  out->push_back('"');
+  for (char c : name) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->append("\":");
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t v) {
+  buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::ApproxPercentile(double p) const {
+  // Read the buckets once; the total is derived from the same reads so a
+  // concurrent Record() cannot push the target rank past the scanned mass.
+  std::array<uint64_t, kBuckets> copy;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    copy[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += copy[i];
+  }
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += copy[i];
+    if (seen > rank) return BucketUpper(i);
+  }
+  return BucketUpper(kBuckets - 1);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::ShardFor(std::string_view name) {
+  return shards_[std::hash<std::string_view>()(name) % kShards];
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::unique_ptr<Counter>& slot = shard.counters[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::unique_ptr<Gauge>& slot = shard.gauges[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::unique_ptr<Histogram>& slot = shard.histograms[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, c] : shard.counters) {
+      snap.counters[name] = c->value();
+    }
+    for (const auto& [name, g] : shard.gauges) {
+      snap.gauges[name] = g->value();
+    }
+    for (const auto& [name, h] : shard.histograms) {
+      MetricsSnapshot::HistogramValue hv;
+      hv.count = h->count();
+      hv.sum = h->sum();
+      hv.p50 = h->ApproxPercentile(50);
+      hv.p95 = h->ApproxPercentile(95);
+      hv.p99 = h->ApproxPercentile(99);
+      for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+        hv.buckets[i] = h->bucket(i);
+      }
+      snap.histograms[name] = hv;
+    }
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(&out, name);
+    out += "{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"p50\":" + std::to_string(h.p50) +
+           ",\"p95\":" + std::to_string(h.p95) +
+           ",\"p99\":" + std::to_string(h.p99) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace fgac::common

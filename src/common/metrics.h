@@ -1,0 +1,131 @@
+#ifndef FGAC_COMMON_METRICS_H_
+#define FGAC_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace fgac::common {
+
+/// Monotonic counter. All mutators are relaxed atomic RMWs, so concurrent
+/// increments from every morsel worker are lock-free and never tear; a
+/// reader always sees some whole value that was actually written.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Point-in-time signed value (queue depths, cache sizes).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if it is below it (high-water marks).
+  void SetMax(int64_t v) {
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Power-of-two-bucketed histogram of non-negative samples (latencies in
+/// microseconds, row counts). Bucket 0 counts zero samples; bucket i
+/// (1..63) counts samples in [2^(i-1), 2^i). Every slot is an independent
+/// atomic, so Record() is wait-free and snapshots read consistent whole
+/// values per slot (count/sum/buckets are not mutually atomic — a snapshot
+/// taken mid-update may be one sample ahead in one slot, which is fine for
+/// monitoring and exact once writers quiesce).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of the bucket containing the p-th percentile sample
+  /// (p in [0,100]); 0 when empty.
+  uint64_t ApproxPercentile(double p) const;
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// One consistent-enough copy of every registered metric, decoupled from
+/// the live registry (safe to serialize, diff, or ship while writers keep
+/// updating).
+struct MetricsSnapshot {
+  struct HistogramValue {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+    std::array<uint64_t, Histogram::kBuckets> buckets{};
+  };
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramValue> histograms;
+
+  std::string ToJson() const;
+};
+
+/// Process-light metrics registry: named counters / gauges / histograms,
+/// created on first use and owned for the registry's lifetime (handles are
+/// stable pointers — hot paths resolve a metric once and then touch only
+/// its atomics). The name table is sharded by name hash so concurrent
+/// first-use registration from parallel workers contends on 1/kShards of
+/// a mutex, and steady-state updates take no lock at all.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Copies every metric's current value. Callable concurrently with
+  /// updates from any number of threads.
+  MetricsSnapshot Snapshot() const;
+
+  std::string ToJson() const { return Snapshot().ToJson(); }
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+    std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Shard& ShardFor(std::string_view name);
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace fgac::common
+
+#endif  // FGAC_COMMON_METRICS_H_

@@ -25,8 +25,17 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    NoteQueueDepth(queue_.size());
   }
   wake_.notify_one();
+}
+
+void ThreadPool::NoteQueueDepth(size_t depth) {
+  uint64_t d = depth;
+  uint64_t seen = queue_high_water_.load(std::memory_order_relaxed);
+  while (d > seen && !queue_high_water_.compare_exchange_weak(
+                         seen, d, std::memory_order_relaxed)) {
+  }
 }
 
 void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
@@ -59,6 +68,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
     task();
   }
 }

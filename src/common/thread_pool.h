@@ -1,8 +1,10 @@
 #ifndef FGAC_COMMON_THREAD_POOL_H_
 #define FGAC_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -30,6 +32,18 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks executed since construction.
+  uint64_t tasks_run() const {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+
+  /// Deepest the FIFO queue has ever been (pending, not yet claimed
+  /// tasks). A persistent high-water near the total task count means the
+  /// pool is saturated and submissions are piling up.
+  uint64_t queue_depth_high_water() const {
+    return queue_high_water_.load(std::memory_order_relaxed);
+  }
+
   /// Enqueues one task for asynchronous execution.
   void Submit(std::function<void()> task);
 
@@ -46,8 +60,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  void NoteQueueDepth(size_t depth);
+
   std::mutex mutex_;
   std::condition_variable wake_;
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<uint64_t> queue_high_water_{0};
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <set>
 
+#include <chrono>
+
 #include "algebra/binder.h"
 #include "algebra/normalize.h"
 #include "algebra/plan_hash.h"
 #include "catalog/type.h"
 #include "core/auth_view.h"
+#include "common/fault_injection.h"
+#include "common/thread_pool.h"
 #include "core/truman.h"
 #include "exec/executor.h"
 #include "exec/parallel.h"
@@ -123,12 +127,14 @@ Result<PlanPtr> Database::BindQuery(const sql::SelectStmt& stmt,
 
 Result<Relation> Database::RunPlan(const PlanPtr& plan,
                                    const SessionContext& ctx,
-                                   common::QueryGuard* guard) {
+                                   common::QueryGuard* guard,
+                                   exec::ExecStats* stats) {
   FGAC_RETURN_NOT_OK(common::GuardCheck(guard));
   size_t threads = ctx.exec_parallelism() != 0 ? ctx.exec_parallelism()
                                                : options_.parallelism;
   if (!options_.optimize_execution) {
-    return exec::ParallelExecutePlan(plan, state_, threads, guard);
+    if (stats != nullptr) stats->SetExecutedPlan(plan);
+    return exec::ParallelExecutePlan(plan, state_, threads, guard, stats);
   }
   auto row_count = [this](const std::string& table) -> double {
     const storage::TableData* t = state_.GetTable(table);
@@ -137,7 +143,26 @@ Result<Relation> Database::RunPlan(const PlanPtr& plan,
   FGAC_ASSIGN_OR_RETURN(
       optimizer::OptimizeResult best,
       optimizer::Optimize(plan, options_.exec_expand, row_count));
-  return exec::ParallelExecutePlan(best.plan, state_, threads, guard);
+  if (stats != nullptr) stats->SetExecutedPlan(best.plan);
+  return exec::ParallelExecutePlan(best.plan, state_, threads, guard, stats);
+}
+
+std::string Database::ExportMetricsJson() {
+  // Pull-model stats live in their owning subsystems; mirror them into
+  // gauges at export time so one JSON document covers everything.
+  metrics_.gauge("validity_cache.hits").Set(cache_.hits());
+  metrics_.gauge("validity_cache.misses").Set(cache_.misses());
+  metrics_.gauge("validity_cache.evictions").Set(cache_.evictions());
+  metrics_.gauge("validity_cache.entries").Set(cache_.size());
+  common::ThreadPool& pool = common::ThreadPool::Shared();
+  metrics_.gauge("thread_pool.tasks_run").Set(pool.tasks_run());
+  metrics_.gauge("thread_pool.queue_depth_high_water")
+      .Set(pool.queue_depth_high_water());
+  for (const auto& [site, hits] :
+       common::FaultInjector::Instance().AllHitCounts()) {
+    metrics_.gauge("fault." + site).Set(hits);
+  }
+  return metrics_.ToJson();
 }
 
 ValidityOptions Database::ResolvedValidityOptions() const {
@@ -148,8 +173,47 @@ ValidityOptions Database::ResolvedValidityOptions() const {
 
 Result<ExecResult> Database::ExecuteSelect(const sql::SelectStmt& stmt,
                                            const SessionContext& ctx) {
+  if (!ctx.profile()) return ExecuteSelectImpl(stmt, ctx, nullptr);
+  QueryProfile profile;
+  return ExecuteSelectImpl(stmt, ctx, &profile);
+}
+
+Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
+                                               const SessionContext& ctx,
+                                               QueryProfile* profile) {
+  using Clock = std::chrono::steady_clock;
+  auto elapsed_ns = [](Clock::time_point t0) -> uint64_t {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count());
+  };
+  metrics_.counter("queries.select").Increment();
+  ValidityTrace* trace = nullptr;
+  exec::ExecStats* stats = nullptr;
+  if (profile != nullptr) {
+    profile->trace = std::make_shared<ValidityTrace>();
+    profile->stats = std::make_shared<exec::ExecStats>();
+    trace = profile->trace.get();
+    stats = profile->stats.get();
+  }
+  // Counts a guard trip (deadline / budget / cancel) exactly once per
+  // query, whether it fired during the validity test or during execution.
+  auto note_guard_trip = [this](const Status& st) {
+    StatusCode code = st.code();
+    if (code == StatusCode::kTimeout ||
+        code == StatusCode::kResourceExhausted ||
+        code == StatusCode::kCancelled) {
+      metrics_.counter("guard.trips").Increment();
+    }
+  };
+
   FGAC_ASSIGN_OR_RETURN(PlanPtr plan, BindQuery(stmt, ctx));
   ExecResult out;
+  if (profile != nullptr) {
+    out.trace = profile->trace;
+    out.exec_stats = profile->stats;
+  }
 
   // One guard spans validity checking and execution: database-default
   // limits, optionally overridden per session, observing the session's
@@ -172,6 +236,7 @@ Result<ExecResult> Database::ExecuteSelect(const sql::SelectStmt& stmt,
       break;
     }
     case EnforcementMode::kNonTruman: {
+      auto validity_t0 = Clock::now();
       // The cache key must cover everything the verdict depends on: the
       // bound plan AND the full session parameterization (a $term or
       // $user-location change re-instantiates the views).
@@ -187,11 +252,27 @@ Result<ExecResult> Database::ExecuteSelect(const sql::SelectStmt& stmt,
       if (cached != nullptr) {
         out.validity = *cached;
         out.validity_from_cache = true;
+        metrics_.counter("validity.cache_hits").Increment();
+        if (trace != nullptr) {
+          ValidityTraceEvent e;
+          e.kind = ValidityTraceEvent::Kind::kCacheHit;
+          e.valid = cached->valid;
+          e.unconditional = cached->unconditional;
+          e.detail = cached->valid ? cached->justification : cached->reason;
+          trace->Add(std::move(e));
+        }
       } else {
+        metrics_.counter("validity.cache_misses").Increment();
+        if (trace != nullptr) {
+          ValidityTraceEvent e;
+          e.kind = ValidityTraceEvent::Kind::kCacheMiss;
+          trace->Add(std::move(e));
+        }
         FGAC_ASSIGN_OR_RETURN(std::vector<InstantiatedView> views,
                               InstantiateAvailableViews(catalog_, ctx));
         ValidityChecker checker(catalog_, &state_, ResolvedValidityOptions());
         checker.set_guard(&guard);
+        checker.set_trace(trace);
         Result<ValidityReport> verdict = checker.Check(plan, views);
         if (!verdict.ok()) {
           StatusCode code = verdict.status().code();
@@ -199,6 +280,7 @@ Result<ExecResult> Database::ExecuteSelect(const sql::SelectStmt& stmt,
           // get a cheaper answer. Only blown budgets are degradable.
           bool budget_blown = code == StatusCode::kTimeout ||
                               code == StatusCode::kResourceExhausted;
+          note_guard_trip(verdict.status());
           if (budget_blown &&
               limits.degrade_policy == common::DegradePolicy::kTruman) {
             // Principled degradation (paper Section 3 vs 4): the validity
@@ -214,6 +296,15 @@ Result<ExecResult> Database::ExecuteSelect(const sql::SelectStmt& stmt,
             out.validity = ValidityReport{};
             out.validity.reason =
                 "degraded to Truman rewriting: " + verdict.status().message();
+            metrics_.counter("queries.degraded_to_truman").Increment();
+            if (trace != nullptr) {
+              ValidityTraceEvent e;
+              e.kind = ValidityTraceEvent::Kind::kDegraded;
+              e.detail = out.validity.reason;
+              e.guard_rows = guard.rows_charged();
+              e.guard_bytes = guard.bytes_charged();
+              trace->Add(std::move(e));
+            }
             break;
           }
           return verdict.status();
@@ -224,16 +315,29 @@ Result<ExecResult> Database::ExecuteSelect(const sql::SelectStmt& stmt,
                         out.validity);
         }
       }
+      uint64_t validity_ns = elapsed_ns(validity_t0);
+      metrics_.histogram("validity.check_us").Record(validity_ns / 1000);
+      if (stats != nullptr) stats->set_validity_nanos(validity_ns);
       if (!out.validity.valid) {
         // The Non-Truman model rejects outright rather than silently
         // restricting the answer (Section 4).
+        metrics_.counter("queries.rejected").Increment();
         return Status::NotAuthorized(out.validity.reason);
       }
       break;
     }
   }
 
-  FGAC_ASSIGN_OR_RETURN(out.relation, RunPlan(to_run, ctx, &guard));
+  auto exec_t0 = Clock::now();
+  Result<Relation> ran = RunPlan(to_run, ctx, &guard, stats);
+  uint64_t exec_ns = elapsed_ns(exec_t0);
+  metrics_.histogram("exec.run_us").Record(exec_ns / 1000);
+  if (stats != nullptr) stats->set_exec_nanos(exec_ns);
+  if (!ran.ok()) {
+    note_guard_trip(ran.status());
+    return ran.status();
+  }
+  out.relation = std::move(ran).value();
   // The optimizer strips display names; restore the user-visible ones.
   Relation named(algebra::OutputNames(*plan));
   named.mutable_rows() = std::move(out.relation.mutable_rows());
@@ -257,7 +361,42 @@ Result<ExecResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt,
           ", est. rows " + std::to_string(best.estimated_rows) + "):\n" +
           algebra::PlanToString(best.plan);
 
-  if (ctx.mode() == EnforcementMode::kNonTruman) {
+  if (stmt.analyze) {
+    // EXPLAIN ANALYZE: actually run the statement with profiling and
+    // annotate. A rejected query is a successful EXPLAIN — the trace of
+    // WHY it was rejected is the whole point — so kNotAuthorized is
+    // rendered, not propagated; real failures still propagate.
+    QueryProfile profile;
+    Result<ExecResult> run = ExecuteSelectImpl(*stmt.select, ctx, &profile);
+    if (!run.ok() && run.status().code() != StatusCode::kNotAuthorized) {
+      return run.status();
+    }
+    if (run.ok()) {
+      const ExecResult& res = run.value();
+      if (ctx.mode() == EnforcementMode::kNonTruman) {
+        if (res.degraded_to_truman) {
+          text += "validity: DEGRADED (" + res.validity.reason + ")\n";
+        } else {
+          text += std::string("validity: ") +
+                  (res.validity.unconditional ? "unconditionally"
+                                              : "conditionally") +
+                  " valid via " + res.validity.justification +
+                  (res.validity_from_cache ? " [cached verdict]" : "") + "\n";
+        }
+      }
+      text += "result: " + std::to_string(res.relation.num_rows()) +
+              " row(s)\n";
+    } else {
+      text += "validity: REJECTED (" + std::string(run.status().message()) +
+              ")\n";
+    }
+    if (profile.stats != nullptr && profile.stats->executed_plan() != nullptr) {
+      text += profile.stats->Render();
+    }
+    if (profile.trace != nullptr && !profile.trace->events().empty()) {
+      text += "validity trace:\n" + profile.trace->ToText();
+    }
+  } else if (ctx.mode() == EnforcementMode::kNonTruman) {
     FGAC_ASSIGN_OR_RETURN(std::vector<InstantiatedView> views,
                           InstantiateAvailableViews(catalog_, ctx));
     ValidityChecker checker(catalog_, &state_, ResolvedValidityOptions());

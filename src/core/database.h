@@ -6,12 +6,15 @@
 #include <string_view>
 
 #include "catalog/catalog.h"
+#include "common/metrics.h"
 #include "common/query_guard.h"
 #include "common/result.h"
 #include "core/session_context.h"
 #include "core/update_auth.h"
 #include "core/validity.h"
 #include "core/validity_cache.h"
+#include "core/validity_trace.h"
+#include "exec/exec_stats.h"
 #include "sql/ast.h"
 #include "storage/database_state.h"
 #include "storage/relation.h"
@@ -36,6 +39,21 @@ struct ExecResult {
   bool degraded_to_truman = false;
   /// Informational message for DDL.
   std::string message;
+  /// Audit trail of the validity decision (rule firings, probe batches,
+  /// cache consultation, verdict). Null unless the session enabled
+  /// profiling (SessionContext::set_profile) or EXPLAIN ANALYZE ran.
+  std::shared_ptr<ValidityTrace> trace;
+  /// Per-operator execution counters for the executed plan. Null unless
+  /// profiling was enabled, like `trace`.
+  std::shared_ptr<exec::ExecStats> exec_stats;
+};
+
+/// Profiling sinks for one SELECT. Callers that need the trace/stats even
+/// when the statement FAILS (EXPLAIN ANALYZE of a rejected query) pass
+/// their own instance; the sinks survive the error return.
+struct QueryProfile {
+  std::shared_ptr<ValidityTrace> trace;
+  std::shared_ptr<exec::ExecStats> stats;
 };
 
 /// Execution tuning knobs.
@@ -106,6 +124,17 @@ class Database {
   /// through Execute().
   uint64_t data_version() const { return state_.DataVersion(); }
 
+  /// Process metrics for this database: query/cache/guard counters and
+  /// latency histograms, updated on every statement regardless of
+  /// profiling (cheap relaxed atomics).
+  common::MetricsRegistry& metrics() { return metrics_; }
+  const common::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Refreshes the export-time gauges (validity-cache occupancy, shared
+  /// thread-pool stats, fault-injection hit counts) and returns the whole
+  /// registry as one JSON object.
+  std::string ExportMetricsJson();
+
   /// Binds a SELECT under `ctx` to a canonical logical plan (exposed for
   /// benches/tests that drive the optimizer directly).
   Result<algebra::PlanPtr> BindQuery(const sql::SelectStmt& stmt,
@@ -116,6 +145,11 @@ class Database {
                                  const SessionContext& ctx);
   Result<ExecResult> ExecuteSelect(const sql::SelectStmt& stmt,
                                    const SessionContext& ctx);
+  /// `profile` may be null (no profiling). Non-null: trace/stats are
+  /// allocated into it and also attached to the returned ExecResult.
+  Result<ExecResult> ExecuteSelectImpl(const sql::SelectStmt& stmt,
+                                       const SessionContext& ctx,
+                                       QueryProfile* profile);
   Result<ExecResult> ExecuteInsert(const sql::InsertStmt& stmt,
                                    const SessionContext& ctx);
   Result<ExecResult> ExecuteUpdate(const sql::UpdateStmt& stmt,
@@ -136,7 +170,8 @@ class Database {
   /// `guard` (may be null) limits the execution.
   Result<storage::Relation> RunPlan(const algebra::PlanPtr& plan,
                                     const SessionContext& ctx,
-                                    common::QueryGuard* guard);
+                                    common::QueryGuard* guard,
+                                    exec::ExecStats* stats = nullptr);
 
   /// Validity options with the probe-parallelism default (0) resolved to
   /// this database's `parallelism` knob.
@@ -151,6 +186,7 @@ class Database {
   storage::DatabaseState state_;
   ValidityCache cache_;
   uint64_t catalog_version_ = 1;
+  common::MetricsRegistry metrics_;
 };
 
 }  // namespace fgac::core

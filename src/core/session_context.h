@@ -73,6 +73,12 @@ class SessionContext {
     cancel_token_ = std::move(token);
   }
 
+  /// When true, every SELECT this session executes collects an ExecStats
+  /// (per-operator rows/chunks/time) and a ValidityTrace, attached to the
+  /// ExecResult — the programmatic equivalent of EXPLAIN ANALYZE.
+  bool profile() const { return profile_; }
+  void set_profile(bool on) { profile_ = on; }
+
  private:
   std::string user_;
   std::map<std::string, Value> params_;
@@ -80,6 +86,7 @@ class SessionContext {
   size_t exec_parallelism_ = 0;
   std::optional<common::QueryLimits> query_limits_;
   std::shared_ptr<std::atomic<bool>> cancel_token_;
+  bool profile_ = false;
 };
 
 }  // namespace fgac::core

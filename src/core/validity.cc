@@ -161,6 +161,32 @@ void ValidityChecker::SetupExpandOptions() {
   };
 }
 
+namespace {
+
+// One-line rendering of a probe batch for the audit trace, capped so a
+// pathological plan cannot bloat the trail.
+std::string ProbeBatchSql(const std::vector<PlanPtr>& plans) {
+  constexpr size_t kCap = 512;
+  std::string out;
+  for (const PlanPtr& plan : plans) {
+    if (!out.empty()) out += "; ";
+    std::string one = algebra::PlanToString(plan, 0);
+    for (char& c : one) {
+      if (c == '\n') c = ' ';
+    }
+    while (!one.empty() && one.back() == ' ') one.pop_back();
+    out += one;
+    if (out.size() > kCap) {
+      out.resize(kCap);
+      out += "...";
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<char> ValidityChecker::RunProbeBatch(
     const std::vector<PlanPtr>& plans) {
   if (plans.empty()) return {};
@@ -174,11 +200,38 @@ std::vector<char> ValidityChecker::RunProbeBatch(
         "validity test exceeded its probe budget of " +
         std::to_string(options_.max_total_probes) + " database probes (" +
         std::to_string(c3_probes_ + plans.size()) + " needed)");
+    if (trace_ != nullptr) {
+      ValidityTraceEvent e;
+      e.kind = ValidityTraceEvent::Kind::kProbeBatch;
+      e.probes = plans.size();
+      e.detail = "refused: " + std::string(probe_status_.message());
+      trace_->Add(std::move(e));
+    }
     return std::vector<char>(plans.size(), 0);
   }
   c3_probes_ += plans.size();
-  return RunNonEmptinessProbes(plans, *state_, options_.probe_parallelism,
-                               options_.probe_limits, check_guard_.get());
+  std::vector<char> nonempty =
+      RunNonEmptinessProbes(plans, *state_, options_.probe_parallelism,
+                            options_.probe_limits, check_guard_.get());
+  if (trace_ != nullptr) {
+    ValidityTraceEvent e;
+    e.kind = ValidityTraceEvent::Kind::kProbeBatch;
+    e.probes = plans.size();
+    for (char hit : nonempty) e.probe_rows += hit ? 1 : 0;
+    e.probe_sql = ProbeBatchSql(plans);
+    trace_->Add(std::move(e));
+  }
+  return nonempty;
+}
+
+void ValidityChecker::TraceRule(const std::string& why) {
+  if (trace_ == nullptr) return;
+  ValidityTraceEvent e;
+  e.kind = ValidityTraceEvent::Kind::kRuleFired;
+  size_t space = why.find(' ');
+  e.rule = space == std::string::npos ? why : why.substr(0, space);
+  e.detail = why;
+  trace_->Add(std::move(e));
 }
 
 void ValidityChecker::MarkU(GroupId g, const std::string& why) {
@@ -186,6 +239,7 @@ void ValidityChecker::MarkU(GroupId g, const std::string& why) {
   if (!memo_.IsValidU(g)) {
     memo_.MarkValidU(g);
     justification_.emplace(g, why);
+    TraceRule(why);
   }
 }
 
@@ -194,6 +248,7 @@ void ValidityChecker::MarkC(GroupId g, const std::string& why) {
   if (!memo_.IsValidC(g)) {
     memo_.MarkValidC(g);
     justification_.emplace(g, why);
+    TraceRule(why);
   }
 }
 
@@ -1381,13 +1436,29 @@ Result<ValidityReport> ValidityChecker::Check(
         "query cannot be inferred valid from the " +
         std::to_string(usable.size()) +
         " authorization view(s) available (rules U1-U3c, C1-C3b)";
+    TraceVerdict(report);
     return report;
   }
   auto it = justification_.find(root);
   report.justification = it != justification_.end()
                              ? it->second
                              : (report.unconditional ? "U2" : "C2");
+  TraceVerdict(report);
   return report;
+}
+
+void ValidityChecker::TraceVerdict(const ValidityReport& report) {
+  if (trace_ == nullptr) return;
+  ValidityTraceEvent e;
+  e.kind = ValidityTraceEvent::Kind::kVerdict;
+  e.valid = report.valid;
+  e.unconditional = report.unconditional;
+  e.detail = report.valid ? report.justification : report.reason;
+  if (check_guard_ != nullptr) {
+    e.guard_rows = check_guard_->rows_charged();
+    e.guard_bytes = check_guard_->bytes_charged();
+  }
+  trace_->Add(std::move(e));
 }
 
 }  // namespace fgac::core

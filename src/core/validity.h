@@ -12,6 +12,7 @@
 #include "common/query_guard.h"
 #include "common/result.h"
 #include "core/auth_view.h"
+#include "core/validity_trace.h"
 #include "optimizer/memo.h"
 #include "optimizer/rules.h"
 #include "storage/database_state.h"
@@ -110,6 +111,11 @@ class ValidityChecker {
   /// probe/time budgets (ValidityOptions). Call before Check().
   void set_guard(const common::QueryGuard* parent) { parent_guard_ = parent; }
 
+  /// Attaches an audit trace (may be null = no tracing): every rule firing,
+  /// probe batch and the final verdict are appended in decision order.
+  /// Borrowed; must outlive Check(). Single-threaded use only.
+  void set_trace(ValidityTrace* trace) { trace_ = trace; }
+
   /// Tests whether `query` (a bound, normalized plan) can be answered using
   /// only the information in `views` (already instantiated for the session).
   /// Fails with kTimeout / kResourceExhausted / kCancelled when a budget
@@ -191,6 +197,8 @@ class ValidityChecker {
 
   void MarkU(optimizer::GroupId g, const std::string& why);
   void MarkC(optimizer::GroupId g, const std::string& why);
+  void TraceRule(const std::string& why);
+  void TraceVerdict(const ValidityReport& report);
 
   /// Budgeted batch probe used by the C3/CAgg rules: refuses (all-empty)
   /// once the whole-check probe cap is hit, recording the failure in
@@ -219,6 +227,7 @@ class ValidityChecker {
   const common::QueryGuard* parent_guard_ = nullptr;
   std::unique_ptr<common::QueryGuard> check_guard_;
   Status probe_status_;
+  ValidityTrace* trace_ = nullptr;
 };
 
 }  // namespace fgac::core

@@ -1,0 +1,130 @@
+#include "core/validity_trace.h"
+
+namespace fgac::core {
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->push_back(' ');
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+const char* ValidityTraceEvent::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kCacheHit:
+      return "cache_hit";
+    case Kind::kCacheMiss:
+      return "cache_miss";
+    case Kind::kRuleFired:
+      return "rule_fired";
+    case Kind::kProbeBatch:
+      return "probe_batch";
+    case Kind::kVerdict:
+      return "verdict";
+    case Kind::kDegraded:
+      return "degraded_to_truman";
+  }
+  return "?";
+}
+
+std::vector<std::string> ValidityTrace::RuleSequence() const {
+  std::vector<std::string> out;
+  for (const ValidityTraceEvent& e : events_) {
+    if (e.kind == ValidityTraceEvent::Kind::kRuleFired) out.push_back(e.rule);
+  }
+  return out;
+}
+
+bool ValidityTrace::FiredRule(const std::string& rule) const {
+  for (const ValidityTraceEvent& e : events_) {
+    if (e.kind == ValidityTraceEvent::Kind::kRuleFired && e.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t ValidityTrace::TotalProbes() const {
+  uint64_t total = 0;
+  for (const ValidityTraceEvent& e : events_) {
+    if (e.kind == ValidityTraceEvent::Kind::kProbeBatch) total += e.probes;
+  }
+  return total;
+}
+
+std::string ValidityTrace::ToJsonLines() const {
+  std::string out;
+  for (const ValidityTraceEvent& e : events_) {
+    out += "{\"event\":";
+    AppendJsonString(&out, ValidityTraceEvent::KindName(e.kind));
+    out += ",\"at_us\":" + std::to_string(e.at_us);
+    if (!e.rule.empty()) {
+      out += ",\"rule\":";
+      AppendJsonString(&out, e.rule);
+    }
+    if (!e.detail.empty()) {
+      out += ",\"detail\":";
+      AppendJsonString(&out, e.detail);
+    }
+    if (e.kind == ValidityTraceEvent::Kind::kProbeBatch) {
+      out += ",\"probes\":" + std::to_string(e.probes) +
+             ",\"nonempty\":" + std::to_string(e.probe_rows);
+      if (!e.probe_sql.empty()) {
+        out += ",\"probe_sql\":";
+        AppendJsonString(&out, e.probe_sql);
+      }
+    }
+    if (e.kind == ValidityTraceEvent::Kind::kVerdict ||
+        e.kind == ValidityTraceEvent::Kind::kDegraded) {
+      out += ",\"valid\":" + std::string(e.valid ? "true" : "false") +
+             ",\"unconditional\":" +
+             std::string(e.unconditional ? "true" : "false") +
+             ",\"guard_rows\":" + std::to_string(e.guard_rows) +
+             ",\"guard_bytes\":" + std::to_string(e.guard_bytes);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string ValidityTrace::ToText() const {
+  std::string out;
+  for (const ValidityTraceEvent& e : events_) {
+    out += "  ";
+    out += ValidityTraceEvent::KindName(e.kind);
+    if (!e.rule.empty()) out += " " + e.rule;
+    if (e.kind == ValidityTraceEvent::Kind::kProbeBatch) {
+      out += " probes=" + std::to_string(e.probes) +
+             " nonempty=" + std::to_string(e.probe_rows);
+    }
+    if (!e.detail.empty()) out += " (" + e.detail + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fgac::core

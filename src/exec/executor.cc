@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include "exec/eval.h"
+#include "exec/exec_stats.h"
 
 namespace fgac::exec {
 
@@ -47,7 +48,7 @@ Status ValidatePlanShape(const algebra::Plan& plan) {
 
 Result<OperatorPtr> BuildNode(const PlanPtr& plan,
                               const storage::DatabaseState& state,
-                              common::QueryGuard* guard) {
+                              common::QueryGuard* guard, ExecStats* stats) {
   switch (plan->kind) {
     case PlanKind::kGet: {
       const storage::TableData* data = state.GetTable(plan->table);
@@ -66,19 +67,19 @@ Result<OperatorPtr> BuildNode(const PlanPtr& plan,
       return OperatorPtr(new ValuesOp(plan->rows));
     case PlanKind::kSelect: {
       FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
-                            BuildPhysicalPlan(plan->children[0], state, guard));
+                            BuildPhysicalPlan(plan->children[0], state, guard, stats));
       return OperatorPtr(new FilterOp(plan->predicates, std::move(child)));
     }
     case PlanKind::kProject: {
       FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
-                            BuildPhysicalPlan(plan->children[0], state, guard));
+                            BuildPhysicalPlan(plan->children[0], state, guard, stats));
       return OperatorPtr(new ProjectOp(plan->exprs, std::move(child)));
     }
     case PlanKind::kJoin: {
       FGAC_ASSIGN_OR_RETURN(OperatorPtr left,
-                            BuildPhysicalPlan(plan->children[0], state, guard));
+                            BuildPhysicalPlan(plan->children[0], state, guard, stats));
       FGAC_ASSIGN_OR_RETURN(OperatorPtr right,
-                            BuildPhysicalPlan(plan->children[1], state, guard));
+                            BuildPhysicalPlan(plan->children[1], state, guard, stats));
       size_t left_arity = OutputArity(*plan->children[0]);
       JoinKeys keys = SplitJoinKeys(plan->predicates, left_arity);
       if (!keys.left_keys.empty()) {
@@ -91,23 +92,23 @@ Result<OperatorPtr> BuildNode(const PlanPtr& plan,
     }
     case PlanKind::kAggregate: {
       FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
-                            BuildPhysicalPlan(plan->children[0], state, guard));
+                            BuildPhysicalPlan(plan->children[0], state, guard, stats));
       return OperatorPtr(
           new HashAggregateOp(plan->group_by, plan->aggs, std::move(child)));
     }
     case PlanKind::kDistinct: {
       FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
-                            BuildPhysicalPlan(plan->children[0], state, guard));
+                            BuildPhysicalPlan(plan->children[0], state, guard, stats));
       return OperatorPtr(new DistinctOp(std::move(child)));
     }
     case PlanKind::kSort: {
       FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
-                            BuildPhysicalPlan(plan->children[0], state, guard));
+                            BuildPhysicalPlan(plan->children[0], state, guard, stats));
       return OperatorPtr(new SortOp(plan->sort_items, std::move(child)));
     }
     case PlanKind::kLimit: {
       FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
-                            BuildPhysicalPlan(plan->children[0], state, guard));
+                            BuildPhysicalPlan(plan->children[0], state, guard, stats));
       return OperatorPtr(new LimitOp(plan->limit, std::move(child)));
     }
     case PlanKind::kUnionAll: {
@@ -115,7 +116,7 @@ Result<OperatorPtr> BuildNode(const PlanPtr& plan,
       children.reserve(plan->children.size());
       for (const PlanPtr& c : plan->children) {
         FGAC_ASSIGN_OR_RETURN(OperatorPtr child,
-                              BuildPhysicalPlan(c, state, guard));
+                              BuildPhysicalPlan(c, state, guard, stats));
         children.push_back(std::move(child));
       }
       return OperatorPtr(new UnionAllOp(std::move(children)));
@@ -128,18 +129,26 @@ Result<OperatorPtr> BuildNode(const PlanPtr& plan,
 
 Result<OperatorPtr> BuildPhysicalPlan(const PlanPtr& plan,
                                       const storage::DatabaseState& state,
-                                      common::QueryGuard* guard) {
+                                      common::QueryGuard* guard,
+                                      ExecStats* stats) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   FGAC_RETURN_NOT_OK(ValidatePlanShape(*plan));
-  FGAC_ASSIGN_OR_RETURN(OperatorPtr op, BuildNode(plan, state, guard));
+  FGAC_ASSIGN_OR_RETURN(OperatorPtr op, BuildNode(plan, state, guard, stats));
   op->set_guard(guard);
+  if (stats != nullptr) {
+    // Wrap after set_guard: the inner operator keeps its guard, the
+    // transparent wrapper only charges counters.
+    op = OperatorPtr(new StatsOp(stats->NodeFor(plan.get()), std::move(op)));
+  }
   return op;
 }
 
 Result<storage::Relation> ExecutePlan(const PlanPtr& plan,
                                       const storage::DatabaseState& state,
-                                      common::QueryGuard* guard) {
-  FGAC_ASSIGN_OR_RETURN(OperatorPtr root, BuildPhysicalPlan(plan, state, guard));
+                                      common::QueryGuard* guard,
+                                      ExecStats* stats) {
+  FGAC_ASSIGN_OR_RETURN(OperatorPtr root,
+                        BuildPhysicalPlan(plan, state, guard, stats));
   FGAC_RETURN_NOT_OK(root->Open());
   storage::Relation out(algebra::OutputNames(*plan));
   DataChunk chunk;

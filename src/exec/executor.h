@@ -9,20 +9,26 @@
 
 namespace fgac::exec {
 
+class ExecStats;
+
 /// Lowers a logical plan to a physical operator tree over `state` (borrowed
 /// for the lifetime of the returned operator). Joins with equi-predicates
 /// become hash joins; others become block nested-loop joins. `guard` (may
 /// be null = no limits) is attached to every operator and must outlive the
-/// tree.
+/// tree. When `stats` is non-null every node is wrapped in a StatsOp
+/// charging per-operator rows/chunks/time into it (EXPLAIN ANALYZE); a
+/// null `stats` builds the exact tree it always did, at zero cost.
 Result<OperatorPtr> BuildPhysicalPlan(const algebra::PlanPtr& plan,
                                       const storage::DatabaseState& state,
-                                      common::QueryGuard* guard = nullptr);
+                                      common::QueryGuard* guard = nullptr,
+                                      ExecStats* stats = nullptr);
 
 /// Builds, opens, and drains a physical plan into a Relation (column names
 /// from the logical plan).
 Result<storage::Relation> ExecutePlan(const algebra::PlanPtr& plan,
                                       const storage::DatabaseState& state,
-                                      common::QueryGuard* guard = nullptr);
+                                      common::QueryGuard* guard = nullptr,
+                                      ExecStats* stats = nullptr);
 
 }  // namespace fgac::exec
 

@@ -11,6 +11,7 @@
 #include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "exec/eval.h"
+#include "exec/exec_stats.h"
 #include "exec/executor.h"
 #include "exec/operators.h"
 #include "storage/table_data.h"
@@ -82,7 +83,8 @@ const algebra::Plan* PipelineSourceNode(const PlanPtr& plan) {
 
 /// Resolves the source table and executes every join build side serially.
 Status PrepareShared(const PlanPtr& plan, const storage::DatabaseState& state,
-                     SharedPipeline* shared, common::QueryGuard* guard) {
+                     SharedPipeline* shared, common::QueryGuard* guard,
+                     ExecStats* stats) {
   switch (plan->kind) {
     case PlanKind::kGet: {
       const storage::TableData* data = state.GetTable(plan->table);
@@ -96,14 +98,16 @@ Status PrepareShared(const PlanPtr& plan, const storage::DatabaseState& state,
     }
     case PlanKind::kSelect:
     case PlanKind::kProject:
-      return PrepareShared(plan->children[0], state, shared, guard);
+      return PrepareShared(plan->children[0], state, shared, guard, stats);
     case PlanKind::kJoin: {
-      FGAC_RETURN_NOT_OK(PrepareShared(plan->children[0], state, shared, guard));
+      FGAC_RETURN_NOT_OK(
+          PrepareShared(plan->children[0], state, shared, guard, stats));
       auto stage = std::make_unique<JoinStage>();
       stage->keys = SplitJoinKeys(plan->predicates,
                                   algebra::OutputArity(*plan->children[0]));
-      FGAC_ASSIGN_OR_RETURN(OperatorPtr build,
-                            BuildPhysicalPlan(plan->children[1], state, guard));
+      FGAC_ASSIGN_OR_RETURN(
+          OperatorPtr build,
+          BuildPhysicalPlan(plan->children[1], state, guard, stats));
       FGAC_RETURN_NOT_OK(build->Open());
       FGAC_RETURN_NOT_OK(
           stage->table.BuildFrom(*build, stage->keys.right_keys, guard));
@@ -124,7 +128,10 @@ Status PrepareShared(const PlanPtr& plan, const storage::DatabaseState& state,
 /// once, and discarded inside ParallelExecutePlan, so re-Open never happens.
 class MorselScanOp final : public Operator {
  public:
-  explicit MorselScanOp(MorselSource* source) : source_(source) {}
+  /// `morsel_count` (may be null) is the owning worker's exclusive slot in
+  /// the ExecStats profile; only this worker writes it.
+  explicit MorselScanOp(MorselSource* source, uint64_t* morsel_count = nullptr)
+      : source_(source), morsel_count_(morsel_count) {}
   Status Open() override { return Status::OK(); }
   Result<bool> Next(DataChunk& out) override {
     FGAC_FAULT_POINT("parallel.morsel");
@@ -147,6 +154,7 @@ class MorselScanOp final : public Operator {
           size_t n, source_->table->ScanChunk(
                         start, std::min(kMorselSize, total - start), &out));
       if (n > 0) {
+        if (morsel_count_ != nullptr) ++*morsel_count_;
         FGAC_RETURN_NOT_OK(common::GuardChargeRows(source_->guard, n));
         return true;
       }
@@ -155,6 +163,7 @@ class MorselScanOp final : public Operator {
 
  private:
   MorselSource* source_;
+  uint64_t* morsel_count_ = nullptr;
 };
 
 /// Probe side of a shared hash join: owns its probe cursor (per-thread
@@ -187,25 +196,34 @@ class SharedProbeOp final : public Operator {
 /// has already been validated by PipelineSourceNode; joins are consumed in
 /// the same bottom-up order PrepareShared produced them.
 OperatorPtr BuildThreadPipeline(const PlanPtr& plan, SharedPipeline* shared,
-                                size_t* next_join) {
+                                size_t* next_join, ExecStats* stats,
+                                uint64_t* morsel_count) {
+  // Every worker's operator for a given logical node charges the same
+  // shared OpStats (atomic counters), so the rendered numbers are totals
+  // across the fan-out.
+  auto wrap = [stats, &plan](OperatorPtr op) {
+    if (stats == nullptr) return op;
+    return OperatorPtr(new StatsOp(stats->NodeFor(plan.get()), std::move(op)));
+  };
   switch (plan->kind) {
     case PlanKind::kGet:
-      return OperatorPtr(new MorselScanOp(&shared->source));
+      return wrap(OperatorPtr(new MorselScanOp(&shared->source, morsel_count)));
     case PlanKind::kSelect:
-      return OperatorPtr(new FilterOp(
-          plan->predicates,
-          BuildThreadPipeline(plan->children[0], shared, next_join)));
+      return wrap(OperatorPtr(new FilterOp(
+          plan->predicates, BuildThreadPipeline(plan->children[0], shared,
+                                                next_join, stats,
+                                                morsel_count))));
     case PlanKind::kProject:
-      return OperatorPtr(new ProjectOp(
-          plan->exprs,
-          BuildThreadPipeline(plan->children[0], shared, next_join)));
+      return wrap(OperatorPtr(new ProjectOp(
+          plan->exprs, BuildThreadPipeline(plan->children[0], shared,
+                                           next_join, stats, morsel_count))));
     case PlanKind::kJoin: {
-      OperatorPtr left =
-          BuildThreadPipeline(plan->children[0], shared, next_join);
+      OperatorPtr left = BuildThreadPipeline(plan->children[0], shared,
+                                             next_join, stats, morsel_count);
       const JoinStage* stage = shared->joins[(*next_join)++].get();
       OperatorPtr probe(new SharedProbeOp(stage, std::move(left)));
       probe->set_guard(shared->source.guard);
-      return probe;
+      return wrap(std::move(probe));
     }
     default:
       return nullptr;  // unreachable: shape checked before fan-out
@@ -258,16 +276,22 @@ Status DrainRows(Operator& root, std::vector<Row>* rows) {
 /// per-thread DistinctOp).
 Result<std::vector<std::vector<Row>>> RunPipelineGather(
     const PlanPtr& plan, const storage::DatabaseState& state, size_t n,
-    common::QueryGuard* guard,
+    common::QueryGuard* guard, ExecStats* stats,
     const std::function<OperatorPtr(OperatorPtr)>& wrap = nullptr) {
   auto shared = std::make_unique<SharedPipeline>();
-  FGAC_RETURN_NOT_OK(PrepareShared(plan, state, shared.get(), guard));
+  FGAC_RETURN_NOT_OK(PrepareShared(plan, state, shared.get(), guard, stats));
+  if (stats != nullptr && stats->worker_morsels().size() != n) {
+    stats->SetThreads(n);
+  }
   std::vector<std::vector<Row>> per_thread(n);
   FGAC_RETURN_NOT_OK(FanOut(
       n,
       [&](size_t t) -> Status {
         size_t next_join = 0;
-        OperatorPtr root = BuildThreadPipeline(plan, shared.get(), &next_join);
+        uint64_t* morsels =
+            stats != nullptr ? stats->worker_morsel_slot(t) : nullptr;
+        OperatorPtr root =
+            BuildThreadPipeline(plan, shared.get(), &next_join, stats, morsels);
         if (wrap) root = wrap(std::move(root));
         FGAC_RETURN_NOT_OK(root->Open());
         return DrainRows(*root, &per_thread[t]);
@@ -279,17 +303,23 @@ Result<std::vector<std::vector<Row>>> RunPipelineGather(
 /// Partial per-thread aggregation + serial merge via AggAccumulator::Merge.
 Result<storage::Relation> ParallelAggregate(const PlanPtr& plan,
                                             const storage::DatabaseState& state,
-                                            size_t n,
-                                            common::QueryGuard* guard) {
+                                            size_t n, common::QueryGuard* guard,
+                                            ExecStats* stats) {
   const PlanPtr& child = plan->children[0];
   auto shared = std::make_unique<SharedPipeline>();
-  FGAC_RETURN_NOT_OK(PrepareShared(child, state, shared.get(), guard));
+  FGAC_RETURN_NOT_OK(PrepareShared(child, state, shared.get(), guard, stats));
+  if (stats != nullptr && stats->worker_morsels().size() != n) {
+    stats->SetThreads(n);
+  }
   std::vector<AggGroups> partials(n);
   FGAC_RETURN_NOT_OK(FanOut(
       n,
       [&](size_t t) -> Status {
         size_t next_join = 0;
-        OperatorPtr root = BuildThreadPipeline(child, shared.get(), &next_join);
+        uint64_t* morsels =
+            stats != nullptr ? stats->worker_morsel_slot(t) : nullptr;
+        OperatorPtr root = BuildThreadPipeline(child, shared.get(), &next_join,
+                                               stats, morsels);
         FGAC_RETURN_NOT_OK(root->Open());
         return AccumulateGroups(*root, plan->group_by, plan->aggs, &partials[t],
                                 guard);
@@ -311,6 +341,12 @@ Result<storage::Relation> ParallelAggregate(const PlanPtr& plan,
   storage::Relation out(algebra::OutputNames(*plan));
   out.mutable_rows() =
       FinishGroups(std::move(merged), plan->aggs, plan->group_by.empty());
+  if (stats != nullptr) {
+    // The merge runs outside any operator; attribute the final group count
+    // to the aggregate node so the printout matches the serial plan shape.
+    stats->NodeFor(plan.get())
+        ->rows_out.fetch_add(out.num_rows(), std::memory_order_relaxed);
+  }
   return out;
 }
 
@@ -356,37 +392,46 @@ bool IsParallelizable(const PlanPtr& plan,
 
 Result<storage::Relation> ParallelExecutePlan(
     const PlanPtr& plan, const storage::DatabaseState& state,
-    size_t num_threads, common::QueryGuard* guard) {
+    size_t num_threads, common::QueryGuard* guard, ExecStats* stats) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
-  if (num_threads <= 1) return ExecutePlan(plan, state, guard);
+  if (num_threads <= 1) return ExecutePlan(plan, state, guard, stats);
+  // Top nodes executed outside any operator tree (parallel aggregate merge,
+  // final dedup, gathered sort, union glue) charge their plan node here.
+  auto record_rows = [stats](const PlanPtr& node, uint64_t rows) {
+    if (stats != nullptr) {
+      stats->NodeFor(node.get())
+          ->rows_out.fetch_add(rows, std::memory_order_relaxed);
+    }
+  };
   switch (plan->kind) {
     case PlanKind::kGet:
     case PlanKind::kSelect:
     case PlanKind::kProject:
     case PlanKind::kJoin: {
       if (PipelineSourceNode(plan) == nullptr) {
-        return ExecutePlan(plan, state, guard);
+        return ExecutePlan(plan, state, guard, stats);
       }
       FGAC_ASSIGN_OR_RETURN(
-          auto per_thread, RunPipelineGather(plan, state, num_threads, guard));
+          auto per_thread,
+          RunPipelineGather(plan, state, num_threads, guard, stats));
       return GatherToRelation(plan, std::move(per_thread));
     }
     case PlanKind::kAggregate: {
       if (PipelineSourceNode(plan->children[0]) == nullptr) {
-        return ExecutePlan(plan, state, guard);
+        return ExecutePlan(plan, state, guard, stats);
       }
-      return ParallelAggregate(plan, state, num_threads, guard);
+      return ParallelAggregate(plan, state, num_threads, guard, stats);
     }
     case PlanKind::kDistinct: {
       if (PipelineSourceNode(plan->children[0]) == nullptr) {
-        return ExecutePlan(plan, state, guard);
+        return ExecutePlan(plan, state, guard, stats);
       }
       // Per-thread pre-dedup shrinks what crosses the merge; the final pass
       // eliminates duplicates that appeared on different threads.
       FGAC_ASSIGN_OR_RETURN(
           auto per_thread,
           RunPipelineGather(plan->children[0], state, num_threads, guard,
-                            [guard](OperatorPtr child) {
+                            stats, [guard](OperatorPtr child) {
                               OperatorPtr op(new DistinctOp(std::move(child)));
                               op->set_guard(guard);
                               return op;
@@ -398,17 +443,19 @@ Result<storage::Relation> ParallelExecutePlan(
           if (seen.insert(r).second) out.mutable_rows().push_back(std::move(r));
         }
       }
+      record_rows(plan, out.num_rows());
       return out;
     }
     case PlanKind::kSort: {
       if (PipelineSourceNode(plan->children[0]) == nullptr) {
-        return ExecutePlan(plan, state, guard);
+        return ExecutePlan(plan, state, guard, stats);
       }
       // Parallel gather, serial sort: sorting is a full-input barrier anyway,
       // so only the scan/filter/join work below it is worth fanning out.
       FGAC_ASSIGN_OR_RETURN(
           auto per_thread,
-          RunPipelineGather(plan->children[0], state, num_threads, guard));
+          RunPipelineGather(plan->children[0], state, num_threads, guard,
+                            stats));
       storage::Relation gathered =
           GatherToRelation(plan->children[0], std::move(per_thread));
       SortOp sorter(plan->sort_items,
@@ -422,6 +469,7 @@ Result<storage::Relation> ParallelExecutePlan(
         if (!more) break;
         out.AppendChunk(chunk);
       }
+      record_rows(plan, out.num_rows());
       return out;
     }
     case PlanKind::kUnionAll: {
@@ -429,17 +477,18 @@ Result<storage::Relation> ParallelExecutePlan(
       for (const PlanPtr& child : plan->children) {
         FGAC_ASSIGN_OR_RETURN(
             storage::Relation r,
-            ParallelExecutePlan(child, state, num_threads, guard));
+            ParallelExecutePlan(child, state, num_threads, guard, stats));
         for (Row& row : r.mutable_rows()) {
           out.mutable_rows().push_back(std::move(row));
         }
       }
+      record_rows(plan, out.num_rows());
       return out;
     }
     default:
       // kValues, kLimit: nothing to fan out (LIMIT's early-out is
       // inherently serial).
-      return ExecutePlan(plan, state, guard);
+      return ExecutePlan(plan, state, guard, stats);
   }
 }
 

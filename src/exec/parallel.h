@@ -11,6 +11,8 @@
 
 namespace fgac::exec {
 
+class ExecStats;
+
 /// Rows claimed per fetch from the shared morsel cursor. One morsel is one
 /// output chunk, so load balancing granularity equals the vector size: small
 /// enough that a thread stuck on an expensive filter does not hold up the
@@ -46,10 +48,15 @@ bool IsParallelizable(const algebra::PlanPtr& plan,
 /// observed by any worker sets a pipeline-wide abort flag, the remaining
 /// workers drain cleanly at their next morsel claim, every worker is
 /// joined, and the first failure (lowest worker index) is returned.
+///
+/// `stats` (may be null) collects per-operator counters — one shared
+/// atomic OpStats per logical node charged by every worker — plus
+/// per-worker morsel counts for EXPLAIN ANALYZE.
 Result<storage::Relation> ParallelExecutePlan(const algebra::PlanPtr& plan,
                                               const storage::DatabaseState& state,
                                               size_t num_threads,
-                                              common::QueryGuard* guard = nullptr);
+                                              common::QueryGuard* guard = nullptr,
+                                              ExecStats* stats = nullptr);
 
 }  // namespace fgac::exec
 

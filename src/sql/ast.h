@@ -296,10 +296,13 @@ class RevokeStmt : public Stmt {
 };
 
 /// EXPLAIN <select>: returns the canonical and optimized plans as text.
+/// EXPLAIN ANALYZE additionally executes the query and annotates the plan
+/// with per-operator row/chunk/time counters plus the validity trace.
 class ExplainStmt : public Stmt {
  public:
   ExplainStmt() : Stmt(StmtKind::kExplain) {}
   std::shared_ptr<const SelectStmt> select;
+  bool analyze = false;
 };
 
 class AuthorizeStmt : public Stmt {

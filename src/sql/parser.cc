@@ -496,6 +496,7 @@ Result<StmtPtr> Parser::Revoke() {
 Result<StmtPtr> Parser::Explain() {
   FGAC_RETURN_NOT_OK(ExpectKeyword("explain"));
   auto stmt = std::make_unique<ExplainStmt>();
+  if (MatchKeyword("analyze")) stmt->analyze = true;
   FGAC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, Select());
   stmt->select = std::shared_ptr<const SelectStmt>(sel.release());
   return StmtPtr(stmt.release());

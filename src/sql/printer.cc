@@ -241,7 +241,8 @@ std::string StmtToSql(const Stmt& stmt) {
     }
     case StmtKind::kExplain: {
       const auto& s = static_cast<const ExplainStmt&>(stmt);
-      return "EXPLAIN " + SelectToSql(*s.select);
+      return (s.analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ") +
+             SelectToSql(*s.select);
     }
     case StmtKind::kAuthorize: {
       const auto& s = static_cast<const AuthorizeStmt&>(stmt);

@@ -36,7 +36,7 @@ const char* TokenKindName(TokenKind kind) {
 }
 
 bool IsKeyword(const std::string& word) {
-  static const std::array<const char*, 63> kKeywords = {
+  static const std::array<const char*, 64> kKeywords = {
       "select",   "from",      "where",     "group",     "by",
       "having",   "order",     "asc",       "desc",      "limit",
       "distinct", "as",        "and",       "or",        "not",
@@ -49,7 +49,7 @@ bool IsKeyword(const std::string& word) {
       "unique",   "int",       "bigint",    "double",    "varchar",
       "boolean",  "drop",      "inclusion", "dependency","constraint",
       "count",    "sum",       "avg",       "min",       "max",
-      "union",    "all",     "revoke",    "explain",
+      "union",    "all",     "revoke",    "explain",   "analyze",
   };
   return std::find_if(kKeywords.begin(), kKeywords.end(), [&](const char* k) {
            return word == k;

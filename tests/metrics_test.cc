@@ -1,0 +1,259 @@
+// Unit and concurrency tests for the observability subsystem: the
+// lock-sharded MetricsRegistry (counters / gauges / power-of-two
+// histograms), snapshot-during-update safety under the 4-thread morsel
+// path (the TSan job runs this file), thread-pool queue statistics, and
+// the Database-level query counters fed by ExecuteSelect.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "core/database.h"
+#include "tests/test_util.h"
+
+namespace fgac {
+namespace {
+
+using common::Counter;
+using common::Gauge;
+using common::Histogram;
+using common::MetricsRegistry;
+using common::MetricsSnapshot;
+using core::Database;
+using core::EnforcementMode;
+using core::SessionContext;
+using fgac::testing::CreateUniversityViews;
+using fgac::testing::SetupUniversity;
+
+// ---------------------------------------------------------------------------
+// Primitive metrics
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, IncrementAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAddSetMax) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.SetMax(5);  // below current: no-op
+  EXPECT_EQ(g.value(), 7);
+  g.SetMax(100);
+  EXPECT_EQ(g.value(), 100);
+}
+
+TEST(HistogramTest, PowerOfTwoBuckets) {
+  Histogram h;
+  h.Record(0);  // bucket 0
+  h.Record(1);  // [1,2) -> bucket 1
+  h.Record(3);  // [2,4) -> bucket 2
+  h.Record(4);  // [4,8) -> bucket 3
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 8u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(HistogramTest, ApproxPercentileReturnsBucketUpperBound) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.Record(10);  // bucket [8,16)
+  h.Record(1000);                             // bucket [512,1024)
+  EXPECT_EQ(h.ApproxPercentile(50), 15u);
+  EXPECT_EQ(h.ApproxPercentile(100), 1023u);
+  Histogram empty;
+  EXPECT_EQ(empty.ApproxPercentile(50), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, HandlesAreStableAndDistinct) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("a");
+  Counter& b = reg.counter("b");
+  EXPECT_NE(&a, &b);
+  a.Increment();
+  // Same name resolves to the same metric, across many lookups.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(&reg.counter("a"), &a);
+  EXPECT_EQ(reg.counter("a").value(), 1u);
+  // The three kinds are independent namespaces.
+  reg.gauge("a").Set(7);
+  reg.histogram("a").Record(3);
+  EXPECT_EQ(reg.counter("a").value(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotAndJson) {
+  MetricsRegistry reg;
+  reg.counter("queries").Increment(3);
+  reg.gauge("depth").Set(-2);
+  reg.histogram("lat_us").Record(100);
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("queries"), 3u);
+  EXPECT_EQ(snap.gauges.at("depth"), -2);
+  EXPECT_EQ(snap.histograms.at("lat_us").count, 1u);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"queries\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_us\""), std::string::npos);
+}
+
+// The regression this guards: counters shared by the 4-thread morsel path
+// must neither tear nor lose increments while another thread snapshots
+// mid-update. Run under TSan in CI.
+TEST(MetricsRegistryTest, SnapshotDuringConcurrentUpdatesIsExact) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 50000;
+  MetricsRegistry reg;
+  // Pre-register so workers race only on the atomics, and one extra name
+  // per worker so first-use registration races are exercised too.
+  reg.counter("shared");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      Counter& shared = reg.counter("shared");
+      Counter& own = reg.counter("worker." + std::to_string(t));
+      Histogram& h = reg.histogram("rows");
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        shared.Increment();
+        own.Increment();
+        h.Record(i & 1023);
+      }
+    });
+  }
+  // Snapshot continuously while the workers hammer; every observed value
+  // must be a whole count no larger than the final total (a torn read
+  // would show up as a wild value).
+  std::thread reader([&reg, &stop] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      MetricsSnapshot snap = reg.Snapshot();
+      auto it = snap.counters.find("shared");
+      if (it != snap.counters.end()) {
+        EXPECT_LE(it->second, kThreads * kPerThread);
+        EXPECT_GE(it->second, last);  // monotone across snapshots
+        last = it->second;
+      }
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  MetricsSnapshot final_snap = reg.Snapshot();
+  EXPECT_EQ(final_snap.counters.at("shared"), kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(final_snap.counters.at("worker." + std::to_string(t)),
+              kPerThread);
+  }
+  EXPECT_EQ(final_snap.histograms.at("rows").count, kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-pool statistics
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolStatsTest, CountsTasksAndQueueHighWater) {
+  common::ThreadPool pool(2);
+  EXPECT_EQ(pool.tasks_run(), 0u);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); });
+  }
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(pool.tasks_run(), 8u);
+  // 8 sleeping tasks over 2 workers must have queued at some point.
+  EXPECT_GE(pool.queue_depth_high_water(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Database-level query metrics
+// ---------------------------------------------------------------------------
+
+class DatabaseMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetupUniversity(&db_);
+    CreateUniversityViews(&db_);
+    ASSERT_TRUE(db_.ExecuteAsAdmin("grant select on mygrades to 11").ok());
+  }
+
+  uint64_t Count(const std::string& name) {
+    return db_.metrics().counter(name).value();
+  }
+
+  Database db_;
+};
+
+TEST_F(DatabaseMetricsTest, SelectCacheAndRejectionCounters) {
+  SessionContext ctx("11");
+  const std::string q = "select grade from grades where student-id = '11'";
+  ASSERT_TRUE(db_.Execute(q, ctx).ok());
+  EXPECT_EQ(Count("queries.select"), 1u);
+  EXPECT_EQ(Count("validity.cache_misses"), 1u);
+  EXPECT_EQ(Count("validity.cache_hits"), 0u);
+
+  ASSERT_TRUE(db_.Execute(q, ctx).ok());
+  EXPECT_EQ(Count("queries.select"), 2u);
+  EXPECT_EQ(Count("validity.cache_hits"), 1u);
+
+  auto rejected = db_.Execute("select * from grades", ctx);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kNotAuthorized);
+  EXPECT_EQ(Count("queries.rejected"), 1u);
+  EXPECT_EQ(Count("queries.select"), 3u);
+}
+
+TEST_F(DatabaseMetricsTest, GuardTripAndDegradationCounters) {
+  SessionContext ctx("11");
+  // Blow the validity budget with no degradation policy: a guard trip.
+  db_.options().validity.check_timeout = std::chrono::microseconds(1);
+  auto r = db_.Execute("select grade from grades where student-id = '11'",
+                       ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(Count("guard.trips"), 1u);
+  EXPECT_EQ(Count("queries.degraded_to_truman"), 0u);
+
+  // Same budget with DegradePolicy::kTruman: counted as a degradation.
+  common::QueryLimits limits;
+  limits.degrade_policy = common::DegradePolicy::kTruman;
+  ctx.set_query_limits(limits);
+  auto degraded =
+      db_.Execute("select grade from grades where student-id = '11'", ctx);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded.value().degraded_to_truman);
+  EXPECT_EQ(Count("queries.degraded_to_truman"), 1u);
+}
+
+TEST_F(DatabaseMetricsTest, ExportRefreshesSubsystemGauges) {
+  SessionContext ctx("11");
+  ASSERT_TRUE(
+      db_.Execute("select grade from grades where student-id = '11'", ctx)
+          .ok());
+  std::string json = db_.ExportMetricsJson();
+  EXPECT_NE(json.find("\"validity_cache.entries\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"validity_cache.misses\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"thread_pool.tasks_run\""), std::string::npos);
+  EXPECT_NE(json.find("\"queries.select\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"exec.run_us\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fgac
