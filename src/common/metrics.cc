@@ -1,7 +1,10 @@
 #include "common/metrics.h"
 
 #include <bit>
+#include <cmath>
 #include <functional>
+
+#include "common/strings.h"
 
 namespace fgac::common {
 
@@ -16,12 +19,15 @@ uint64_t BucketUpper(size_t i) {
   return (1ull << i) - 1;
 }
 
+/// Inclusive lower bound of bucket i.
+uint64_t BucketLower(size_t i) {
+  if (i == 0) return 0;
+  return 1ull << (i - 1);
+}
+
 void AppendJsonKey(std::string* out, const std::string& name) {
   out->push_back('"');
-  for (char c : name) {
-    if (c == '"' || c == '\\') out->push_back('\\');
-    out->push_back(c);
-  }
+  AppendJsonEscaped(out, name);
   out->append("\":");
 }
 
@@ -49,8 +55,22 @@ uint64_t Histogram::ApproxPercentile(double p) const {
   if (rank >= total) rank = total - 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
+    if (copy[i] == 0) continue;
+    if (seen + copy[i] > rank) {
+      // Linear interpolation within the bucket (samples assumed uniform
+      // over [lower, upper]): rank_in_bucket 0 of a c-sample bucket maps
+      // to lower + width*1/c, the last rank to upper — so p50/p95/p99 in
+      // the export move smoothly instead of jumping between power-of-two
+      // bucket bounds.
+      uint64_t lower = BucketLower(i);
+      uint64_t upper = BucketUpper(i);
+      uint64_t rank_in_bucket = rank - seen;
+      double fraction = static_cast<double>(rank_in_bucket + 1) /
+                        static_cast<double>(copy[i]);
+      return lower + static_cast<uint64_t>(std::llround(
+                         static_cast<double>(upper - lower) * fraction));
+    }
     seen += copy[i];
-    if (seen > rank) return BucketUpper(i);
   }
   return BucketUpper(kBuckets - 1);
 }

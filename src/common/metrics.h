@@ -61,8 +61,11 @@ class Histogram {
   uint64_t bucket(size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
-  /// Upper bound of the bucket containing the p-th percentile sample
-  /// (p in [0,100]); 0 when empty.
+  /// Estimate of the p-th percentile sample (p in [0,100]); 0 when empty.
+  /// The target rank's bucket is located exactly, then the value is
+  /// linearly interpolated within the bucket's [2^(i-1), 2^i) range under
+  /// a uniform-samples assumption — so exported p50/p95/p99 read as real
+  /// latencies, not power-of-two bucket edges.
   uint64_t ApproxPercentile(double p) const;
 
  private:

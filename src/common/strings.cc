@@ -36,4 +36,98 @@ bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 if the bytes
+/// at i do not form one (overlong encodings, surrogates and values beyond
+/// U+10FFFF are rejected so the output is strictly valid).
+size_t Utf8SequenceLength(std::string_view s, size_t i) {
+  const auto b = [&](size_t k) { return static_cast<unsigned char>(s[k]); };
+  unsigned char c0 = b(i);
+  if (c0 < 0x80) return 1;
+  auto cont = [&](size_t k) {
+    return k < s.size() && (b(k) & 0xC0) == 0x80;
+  };
+  if ((c0 & 0xE0) == 0xC0) {
+    if (c0 < 0xC2) return 0;  // overlong
+    return cont(i + 1) ? 2 : 0;
+  }
+  if ((c0 & 0xF0) == 0xE0) {
+    if (!cont(i + 1) || !cont(i + 2)) return 0;
+    unsigned char c1 = b(i + 1);
+    if (c0 == 0xE0 && c1 < 0xA0) return 0;  // overlong
+    if (c0 == 0xED && c1 >= 0xA0) return 0;  // surrogate
+    return 3;
+  }
+  if ((c0 & 0xF8) == 0xF0) {
+    if (!cont(i + 1) || !cont(i + 2) || !cont(i + 3)) return 0;
+    unsigned char c1 = b(i + 1);
+    if (c0 == 0xF0 && c1 < 0x90) return 0;  // overlong
+    if (c0 == 0xF4 && c1 >= 0x90) return 0;  // > U+10FFFF
+    if (c0 > 0xF4) return 0;
+    return 4;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  static const char kHex[] = "0123456789abcdef";
+  // UTF-8 encoding of U+FFFD REPLACEMENT CHARACTER.
+  static const char kReplacement[] = "\xEF\xBF\xBD";
+  size_t i = 0;
+  while (i < s.size()) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c == '"') {
+      out->append("\\\"");
+      ++i;
+    } else if (c == '\\') {
+      out->append("\\\\");
+      ++i;
+    } else if (c == '\n') {
+      out->append("\\n");
+      ++i;
+    } else if (c == '\t') {
+      out->append("\\t");
+      ++i;
+    } else if (c == '\r') {
+      out->append("\\r");
+      ++i;
+    } else if (c == '\b') {
+      out->append("\\b");
+      ++i;
+    } else if (c == '\f') {
+      out->append("\\f");
+      ++i;
+    } else if (c < 0x20) {
+      out->append("\\u00");
+      out->push_back(kHex[(c >> 4) & 0xF]);
+      out->push_back(kHex[c & 0xF]);
+      ++i;
+    } else if (c < 0x80) {
+      out->push_back(static_cast<char>(c));
+      ++i;
+    } else {
+      size_t len = Utf8SequenceLength(s, i);
+      if (len == 0) {
+        out->append(kReplacement);
+        ++i;  // consume exactly the one invalid byte and resynchronize
+      } else {
+        out->append(s.substr(i, len));
+        i += len;
+      }
+    }
+  }
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  AppendJsonEscaped(&out, s);
+  out.push_back('"');
+  return out;
+}
+
 }  // namespace fgac

@@ -19,6 +19,18 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 
+/// Appends `s` to `out` escaped for use inside a JSON string literal (the
+/// surrounding quotes are NOT added). `"` and `\` are backslash-escaped,
+/// control characters become \n \t \r \b \f or \u00XX, and bytes that do
+/// not form valid UTF-8 sequences are replaced by U+FFFD — audited
+/// statement text is attacker-controlled, so the sink must emit valid JSON
+/// for ANY input byte string.
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+/// `s` escaped per AppendJsonEscaped and wrapped in double quotes: a
+/// complete JSON string literal.
+std::string JsonQuote(std::string_view s);
+
 }  // namespace fgac
 
 #endif  // FGAC_COMMON_STRINGS_H_

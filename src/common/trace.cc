@@ -1,0 +1,105 @@
+#include "common/trace.h"
+
+#include <thread>
+
+#include "common/strings.h"
+
+namespace fgac::common {
+
+void Tracer::Record(TraceSpan span) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= retain_spans_) {
+    spans_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceSpan>(spans_.begin(), spans_.end());
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::vector<TraceSpan> spans = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& s : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":" + JsonQuote(s.name) +
+           ",\"cat\":\"fgac\",\"ph\":\"X\",\"ts\":" +
+           std::to_string(s.start_us) + ",\"dur\":" + std::to_string(s.dur_us) +
+           ",\"pid\":1,\"tid\":" + std::to_string(s.thread_id) +
+           ",\"args\":{\"trace_id\":" + std::to_string(s.trace_id) +
+           ",\"span_id\":" + std::to_string(s.span_id) +
+           ",\"parent_id\":" + std::to_string(s.parent_id) +
+           ",\"user\":" + JsonQuote(s.user);
+    if (!s.detail.empty()) out += ",\"detail\":" + JsonQuote(s.detail);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+ScopedSpan::ScopedSpan(const TraceContext* ctx, std::string name)
+    : ctx_(ctx), name_(std::move(name)) {
+  if (!active()) return;
+  span_id_ = ctx_->tracer->NewSpanId();
+  start_us_ = ctx_->tracer->NowUs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active()) return;
+  TraceSpan span;
+  span.trace_id = ctx_->trace_id;
+  span.span_id = span_id_;
+  span.parent_id = ctx_->parent_span;
+  span.name = std::move(name_);
+  span.detail = std::move(detail_);
+  span.user = ctx_->user;
+  span.start_us = start_us_;
+  span.dur_us = ctx_->tracer->NowUs() - start_us_;
+  span.thread_id = CurrentThreadId();
+  ctx_->tracer->Record(std::move(span));
+}
+
+TraceContext ScopedSpan::ChildContext() const {
+  if (!active()) return TraceContext{};
+  TraceContext child = *ctx_;
+  child.parent_span = span_id_;
+  return child;
+}
+
+void RecordInstantSpan(const TraceContext* ctx, std::string name,
+                       std::string detail) {
+  if (ctx == nullptr || !ctx->active()) return;
+  TraceSpan span;
+  span.trace_id = ctx->trace_id;
+  span.span_id = ctx->tracer->NewSpanId();
+  span.parent_id = ctx->parent_span;
+  span.name = std::move(name);
+  span.detail = std::move(detail);
+  span.user = ctx->user;
+  span.start_us = ctx->tracer->NowUs();
+  span.dur_us = 0;
+  span.thread_id = CurrentThreadId();
+  ctx->tracer->Record(std::move(span));
+}
+
+uint64_t CurrentThreadId() {
+  // Dense per-process numbering: the first thread to ask gets 1, the next
+  // 2, ... — stable for the thread's lifetime and small enough to read as
+  // a Chrome-trace tid.
+  static std::atomic<uint64_t> next{0};
+  thread_local uint64_t id = next.fetch_add(1) + 1;
+  return id;
+}
+
+}  // namespace fgac::common

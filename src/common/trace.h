@@ -1,0 +1,140 @@
+#ifndef FGAC_COMMON_TRACE_H_
+#define FGAC_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fgac::common {
+
+/// One completed span of a traced query: a named interval with trace-id /
+/// span-id / parent-id linkage. Spans are recorded when they END (so a
+/// parent's duration covers its children) and retained by the owning
+/// Tracer for the `fgac_spans` system table and Chrome-trace export.
+struct TraceSpan {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  /// 0 = root span of its trace.
+  uint64_t parent_id = 0;
+  /// Dotted hierarchical name: "query", "validity.check", "rule.U1",
+  /// "validity.probe_batch", "truman.rewrite", "exec", "exec.worker".
+  std::string name;
+  /// Free-form context (rule justification, worker index, probe count).
+  std::string detail;
+  /// The session user the traced statement ran as — spans inherit it from
+  /// the trace context so `fgac_spans` can be FGAC-governed per user.
+  std::string user;
+  /// Microseconds since the owning Tracer's epoch.
+  int64_t start_us = 0;
+  int64_t dur_us = 0;
+  /// Stable small id of the recording thread (Chrome-trace "tid").
+  uint64_t thread_id = 0;
+};
+
+/// Thread-safe span collector with bounded retention: any worker thread may
+/// Record() concurrently; the newest `retain_spans` spans are kept (oldest
+/// evicted, counted in spans_dropped) so a long-lived Database cannot grow
+/// without bound. Ids are process-unique within the Tracer.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultRetainSpans = 8192;
+
+  explicit Tracer(size_t retain_spans = kDefaultRetainSpans)
+      : retain_spans_(retain_spans == 0 ? 1 : retain_spans),
+        epoch_(std::chrono::steady_clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  uint64_t NewTraceId() { return next_id_.fetch_add(1) + 1; }
+  uint64_t NewSpanId() { return next_id_.fetch_add(1) + 1; }
+
+  /// Microseconds since this tracer was created (span timestamps).
+  int64_t NowUs() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  void Record(TraceSpan span);
+
+  uint64_t spans_recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t spans_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Copies the retained spans, oldest first. Safe against concurrent
+  /// Record() calls.
+  std::vector<TraceSpan> Snapshot() const;
+
+  /// Renders every retained span as one Chrome-trace / Perfetto JSON
+  /// document ({"traceEvents":[...]}, "X" complete events): save it to a
+  /// file and load it in ui.perfetto.dev or chrome://tracing.
+  std::string ToChromeTraceJson() const;
+
+  void Clear();
+
+ private:
+  const size_t retain_spans_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::deque<TraceSpan> spans_;
+};
+
+/// The ambient trace position a subsystem records spans under: which
+/// tracer, which trace, and which span is the parent. Passed by const
+/// pointer through the engine; nullptr (or a default-constructed context)
+/// means tracing is off and every span helper is a no-op.
+struct TraceContext {
+  Tracer* tracer = nullptr;
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+  std::string user;
+
+  bool active() const { return tracer != nullptr; }
+};
+
+/// RAII span: times its own scope and records into the context's tracer on
+/// destruction. Null/inactive context = no-op. ChildContext() yields the
+/// context for spans nested under this one — take it AFTER construction
+/// and use it only within this span's lifetime.
+class ScopedSpan {
+ public:
+  ScopedSpan(const TraceContext* ctx, std::string name);
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan();
+
+  bool active() const { return ctx_ != nullptr && ctx_->active(); }
+  uint64_t span_id() const { return span_id_; }
+  void set_detail(std::string detail) { detail_ = std::move(detail); }
+
+  TraceContext ChildContext() const;
+
+ private:
+  const TraceContext* ctx_;
+  std::string name_;
+  std::string detail_;
+  uint64_t span_id_ = 0;
+  int64_t start_us_ = 0;
+};
+
+/// Records an instantaneous (zero-duration) event span under `ctx` — used
+/// for rule firings, which are decisions rather than intervals.
+void RecordInstantSpan(const TraceContext* ctx, std::string name,
+                       std::string detail);
+
+/// Stable small integer for the calling thread (Chrome-trace tid).
+uint64_t CurrentThreadId();
+
+}  // namespace fgac::common
+
+#endif  // FGAC_COMMON_TRACE_H_

@@ -1,6 +1,9 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cctype>
+#include <optional>
 #include <set>
 
 #include <chrono>
@@ -17,6 +20,7 @@
 #include "exec/parallel.h"
 #include "optimizer/optimizer.h"
 #include "sql/parser.h"
+#include "sql/printer.h"
 
 namespace fgac::core {
 
@@ -39,13 +43,60 @@ SessionContext AdminContext() {
   return ctx;
 }
 
+/// All fgac_-prefixed catalog objects (the audit/span tables and their
+/// authorization views) are engine-owned and read-only to SQL.
+bool IsSystemObject(const std::string& name) {
+  return name.rfind("fgac_", 0) == 0;
+}
+
+bool TouchesSystemTables(const PlanPtr& plan) {
+  for (const std::string& t : CollectBaseTables(plan)) {
+    if (IsSystemObject(t)) return true;
+  }
+  return false;
+}
+
+/// StatusCode rendered the way audit consumers grep it: "not_authorized",
+/// "resource_exhausted", ... ("ok" for success).
+std::string AuditStatusName(StatusCode code) {
+  const std::string name = StatusCodeName(code);
+  std::string out;
+  for (size_t i = 0; i < name.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(name[i]);
+    if (std::isupper(c)) {
+      // Word boundary only after a lowercase letter ("NotAuthorized" ->
+      // "not_authorized") — never inside an acronym ("OK" -> "ok").
+      if (i > 0 && std::islower(static_cast<unsigned char>(name[i - 1]))) {
+        out.push_back('_');
+      }
+      out.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
+/// Seeds the audit event fields known before execution starts.
+common::AuditEvent StartAudit(const SessionContext& ctx,
+                              std::string statement) {
+  common::AuditEvent ev;
+  ev.user = ctx.user();
+  ev.session = ctx.session_id();
+  ev.mode = EnforcementModeName(ctx.mode());
+  ev.statement_hash = common::AuditStatementHash(statement);
+  ev.statement = std::move(statement);
+  return ev;
+}
+
 }  // namespace
 
 Database::Database() : Database(DefaultOptions()) {}
 
 Database::Database(DatabaseOptions options)
     : options_(std::move(options)),
-      cache_(options_.validity_cache_capacity) {
+      cache_(options_.validity_cache_capacity),
+      tracer_(options_.trace_retain_spans) {
   // Let execution-time distinct elimination see primary keys.
   options_.exec_expand.table_pk_slots =
       [this](const std::string& table) -> std::vector<int> {
@@ -55,12 +106,33 @@ Database::Database(DatabaseOptions options)
     for (size_t i : schema->primary_key()) out.push_back(static_cast<int>(i));
     return out;
   };
+  // Bootstrap before the audit log exists so the system DDL itself does
+  // not generate audit events (and before system_tables_ready_ flips the
+  // fgac_ namespace read-only).
+  BootstrapSystemTables();
+  audit_ = std::make_unique<common::AuditLog>(options_.audit);
+  system_tables_ready_ = true;
 }
 
 Result<ExecResult> Database::Execute(std::string_view sql,
                                      const SessionContext& ctx) {
-  FGAC_ASSIGN_OR_RETURN(sql::StmtPtr stmt, sql::Parser::ParseStatement(sql));
-  return ExecuteStmt(*stmt, ctx);
+  auto t0 = std::chrono::steady_clock::now();
+  common::AuditEvent ev = StartAudit(ctx, std::string(sql));
+  Result<sql::StmtPtr> stmt = sql::Parser::ParseStatement(sql);
+  if (!stmt.ok()) {
+    FinishAudit(&ev, stmt.status(), 0, t0);
+    return stmt.status();
+  }
+  Result<ExecResult> r = ExecuteStmt(*stmt.value(), ctx, &ev);
+  if (r.ok()) {
+    FinishAudit(&ev, Status::OK(),
+                static_cast<int64_t>(r.value().relation.num_rows()) +
+                    r.value().affected_rows,
+                t0);
+  } else {
+    FinishAudit(&ev, r.status(), 0, t0);
+  }
+  return r;
 }
 
 Result<ExecResult> Database::ExecuteAsAdmin(std::string_view sql) {
@@ -72,17 +144,54 @@ Status Database::ExecuteScript(std::string_view sql) {
                         sql::Parser::ParseScript(sql));
   SessionContext admin = AdminContext();
   for (const sql::StmtPtr& stmt : stmts) {
-    Result<ExecResult> r = ExecuteStmt(*stmt, admin);
-    if (!r.ok()) return r.status();
+    // Each script statement is audited individually (the statement text is
+    // re-rendered from the AST — the script's raw slicing is not kept).
+    auto t0 = std::chrono::steady_clock::now();
+    common::AuditEvent ev = StartAudit(admin, sql::StmtToSql(*stmt));
+    Result<ExecResult> r = ExecuteStmt(*stmt, admin, &ev);
+    if (!r.ok()) {
+      FinishAudit(&ev, r.status(), 0, t0);
+      return r.status();
+    }
+    FinishAudit(&ev, Status::OK(),
+                static_cast<int64_t>(r.value().relation.num_rows()) +
+                    r.value().affected_rows,
+                t0);
   }
   return Status::OK();
 }
 
+void Database::FinishAudit(common::AuditEvent* ev, const Status& st,
+                           int64_t rows_out,
+                           std::chrono::steady_clock::time_point t0) {
+  if (audit_ == nullptr || !audit_->enabled()) return;
+  ev->duration_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  ev->status = AuditStatusName(st.code());
+  if (!st.ok()) ev->error = st.message();
+  if (st.ok()) ev->rows_out = rows_out;
+  if (ev->verdict.empty()) {
+    // Paths that fill a verdict (the SELECT pipeline) already did; default
+    // the rest from the outcome.
+    if (st.ok()) {
+      ev->verdict = "ok";
+    } else if (st.code() == StatusCode::kNotAuthorized) {
+      ev->verdict = "rejected";
+    } else {
+      ev->verdict = "error";
+    }
+  }
+  audit_->Append(std::move(*ev));
+}
+
 Result<ExecResult> Database::ExecuteStmt(const sql::Stmt& stmt,
-                                         const SessionContext& ctx) {
+                                         const SessionContext& ctx,
+                                         common::AuditEvent* audit) {
   switch (stmt.kind()) {
     case sql::StmtKind::kSelect:
-      return ExecuteSelect(static_cast<const sql::SelectStmt&>(stmt), ctx);
+      return ExecuteSelect(static_cast<const sql::SelectStmt&>(stmt), ctx,
+                           audit);
     case sql::StmtKind::kInsert:
       return ExecuteInsert(static_cast<const sql::InsertStmt&>(stmt), ctx);
     case sql::StmtKind::kUpdate:
@@ -107,7 +216,8 @@ Result<ExecResult> Database::ExecuteStmt(const sql::Stmt& stmt,
       return out;
     }
     case sql::StmtKind::kExplain:
-      return ExecuteExplain(static_cast<const sql::ExplainStmt&>(stmt), ctx);
+      return ExecuteExplain(static_cast<const sql::ExplainStmt&>(stmt), ctx,
+                            audit);
     case sql::StmtKind::kAuthorize:
       return ApplyAuthorize(static_cast<const sql::AuthorizeStmt&>(stmt));
     case sql::StmtKind::kDrop:
@@ -128,13 +238,15 @@ Result<PlanPtr> Database::BindQuery(const sql::SelectStmt& stmt,
 Result<Relation> Database::RunPlan(const PlanPtr& plan,
                                    const SessionContext& ctx,
                                    common::QueryGuard* guard,
-                                   exec::ExecStats* stats) {
+                                   exec::ExecStats* stats,
+                                   const common::TraceContext* trace) {
   FGAC_RETURN_NOT_OK(common::GuardCheck(guard));
   size_t threads = ctx.exec_parallelism() != 0 ? ctx.exec_parallelism()
                                                : options_.parallelism;
   if (!options_.optimize_execution) {
     if (stats != nullptr) stats->SetExecutedPlan(plan);
-    return exec::ParallelExecutePlan(plan, state_, threads, guard, stats);
+    return exec::ParallelExecutePlan(plan, state_, threads, guard, stats,
+                                     trace);
   }
   auto row_count = [this](const std::string& table) -> double {
     const storage::TableData* t = state_.GetTable(table);
@@ -144,12 +256,25 @@ Result<Relation> Database::RunPlan(const PlanPtr& plan,
       optimizer::OptimizeResult best,
       optimizer::Optimize(plan, options_.exec_expand, row_count));
   if (stats != nullptr) stats->SetExecutedPlan(best.plan);
-  return exec::ParallelExecutePlan(best.plan, state_, threads, guard, stats);
+  return exec::ParallelExecutePlan(best.plan, state_, threads, guard, stats,
+                                   trace);
 }
 
 std::string Database::ExportMetricsJson() {
   // Pull-model stats live in their owning subsystems; mirror them into
   // gauges at export time so one JSON document covers everything.
+  if (audit_ != nullptr) {
+    metrics_.gauge("audit.events_emitted")
+        .Set(static_cast<int64_t>(audit_->events_emitted()));
+    metrics_.gauge("audit.events_persisted")
+        .Set(static_cast<int64_t>(audit_->events_persisted()));
+    metrics_.gauge("audit.events_dropped")
+        .Set(static_cast<int64_t>(audit_->events_dropped()));
+  }
+  metrics_.gauge("trace.spans_recorded")
+      .Set(static_cast<int64_t>(tracer_.spans_recorded()));
+  metrics_.gauge("trace.spans_dropped")
+      .Set(static_cast<int64_t>(tracer_.spans_dropped()));
   metrics_.gauge("validity_cache.hits").Set(cache_.hits());
   metrics_.gauge("validity_cache.misses").Set(cache_.misses());
   metrics_.gauge("validity_cache.evictions").Set(cache_.evictions());
@@ -172,15 +297,17 @@ ValidityOptions Database::ResolvedValidityOptions() const {
 }
 
 Result<ExecResult> Database::ExecuteSelect(const sql::SelectStmt& stmt,
-                                           const SessionContext& ctx) {
-  if (!ctx.profile()) return ExecuteSelectImpl(stmt, ctx, nullptr);
+                                           const SessionContext& ctx,
+                                           common::AuditEvent* audit) {
+  if (!ctx.profile()) return ExecuteSelectImpl(stmt, ctx, nullptr, audit);
   QueryProfile profile;
-  return ExecuteSelectImpl(stmt, ctx, &profile);
+  return ExecuteSelectImpl(stmt, ctx, &profile, audit);
 }
 
 Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
                                                const SessionContext& ctx,
-                                               QueryProfile* profile) {
+                                               QueryProfile* profile,
+                                               common::AuditEvent* audit) {
   using Clock = std::chrono::steady_clock;
   auto elapsed_ns = [](Clock::time_point t0) -> uint64_t {
     return static_cast<uint64_t>(
@@ -208,7 +335,38 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
     }
   };
 
+  // Per-query span tree: a "query" root span with validity / rewrite /
+  // execution children. Off (all helpers no-op) unless the session opted
+  // in via set_trace(true).
+  common::TraceContext root_ctx;
+  std::optional<common::ScopedSpan> query_span;
+  common::TraceContext query_ctx;
+  const common::TraceContext* tctx = nullptr;
+  if (ctx.trace()) {
+    root_ctx.tracer = &tracer_;
+    root_ctx.trace_id =
+        ctx.trace_id() != 0 ? ctx.trace_id() : tracer_.NewTraceId();
+    root_ctx.user = ctx.user();
+    query_span.emplace(&root_ctx, "query");
+    query_span->set_detail(std::string("mode=") +
+                           EnforcementModeName(ctx.mode()));
+    query_ctx = query_span->ChildContext();
+    tctx = &query_ctx;
+    if (audit != nullptr) audit->trace_id = root_ctx.trace_id;
+  }
+
   FGAC_ASSIGN_OR_RETURN(PlanPtr plan, BindQuery(stmt, ctx));
+
+  // Statements reading the fgac_ system tables re-materialize them first
+  // and hold the refresh mutex through execution, so a concurrent
+  // session's refresh cannot swap the rows out from under this scan (the
+  // whole statement — probes included — runs on this thread).
+  std::unique_lock<std::mutex> system_lock;
+  if (TouchesSystemTables(plan)) {
+    system_lock = std::unique_lock<std::mutex>(system_tables_mu_);
+    RefreshSystemTables();
+  }
+
   ExecResult out;
   if (profile != nullptr) {
     out.trace = profile->trace;
@@ -225,14 +383,30 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
     guard.AttachExternalCancel(ctx.cancel_token());
   }
 
+  // Guard charges land in the audit event on EVERY exit path — rejection,
+  // timeout, degradation, success — capturing what the statement cost.
+  struct GuardChargeCapture {
+    const common::QueryGuard& guard;
+    common::AuditEvent* ev;
+    ~GuardChargeCapture() {
+      if (ev != nullptr) {
+        ev->guard_rows = guard.rows_charged();
+        ev->guard_bytes = guard.bytes_charged();
+      }
+    }
+  } charge_capture{guard, audit};
+
   PlanPtr to_run = plan;
   switch (ctx.mode()) {
     case EnforcementMode::kNone:
+      if (audit != nullptr) audit->verdict = "none";
       break;
     case EnforcementMode::kTruman: {
+      common::ScopedSpan rewrite_span(tctx, "truman.rewrite");
       FGAC_ASSIGN_OR_RETURN(PlanPtr rewritten,
                             TrumanRewrite(plan, catalog_, ctx));
       to_run = algebra::NormalizePlan(rewritten);
+      if (audit != nullptr) audit->verdict = "truman";
       break;
     }
     case EnforcementMode::kNonTruman: {
@@ -273,7 +447,14 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
         ValidityChecker checker(catalog_, &state_, ResolvedValidityOptions());
         checker.set_guard(&guard);
         checker.set_trace(trace);
-        Result<ValidityReport> verdict = checker.Check(plan, views);
+        Result<ValidityReport> verdict = [&] {
+          // The span covers exactly the inference work; rule firings and
+          // probe batches nest under it.
+          common::ScopedSpan validity_span(tctx, "validity.check");
+          common::TraceContext validity_ctx = validity_span.ChildContext();
+          if (tctx != nullptr) checker.set_span_context(&validity_ctx);
+          return checker.Check(plan, views);
+        }();
         if (!verdict.ok()) {
           StatusCode code = verdict.status().code();
           // kCancelled always propagates — the user asked to stop, not to
@@ -289,6 +470,8 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
             // flag the result as filtered. Sound (never reveals more than
             // the views), though possibly misleading; never cached as a
             // verdict.
+            common::ScopedSpan rewrite_span(tctx, "truman.rewrite");
+            rewrite_span.set_detail("degraded: " + verdict.status().message());
             FGAC_ASSIGN_OR_RETURN(PlanPtr rewritten,
                                   TrumanRewrite(plan, catalog_, ctx));
             to_run = algebra::NormalizePlan(rewritten);
@@ -297,6 +480,10 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
             out.validity.reason =
                 "degraded to Truman rewriting: " + verdict.status().message();
             metrics_.counter("queries.degraded_to_truman").Increment();
+            if (audit != nullptr) {
+              audit->verdict = "degraded_to_truman";
+              audit->rules = verdict.status().message();
+            }
             if (trace != nullptr) {
               ValidityTraceEvent e;
               e.kind = ValidityTraceEvent::Kind::kDegraded;
@@ -318,6 +505,14 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
       uint64_t validity_ns = elapsed_ns(validity_t0);
       metrics_.histogram("validity.check_us").Record(validity_ns / 1000);
       if (stats != nullptr) stats->set_validity_nanos(validity_ns);
+      if (audit != nullptr) {
+        audit->from_cache = out.validity_from_cache;
+        audit->rules = out.validity.justification;
+        audit->probes = out.validity.c3_probes;
+        audit->verdict = !out.validity.valid        ? "rejected"
+                         : out.validity.unconditional ? "unconditional"
+                                                      : "conditional";
+      }
       if (!out.validity.valid) {
         // The Non-Truman model rejects outright rather than silently
         // restricting the answer (Section 4).
@@ -329,7 +524,12 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
   }
 
   auto exec_t0 = Clock::now();
-  Result<Relation> ran = RunPlan(to_run, ctx, &guard, stats);
+  Result<Relation> ran = [&] {
+    common::ScopedSpan exec_span(tctx, "exec");
+    common::TraceContext exec_ctx = exec_span.ChildContext();
+    return RunPlan(to_run, ctx, &guard, stats,
+                   tctx != nullptr ? &exec_ctx : nullptr);
+  }();
   uint64_t exec_ns = elapsed_ns(exec_t0);
   metrics_.histogram("exec.run_us").Record(exec_ns / 1000);
   if (stats != nullptr) stats->set_exec_nanos(exec_ns);
@@ -346,7 +546,8 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
 }
 
 Result<ExecResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt,
-                                            const SessionContext& ctx) {
+                                            const SessionContext& ctx,
+                                            common::AuditEvent* audit) {
   FGAC_ASSIGN_OR_RETURN(PlanPtr plan, BindQuery(*stmt.select, ctx));
   std::string text = "canonical plan:\n" + algebra::PlanToString(plan);
 
@@ -367,7 +568,10 @@ Result<ExecResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt,
     // WHY it was rejected is the whole point — so kNotAuthorized is
     // rendered, not propagated; real failures still propagate.
     QueryProfile profile;
-    Result<ExecResult> run = ExecuteSelectImpl(*stmt.select, ctx, &profile);
+    // The inner run shares the EXPLAIN's audit event: the audit row shows
+    // the verdict/probes of the analyzed statement under the EXPLAIN text.
+    Result<ExecResult> run =
+        ExecuteSelectImpl(*stmt.select, ctx, &profile, audit);
     if (!run.ok() && run.status().code() != StatusCode::kNotAuthorized) {
       return run.status();
     }
@@ -522,6 +726,10 @@ Status Database::CheckForeignKeys(const std::string& table,
 
 Result<ExecResult> Database::ExecuteInsert(const sql::InsertStmt& stmt,
                                            const SessionContext& ctx) {
+  if (system_tables_ready_ && IsSystemObject(stmt.table)) {
+    return Status::InvalidArgument("system table '" + stmt.table +
+                                   "' is read-only");
+  }
   const TableSchema* schema = catalog_.GetTable(stmt.table);
   if (schema == nullptr) {
     return Status::CatalogError("unknown table '" + stmt.table + "'");
@@ -580,6 +788,10 @@ Result<ExecResult> Database::ExecuteInsert(const sql::InsertStmt& stmt,
 
 Result<ExecResult> Database::ExecuteUpdate(const sql::UpdateStmt& stmt,
                                            const SessionContext& ctx) {
+  if (system_tables_ready_ && IsSystemObject(stmt.table)) {
+    return Status::InvalidArgument("system table '" + stmt.table +
+                                   "' is read-only");
+  }
   const TableSchema* schema = catalog_.GetTable(stmt.table);
   if (schema == nullptr) {
     return Status::CatalogError("unknown table '" + stmt.table + "'");
@@ -660,6 +872,10 @@ Result<ExecResult> Database::ExecuteUpdate(const sql::UpdateStmt& stmt,
 
 Result<ExecResult> Database::ExecuteDelete(const sql::DeleteStmt& stmt,
                                            const SessionContext& ctx) {
+  if (system_tables_ready_ && IsSystemObject(stmt.table)) {
+    return Status::InvalidArgument("system table '" + stmt.table +
+                                   "' is read-only");
+  }
   const TableSchema* schema = catalog_.GetTable(stmt.table);
   if (schema == nullptr) {
     return Status::CatalogError("unknown table '" + stmt.table + "'");
@@ -695,6 +911,10 @@ Result<ExecResult> Database::ExecuteDelete(const sql::DeleteStmt& stmt,
 }
 
 Result<ExecResult> Database::ApplyCreateTable(const sql::CreateTableStmt& stmt) {
+  if (system_tables_ready_ && IsSystemObject(stmt.name)) {
+    return Status::InvalidArgument("the fgac_ namespace is reserved for "
+                                   "system tables");
+  }
   std::vector<catalog::Column> columns;
   for (const sql::ColumnDef& def : stmt.columns) {
     columns.push_back(
@@ -746,6 +966,10 @@ Result<ExecResult> Database::ApplyCreateTable(const sql::CreateTableStmt& stmt) 
 }
 
 Result<ExecResult> Database::ApplyCreateView(const sql::CreateViewStmt& stmt) {
+  if (system_tables_ready_ && IsSystemObject(stmt.name)) {
+    return Status::InvalidArgument("the fgac_ namespace is reserved for "
+                                   "system views");
+  }
   catalog::ViewDefinition view;
   view.name = stmt.name;
   view.is_authorization = stmt.authorization;
@@ -821,6 +1045,10 @@ Result<ExecResult> Database::ApplyAuthorize(const sql::AuthorizeStmt& stmt) {
 }
 
 Result<ExecResult> Database::ApplyDrop(const sql::DropStmt& stmt) {
+  if (system_tables_ready_ && IsSystemObject(stmt.name)) {
+    return Status::InvalidArgument("system object '" + stmt.name +
+                                   "' cannot be dropped");
+  }
   if (stmt.what == sql::DropStmt::What::kTable) {
     FGAC_RETURN_NOT_OK(catalog_.DropTable(stmt.name));
     FGAC_RETURN_NOT_OK(state_.DropTable(stmt.name));
@@ -831,6 +1059,109 @@ Result<ExecResult> Database::ApplyDrop(const sql::DropStmt& stmt) {
   ExecResult out;
   out.message = "dropped " + stmt.name;
   return out;
+}
+
+void Database::BootstrapSystemTables() {
+  // The observability catalog, self-governed by FGAC: every user can read
+  // their OWN audit rows / spans (parameterized per-user views, granted to
+  // public and installed as the Truman policy views), while admin and a
+  // dedicated auditor principal see everything.
+  static constexpr std::string_view kBootstrap = R"sql(
+    create table fgac_audit (
+      seq bigint, at_ms bigint, user_name varchar, session_id varchar,
+      mode varchar, statement varchar, statement_hash varchar,
+      verdict varchar, rules varchar, probes bigint, guard_rows bigint,
+      guard_bytes bigint, duration_us bigint, status varchar, error varchar,
+      trace_id bigint, from_cache boolean, rows_out bigint);
+    create table fgac_spans (
+      trace_id bigint, span_id bigint, parent_id bigint, span_name varchar,
+      user_name varchar, detail varchar, start_us bigint, duration_us bigint,
+      thread_id bigint);
+    create authorization view fgac_my_audit as
+      select * from fgac_audit where user_name = $user-id;
+    create authorization view fgac_my_spans as
+      select * from fgac_spans where user_name = $user-id;
+    create authorization view fgac_audit_all as select * from fgac_audit;
+    create authorization view fgac_spans_all as select * from fgac_spans;
+    grant select on fgac_my_audit to public;
+    grant select on fgac_my_spans to public;
+    grant select on fgac_audit_all to admin;
+    grant select on fgac_spans_all to admin;
+    grant select on fgac_audit_all to auditor;
+    grant select on fgac_spans_all to auditor;
+  )sql";
+  Result<std::vector<sql::StmtPtr>> stmts =
+      sql::Parser::ParseScript(kBootstrap);
+  if (!stmts.ok()) return;  // unreachable: the script is a compile-time fixture
+  SessionContext admin = AdminContext();
+  for (const sql::StmtPtr& stmt : stmts.value()) {
+    Result<ExecResult> r = ExecuteStmt(*stmt, admin, nullptr);
+    if (!r.ok()) {
+      std::fprintf(stderr, "FGAC bootstrap failed on %s: %s\n",
+                   sql::StmtToSql(*stmt).c_str(),
+                   r.status().ToString().c_str());
+      return;
+    }
+  }
+  // Truman mode transparently narrows bare `select * from fgac_audit` to
+  // the session user's own rows.
+  (void)catalog_.SetTrumanView("fgac_audit", "fgac_my_audit");
+  (void)catalog_.SetTrumanView("fgac_spans", "fgac_my_spans");
+}
+
+void Database::RefreshSystemTables() {
+  if (audit_ != nullptr) {
+    // Drain the ring first so the table reflects everything emitted before
+    // this statement started.
+    audit_->Flush();
+    storage::TableData* audit_table = state_.GetMutableTable("fgac_audit");
+    if (audit_table != nullptr) {
+      std::vector<Row> rows;
+      for (const common::AuditEvent& e : audit_->SnapshotRetained()) {
+        Row r;
+        r.reserve(18);
+        r.push_back(Value::Int(static_cast<int64_t>(e.seq)));
+        r.push_back(Value::Int(e.wall_ms));
+        r.push_back(Value::String(e.user));
+        r.push_back(Value::String(e.session));
+        r.push_back(Value::String(e.mode));
+        r.push_back(Value::String(e.statement));
+        r.push_back(Value::String(common::AuditHashHex(e.statement_hash)));
+        r.push_back(Value::String(e.verdict));
+        r.push_back(Value::String(e.rules));
+        r.push_back(Value::Int(static_cast<int64_t>(e.probes)));
+        r.push_back(Value::Int(static_cast<int64_t>(e.guard_rows)));
+        r.push_back(Value::Int(static_cast<int64_t>(e.guard_bytes)));
+        r.push_back(Value::Int(e.duration_us));
+        r.push_back(Value::String(e.status));
+        r.push_back(Value::String(e.error));
+        r.push_back(Value::Int(static_cast<int64_t>(e.trace_id)));
+        r.push_back(Value::Bool(e.from_cache));
+        r.push_back(Value::Int(e.rows_out));
+        rows.push_back(std::move(r));
+      }
+      audit_table->ReplaceAllRows(std::move(rows));
+    }
+  }
+  storage::TableData* spans_table = state_.GetMutableTable("fgac_spans");
+  if (spans_table != nullptr) {
+    std::vector<Row> rows;
+    for (const common::TraceSpan& s : tracer_.Snapshot()) {
+      Row r;
+      r.reserve(9);
+      r.push_back(Value::Int(static_cast<int64_t>(s.trace_id)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.span_id)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.parent_id)));
+      r.push_back(Value::String(s.name));
+      r.push_back(Value::String(s.user));
+      r.push_back(Value::String(s.detail));
+      r.push_back(Value::Int(s.start_us));
+      r.push_back(Value::Int(s.dur_us));
+      r.push_back(Value::Int(static_cast<int64_t>(s.thread_id)));
+      rows.push_back(std::move(r));
+    }
+    spans_table->ReplaceAllRows(std::move(rows));
+  }
 }
 
 Result<ValidityReport> Database::CheckQueryValidity(std::string_view sql,

@@ -1,14 +1,18 @@
 #ifndef FGAC_CORE_DATABASE_H_
 #define FGAC_CORE_DATABASE_H_
 
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "catalog/catalog.h"
+#include "common/audit.h"
 #include "common/metrics.h"
 #include "common/query_guard.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "core/session_context.h"
 #include "core/update_auth.h"
 #include "core/validity.h"
@@ -79,6 +83,12 @@ struct DatabaseOptions {
   common::QueryLimits limits;
   /// Bound on the validity cache (LRU-evicted beyond this many verdicts).
   size_t validity_cache_capacity = ValidityCache::kDefaultMaxEntries;
+  /// Security audit log configuration (ring size, sink file, fsync policy).
+  /// Enabled by default: every statement executed through Execute /
+  /// ExecuteAsAdmin / ExecuteScript emits one AuditEvent.
+  common::AuditOptions audit;
+  /// Bound on retained trace spans (oldest evicted beyond this).
+  size_t trace_retain_spans = common::Tracer::kDefaultRetainSpans;
 };
 
 /// The embedded database facade tying every subsystem together: SQL in,
@@ -131,9 +141,22 @@ class Database {
   const common::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Refreshes the export-time gauges (validity-cache occupancy, shared
-  /// thread-pool stats, fault-injection hit counts) and returns the whole
-  /// registry as one JSON object.
+  /// thread-pool stats, fault-injection hit counts, audit/trace counters)
+  /// and returns the whole registry as one JSON object.
   std::string ExportMetricsJson();
+
+  /// The security audit log: one event per executed statement, also served
+  /// as the FGAC-governed `fgac_audit` system table.
+  common::AuditLog& audit_log() { return *audit_; }
+  const common::AuditLog& audit_log() const { return *audit_; }
+
+  /// The span collector behind `fgac_spans`. Sessions opt in per session
+  /// via SessionContext::set_trace(true).
+  common::Tracer& tracer() { return tracer_; }
+  const common::Tracer& tracer() const { return tracer_; }
+
+  /// Every retained span as one Chrome-trace / Perfetto JSON document.
+  std::string ExportTraceJson() const { return tracer_.ToChromeTraceJson(); }
 
   /// Binds a SELECT under `ctx` to a canonical logical plan (exposed for
   /// benches/tests that drive the optimizer directly).
@@ -141,15 +164,20 @@ class Database {
                                      const SessionContext& ctx) const;
 
  private:
+  /// `audit` (may be null) is the in-flight statement's audit event; the
+  /// SELECT path fills verdict / rules / probes / guard charges into it.
   Result<ExecResult> ExecuteStmt(const sql::Stmt& stmt,
-                                 const SessionContext& ctx);
+                                 const SessionContext& ctx,
+                                 common::AuditEvent* audit);
   Result<ExecResult> ExecuteSelect(const sql::SelectStmt& stmt,
-                                   const SessionContext& ctx);
+                                   const SessionContext& ctx,
+                                   common::AuditEvent* audit);
   /// `profile` may be null (no profiling). Non-null: trace/stats are
   /// allocated into it and also attached to the returned ExecResult.
   Result<ExecResult> ExecuteSelectImpl(const sql::SelectStmt& stmt,
                                        const SessionContext& ctx,
-                                       QueryProfile* profile);
+                                       QueryProfile* profile,
+                                       common::AuditEvent* audit);
   Result<ExecResult> ExecuteInsert(const sql::InsertStmt& stmt,
                                    const SessionContext& ctx);
   Result<ExecResult> ExecuteUpdate(const sql::UpdateStmt& stmt,
@@ -161,7 +189,8 @@ class Database {
   Result<ExecResult> ApplyCreateInclusion(const sql::CreateInclusionStmt& stmt);
   Result<ExecResult> ApplyGrant(const sql::GrantStmt& stmt);
   Result<ExecResult> ExecuteExplain(const sql::ExplainStmt& stmt,
-                                    const SessionContext& ctx);
+                                    const SessionContext& ctx,
+                                    common::AuditEvent* audit);
   Result<ExecResult> ApplyAuthorize(const sql::AuthorizeStmt& stmt);
   Result<ExecResult> ApplyDrop(const sql::DropStmt& stmt);
 
@@ -171,7 +200,22 @@ class Database {
   Result<storage::Relation> RunPlan(const algebra::PlanPtr& plan,
                                     const SessionContext& ctx,
                                     common::QueryGuard* guard,
-                                    exec::ExecStats* stats = nullptr);
+                                    exec::ExecStats* stats = nullptr,
+                                    const common::TraceContext* trace = nullptr);
+
+  /// Stamps duration / status / error / rows_out / default verdict into
+  /// `ev` and appends it to the audit log (no-op when auditing is off).
+  void FinishAudit(common::AuditEvent* ev, const Status& st, int64_t rows_out,
+                   std::chrono::steady_clock::time_point t0);
+
+  /// Creates the fgac_audit / fgac_spans tables, their per-user and
+  /// admin/auditor authorization views, grants and Truman views. Runs once
+  /// in the constructor, before auditing starts.
+  void BootstrapSystemTables();
+
+  /// Re-materializes fgac_audit / fgac_spans from the audit log's retained
+  /// tail and the tracer's span buffer. Caller holds system_tables_mu_.
+  void RefreshSystemTables();
 
   /// Validity options with the probe-parallelism default (0) resolved to
   /// this database's `parallelism` knob.
@@ -187,6 +231,16 @@ class Database {
   ValidityCache cache_;
   uint64_t catalog_version_ = 1;
   common::MetricsRegistry metrics_;
+  common::Tracer tracer_;
+  /// Constructed after BootstrapSystemTables so bootstrap DDL is not
+  /// audited; null only during construction.
+  std::unique_ptr<common::AuditLog> audit_;
+  /// Serializes system-table refresh against scans of those tables: held
+  /// across refresh AND execution for any statement reading an fgac_
+  /// table, so a concurrent session's refresh cannot swap rows mid-scan.
+  std::mutex system_tables_mu_;
+  /// Flips on after bootstrap; from then on fgac_ objects are read-only.
+  bool system_tables_ready_ = false;
 };
 
 }  // namespace fgac::core

@@ -32,13 +32,19 @@ const char* EnforcementModeName(EnforcementMode mode);
 /// `$user-id` is populated automatically from `user`.
 class SessionContext {
  public:
-  SessionContext() = default;
-  explicit SessionContext(std::string user) : user_(std::move(user)) {
+  SessionContext() : session_id_(NextSessionId()) {}
+  explicit SessionContext(std::string user)
+      : user_(std::move(user)), session_id_(NextSessionId()) {
     params_["user-id"] = Value::String(user_);
     params_["user_id"] = Value::String(user_);
   }
 
   const std::string& user() const { return user_; }
+
+  /// Stable identifier of this session for audit events: auto-assigned
+  /// ("s1", "s2", ...) and overridable with an application-level id.
+  const std::string& session_id() const { return session_id_; }
+  void set_session_id(std::string id) { session_id_ = std::move(id); }
 
   /// Sets a `$` parameter (e.g. "time", "user-location").
   void SetParam(const std::string& name, Value v) { params_[name] = v; }
@@ -79,14 +85,35 @@ class SessionContext {
   bool profile() const { return profile_; }
   void set_profile(bool on) { profile_ = on; }
 
+  /// When true, every statement this session executes records spans in the
+  /// database's Tracer (validity rules, probe batches, rewriting, per-worker
+  /// execution), exportable as Chrome-trace JSON.
+  bool trace() const { return trace_; }
+  void set_trace(bool on) { trace_ = on; }
+
+  /// Trace id used for the next traced statement. 0 (default) = assign a
+  /// fresh id per statement; a nonzero value pins the id so a caller can
+  /// correlate spans across statements it groups itself.
+  uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+
  private:
+  static std::string NextSessionId() {
+    static std::atomic<uint64_t> next{0};
+    return "s" + std::to_string(next.fetch_add(1, std::memory_order_relaxed) +
+                                1);
+  }
+
   std::string user_;
+  std::string session_id_;
   std::map<std::string, Value> params_;
   EnforcementMode mode_ = EnforcementMode::kNonTruman;
   size_t exec_parallelism_ = 0;
   std::optional<common::QueryLimits> query_limits_;
   std::shared_ptr<std::atomic<bool>> cancel_token_;
   bool profile_ = false;
+  bool trace_ = false;
+  uint64_t trace_id_ = 0;
 };
 
 }  // namespace fgac::core

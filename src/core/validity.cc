@@ -200,6 +200,10 @@ std::vector<char> ValidityChecker::RunProbeBatch(
         "validity test exceeded its probe budget of " +
         std::to_string(options_.max_total_probes) + " database probes (" +
         std::to_string(c3_probes_ + plans.size()) + " needed)");
+    if (span_ctx_ != nullptr && span_ctx_->active()) {
+      common::RecordInstantSpan(span_ctx_, "validity.probe_refused",
+                                probe_status_.message());
+    }
     if (trace_ != nullptr) {
       ValidityTraceEvent e;
       e.kind = ValidityTraceEvent::Kind::kProbeBatch;
@@ -210,9 +214,16 @@ std::vector<char> ValidityChecker::RunProbeBatch(
     return std::vector<char>(plans.size(), 0);
   }
   c3_probes_ += plans.size();
+  common::ScopedSpan probe_span(span_ctx_, "validity.probe_batch");
   std::vector<char> nonempty =
       RunNonEmptinessProbes(plans, *state_, options_.probe_parallelism,
                             options_.probe_limits, check_guard_.get());
+  if (probe_span.active()) {
+    size_t hits = 0;
+    for (char hit : nonempty) hits += hit ? 1 : 0;
+    probe_span.set_detail("probes=" + std::to_string(plans.size()) +
+                          " nonempty=" + std::to_string(hits));
+  }
   if (trace_ != nullptr) {
     ValidityTraceEvent e;
     e.kind = ValidityTraceEvent::Kind::kProbeBatch;
@@ -225,11 +236,15 @@ std::vector<char> ValidityChecker::RunProbeBatch(
 }
 
 void ValidityChecker::TraceRule(const std::string& why) {
+  size_t space = why.find(' ');
+  std::string rule = space == std::string::npos ? why : why.substr(0, space);
+  if (span_ctx_ != nullptr && span_ctx_->active()) {
+    common::RecordInstantSpan(span_ctx_, "rule." + rule, why);
+  }
   if (trace_ == nullptr) return;
   ValidityTraceEvent e;
   e.kind = ValidityTraceEvent::Kind::kRuleFired;
-  size_t space = why.find(' ');
-  e.rule = space == std::string::npos ? why : why.substr(0, space);
+  e.rule = std::move(rule);
   e.detail = why;
   trace_->Add(std::move(e));
 }

@@ -11,6 +11,7 @@
 #include "catalog/catalog.h"
 #include "common/query_guard.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "core/auth_view.h"
 #include "core/validity_trace.h"
 #include "optimizer/memo.h"
@@ -115,6 +116,12 @@ class ValidityChecker {
   /// probe batch and the final verdict are appended in decision order.
   /// Borrowed; must outlive Check(). Single-threaded use only.
   void set_trace(ValidityTrace* trace) { trace_ = trace; }
+
+  /// Attaches a span context (may be null = no spans): rule firings become
+  /// instant "rule.<id>" spans and each probe batch a timed
+  /// "validity.probe_batch" span in the context's tracer, parented under
+  /// the caller's "validity.check" span. Borrowed; must outlive Check().
+  void set_span_context(const common::TraceContext* ctx) { span_ctx_ = ctx; }
 
   /// Tests whether `query` (a bound, normalized plan) can be answered using
   /// only the information in `views` (already instantiated for the session).
@@ -228,6 +235,7 @@ class ValidityChecker {
   std::unique_ptr<common::QueryGuard> check_guard_;
   Status probe_status_;
   ValidityTrace* trace_ = nullptr;
+  const common::TraceContext* span_ctx_ = nullptr;
 };
 
 }  // namespace fgac::core

@@ -1,34 +1,16 @@
 #include "core/validity_trace.h"
 
+#include "common/strings.h"
+
 namespace fgac::core {
 
 namespace {
 
+/// All JSON string emission funnels through the shared escaper so probe
+/// SQL containing arbitrary literal bytes cannot break the JSON-lines
+/// audit format.
 void AppendJsonString(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out->append("\\\"");
-        break;
-      case '\\':
-        out->append("\\\\");
-        break;
-      case '\n':
-        out->append("\\n");
-        break;
-      case '\t':
-        out->append("\\t");
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out->push_back(' ');
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
+  out->append(JsonQuote(s));
 }
 
 }  // namespace

@@ -238,19 +238,26 @@ OperatorPtr BuildThreadPipeline(const PlanPtr& plan, SharedPipeline* shared,
 /// failure (deterministic regardless of completion order). RunAll joins
 /// every worker before returning, so no task can outlive the shared state.
 /// A failing worker raises `abort` (when given) so its peers drain early
-/// instead of finishing their share of the table.
+/// instead of finishing their share of the table. When `trace` is active
+/// each worker runs under its own "exec.worker" child span, recorded on the
+/// worker's thread so tid in the trace export is the real pool thread.
 Status FanOut(size_t n, const std::function<Status(size_t)>& fn,
-              std::atomic<bool>* abort = nullptr) {
+              std::atomic<bool>* abort = nullptr,
+              const common::TraceContext* trace = nullptr) {
   std::vector<Status> statuses(n, Status::OK());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(n);
   for (size_t t = 0; t < n; ++t) {
-    tasks.push_back([t, &fn, &statuses, abort] {
+    tasks.push_back([t, &fn, &statuses, abort, trace] {
+      common::ScopedSpan span(trace, "exec.worker");
+      span.set_detail("worker=" + std::to_string(t));
       Status injected = FGAC_FAULT_CHECK("threadpool.dispatch");
       if (injected.ok()) statuses[t] = fn(t);
       else statuses[t] = std::move(injected);
       if (!statuses[t].ok() && abort != nullptr) {
         abort->store(true, std::memory_order_release);
+        span.set_detail("worker=" + std::to_string(t) + " error=" +
+                        statuses[t].message());
       }
     });
   }
@@ -277,6 +284,7 @@ Status DrainRows(Operator& root, std::vector<Row>* rows) {
 Result<std::vector<std::vector<Row>>> RunPipelineGather(
     const PlanPtr& plan, const storage::DatabaseState& state, size_t n,
     common::QueryGuard* guard, ExecStats* stats,
+    const common::TraceContext* trace,
     const std::function<OperatorPtr(OperatorPtr)>& wrap = nullptr) {
   auto shared = std::make_unique<SharedPipeline>();
   FGAC_RETURN_NOT_OK(PrepareShared(plan, state, shared.get(), guard, stats));
@@ -296,7 +304,7 @@ Result<std::vector<std::vector<Row>>> RunPipelineGather(
         FGAC_RETURN_NOT_OK(root->Open());
         return DrainRows(*root, &per_thread[t]);
       },
-      &shared->source.abort));
+      &shared->source.abort, trace));
   return per_thread;
 }
 
@@ -304,7 +312,8 @@ Result<std::vector<std::vector<Row>>> RunPipelineGather(
 Result<storage::Relation> ParallelAggregate(const PlanPtr& plan,
                                             const storage::DatabaseState& state,
                                             size_t n, common::QueryGuard* guard,
-                                            ExecStats* stats) {
+                                            ExecStats* stats,
+                                            const common::TraceContext* trace) {
   const PlanPtr& child = plan->children[0];
   auto shared = std::make_unique<SharedPipeline>();
   FGAC_RETURN_NOT_OK(PrepareShared(child, state, shared.get(), guard, stats));
@@ -324,7 +333,7 @@ Result<storage::Relation> ParallelAggregate(const PlanPtr& plan,
         return AccumulateGroups(*root, plan->group_by, plan->aggs, &partials[t],
                                 guard);
       },
-      &shared->source.abort));
+      &shared->source.abort, trace));
   AggGroups merged = std::move(partials[0]);
   for (size_t t = 1; t < n; ++t) {
     for (auto& [key, accs] : partials[t]) {
@@ -392,9 +401,17 @@ bool IsParallelizable(const PlanPtr& plan,
 
 Result<storage::Relation> ParallelExecutePlan(
     const PlanPtr& plan, const storage::DatabaseState& state,
-    size_t num_threads, common::QueryGuard* guard, ExecStats* stats) {
+    size_t num_threads, common::QueryGuard* guard, ExecStats* stats,
+    const common::TraceContext* trace) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
-  if (num_threads <= 1) return ExecutePlan(plan, state, guard, stats);
+  // Every serial path (explicit n<=1 and the not-parallelizable fallbacks
+  // below) funnels through here so the trace always shows where the plan
+  // actually ran.
+  auto run_serial = [&]() -> Result<storage::Relation> {
+    common::ScopedSpan span(trace, "exec.serial");
+    return ExecutePlan(plan, state, guard, stats);
+  };
+  if (num_threads <= 1) return run_serial();
   // Top nodes executed outside any operator tree (parallel aggregate merge,
   // final dedup, gathered sort, union glue) charge their plan node here.
   auto record_rows = [stats](const PlanPtr& node, uint64_t rows) {
@@ -409,29 +426,29 @@ Result<storage::Relation> ParallelExecutePlan(
     case PlanKind::kProject:
     case PlanKind::kJoin: {
       if (PipelineSourceNode(plan) == nullptr) {
-        return ExecutePlan(plan, state, guard, stats);
+        return run_serial();
       }
       FGAC_ASSIGN_OR_RETURN(
           auto per_thread,
-          RunPipelineGather(plan, state, num_threads, guard, stats));
+          RunPipelineGather(plan, state, num_threads, guard, stats, trace));
       return GatherToRelation(plan, std::move(per_thread));
     }
     case PlanKind::kAggregate: {
       if (PipelineSourceNode(plan->children[0]) == nullptr) {
-        return ExecutePlan(plan, state, guard, stats);
+        return run_serial();
       }
-      return ParallelAggregate(plan, state, num_threads, guard, stats);
+      return ParallelAggregate(plan, state, num_threads, guard, stats, trace);
     }
     case PlanKind::kDistinct: {
       if (PipelineSourceNode(plan->children[0]) == nullptr) {
-        return ExecutePlan(plan, state, guard, stats);
+        return run_serial();
       }
       // Per-thread pre-dedup shrinks what crosses the merge; the final pass
       // eliminates duplicates that appeared on different threads.
       FGAC_ASSIGN_OR_RETURN(
           auto per_thread,
           RunPipelineGather(plan->children[0], state, num_threads, guard,
-                            stats, [guard](OperatorPtr child) {
+                            stats, trace, [guard](OperatorPtr child) {
                               OperatorPtr op(new DistinctOp(std::move(child)));
                               op->set_guard(guard);
                               return op;
@@ -448,14 +465,14 @@ Result<storage::Relation> ParallelExecutePlan(
     }
     case PlanKind::kSort: {
       if (PipelineSourceNode(plan->children[0]) == nullptr) {
-        return ExecutePlan(plan, state, guard, stats);
+        return run_serial();
       }
       // Parallel gather, serial sort: sorting is a full-input barrier anyway,
       // so only the scan/filter/join work below it is worth fanning out.
       FGAC_ASSIGN_OR_RETURN(
           auto per_thread,
           RunPipelineGather(plan->children[0], state, num_threads, guard,
-                            stats));
+                            stats, trace));
       storage::Relation gathered =
           GatherToRelation(plan->children[0], std::move(per_thread));
       SortOp sorter(plan->sort_items,
@@ -477,7 +494,8 @@ Result<storage::Relation> ParallelExecutePlan(
       for (const PlanPtr& child : plan->children) {
         FGAC_ASSIGN_OR_RETURN(
             storage::Relation r,
-            ParallelExecutePlan(child, state, num_threads, guard, stats));
+            ParallelExecutePlan(child, state, num_threads, guard, stats,
+                                trace));
         for (Row& row : r.mutable_rows()) {
           out.mutable_rows().push_back(std::move(row));
         }
@@ -488,7 +506,7 @@ Result<storage::Relation> ParallelExecutePlan(
     default:
       // kValues, kLimit: nothing to fan out (LIMIT's early-out is
       // inherently serial).
-      return ExecutePlan(plan, state, guard, stats);
+      return run_serial();
   }
 }
 

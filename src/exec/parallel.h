@@ -6,6 +6,7 @@
 #include "algebra/plan.h"
 #include "common/query_guard.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "storage/database_state.h"
 #include "storage/relation.h"
 
@@ -52,11 +53,16 @@ bool IsParallelizable(const algebra::PlanPtr& plan,
 /// `stats` (may be null) collects per-operator counters — one shared
 /// atomic OpStats per logical node charged by every worker — plus
 /// per-worker morsel counts for EXPLAIN ANALYZE.
-Result<storage::Relation> ParallelExecutePlan(const algebra::PlanPtr& plan,
-                                              const storage::DatabaseState& state,
-                                              size_t num_threads,
-                                              common::QueryGuard* guard = nullptr,
-                                              ExecStats* stats = nullptr);
+///
+/// `trace` (may be null/inactive) records one "exec.worker" span per
+/// fanned-out worker (detail "worker=<t>") and one "exec.serial" span when
+/// the plan falls back to the serial executor, all parented under the
+/// caller's span — so a Perfetto view of a query shows exactly which part
+/// of the plan ran where.
+Result<storage::Relation> ParallelExecutePlan(
+    const algebra::PlanPtr& plan, const storage::DatabaseState& state,
+    size_t num_threads, common::QueryGuard* guard = nullptr,
+    ExecStats* stats = nullptr, const common::TraceContext* trace = nullptr);
 
 }  // namespace fgac::exec
 

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
 #include "common/result.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -75,6 +80,126 @@ TEST(StringsTest, JoinAndStartsWith) {
   EXPECT_EQ(Join({}, ","), "");
   EXPECT_TRUE(StartsWith("view:mygrades", "view:"));
   EXPECT_FALSE(StartsWith("vi", "view:"));
+}
+
+// ---------------------------------------------------------------------------
+// JSON escaping — shared by metrics export, the validity trace and the
+// audit sink. Statement text is attacker-controlled, so the escaper must
+// yield a valid JSON string literal for ANY byte sequence.
+// ---------------------------------------------------------------------------
+
+// True iff `s` is a well-formed JSON string literal body: no raw control
+// characters or quotes, every backslash starts a legal escape, and the
+// bytes outside escapes are valid UTF-8.
+bool IsValidJsonStringBody(const std::string& s) {
+  for (size_t i = 0; i < s.size();) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c < 0x20 || c == '"') return false;
+    if (c == '\\') {
+      if (i + 1 >= s.size()) return false;
+      char e = s[i + 1];
+      if (e == 'u') {
+        if (i + 5 >= s.size()) return false;
+        for (size_t k = i + 2; k < i + 6; ++k) {
+          if (!std::isxdigit(static_cast<unsigned char>(s[k]))) return false;
+        }
+        i += 6;
+        continue;
+      }
+      if (std::string("\"\\/bfnrt").find(e) == std::string::npos) return false;
+      i += 2;
+      continue;
+    }
+    if (c < 0x80) {
+      ++i;
+      continue;
+    }
+    // Multi-byte UTF-8: count and verify continuation bytes.
+    int extra = (c & 0xE0) == 0xC0 ? 1 : (c & 0xF0) == 0xE0 ? 2
+                : (c & 0xF8) == 0xF0                        ? 3
+                                                            : -1;
+    if (extra < 0 || i + extra >= s.size()) return false;
+    for (int k = 1; k <= extra; ++k) {
+      if ((static_cast<unsigned char>(s[i + k]) & 0xC0) != 0x80) return false;
+    }
+    i += 1 + extra;
+  }
+  return true;
+}
+
+TEST(JsonEscapeTest, CommonEscapes) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonQuote("line\nbreak\ttab\rret"),
+            "\"line\\nbreak\\ttab\\rret\"");
+  EXPECT_EQ(JsonQuote(std::string_view("\b\f", 2)), "\"\\b\\f\"");
+  EXPECT_EQ(JsonQuote(""), "\"\"");
+}
+
+TEST(JsonEscapeTest, ControlCharactersBecomeUnicodeEscapes) {
+  std::string all;
+  for (int c = 1; c < 0x20; ++c) all.push_back(static_cast<char>(c));
+  std::string quoted = JsonQuote(all);
+  EXPECT_TRUE(IsValidJsonStringBody(quoted.substr(1, quoted.size() - 2)));
+  EXPECT_NE(quoted.find("\\u0001"), std::string::npos);
+  EXPECT_NE(quoted.find("\\u001f"), std::string::npos);
+  // NUL embedded mid-string must not truncate.
+  std::string with_nul("a\0b", 3);
+  EXPECT_EQ(JsonQuote(with_nul), "\"a\\u0000b\"");
+}
+
+TEST(JsonEscapeTest, ValidUtf8PassesThroughUnchanged) {
+  const std::string utf8 = "caf\xc3\xa9 \xe4\xb8\xad\xe6\x96\x87 \xf0\x9f\x98\x80";
+  EXPECT_EQ(JsonQuote(utf8), "\"" + utf8 + "\"");
+}
+
+TEST(JsonEscapeTest, InvalidUtf8IsReplacedNotEmitted) {
+  // Lone continuation byte, truncated 3-byte sequence, overlong-looking
+  // lead with no continuation, stray 0xFF: all must come out as U+FFFD
+  // (EF BF BD), never as the raw invalid byte.
+  const char* cases[] = {"\x80", "\xe4\xb8", "\xc3", "\xff\xfe",
+                         "ok\x80still ok"};
+  for (const char* raw : cases) {
+    std::string quoted = JsonQuote(raw);
+    std::string body = quoted.substr(1, quoted.size() - 2);
+    EXPECT_TRUE(IsValidJsonStringBody(body)) << "input: " << raw;
+    EXPECT_NE(body.find("\xef\xbf\xbd"), std::string::npos)
+        << "input: " << raw;
+  }
+  EXPECT_EQ(JsonQuote("ok\x80still ok"), "\"ok\xef\xbf\xbdstill ok\"");
+}
+
+TEST(JsonEscapeTest, FuzzEveryByteValueAndRandomishBlends) {
+  // Every single byte value alone...
+  for (int b = 0; b < 256; ++b) {
+    std::string input(1, static_cast<char>(b));
+    std::string quoted = JsonQuote(input);
+    ASSERT_GE(quoted.size(), 2u);
+    EXPECT_EQ(quoted.front(), '"');
+    EXPECT_EQ(quoted.back(), '"');
+    EXPECT_TRUE(IsValidJsonStringBody(quoted.substr(1, quoted.size() - 2)))
+        << "byte " << b;
+  }
+  // ...and deterministic pseudo-random byte soup, in varying lengths.
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (int len = 1; len <= 64; ++len) {
+    std::string input;
+    for (int i = 0; i < len; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      input.push_back(static_cast<char>(state >> 56));
+    }
+    std::string quoted = JsonQuote(input);
+    EXPECT_TRUE(IsValidJsonStringBody(quoted.substr(1, quoted.size() - 2)))
+        << "len " << len;
+  }
+}
+
+TEST(JsonEscapeTest, AppendDoesNotDisturbExistingOutput) {
+  std::string out = "{\"k\":\"";
+  AppendJsonEscaped(&out, "v\"1");
+  out += "\"}";
+  EXPECT_EQ(out, "{\"k\":\"v\\\"1\"}");
 }
 
 }  // namespace

@@ -178,6 +178,77 @@ TEST_F(FaultInjectionTest, MorselClaimFailureDrainsPeers) {
   EXPECT_NE(r.status().message().find("fault injected"), std::string::npos);
 }
 
+TEST_F(FaultInjectionTest, FailedProbeLandsInAuditLogAndTrace) {
+  // Observability must capture the failure path, not only happy paths: a
+  // validity probe killed mid-flight has to show up in the statement's
+  // audit event (fail-closed rejection) AND in its span tree.
+  SessionContext ctx("11");
+  ctx.set_mode(EnforcementMode::kNonTruman);
+  ctx.set_trace(true);
+  ctx.set_trace_id(1001);
+  db_.options().enable_validity_cache = false;
+  FaultInjector::Instance().FailWithProbability("validity.probe", 1.0,
+                                                /*seed=*/1);
+  auto r = db_.Execute("select * from grades where course-id = 'cs101'", ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotAuthorized);
+
+  db_.audit_log().Flush();
+  std::vector<common::AuditEvent> tail = db_.audit_log().SnapshotRetained();
+  ASSERT_FALSE(tail.empty());
+  const common::AuditEvent& ev = tail.back();
+  EXPECT_EQ(ev.user, "11");
+  EXPECT_EQ(ev.verdict, "rejected");
+  EXPECT_EQ(ev.status, "not_authorized");
+  EXPECT_FALSE(ev.error.empty());
+  EXPECT_EQ(ev.trace_id, 1001u);
+
+  bool saw_validity_span = false;
+  for (const common::TraceSpan& s : db_.tracer().Snapshot()) {
+    if (s.trace_id != 1001u) continue;
+    if (s.name == "validity.check" || s.name == "validity.probe_batch") {
+      saw_validity_span = true;
+    }
+    EXPECT_NE(s.name, "exec") << "rejected query must not reach execution";
+  }
+  EXPECT_TRUE(saw_validity_span);
+}
+
+TEST_F(FaultInjectionTest, MorselFaultLandsInAuditLogAndWorkerSpans) {
+  GrowStudents(20000);
+  FaultInjector::Instance().FailOnHit("parallel.morsel", /*nth=*/5);
+  SessionContext ctx = Admin();
+  ctx.set_exec_parallelism(4);
+  ctx.set_trace(true);
+  ctx.set_trace_id(1002);
+  auto r = db_.Execute("select * from students", ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("fault injected"), std::string::npos);
+
+  db_.audit_log().Flush();
+  std::vector<common::AuditEvent> tail = db_.audit_log().SnapshotRetained();
+  ASSERT_FALSE(tail.empty());
+  const common::AuditEvent& ev = tail.back();
+  // The verdict records the enforcement decision (an unenforced admin
+  // statement); the failure itself lands in status/error.
+  EXPECT_EQ(ev.verdict, "none");
+  EXPECT_NE(ev.status, "ok");
+  EXPECT_NE(ev.error.find("fault injected"), std::string::npos);
+  EXPECT_EQ(ev.trace_id, 1002u);
+
+  // Every worker recorded its span on the way down — including the one
+  // that hit the fault, whose detail carries the error.
+  size_t workers = 0;
+  bool saw_error_detail = false;
+  for (const common::TraceSpan& s : db_.tracer().Snapshot()) {
+    if (s.trace_id != 1002u || s.name != "exec.worker") continue;
+    ++workers;
+    if (s.detail.find("error=") != std::string::npos) saw_error_detail = true;
+  }
+  EXPECT_EQ(workers, 4u);
+  EXPECT_TRUE(saw_error_detail);
+}
+
 TEST_F(FaultInjectionTest, ProbabilisticFaultStormNeverHangs) {
   // Sustained 30% failure across every site: queries fail or succeed, but
   // the engine always returns and later recovers completely.

@@ -68,14 +68,28 @@ TEST(HistogramTest, PowerOfTwoBuckets) {
   EXPECT_EQ(h.bucket(3), 1u);
 }
 
-TEST(HistogramTest, ApproxPercentileReturnsBucketUpperBound) {
+TEST(HistogramTest, ApproxPercentileInterpolatesWithinBucket) {
   Histogram h;
   for (int i = 0; i < 99; ++i) h.Record(10);  // bucket [8,16)
   h.Record(1000);                             // bucket [512,1024)
-  EXPECT_EQ(h.ApproxPercentile(50), 15u);
+  // p50 is rank 50 of the 99-sample [8,16) bucket: linearly interpolated
+  // to 8 + round(7 * 51/99) = 12, not snapped to the bucket bound 15.
+  EXPECT_EQ(h.ApproxPercentile(50), 12u);
+  // The top rank still maps to its bucket's upper bound.
   EXPECT_EQ(h.ApproxPercentile(100), 1023u);
   Histogram empty;
   EXPECT_EQ(empty.ApproxPercentile(50), 0u);
+}
+
+TEST(HistogramTest, ApproxPercentileTracksUniformRamp) {
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.Record(v);
+  // Under the uniform-within-bucket assumption the estimate stays close to
+  // the true percentile instead of jumping between power-of-two edges.
+  EXPECT_EQ(h.ApproxPercentile(50), 501u);
+  uint64_t p25 = h.ApproxPercentile(25);
+  EXPECT_GE(p25, 245u);
+  EXPECT_LE(p25, 255u);
 }
 
 // ---------------------------------------------------------------------------
