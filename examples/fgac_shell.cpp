@@ -35,6 +35,8 @@ void PrintHelp() {
       "  \\user <name>            switch user (current session)\n"
       "  \\param <name> <value>   set a $parameter (strings unquoted)\n"
       "  \\mode none|truman|non-truman\n"
+      "  \\parallel <n>           execute with n-task scan pipelines\n"
+      "                          (0 = database default)\n"
       "  \\tables                 list base tables\n"
       "  \\views                  list views (A = authorization view)\n"
       "  \\grants <user>          list views available to a user\n"
@@ -92,6 +94,18 @@ bool HandleMeta(Database& db, SessionContext& ctx, const std::string& line) {
       return true;
     }
     std::printf("mode: %s\n", fgac::core::EnforcementModeName(ctx.mode()));
+  } else if (cmd == "\\parallel") {
+    std::string n;
+    in >> n;
+    char* end = nullptr;
+    unsigned long v = n.empty() ? 0 : std::strtoul(n.c_str(), &end, 10);
+    if (n.empty() || end == nullptr || *end != '\0') {
+      std::printf("usage: \\parallel <n>\n");
+      return true;
+    }
+    ctx.set_exec_parallelism(static_cast<size_t>(v));
+    std::printf("exec parallelism: %lu%s\n", v,
+                v == 0 ? " (database default)" : "");
   } else if (cmd == "\\tables") {
     for (const std::string& t : db.catalog().TableNames()) {
       const fgac::storage::TableData* data = db.state().GetTable(t);

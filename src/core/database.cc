@@ -18,6 +18,7 @@
 #include "core/truman.h"
 #include "exec/executor.h"
 #include "exec/parallel.h"
+#include "exec/scheduler.h"
 #include "optimizer/optimizer.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
@@ -283,6 +284,19 @@ std::string Database::ExportMetricsJson() {
   metrics_.gauge("thread_pool.tasks_run").Set(pool.tasks_run());
   metrics_.gauge("thread_pool.queue_depth_high_water")
       .Set(pool.queue_depth_high_water());
+  metrics_.gauge("thread_pool.tasks_stolen")
+      .Set(static_cast<int64_t>(pool.tasks_stolen()));
+  metrics_.gauge("thread_pool.queue_depth")
+      .Set(static_cast<int64_t>(pool.queue_depth()));
+  exec::PipelineScheduler& sched = exec::PipelineScheduler::Shared();
+  metrics_.gauge("scheduler.dags_executed")
+      .Set(static_cast<int64_t>(sched.dags_executed()));
+  metrics_.gauge("scheduler.tasks_dispatched")
+      .Set(static_cast<int64_t>(sched.tasks_dispatched()));
+  metrics_.gauge("scheduler.pipelines_completed")
+      .Set(static_cast<int64_t>(sched.pipelines_completed()));
+  metrics_.gauge("scheduler.pipelines_cancelled")
+      .Set(static_cast<int64_t>(sched.pipelines_cancelled()));
   for (const auto& [site, hits] :
        common::FaultInjector::Instance().AllHitCounts()) {
     metrics_.gauge("fault." + site).Set(hits);

@@ -55,7 +55,9 @@ class SessionContext {
   void set_mode(EnforcementMode mode) { mode_ = mode; }
 
   /// Per-session override of the database's `parallelism` option for this
-  /// session's SELECTs. 0 = inherit the database default.
+  /// session's SELECTs: the task count of each scan pipeline the query
+  /// decomposes into (all sessions' pipelines share one worker pool).
+  /// 0 = inherit the database default.
   size_t exec_parallelism() const { return exec_parallelism_; }
   void set_exec_parallelism(size_t n) { exec_parallelism_ = n; }
 

@@ -7,9 +7,9 @@
 #include "algebra/binder.h"
 #include "algebra/normalize.h"
 #include "common/fault_injection.h"
-#include "common/thread_pool.h"
 #include "core/view_pruning.h"
 #include "exec/executor.h"
+#include "exec/scheduler.h"
 #include "optimizer/implication.h"
 
 namespace fgac::core {
@@ -57,15 +57,19 @@ MemoExpr DistinctExpr(GroupId child) {
 
 /// Runs the LIMIT-1 visible-non-emptiness probes of one inference round as
 /// a batch: nonempty[i] tells whether plans[i] produced at least one row.
-/// With `parallelism` > 1 the probes run concurrently on the shared pool;
-/// each task uses the SERIAL executor because pool tasks must not re-enter
-/// the pool (no nested waits). Safe because probes only read `state` and
-/// immutable plan nodes — all memo mutation happens outside this function.
-/// A probe that errors counts as empty, as in the serial code — including
-/// a probe tripping its own `limits` (per-probe guard) or an injected
-/// "validity.probe" fault. Missing a conditional marking is sound: it can
-/// only reject more. `parent` (the whole-check guard) propagates the
-/// check-wide deadline and cancellation into every probe.
+/// With `parallelism` > 1 the batch runs as one single-pipeline DAG on the
+/// shared PipelineScheduler — validity probes are first-class pipeline work
+/// and interleave with executing queries on the same worker pool. Each
+/// probe task uses the SERIAL executor because pool tasks must not
+/// re-enter the pool (no nested waits). Safe because probes only read
+/// `state` and immutable plan nodes — all memo mutation happens outside
+/// this function. A probe that errors counts as empty, as in the serial
+/// code — including a probe tripping its own `limits` (per-probe guard) or
+/// an injected "validity.probe" fault; probe tasks therefore always return
+/// OK to the scheduler, so one failing probe never cancels its batch
+/// peers. Missing a conditional marking is sound: it can only reject more.
+/// `parent` (the whole-check guard) propagates the check-wide deadline and
+/// cancellation into every probe.
 std::vector<char> RunNonEmptinessProbes(const std::vector<PlanPtr>& plans,
                                         const storage::DatabaseState& state,
                                         size_t parallelism,
@@ -84,12 +88,22 @@ std::vector<char> RunNonEmptinessProbes(const std::vector<PlanPtr>& plans,
     for (size_t i = 0; i < plans.size(); ++i) run_one(i);
     return nonempty;
   }
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(plans.size());
+  exec::PipelineTaskSet batch;
+  batch.label = "probe_batch";
+  batch.tasks.reserve(plans.size());
   for (size_t i = 0; i < plans.size(); ++i) {
-    tasks.push_back([&run_one, i] { run_one(i); });
+    batch.tasks.push_back([&run_one, i](size_t) {
+      run_one(i);
+      return Status::OK();
+    });
   }
-  common::ThreadPool::Shared().RunAll(std::move(tasks));
+  std::vector<exec::PipelineTaskSet> dag;
+  dag.push_back(std::move(batch));
+  // The returned status is always OK by construction (probe tasks swallow
+  // their own errors); discard it rather than plumb an impossible failure.
+  Status probe_status = exec::PipelineScheduler::Shared().RunDag(
+      std::move(dag), /*guard=*/nullptr, /*trace=*/nullptr);
+  (void)probe_status;
   return nonempty;
 }
 

@@ -89,6 +89,21 @@ void ExecStats::SetThreads(size_t n) {
   worker_morsels_.assign(threads_, 0);
 }
 
+void ExecStats::AddWorkerMorsels(size_t t, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (t < worker_morsels_.size()) worker_morsels_[t] += n;
+}
+
+void ExecStats::AddPipelineStat(PipelineStat stat) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pipelines_.push_back(std::move(stat));
+}
+
+std::vector<PipelineStat> ExecStats::pipeline_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pipelines_;
+}
+
 std::string ExecStats::Render() const {
   std::string out;
   out += "execution: " + FormatMillis(exec_nanos_) + " on " +
@@ -102,6 +117,29 @@ std::string ExecStats::Render() const {
     out += "morsels per worker:";
     for (uint64_t m : worker_morsels_) out += " " + std::to_string(m);
     out.push_back('\n');
+  }
+  std::vector<PipelineStat> pipelines = pipeline_stats();
+  if (!pipelines.empty()) {
+    out += "pipelines:\n";
+    for (size_t i = 0; i < pipelines.size(); ++i) {
+      const PipelineStat& p = pipelines[i];
+      out += "  p" + std::to_string(i) + " " + p.kind + " " + p.label;
+      if (p.cancelled) {
+        out += "  [cancelled";
+      } else {
+        out += "  [tasks=" + std::to_string(p.tasks) +
+               " rows=" + std::to_string(p.rows) +
+               " time=" + FormatMillis(p.nanos);
+      }
+      if (!p.deps.empty()) {
+        out += " deps=";
+        for (size_t d = 0; d < p.deps.size(); ++d) {
+          if (d > 0) out.push_back(',');
+          out += "p" + std::to_string(p.deps[d]);
+        }
+      }
+      out += "]\n";
+    }
   }
   if (plan_ != nullptr) RenderNode(plan_, *this, 0, &out);
   return out;

@@ -28,11 +28,31 @@ struct OpStats {
   std::atomic<uint64_t> opens{0};
 };
 
+/// One pipeline of the executed DAG, as surfaced by EXPLAIN ANALYZE: what
+/// kind of pipeline it was, how many scheduler tasks (workers) it fanned
+/// out to, what it produced, how much summed wall time its tasks took, and
+/// which pipelines it waited on.
+struct PipelineStat {
+  /// "build" / "scan" / "merge" / "serial".
+  std::string kind;
+  /// Anchor operator label ("Scan(grades)", "Join", "Aggregate").
+  std::string label;
+  /// Indices of the pipelines this one depended on.
+  std::vector<size_t> deps;
+  size_t tasks = 0;
+  uint64_t rows = 0;
+  /// Summed task wall time (a 4-task pipeline busy for 1ms reports 4ms).
+  uint64_t nanos = 0;
+  /// True when the scheduler released the pipeline after a DAG abort
+  /// without ever starting its tasks.
+  bool cancelled = false;
+};
+
 /// Profile of one query execution: a stats node per logical plan node plus
-/// pipeline-level data (worker morsel counts, phase timings). Allocated
-/// only when profiling is requested (EXPLAIN ANALYZE or
-/// SessionContext::set_profile), so the metrics-off hot path never touches
-/// any of this.
+/// pipeline-level data (worker morsel counts, pipeline DAG stats, phase
+/// timings). Allocated only when profiling is requested (EXPLAIN ANALYZE
+/// or SessionContext::set_profile), so the metrics-off hot path never
+/// touches any of this.
 class ExecStats {
  public:
   /// Returns the stats node for `node`, creating it on first use. Safe to
@@ -53,6 +73,17 @@ class ExecStats {
     return worker_morsels_;
   }
 
+  /// Adds `n` morsels to worker slot `t` under the lock — the safe variant
+  /// for pipeline tasks, where scan sets of different fragments (UNION ALL
+  /// branches) may run concurrently and share slot indices.
+  void AddWorkerMorsels(size_t t, uint64_t n);
+
+  /// Appends one pipeline's stats (called as the DAG settles, in pipeline
+  /// id order). Safe against a concurrent reader.
+  void AddPipelineStat(PipelineStat stat);
+  /// Copy of the executed pipeline DAG's stats, index == pipeline id.
+  std::vector<PipelineStat> pipeline_stats() const;
+
   /// The plan that actually ran (post-optimizer / post-rewrite); keeps the
   /// nodes the stats map points at alive for rendering.
   void SetExecutedPlan(algebra::PlanPtr plan) { plan_ = std::move(plan); }
@@ -65,8 +96,8 @@ class ExecStats {
   uint64_t exec_nanos() const { return exec_nanos_; }
 
   /// EXPLAIN ANALYZE rendering: the executed plan annotated per operator
-  /// with rows / chunks / inclusive time, preceded by phase and worker
-  /// summary lines.
+  /// with rows / chunks / inclusive time, preceded by phase, worker and
+  /// pipeline summary lines.
   std::string Render() const;
 
  private:
@@ -75,6 +106,7 @@ class ExecStats {
   algebra::PlanPtr plan_;
   size_t threads_ = 1;
   std::vector<uint64_t> worker_morsels_;
+  std::vector<PipelineStat> pipelines_;
   uint64_t validity_nanos_ = 0;
   uint64_t exec_nanos_ = 0;
 };

@@ -1,374 +1,40 @@
 #include "exec/parallel.h"
 
 #include <algorithm>
-#include <atomic>
-#include <functional>
-#include <memory>
-#include <unordered_set>
-#include <utility>
-#include <vector>
 
-#include "common/fault_injection.h"
-#include "common/thread_pool.h"
-#include "exec/eval.h"
 #include "exec/exec_stats.h"
 #include "exec/executor.h"
-#include "exec/operators.h"
-#include "storage/table_data.h"
+#include "exec/pipeline.h"
 
 namespace fgac::exec {
 
 using algebra::PlanKind;
 using algebra::PlanPtr;
-using common::ThreadPool;
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Shared pipeline state (prepared serially, then read-only across threads)
-// ---------------------------------------------------------------------------
-
-/// Shared morsel cursor over one base table: every pipeline thread claims
-/// [next, next + kMorselSize) ranges until the table is exhausted. This is
-/// where the load balancing comes from — no work stealing needed.
-struct MorselSource {
-  const storage::TableData* table = nullptr;
-  std::atomic<size_t> next{0};
-  /// Shared guardrail for the whole parallel query (may be null). One
-  /// instance serves every worker: its counters are atomic and Check() is
-  /// read-only, so no extra synchronization is needed.
-  common::QueryGuard* guard = nullptr;
-  /// First-error-wins abort: a failing worker raises it; the others see it
-  /// at their next morsel claim and end their streams cleanly, so the
-  /// fan-out joins all workers fast without burning through the rest of
-  /// the table.
-  std::atomic<bool> abort{false};
-};
-
-/// One hash-join stage on the pipeline's left spine: the build side is
-/// executed serially exactly once, then probed read-only by every thread.
-struct JoinStage {
-  JoinKeys keys;
-  HashJoinTable table;
-};
-
-/// Everything the per-thread pipelines share. Joins are stored in left-spine
-/// bottom-up order; BuildThreadPipeline consumes them in the same order.
-struct SharedPipeline {
-  MorselSource source;
-  std::vector<std::unique_ptr<JoinStage>> joins;
-};
-
-/// Walks the left spine down to the pipeline's source. Returns the kGet node
-/// feeding the pipeline, or nullptr when the shape cannot be parallelized
-/// (non-table source, or a join without equi-keys, which would need a
-/// nested-loop join).
-const algebra::Plan* PipelineSourceNode(const PlanPtr& plan) {
+/// True when the plan decomposes into at least one morsel pipeline, i.e.
+/// ExecutePlanPipelined would do better than the serial engine. UNION ALL
+/// always qualifies: even a union of serial-only branches benefits from
+/// running the branches as concurrent pipelines of one DAG.
+bool ShouldPipeline(const PlanPtr& plan) {
   switch (plan->kind) {
     case PlanKind::kGet:
-      return plan.get();
     case PlanKind::kSelect:
     case PlanKind::kProject:
-      return PipelineSourceNode(plan->children[0]);
-    case PlanKind::kJoin: {
-      size_t left_arity = algebra::OutputArity(*plan->children[0]);
-      JoinKeys keys = SplitJoinKeys(plan->predicates, left_arity);
-      if (keys.left_keys.empty()) return nullptr;
-      return PipelineSourceNode(plan->children[0]);
-    }
+    case PlanKind::kJoin:
+      return PipelineSourceNode(plan) != nullptr;
+    case PlanKind::kAggregate:
+    case PlanKind::kDistinct:
+    case PlanKind::kSort:
+      return PipelineSourceNode(plan->children[0]) != nullptr;
+    case PlanKind::kUnionAll:
+      return true;
     default:
-      return nullptr;
-  }
-}
-
-/// Resolves the source table and executes every join build side serially.
-Status PrepareShared(const PlanPtr& plan, const storage::DatabaseState& state,
-                     SharedPipeline* shared, common::QueryGuard* guard,
-                     ExecStats* stats) {
-  switch (plan->kind) {
-    case PlanKind::kGet: {
-      const storage::TableData* data = state.GetTable(plan->table);
-      if (data == nullptr) {
-        return Status::ExecutionError("no data for table '" + plan->table +
-                                      "'");
-      }
-      shared->source.table = data;
-      shared->source.guard = guard;
-      return Status::OK();
-    }
-    case PlanKind::kSelect:
-    case PlanKind::kProject:
-      return PrepareShared(plan->children[0], state, shared, guard, stats);
-    case PlanKind::kJoin: {
-      FGAC_RETURN_NOT_OK(
-          PrepareShared(plan->children[0], state, shared, guard, stats));
-      auto stage = std::make_unique<JoinStage>();
-      stage->keys = SplitJoinKeys(plan->predicates,
-                                  algebra::OutputArity(*plan->children[0]));
-      FGAC_ASSIGN_OR_RETURN(
-          OperatorPtr build,
-          BuildPhysicalPlan(plan->children[1], state, guard, stats));
-      FGAC_RETURN_NOT_OK(build->Open());
-      FGAC_RETURN_NOT_OK(
-          stage->table.BuildFrom(*build, stage->keys.right_keys, guard));
-      shared->joins.push_back(std::move(stage));
-      return Status::OK();
-    }
-    default:
-      return Status::ExecutionError("plan shape is not a parallel pipeline");
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Per-thread operators
-// ---------------------------------------------------------------------------
-
-/// Base-table scan over the shared morsel cursor. Unlike ScanOp, Open() does
-/// NOT rewind (the cursor is shared); parallel pipelines are built, drained
-/// once, and discarded inside ParallelExecutePlan, so re-Open never happens.
-class MorselScanOp final : public Operator {
- public:
-  /// `morsel_count` (may be null) is the owning worker's exclusive slot in
-  /// the ExecStats profile; only this worker writes it.
-  explicit MorselScanOp(MorselSource* source, uint64_t* morsel_count = nullptr)
-      : source_(source), morsel_count_(morsel_count) {}
-  Status Open() override { return Status::OK(); }
-  Result<bool> Next(DataChunk& out) override {
-    FGAC_FAULT_POINT("parallel.morsel");
-    // Another worker already failed: end this stream cleanly (the fan-out
-    // discards partial output once it sees the failing worker's status).
-    if (source_->abort.load(std::memory_order_acquire)) {
-      out.Reset(0);
+      // kValues, kLimit: nothing to fan out (LIMIT's early-out is
+      // inherently serial).
       return false;
-    }
-    FGAC_RETURN_NOT_OK(common::GuardCheck(source_->guard));
-    size_t total = source_->table->num_rows();
-    while (true) {
-      size_t start =
-          source_->next.fetch_add(kMorselSize, std::memory_order_relaxed);
-      if (start >= total) {
-        out.Reset(0);
-        return false;
-      }
-      FGAC_ASSIGN_OR_RETURN(
-          size_t n, source_->table->ScanChunk(
-                        start, std::min(kMorselSize, total - start), &out));
-      if (n > 0) {
-        if (morsel_count_ != nullptr) ++*morsel_count_;
-        FGAC_RETURN_NOT_OK(common::GuardChargeRows(source_->guard, n));
-        return true;
-      }
-    }
   }
-
- private:
-  MorselSource* source_;
-  uint64_t* morsel_count_ = nullptr;
-};
-
-/// Probe side of a shared hash join: owns its probe cursor (per-thread
-/// state), borrows the build table from the JoinStage.
-class SharedProbeOp final : public Operator {
- public:
-  SharedProbeOp(const JoinStage* stage, OperatorPtr left)
-      : stage_(stage), left_(std::move(left)) {}
-  Status Open() override {
-    cursor_.Reset();
-    return left_->Open();
-  }
-  Result<bool> Next(DataChunk& out) override {
-    FGAC_ASSIGN_OR_RETURN(
-        bool more, cursor_.Next(*left_, stage_->keys.left_keys,
-                                stage_->keys.residual, stage_->table, out));
-    // Same work-bound accounting as the serial HashJoinOp: duplicate build
-    // keys can fan probe rows out well past what the scan charged.
-    if (more) FGAC_RETURN_NOT_OK(common::GuardChargeRows(guard_, out.size()));
-    return more;
-  }
-
- private:
-  const JoinStage* stage_;
-  OperatorPtr left_;
-  HashProbeCursor cursor_;
-};
-
-/// Builds one thread's private operator tree over the shared state. Shape
-/// has already been validated by PipelineSourceNode; joins are consumed in
-/// the same bottom-up order PrepareShared produced them.
-OperatorPtr BuildThreadPipeline(const PlanPtr& plan, SharedPipeline* shared,
-                                size_t* next_join, ExecStats* stats,
-                                uint64_t* morsel_count) {
-  // Every worker's operator for a given logical node charges the same
-  // shared OpStats (atomic counters), so the rendered numbers are totals
-  // across the fan-out.
-  auto wrap = [stats, &plan](OperatorPtr op) {
-    if (stats == nullptr) return op;
-    return OperatorPtr(new StatsOp(stats->NodeFor(plan.get()), std::move(op)));
-  };
-  switch (plan->kind) {
-    case PlanKind::kGet:
-      return wrap(OperatorPtr(new MorselScanOp(&shared->source, morsel_count)));
-    case PlanKind::kSelect:
-      return wrap(OperatorPtr(new FilterOp(
-          plan->predicates, BuildThreadPipeline(plan->children[0], shared,
-                                                next_join, stats,
-                                                morsel_count))));
-    case PlanKind::kProject:
-      return wrap(OperatorPtr(new ProjectOp(
-          plan->exprs, BuildThreadPipeline(plan->children[0], shared,
-                                           next_join, stats, morsel_count))));
-    case PlanKind::kJoin: {
-      OperatorPtr left = BuildThreadPipeline(plan->children[0], shared,
-                                             next_join, stats, morsel_count);
-      const JoinStage* stage = shared->joins[(*next_join)++].get();
-      OperatorPtr probe(new SharedProbeOp(stage, std::move(left)));
-      probe->set_guard(shared->source.guard);
-      return wrap(std::move(probe));
-    }
-    default:
-      return nullptr;  // unreachable: shape checked before fan-out
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Fan-out harness
-// ---------------------------------------------------------------------------
-
-/// Runs fn(0..n-1) on the shared pool and returns the lowest-indexed
-/// failure (deterministic regardless of completion order). RunAll joins
-/// every worker before returning, so no task can outlive the shared state.
-/// A failing worker raises `abort` (when given) so its peers drain early
-/// instead of finishing their share of the table. When `trace` is active
-/// each worker runs under its own "exec.worker" child span, recorded on the
-/// worker's thread so tid in the trace export is the real pool thread.
-Status FanOut(size_t n, const std::function<Status(size_t)>& fn,
-              std::atomic<bool>* abort = nullptr,
-              const common::TraceContext* trace = nullptr) {
-  std::vector<Status> statuses(n, Status::OK());
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(n);
-  for (size_t t = 0; t < n; ++t) {
-    tasks.push_back([t, &fn, &statuses, abort, trace] {
-      common::ScopedSpan span(trace, "exec.worker");
-      span.set_detail("worker=" + std::to_string(t));
-      Status injected = FGAC_FAULT_CHECK("threadpool.dispatch");
-      if (injected.ok()) statuses[t] = fn(t);
-      else statuses[t] = std::move(injected);
-      if (!statuses[t].ok() && abort != nullptr) {
-        abort->store(true, std::memory_order_release);
-        span.set_detail("worker=" + std::to_string(t) + " error=" +
-                        statuses[t].message());
-      }
-    });
-  }
-  ThreadPool::Shared().RunAll(std::move(tasks));
-  for (Status& s : statuses) {
-    if (!s.ok()) return std::move(s);
-  }
-  return Status::OK();
-}
-
-Status DrainRows(Operator& root, std::vector<Row>* rows) {
-  DataChunk chunk;
-  while (true) {
-    Result<bool> more = root.Next(chunk);
-    if (!more.ok()) return more.status();
-    if (!more.value()) return Status::OK();
-    for (size_t i = 0; i < chunk.size(); ++i) rows->push_back(chunk.GetRow(i));
-  }
-}
-
-/// Runs the pipeline `plan` on `n` threads, gathering each thread's output
-/// rows separately. `wrap` may decorate the per-thread tree (e.g. with a
-/// per-thread DistinctOp).
-Result<std::vector<std::vector<Row>>> RunPipelineGather(
-    const PlanPtr& plan, const storage::DatabaseState& state, size_t n,
-    common::QueryGuard* guard, ExecStats* stats,
-    const common::TraceContext* trace,
-    const std::function<OperatorPtr(OperatorPtr)>& wrap = nullptr) {
-  auto shared = std::make_unique<SharedPipeline>();
-  FGAC_RETURN_NOT_OK(PrepareShared(plan, state, shared.get(), guard, stats));
-  if (stats != nullptr && stats->worker_morsels().size() != n) {
-    stats->SetThreads(n);
-  }
-  std::vector<std::vector<Row>> per_thread(n);
-  FGAC_RETURN_NOT_OK(FanOut(
-      n,
-      [&](size_t t) -> Status {
-        size_t next_join = 0;
-        uint64_t* morsels =
-            stats != nullptr ? stats->worker_morsel_slot(t) : nullptr;
-        OperatorPtr root =
-            BuildThreadPipeline(plan, shared.get(), &next_join, stats, morsels);
-        if (wrap) root = wrap(std::move(root));
-        FGAC_RETURN_NOT_OK(root->Open());
-        return DrainRows(*root, &per_thread[t]);
-      },
-      &shared->source.abort, trace));
-  return per_thread;
-}
-
-/// Partial per-thread aggregation + serial merge via AggAccumulator::Merge.
-Result<storage::Relation> ParallelAggregate(const PlanPtr& plan,
-                                            const storage::DatabaseState& state,
-                                            size_t n, common::QueryGuard* guard,
-                                            ExecStats* stats,
-                                            const common::TraceContext* trace) {
-  const PlanPtr& child = plan->children[0];
-  auto shared = std::make_unique<SharedPipeline>();
-  FGAC_RETURN_NOT_OK(PrepareShared(child, state, shared.get(), guard, stats));
-  if (stats != nullptr && stats->worker_morsels().size() != n) {
-    stats->SetThreads(n);
-  }
-  std::vector<AggGroups> partials(n);
-  FGAC_RETURN_NOT_OK(FanOut(
-      n,
-      [&](size_t t) -> Status {
-        size_t next_join = 0;
-        uint64_t* morsels =
-            stats != nullptr ? stats->worker_morsel_slot(t) : nullptr;
-        OperatorPtr root = BuildThreadPipeline(child, shared.get(), &next_join,
-                                               stats, morsels);
-        FGAC_RETURN_NOT_OK(root->Open());
-        return AccumulateGroups(*root, plan->group_by, plan->aggs, &partials[t],
-                                guard);
-      },
-      &shared->source.abort, trace));
-  AggGroups merged = std::move(partials[0]);
-  for (size_t t = 1; t < n; ++t) {
-    for (auto& [key, accs] : partials[t]) {
-      auto it = merged.find(key);
-      if (it == merged.end()) {
-        merged.emplace(key, std::move(accs));
-      } else {
-        for (size_t a = 0; a < accs.size(); ++a) {
-          FGAC_RETURN_NOT_OK(it->second[a].Merge(accs[a]));
-        }
-      }
-    }
-  }
-  storage::Relation out(algebra::OutputNames(*plan));
-  out.mutable_rows() =
-      FinishGroups(std::move(merged), plan->aggs, plan->group_by.empty());
-  if (stats != nullptr) {
-    // The merge runs outside any operator; attribute the final group count
-    // to the aggregate node so the printout matches the serial plan shape.
-    stats->NodeFor(plan.get())
-        ->rows_out.fetch_add(out.num_rows(), std::memory_order_relaxed);
-  }
-  return out;
-}
-
-storage::Relation GatherToRelation(const PlanPtr& plan,
-                                   std::vector<std::vector<Row>> per_thread) {
-  storage::Relation out(algebra::OutputNames(*plan));
-  size_t total = 0;
-  for (const std::vector<Row>& rows : per_thread) total += rows.size();
-  out.mutable_rows().reserve(total);
-  for (std::vector<Row>& rows : per_thread) {
-    for (Row& r : rows) out.mutable_rows().push_back(std::move(r));
-  }
-  return out;
 }
 
 }  // namespace
@@ -404,110 +70,16 @@ Result<storage::Relation> ParallelExecutePlan(
     size_t num_threads, common::QueryGuard* guard, ExecStats* stats,
     const common::TraceContext* trace) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
-  // Every serial path (explicit n<=1 and the not-parallelizable fallbacks
-  // below) funnels through here so the trace always shows where the plan
-  // actually ran.
+  // Both serial paths (explicit n<=1 and the not-decomposable fallback)
+  // funnel through here so the trace always shows where the plan actually
+  // ran: a top-level "exec.serial" span on the calling thread means the
+  // pipeline engine was bypassed entirely.
   auto run_serial = [&]() -> Result<storage::Relation> {
     common::ScopedSpan span(trace, "exec.serial");
     return ExecutePlan(plan, state, guard, stats);
   };
-  if (num_threads <= 1) return run_serial();
-  // Top nodes executed outside any operator tree (parallel aggregate merge,
-  // final dedup, gathered sort, union glue) charge their plan node here.
-  auto record_rows = [stats](const PlanPtr& node, uint64_t rows) {
-    if (stats != nullptr) {
-      stats->NodeFor(node.get())
-          ->rows_out.fetch_add(rows, std::memory_order_relaxed);
-    }
-  };
-  switch (plan->kind) {
-    case PlanKind::kGet:
-    case PlanKind::kSelect:
-    case PlanKind::kProject:
-    case PlanKind::kJoin: {
-      if (PipelineSourceNode(plan) == nullptr) {
-        return run_serial();
-      }
-      FGAC_ASSIGN_OR_RETURN(
-          auto per_thread,
-          RunPipelineGather(plan, state, num_threads, guard, stats, trace));
-      return GatherToRelation(plan, std::move(per_thread));
-    }
-    case PlanKind::kAggregate: {
-      if (PipelineSourceNode(plan->children[0]) == nullptr) {
-        return run_serial();
-      }
-      return ParallelAggregate(plan, state, num_threads, guard, stats, trace);
-    }
-    case PlanKind::kDistinct: {
-      if (PipelineSourceNode(plan->children[0]) == nullptr) {
-        return run_serial();
-      }
-      // Per-thread pre-dedup shrinks what crosses the merge; the final pass
-      // eliminates duplicates that appeared on different threads.
-      FGAC_ASSIGN_OR_RETURN(
-          auto per_thread,
-          RunPipelineGather(plan->children[0], state, num_threads, guard,
-                            stats, trace, [guard](OperatorPtr child) {
-                              OperatorPtr op(new DistinctOp(std::move(child)));
-                              op->set_guard(guard);
-                              return op;
-                            }));
-      storage::Relation out(algebra::OutputNames(*plan));
-      std::unordered_set<Row, RowHash, RowEq> seen;
-      for (std::vector<Row>& rows : per_thread) {
-        for (Row& r : rows) {
-          if (seen.insert(r).second) out.mutable_rows().push_back(std::move(r));
-        }
-      }
-      record_rows(plan, out.num_rows());
-      return out;
-    }
-    case PlanKind::kSort: {
-      if (PipelineSourceNode(plan->children[0]) == nullptr) {
-        return run_serial();
-      }
-      // Parallel gather, serial sort: sorting is a full-input barrier anyway,
-      // so only the scan/filter/join work below it is worth fanning out.
-      FGAC_ASSIGN_OR_RETURN(
-          auto per_thread,
-          RunPipelineGather(plan->children[0], state, num_threads, guard,
-                            stats, trace));
-      storage::Relation gathered =
-          GatherToRelation(plan->children[0], std::move(per_thread));
-      SortOp sorter(plan->sort_items,
-                    OperatorPtr(new ScanOp(&gathered.rows())));
-      sorter.set_guard(guard);
-      FGAC_RETURN_NOT_OK(sorter.Open());
-      storage::Relation out(algebra::OutputNames(*plan));
-      DataChunk chunk;
-      while (true) {
-        FGAC_ASSIGN_OR_RETURN(bool more, sorter.Next(chunk));
-        if (!more) break;
-        out.AppendChunk(chunk);
-      }
-      record_rows(plan, out.num_rows());
-      return out;
-    }
-    case PlanKind::kUnionAll: {
-      storage::Relation out(algebra::OutputNames(*plan));
-      for (const PlanPtr& child : plan->children) {
-        FGAC_ASSIGN_OR_RETURN(
-            storage::Relation r,
-            ParallelExecutePlan(child, state, num_threads, guard, stats,
-                                trace));
-        for (Row& row : r.mutable_rows()) {
-          out.mutable_rows().push_back(std::move(row));
-        }
-      }
-      record_rows(plan, out.num_rows());
-      return out;
-    }
-    default:
-      // kValues, kLimit: nothing to fan out (LIMIT's early-out is
-      // inherently serial).
-      return run_serial();
-  }
+  if (num_threads <= 1 || !ShouldPipeline(plan)) return run_serial();
+  return ExecutePlanPipelined(plan, state, num_threads, guard, stats, trace);
 }
 
 }  // namespace fgac::exec

@@ -26,39 +26,44 @@ inline constexpr size_t kMorselSize = 1024;
 bool IsParallelizable(const algebra::PlanPtr& plan,
                       const storage::DatabaseState& state);
 
-/// Morsel-driven parallel variant of ExecutePlan. Semantics are identical to
+/// Pipeline-parallel variant of ExecutePlan. Semantics are identical to
 /// the serial executor (same rows as a multiset, same error statuses); only
-/// scheduling differs.
+/// scheduling differs. This is the thin entry point: it owns the serial
+/// fallback, and delegates decomposable plans to ExecutePlanPipelined
+/// (exec/pipeline.h), which breaks them into a DAG of pipelines run on the
+/// shared PipelineScheduler / work-stealing pool.
 ///
 /// Parallelized shapes: any left-spine pipeline of kGet / kSelect /
 /// kProject / equi-key kJoin rooted at a base-table scan, optionally topped
-/// by one kAggregate (partial per-thread aggregation + merge), kDistinct
-/// (per-thread pre-dedup + final dedup), or kSort (parallel gather + serial
-/// sort); kUnionAll recurses per child. Everything else — kValues sources,
-/// non-equi joins, kLimit (inherently serial early-out) — falls back to
-/// ExecutePlan.
+/// by one kAggregate (partial per-task aggregation + merge pipeline),
+/// kDistinct (per-task pre-dedup + merge dedup), or kSort (parallel gather
+/// + single-task sort); kUnionAll branches decompose independently and
+/// share one DAG. Everything else — kValues sources, non-equi joins,
+/// kLimit (inherently serial early-out) — falls back to ExecutePlan.
 ///
-/// Join build sides are executed serially once and shared read-only across
-/// all probe pipelines; base-table scans share a single atomic morsel
-/// cursor. `num_threads <= 1` is the serial executor. Callers must not
-/// mutate `state` while the call is in flight (same contract as
-/// ExecutePlan, now enforced across threads by TableData's columnar
-/// snapshot synchronization).
+/// Join build sides run as their own single-task pipelines (independent
+/// builds proceed concurrently) and are shared read-only across all probe
+/// tasks; base-table scans share a single atomic morsel cursor.
+/// `num_threads` is the scan pipeline's task count; `num_threads <= 1` is
+/// the serial executor. Callers must not mutate `state` while the call is
+/// in flight (same contract as ExecutePlan, now enforced across threads by
+/// TableData's columnar snapshot synchronization).
 ///
-/// All workers share `guard` (may be null): a cancel/deadline/budget trip
-/// observed by any worker sets a pipeline-wide abort flag, the remaining
-/// workers drain cleanly at their next morsel claim, every worker is
-/// joined, and the first failure (lowest worker index) is returned.
+/// All tasks share `guard` (may be null): a cancel/deadline/budget trip
+/// observed by any task aborts the DAG — running scans drain at their next
+/// morsel claim, queued tasks no-op, dependent pipelines never start — and
+/// the first failure (lowest pipeline/task index) is returned.
 ///
 /// `stats` (may be null) collects per-operator counters — one shared
-/// atomic OpStats per logical node charged by every worker — plus
-/// per-worker morsel counts for EXPLAIN ANALYZE.
+/// atomic OpStats per logical node charged by every task — plus per-worker
+/// morsel counts and per-pipeline DAG stats for EXPLAIN ANALYZE.
 ///
-/// `trace` (may be null/inactive) records one "exec.worker" span per
-/// fanned-out worker (detail "worker=<t>") and one "exec.serial" span when
-/// the plan falls back to the serial executor, all parented under the
-/// caller's span — so a Perfetto view of a query shows exactly which part
-/// of the plan ran where.
+/// `trace` (may be null/inactive) records one "exec.pipeline" span per
+/// pipeline, per-task "exec.worker" / "exec.build" / "exec.merge" spans
+/// (detail "worker=<t>"), and one "exec.serial" span when the plan falls
+/// back to the serial executor, all parented under the caller's span — so
+/// a Perfetto view of a query shows exactly which part of the plan ran
+/// where.
 Result<storage::Relation> ParallelExecutePlan(
     const algebra::PlanPtr& plan, const storage::DatabaseState& state,
     size_t num_threads, common::QueryGuard* guard = nullptr,

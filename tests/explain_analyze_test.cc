@@ -251,6 +251,40 @@ TEST_F(ExplainAnalyzeTest, JsonLinesOneObjectPerEvent) {
   EXPECT_NE(jsonl.find("\"valid\":true"), std::string::npos);
 }
 
+TEST_F(ExplainAnalyzeTest, SqlRenderingShowsPipelineDecomposition) {
+  // Parallel execution renders the pipeline DAG the plan decomposed into:
+  // one line per pipeline with kind, task count and dependency edges.
+  SessionContext admin("admin");
+  admin.set_mode(EnforcementMode::kNone);
+  admin.set_exec_parallelism(4);
+  std::string text = ExplainText(
+      "explain analyze select course-id, avg(grade) from grades "
+      "group by course-id",
+      admin);
+  EXPECT_NE(text.find("pipelines:"), std::string::npos) << text;
+  // Aggregate root: a 4-task scan pipeline feeding a single-task merge
+  // that depends on it.
+  EXPECT_NE(text.find("p0 scan"), std::string::npos) << text;
+  EXPECT_NE(text.find("p1 merge"), std::string::npos) << text;
+  EXPECT_NE(text.find("tasks=4"), std::string::npos) << text;
+  EXPECT_NE(text.find("deps=p0"), std::string::npos) << text;
+
+  // A hash join adds a build pipeline gating the scan.
+  text = ExplainText(
+      "explain analyze select g.grade, s.name from grades g, students s "
+      "where g.student-id = s.student-id",
+      admin);
+  EXPECT_NE(text.find("pipelines:"), std::string::npos) << text;
+  EXPECT_NE(text.find("p0 build"), std::string::npos) << text;
+  EXPECT_NE(text.find("p1 scan"), std::string::npos) << text;
+  EXPECT_NE(text.find("deps=p0"), std::string::npos) << text;
+
+  // Serial execution has no pipeline DAG to show.
+  admin.set_exec_parallelism(1);
+  text = ExplainText("explain analyze select * from grades", admin);
+  EXPECT_EQ(text.find("pipelines:"), std::string::npos) << text;
+}
+
 TEST_F(ExplainAnalyzeTest, ExplainWithoutAnalyzeIsUnchanged) {
   Grant("mygrades", "11");
   SessionContext ctx("11");

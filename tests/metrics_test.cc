@@ -269,5 +269,29 @@ TEST_F(DatabaseMetricsTest, ExportRefreshesSubsystemGauges) {
   EXPECT_NE(json.find("\"exec.run_us\""), std::string::npos);
 }
 
+TEST_F(DatabaseMetricsTest, ExportCoversSchedulerAndWorkStealingGauges) {
+  // A parallel query guarantees at least one DAG went through the
+  // scheduler before export.
+  SessionContext admin("admin");
+  admin.set_mode(core::EnforcementMode::kNone);
+  admin.set_exec_parallelism(2);
+  ASSERT_TRUE(db_.Execute("select * from grades", admin).ok());
+
+  std::string json = db_.ExportMetricsJson();
+  for (const char* gauge :
+       {"\"thread_pool.tasks_stolen\"", "\"thread_pool.queue_depth\"",
+        "\"scheduler.dags_executed\"", "\"scheduler.tasks_dispatched\"",
+        "\"scheduler.pipelines_completed\"",
+        "\"scheduler.pipelines_cancelled\""}) {
+    EXPECT_NE(json.find(gauge), std::string::npos) << gauge;
+  }
+  // The scheduler is process-wide, so the gauges are lower-bounded by this
+  // query's own DAG: one scan pipeline of two tasks.
+  EXPECT_EQ(json.find("\"scheduler.dags_executed\":0"), std::string::npos);
+  EXPECT_EQ(json.find("\"scheduler.tasks_dispatched\":0"), std::string::npos);
+  EXPECT_EQ(json.find("\"scheduler.pipelines_completed\":0"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace fgac
