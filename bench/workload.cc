@@ -159,6 +159,33 @@ std::string ChainJoinQuery(core::Database* db, int n) {
   return sql;
 }
 
+std::vector<std::string> CreateChainPairViews(core::Database* db, int n) {
+  // Pairwise views must exist before their tables can be referenced.
+  (void)ChainJoinQuery(db, n);
+  std::vector<std::string> names;
+  std::string ddl;
+  for (int i = 0; i + 1 < n; i += 2) {
+    std::string lo = "bt" + std::to_string(i);
+    std::string hi = "bt" + std::to_string(i + 1);
+    std::string name = "chainpair" + std::to_string(i / 2);
+    names.push_back(name);
+    if (db->catalog().GetView(name) != nullptr) continue;
+    ddl += "create authorization view " + name + " as select * from " + lo +
+           ", " + hi + " where " + lo + ".k = " + hi + ".k;";
+  }
+  if (n % 2 == 1) {
+    std::string tail = "bt" + std::to_string(n - 1);
+    std::string name = "chaintail" + std::to_string(n - 1);
+    names.push_back(name);
+    if (db->catalog().GetView(name) == nullptr) {
+      ddl += "create authorization view " + name + " as select * from " +
+             tail + ";";
+    }
+  }
+  if (!ddl.empty()) MustRun(db, ddl);
+  return names;
+}
+
 double TimeMs(int iters, const std::function<void()>& fn) {
   auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < iters; ++i) fn();

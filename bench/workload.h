@@ -42,6 +42,12 @@ void CreateSyntheticViews(core::Database* db, int count,
 /// Returns the SQL text. Used for the Figure 1 experiment.
 std::string ChainJoinQuery(core::Database* db, int n);
 
+/// Authorization views from which ChainJoinQuery(n) is provably valid:
+/// one pairwise view per (bt2i ⋈ bt2i+1) plus a whole-table view over the
+/// last table when `n` is odd (created in `db` if absent). Returns the
+/// view names. Used for the goal-directed validity-search experiment.
+std::vector<std::string> CreateChainPairViews(core::Database* db, int n);
+
 /// Milliseconds elapsed by `fn` averaged over `iters` runs.
 double TimeMs(int iters, const std::function<void()>& fn);
 

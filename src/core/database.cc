@@ -511,7 +511,16 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
           return verdict.status();
         }
         out.validity = std::move(verdict).value();
-        if (options_.enable_validity_cache) {
+        metrics_.counter("validity.groups_pruned")
+            .Increment(out.validity.groups_pruned);
+        metrics_.counter("validity.exprs_skipped")
+            .Increment(out.validity.exprs_skipped);
+        // A verdict reached after the probe budget blew is sound to act on
+        // once but must never be cached: with budget the check could have
+        // proved more, and a cached entry would outlive the exhaustion.
+        if (out.validity.probe_budget_exhausted) {
+          metrics_.counter("validity.probe_budget_exhausted").Increment();
+        } else if (options_.enable_validity_cache) {
           cache_.Insert(ctx.user(), fp, catalog_version_, data_version(),
                         out.validity);
         }
@@ -599,7 +608,11 @@ Result<ExecResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt,
                   (res.validity.unconditional ? "unconditionally"
                                               : "conditionally") +
                   " valid via " + res.validity.justification +
-                  (res.validity_from_cache ? " [cached verdict]" : "") + "\n";
+                  (res.validity_from_cache ? " [cached verdict]" : "") +
+                  (res.validity.probe_budget_exhausted
+                       ? " [probe budget exhausted]"
+                       : "") +
+                  "\n";
         }
       }
       text += "result: " + std::to_string(res.relation.num_rows()) +

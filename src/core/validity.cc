@@ -1378,19 +1378,70 @@ Result<ValidityReport> ValidityChecker::Check(
     return Status::OK();
   };
 
+  // Expansion diagnostics accumulate across every ExpandMemo call — the
+  // initial expansion plus each round's re-expansion — so the report shows
+  // the whole search, not just its first sweep.
+  optimizer::ExpandOptions expand = options_.expand;
+  bool stopped_early = false;
+  auto run_expand = [&]() {
+    optimizer::ExpandStats stats = optimizer::ExpandMemo(&memo_, expand);
+    report.expansion_passes += stats.passes;
+    report.groups_pruned += stats.groups_pruned;
+    report.exprs_skipped += stats.exprs_skipped;
+    report.frontier_depth = std::max(report.frontier_depth, stats.frontier_depth);
+    stopped_early = stopped_early || stats.stopped_early;
+  };
+  // True iff any (canonical) group carries a conditional mark. Every
+  // inference rule derives new marks from existing ones (U1 seeds at view
+  // roots, Values nodes are vacuously valid via propagation, and U2/U3/C2/
+  // C3/CAgg/dependent-join all require an already-marked input), so a memo
+  // with no mark anywhere can never produce one: expansion and inference
+  // would both be wasted work.
+  auto any_valid_c = [&]() {
+    for (optimizer::GroupId g = 0;
+         g < static_cast<optimizer::GroupId>(memo_.num_groups()); ++g) {
+      if (memo_.Find(g) == g && memo_.IsValidC(g)) return true;
+    }
+    return false;
+  };
+  // Goal-directed mode decides up front that inference cannot change the
+  // verdict (root already proved, or nothing to prove from).
+  bool skip_inference = false;
+
   if (options_.enable_complex_rules) {
     // Complex rules need equivalence rules applied to the views too
     // (Section 5.6.3): insert everything, then expand the combined DAG.
     FGAC_RETURN_NOT_OK(insert_views());
-    optimizer::ExpandStats stats = optimizer::ExpandMemo(&memo_, options_.expand);
-    report.expansion_passes = stats.passes;
+    if (options_.goal_directed_search) {
+      // Seed marks before expanding: U1 view roots plus vacuously valid
+      // constant subtrees, spread by hash-cons unification. The root may
+      // already be proved with zero expansion (the query IS a view), and
+      // an entirely unmarked memo is a certain rejection.
+      PropagateValidity(nullptr);
+      expand.root_goal = memo_.Find(root_);
+      for (const InstantiatedView* v : usable) {
+        if (!v->base_tables.empty()) {
+          expand.goal_table_sets.push_back(v->base_tables);
+        }
+      }
+      expand.should_stop = [this]() {
+        PropagateValidity(nullptr);
+        return memo_.IsValidU(memo_.Find(root_));
+      };
+      if (memo_.IsValidU(memo_.Find(root_)) || !any_valid_c()) {
+        skip_inference = true;
+      } else {
+        run_expand();
+      }
+    } else {
+      run_expand();
+    }
   } else {
     // Basic rules: only the query is expanded; view DAGs are unified
     // unexpanded (Section 5.6.2). A final subsumption-only pass adds the
     // σ-from-weaker-σ derivations of Section 5.6.1 (these extend the query
     // DAG with references to the view nodes, not the view DAGs themselves).
-    optimizer::ExpandStats stats = optimizer::ExpandMemo(&memo_, options_.expand);
-    report.expansion_passes = stats.passes;
+    run_expand();
     FGAC_RETURN_NOT_OK(insert_views());
     optimizer::ExpandOptions subsumption_only;
     subsumption_only.enable_select_merge = false;
@@ -1411,7 +1462,7 @@ Result<ValidityReport> ValidityChecker::Check(
     if (ApplyDependentJoinRule(views)) PropagateValidity(nullptr);
   }
 
-  if (options_.enable_complex_rules) {
+  if (options_.enable_complex_rules && !skip_inference) {
     for (size_t round = 0; round < options_.max_inference_rounds; ++round) {
       FGAC_RETURN_NOT_OK(check_guard_->Check());
       bool changed = ApplyU3Rules();
@@ -1440,7 +1491,7 @@ Result<ValidityReport> ValidityChecker::Check(
       }
       // Newly derived expressions (U3 cores, factored projections,
       // introduced joins) may enable further equivalence rules.
-      if (changed) optimizer::ExpandMemo(&memo_, options_.expand);
+      if (changed) run_expand();
       PropagateValidity(&changed);
       GroupId root = memo_.Find(root_);
       if (!changed || memo_.IsValidU(root)) break;
@@ -1449,9 +1500,25 @@ Result<ValidityReport> ValidityChecker::Check(
   FGAC_RETURN_NOT_OK(check_guard_->Check());
 
   GroupId root = memo_.Find(root_);
-  report.memo_groups = memo_.num_live_groups();
-  report.memo_exprs = memo_.num_live_exprs();
+  // Created counts, not live counts: merged groups and deduplicated
+  // expressions still cost their insertion, and the bench gate tracks the
+  // work performed, not the survivor count (see ValidityReport).
+  report.memo_groups = memo_.num_groups();
+  report.memo_exprs = memo_.num_exprs();
   report.c3_probes = c3_probes_;
+  report.probe_budget_exhausted = !probe_status_.ok();
+  if (trace_ != nullptr) {
+    ValidityTraceEvent e;
+    e.kind = ValidityTraceEvent::Kind::kExpansion;
+    e.detail = "passes=" + std::to_string(report.expansion_passes) +
+               " groups_pruned=" + std::to_string(report.groups_pruned) +
+               " exprs_skipped=" + std::to_string(report.exprs_skipped) +
+               " frontier_depth=" + std::to_string(report.frontier_depth);
+    if (skip_inference) e.detail += " skipped_inference=1";
+    if (stopped_early) e.detail += " stopped_early=1";
+    if (report.probe_budget_exhausted) e.detail += " probe_budget_exhausted=1";
+    trace_->Add(std::move(e));
+  }
 
   if (memo_.IsValidU(root)) {
     report.valid = true;

@@ -45,6 +45,13 @@ struct ValidityOptions {
   bool enable_redundant_join_decomposition = true;
   /// Section 5.6 optimization: eliminate views that cannot possibly help.
   bool prune_views = true;
+  /// Demand-driven complex-mode expansion: the proof frontier is seeded
+  /// from the query root and the valid view roots, dominated (already
+  /// valid) groups stop expanding, join associativity only materializes
+  /// inner joins some view could cover, and expansion halts the moment the
+  /// root is proved. Disable to get the exhaustive breadth-first sweep
+  /// (the differential-test reference).
+  bool goal_directed_search = true;
   /// Budgets for DAG expansion.
   optimizer::ExpandOptions expand;
   /// Cap on $$-instantiations tried per access-pattern view.
@@ -88,11 +95,29 @@ struct ValidityReport {
   // Diagnostics.
   size_t views_considered = 0;
   size_t views_pruned = 0;
+  /// Total equivalence/operation nodes *created* during expansion — the
+  /// work the search performed. Deliberately not the post-pruning live
+  /// memo size: merged groups and deduplicated expressions still cost
+  /// their insertion, and the bench gate's `expanded_exprs` column tracks
+  /// that work, not the survivor count.
   size_t memo_groups = 0;
   size_t memo_exprs = 0;
   size_t expansion_passes = 0;
+  /// Goal-directed search: dominated (already-valid) groups whose pending
+  /// rule applications were dropped, expression visits skipped (dominance,
+  /// frontier unreachability, gated joins), and the deepest level the
+  /// proof frontier reached below its seeds.
+  size_t groups_pruned = 0;
+  size_t exprs_skipped = 0;
+  size_t frontier_depth = 0;
   /// Number of v_r probes executed against the database (rule C3a cond. 3).
   size_t c3_probes = 0;
+  /// True when the whole-check probe cap blew during inference. The
+  /// verdict (if any) was reached with the probes that did run and is
+  /// sound to act on once, but it must never be cached: with budget the
+  /// check could have proved more (or, for rejections, the same query may
+  /// be accepted later).
+  bool probe_budget_exhausted = false;
 };
 
 /// The Non-Truman validity engine: builds a Volcano AND-OR DAG containing
@@ -144,6 +169,10 @@ class ValidityChecker {
       const algebra::PlanPtr& witness,
       const std::vector<InstantiatedView>& views,
       const storage::DatabaseState& state);
+
+  /// The memo after Check(); exposed for tests that pin the report's
+  /// created-count semantics against the live (post-pruning) counts.
+  const optimizer::Memo& memo_for_testing() const { return memo_; }
 
  private:
   struct JoinFacet {

@@ -25,6 +25,8 @@ const char* ValidityTraceEvent::KindName(Kind kind) {
       return "rule_fired";
     case Kind::kProbeBatch:
       return "probe_batch";
+    case Kind::kExpansion:
+      return "expansion";
     case Kind::kVerdict:
       return "verdict";
     case Kind::kDegraded:

@@ -36,8 +36,18 @@ std::vector<const InstantiatedView*> PruneViews(
     changed = false;
     if (catalog != nullptr) {
       for (const catalog::InclusionDependency& dep : catalog->constraints()) {
-        if (dep.visible_to_users && reachable.count(dep.src_table) > 0 &&
+        if (!dep.visible_to_users) continue;
+        // Follow the dependency in BOTH directions: join introduction walks
+        // src→dst (S ⊆ D lets σ(S) join D), but U3 reasoning also uses a
+        // view over the source side to validate a query over the
+        // destination (the foreign-key cores of Section 5.3) — pruning
+        // dst→src-only views loses sound proofs.
+        if (reachable.count(dep.src_table) > 0 &&
             reachable.insert(dep.dst_table).second) {
+          changed = true;
+        }
+        if (reachable.count(dep.dst_table) > 0 &&
+            reachable.insert(dep.src_table).second) {
           changed = true;
         }
       }

@@ -175,6 +175,18 @@ bool Memo::ExprPayloadEquals(const MemoExpr& a, const MemoExpr& b) const {
   return false;
 }
 
+GroupId Memo::FindExisting(const MemoExpr& expr) const {
+  auto it = dedup_.find(ExprKey(expr));
+  if (it == dedup_.end()) return -1;
+  for (ExprId eid : it->second) {
+    const MemoExpr& existing = exprs_[eid];
+    if (!existing.dead && ExprPayloadEquals(existing, expr)) {
+      return Find(existing.group);
+    }
+  }
+  return -1;
+}
+
 GroupId Memo::InsertExpr(MemoExpr expr, GroupId target) {
   // Canonicalize child references.
   for (GroupId& c : expr.children) c = Find(c);
@@ -472,6 +484,31 @@ Result<algebra::PlanPtr> Memo::AnyPlan(GroupId g) const {
     return last;
   };
   return build(g);
+}
+
+std::vector<std::string> Memo::BaseTables(GroupId g) const {
+  std::vector<std::string> out;
+  std::vector<bool> on_path(groups_.size(), false);
+  std::function<void(GroupId)> walk = [&](GroupId gid) {
+    gid = Find(gid);
+    if (on_path[gid]) return;
+    on_path[gid] = true;
+    for (ExprId eid : groups_[gid].exprs) {
+      const MemoExpr& e = exprs_[eid];
+      if (e.dead) continue;
+      if (e.kind == PlanKind::kGet) {
+        out.push_back(e.table);
+      } else {
+        for (GroupId c : e.children) walk(c);
+      }
+      break;  // one witness expression suffices; alternatives agree
+    }
+    on_path[gid] = false;
+  };
+  walk(g);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 double Memo::CountPlans(GroupId g, double cap) const {

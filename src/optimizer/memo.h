@@ -81,6 +81,11 @@ class Memo {
   /// Canonical group id (union-find).
   GroupId Find(GroupId g) const;
 
+  /// Group holding a live, structurally identical node, or -1. Probes the
+  /// hash-cons index without inserting (used by the goal-directed join
+  /// gate: an inner join that unifies with an existing node is free).
+  GroupId FindExisting(const MemoExpr& expr) const;
+
   /// Declares two groups equivalent and merges them (caller asserts the
   /// semantic equivalence, e.g. distinct-elimination over duplicate-free
   /// input). Runs congruence closure.
@@ -110,6 +115,12 @@ class Memo {
   /// Extracts one arbitrary plan computing group `g` (first live expr,
   /// recursively). Used to execute v_r in rule C3a and for debugging.
   Result<algebra::PlanPtr> AnyPlan(GroupId g) const;
+
+  /// Sorted, deduplicated base tables reachable from group `g` (via the
+  /// first live expression at each level — alternatives of a group compute
+  /// the same relation, so any witness yields the same table set). Used by
+  /// the goal-directed join-associativity gate.
+  std::vector<std::string> BaseTables(GroupId g) const;
 
   /// Re-canonicalizes all nodes after merges until no further merges occur
   /// (congruence closure). Called internally; cheap when nothing changed.

@@ -89,52 +89,172 @@ GroupId InsertSelectOrChild(Memo* memo, std::vector<ScalarPtr> preds,
 class RuleContext {
  public:
   RuleContext(Memo* memo, const ExpandOptions& options)
-      : memo_(memo), options_(options) {}
+      : memo_(memo),
+        options_(options),
+        goal_directed_(options.root_goal >= 0) {
+    goal_sets_.reserve(options_.goal_table_sets.size());
+    for (const auto& s : options_.goal_table_sets) {
+      std::vector<std::string> sorted = s;
+      std::sort(sorted.begin(), sorted.end());
+      goal_sets_.push_back(std::move(sorted));
+    }
+  }
 
   size_t Run() {
     size_t total_added = 0;
     for (size_t pass = 0; pass < options_.max_passes; ++pass) {
+      if (goal_directed_ && ShouldStop()) break;
       size_t before = memo_->num_exprs();
-      size_t snapshot = before;
-      bool applied_any = false;
-      for (ExprId eid = 0; eid < static_cast<ExprId>(snapshot); ++eid) {
-        if (memo_->num_exprs() >= options_.max_exprs) {
-          budget_exhausted_ = true;
-          break;
-        }
-        const MemoExpr& e = memo_->expr(eid);
-        if (e.dead) continue;
-        // Incremental pass: skip expressions whose inputs have not changed
-        // since they were last processed. Distinct nodes are exempt (their
-        // elimination rule depends on transitive duplicate-freeness proofs).
-        uint64_t sig = ExprSignature(e);
-        if (e.kind != PlanKind::kDistinct &&
-            eid < static_cast<ExprId>(sig_.size()) && sig_[eid] == sig) {
-          continue;
-        }
-        if (eid >= static_cast<ExprId>(sig_.size())) sig_.resize(eid + 1, 0);
-        sig_[eid] = sig;
-        ApplyAll(eid);
-        applied_any = true;
+      if (goal_directed_) ComputeFrontier();
+      // Goal-directed mode runs the rules in batched families (cheap
+      // structural rewrites, then join reordering, then subsumption and
+      // aggregate inference) so the expensive matchers always scan a
+      // normalized memo; the exhaustive path keeps the single
+      // all-rules-per-expression sweep.
+      const int num_batches = goal_directed_ ? kNumBatches : 1;
+      for (int batch = 0; batch < num_batches; ++batch) {
+        RunBatch(batch);
+        memo_->Canonicalize();
+        if (budget_exhausted_) break;
+        if (goal_directed_ && batch + 1 < num_batches && ShouldStop()) break;
       }
-      memo_->Canonicalize();
       size_t after = memo_->num_exprs();
       total_added += after - before;
       ++passes_;
-      if ((after == before && !applied_any) || budget_exhausted_) break;
-      if (after == before) {
-        // Rules ran but produced nothing new; one more pass would be a
-        // no-op unless versions changed, which they did not.
-        break;
-      }
+      if (after == before || budget_exhausted_ || stopped_early_) break;
     }
     return total_added;
   }
 
   size_t passes() const { return passes_; }
   bool budget_exhausted() const { return budget_exhausted_; }
+  size_t groups_pruned() const { return pruned_groups_.size(); }
+  size_t exprs_skipped() const { return exprs_skipped_; }
+  size_t frontier_depth() const { return frontier_depth_; }
+  bool stopped_early() const { return stopped_early_; }
 
  private:
+  static constexpr int kNumBatches = 3;
+
+  bool ShouldStop() {
+    if (!options_.should_stop) return false;
+    // The callback typically runs a full validity propagation — only worth
+    // re-polling after the memo changed. Within expansion, marks move only
+    // through inserts and merges, and merges always retire a group, so
+    // (created exprs, live groups) is a sound change signal.
+    uint64_t state = (static_cast<uint64_t>(memo_->num_exprs()) << 32) ^
+                     static_cast<uint64_t>(memo_->num_live_groups());
+    if (stop_polled_ && state == last_stop_state_) return stopped_early_;
+    stop_polled_ = true;
+    last_stop_state_ = state;
+    if (options_.should_stop()) {
+      stopped_early_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// The proof frontier: groups reachable top-down from the root goal or
+  /// from an already-(conditionally-)valid group. Expressions outside it
+  /// cannot participate in any derivation that changes the verdict, so
+  /// their pending rule applications are dropped. Recomputed per pass —
+  /// new expressions splice new groups into the frontier.
+  void ComputeFrontier() {
+    frontier_.assign(memo_->num_groups(), 0);
+    std::vector<std::pair<GroupId, size_t>> queue;
+    auto seed = [&](GroupId g) {
+      g = memo_->Find(g);
+      if (!frontier_[g]) {
+        frontier_[g] = 1;
+        queue.emplace_back(g, 0);
+      }
+    };
+    seed(options_.root_goal);
+    // DAG sources are goals in their own right: inference rules (join
+    // introduction, C3 remainders) insert standalone proof obligations
+    // that no expression references from above, and they only make
+    // progress if the frontier reaches them.
+    std::vector<char> has_parent(memo_->num_groups(), 0);
+    for (ExprId eid = 0; eid < static_cast<ExprId>(memo_->num_exprs());
+         ++eid) {
+      const MemoExpr& e = memo_->expr(eid);
+      if (e.dead) continue;
+      for (GroupId c : e.children) has_parent[memo_->Find(c)] = 1;
+    }
+    for (GroupId g = 0; g < static_cast<GroupId>(memo_->num_groups()); ++g) {
+      if (memo_->Find(g) != g) continue;
+      if (memo_->group(g).valid_c || !has_parent[g]) seed(g);
+    }
+    for (size_t i = 0; i < queue.size(); ++i) {
+      GroupId g = queue[i].first;
+      size_t depth = queue[i].second;
+      frontier_depth_ = std::max(frontier_depth_, depth);
+      for (ExprId eid : memo_->GroupExprs(g)) {
+        for (GroupId c : memo_->expr(eid).children) {
+          c = memo_->Find(c);
+          if (!frontier_[c]) {
+            frontier_[c] = 1;
+            queue.emplace_back(c, depth + 1);
+          }
+        }
+      }
+    }
+  }
+
+  /// Groups created after the frontier snapshot are products of frontier
+  /// rules and count as reachable.
+  bool InFrontier(GroupId g) const {
+    g = memo_->Find(g);
+    return g >= static_cast<GroupId>(frontier_.size()) || frontier_[g] != 0;
+  }
+
+  void RunBatch(int batch) {
+    const size_t snapshot = memo_->num_exprs();
+    std::vector<uint64_t>& sig = sigs_[batch];
+    for (ExprId eid = 0; eid < static_cast<ExprId>(snapshot); ++eid) {
+      if (memo_->num_exprs() >= options_.max_exprs) {
+        budget_exhausted_ = true;
+        break;
+      }
+      const MemoExpr& e = memo_->expr(eid);
+      if (e.dead) continue;
+      if (goal_directed_) {
+        GroupId g = memo_->Find(e.group);
+        // Dominance pruning: a group already proved unconditionally valid
+        // cannot improve — drop its pending join-reorder applications
+        // (batch 1), the generative family whose only payoff is proving
+        // the group it rewrites. Batches 0 and 2 stay exempt: structural
+        // normalization (collapse identity projections, push selections
+        // into joins) and the subsumption matchers are *connective* — they
+        // let unproven groups unify with or derive from the proven one,
+        // and skipping them loses exactly those proofs.
+        if (batch == 1 && options_.prune_dominated && memo_->IsValidU(g)) {
+          pruned_groups_.insert(g);
+          ++exprs_skipped_;
+          continue;
+        }
+        if (!InFrontier(g)) {
+          ++exprs_skipped_;
+          continue;
+        }
+      }
+      // Incremental pass: skip expressions whose inputs have not changed
+      // since they were last processed. Distinct nodes are exempt (their
+      // elimination rule depends on transitive duplicate-freeness proofs).
+      uint64_t s = ExprSignature(e);
+      if (e.kind != PlanKind::kDistinct &&
+          eid < static_cast<ExprId>(sig.size()) && sig[eid] == s) {
+        continue;
+      }
+      if (eid >= static_cast<ExprId>(sig.size())) sig.resize(eid + 1, 0);
+      sig[eid] = s;
+      if (goal_directed_) {
+        ApplyBatch(eid, batch);
+      } else {
+        ApplyAll(eid);
+      }
+    }
+  }
   /// Combines the canonical ids and versions of an expression's child
   /// groups; a changed signature means new alternatives appeared below.
   uint64_t ExprSignature(const MemoExpr& e) const {
@@ -183,6 +303,81 @@ class RuleContext {
       default:
         break;
     }
+  }
+
+  // Batched families (hyrise-style): 0 = cheap structural normalization,
+  // 1 = join reordering, 2 = subsumption and aggregate/distinct inference.
+  void ApplyBatch(ExprId eid, int batch) {
+    const MemoExpr& e = memo_->expr(eid);
+    switch (e.kind) {
+      case PlanKind::kSelect:
+        if (batch == 0) {
+          if (options_.enable_select_merge) SelectMerge(eid);
+          if (options_.enable_select_pushdown) SelectPushdown(eid);
+          if (options_.enable_select_through_project) SelectThroughProject(eid);
+        } else if (batch == 2) {
+          if (options_.enable_subsumption) SelectSubsumption(eid);
+          if (options_.enable_aggregate_rules) SelectThroughAggregate(eid);
+        }
+        break;
+      case PlanKind::kJoin:
+        if (batch == 1) {
+          if (options_.enable_join_commute) JoinCommute(eid);
+          if (options_.enable_join_assoc) JoinAssoc(eid);
+        }
+        break;
+      case PlanKind::kProject:
+        if (batch == 0) {
+          ProjectCollapse(eid);
+          if (options_.enable_select_pushdown) ProjectPushIntoJoin(eid);
+        } else if (batch == 2) {
+          if (options_.enable_subsumption) ProjectSubsumption(eid);
+        }
+        break;
+      case PlanKind::kAggregate:
+        if (batch == 2 && options_.enable_aggregate_rules) {
+          AggPinnedKeyRollup(eid);
+          AggListSubsumption(eid);
+          AggThroughProject(eid);
+        }
+        break;
+      case PlanKind::kDistinct:
+        if (batch == 2) {
+          if (options_.enable_distinct_elim) DistinctElim(eid);
+          DistinctPullThroughProject(eid);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Sorted base tables of a group, cached per canonical id (a group's
+  /// table set never changes: merges only join equivalent relations).
+  const std::vector<std::string>& GroupTables(GroupId g) {
+    g = memo_->Find(g);
+    auto it = tables_cache_.find(g);
+    if (it != tables_cache_.end()) return it->second;
+    return tables_cache_.emplace(g, memo_->BaseTables(g)).first->second;
+  }
+
+  /// Goal gate for join associativity: a brand-new inner join group is only
+  /// worth materializing when some authorization view (goal table set)
+  /// could cover it.
+  bool InnerCoveredByGoal(GroupId b, GroupId c) {
+    const std::vector<std::string>& tb = GroupTables(b);
+    const std::vector<std::string>& tc = GroupTables(c);
+    std::vector<std::string> tables;
+    tables.reserve(tb.size() + tc.size());
+    std::set_union(tb.begin(), tb.end(), tc.begin(), tc.end(),
+                   std::back_inserter(tables));
+    for (const std::vector<std::string>& goal : goal_sets_) {
+      if (std::includes(goal.begin(), goal.end(), tables.begin(),
+                        tables.end())) {
+        return true;
+      }
+    }
+    return false;
   }
 
   // Select(P1, Select(P2, x)) => Select(P1 ∧ P2, x).
@@ -535,8 +730,19 @@ class RuleContext {
           outer.push_back(p);
         }
       }
-      GroupId gi = memo_->InsertExpr(
-          MakeJoinExpr(std::move(inner), f.children[1], e.children[1]));
+      MemoExpr inner_join =
+          MakeJoinExpr(std::move(inner), f.children[1], e.children[1]);
+      // Goal-directed gate: only materialize a *new* inner join group when
+      // its base tables fit inside some goal (view) table set — a join no
+      // view could cover cannot appear in a validity proof. Inner shapes
+      // that hash-cons into an existing group are always free.
+      if (goal_directed_ && !goal_sets_.empty() &&
+          memo_->FindExisting(inner_join) < 0 &&
+          !InnerCoveredByGoal(f.children[1], e.children[1])) {
+        ++exprs_skipped_;
+        continue;
+      }
+      GroupId gi = memo_->InsertExpr(std::move(inner_join));
       // New layout a then (b,c) keeps the same global slots; no remap.
       memo_->InsertExpr(MakeJoinExpr(std::move(outer), f.children[0], gi), g);
     }
@@ -702,9 +908,19 @@ class RuleContext {
 
   Memo* memo_;
   const ExpandOptions& options_;
+  const bool goal_directed_;
   size_t passes_ = 0;
   bool budget_exhausted_ = false;
-  std::vector<uint64_t> sig_;
+  bool stopped_early_ = false;
+  bool stop_polled_ = false;
+  uint64_t last_stop_state_ = 0;
+  size_t exprs_skipped_ = 0;
+  size_t frontier_depth_ = 0;
+  std::set<GroupId> pruned_groups_;
+  std::vector<char> frontier_;
+  std::vector<std::vector<std::string>> goal_sets_;
+  std::map<GroupId, std::vector<std::string>> tables_cache_;
+  std::vector<uint64_t> sigs_[kNumBatches];
 };
 
 }  // namespace
@@ -715,6 +931,10 @@ ExpandStats ExpandMemo(Memo* memo, const ExpandOptions& options) {
   stats.exprs_added = ctx.Run();
   stats.passes = ctx.passes();
   stats.budget_exhausted = ctx.budget_exhausted();
+  stats.groups_pruned = ctx.groups_pruned();
+  stats.exprs_skipped = ctx.exprs_skipped();
+  stats.frontier_depth = ctx.frontier_depth();
+  stats.stopped_early = ctx.stopped_early();
   return stats;
 }
 

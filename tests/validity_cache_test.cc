@@ -64,15 +64,17 @@ TEST(ValidityCacheTest, DataVersionInvalidatesConditionalOnly) {
 
 class DatabaseCacheTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    SetupUniversity(&db_);
-    CreateUniversityViews(&db_);
-    ASSERT_TRUE(db_.ExecuteAsAdmin("grant select on mygrades to 11").ok());
+  static void Setup(Database* db) {
+    SetupUniversity(db);
+    CreateUniversityViews(db);
+    ASSERT_TRUE(db->ExecuteAsAdmin("grant select on mygrades to 11").ok());
     ASSERT_TRUE(
-        db_.ExecuteAsAdmin("grant select on costudentgrades to 11").ok());
+        db->ExecuteAsAdmin("grant select on costudentgrades to 11").ok());
     ASSERT_TRUE(
-        db_.ExecuteAsAdmin("grant select on myregistrations to 11").ok());
+        db->ExecuteAsAdmin("grant select on myregistrations to 11").ok());
   }
+
+  void SetUp() override { Setup(&db_); }
 
   SessionContext Student() {
     SessionContext ctx("11");
@@ -168,6 +170,43 @@ TEST_F(DatabaseCacheTest, CacheCanBeDisabled) {
   auto r2 = db_.Execute(q, Student());
   ASSERT_TRUE(r2.ok());
   EXPECT_FALSE(r2.value().validity_from_cache);
+}
+
+TEST_F(DatabaseCacheTest, BlownProbeBudgetVerdictIsNotCached) {
+  // A verdict reached before the whole-check probe cap blew is sound to
+  // act on once but must NEVER be cached: with budget the check could have
+  // proved more, and the cache would keep serving the starved verdict.
+  const std::string q = "select * from grades where course-id = 'cs101'";
+  auto free_run = db_.Execute(q, Student());
+  ASSERT_TRUE(free_run.ok());
+  ASSERT_FALSE(free_run.value().validity.unconditional);
+  EXPECT_FALSE(free_run.value().validity.probe_budget_exhausted);
+  const size_t probes = free_run.value().validity.c3_probes;
+  ASSERT_GT(probes, 0u);
+
+  // The engine is deterministic, so scanning budgets downward from the
+  // unconstrained demand finds the boundary case: enough probes ran to
+  // reach the conditional verdict, then a later batch was refused.
+  bool exercised = false;
+  for (size_t budget = probes; budget >= 1 && !exercised; --budget) {
+    Database db;
+    Setup(&db);
+    db.options().validity.max_total_probes = budget;
+    auto r = db.Execute(q, Student());
+    if (!r.ok() || !r.value().validity.probe_budget_exhausted) continue;
+    exercised = true;
+    EXPECT_TRUE(r.value().validity.valid);
+    EXPECT_FALSE(r.value().validity_from_cache);
+    // The starved verdict must not have entered the cache: a second
+    // execution re-derives from scratch.
+    EXPECT_EQ(db.validity_cache().size(), 0u);
+    auto again = db.Execute(q, Student());
+    ASSERT_TRUE(again.ok());
+    EXPECT_FALSE(again.value().validity_from_cache);
+  }
+  ASSERT_TRUE(exercised)
+      << "no probe budget reached a verdict and then blew; fixture needs "
+         "a query with more than one probe batch";
 }
 
 TEST_F(DatabaseCacheTest, DifferentConstantsKeySeparately) {

@@ -156,6 +156,80 @@ TEST_F(ValidityEngineTest, InvisibleConstraintDoesNotTestify) {
   EXPECT_FALSE(hidden.valid);
 }
 
+TEST_F(ValidityEngineTest, PruningFollowsConstraintsBackward) {
+  // Regression: the reachability closure used to follow inclusion
+  // dependencies only src→dst. With emp.id ⊆ dept.id declared, a view over
+  // emp can testify for a query over dept (U3 joins dept back against emp
+  // through the dependency), so pruning the emp view loses sound proofs.
+  ASSERT_TRUE(db_.ExecuteScript(
+                     "create table emp (id int not null primary key);"
+                     "create table dept (id int not null primary key);"
+                     "create inclusion dependency emp_dept on emp (id) "
+                     "references dept (id);"
+                     "create authorization view myemp as select * from emp")
+                  .ok());
+  auto views = Views({"myemp"});
+  auto kept = core::PruneViews(views, Bind("select * from dept"),
+                               /*complex_rules_enabled=*/true, &db_.catalog());
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0]->name, "myemp");
+}
+
+TEST_F(ValidityEngineTest, ReportCountsCreatedNotLiveMemoSize) {
+  // chain3 fixture: bt0 ⋈ bt1 ⋈ bt2 provable from a pairwise view plus a
+  // whole-table view. Expansion merges many groups, so the created counts
+  // (the work the search performed) must exceed the post-pruning live memo
+  // size — and the report must pin the created counts, not the live ones.
+  ASSERT_TRUE(db_.ExecuteScript(
+                     "create table bt0 (k int not null primary key, v int);"
+                     "create table bt1 (k int not null primary key, v int);"
+                     "create table bt2 (k int not null primary key, v int);"
+                     "create authorization view pair01 as "
+                     "select * from bt0, bt1 where bt0.k = bt1.k;"
+                     "create authorization view all2 as select * from bt2")
+                  .ok());
+  // Exhaustive mode: full saturation guarantees unification actually
+  // merges groups, so created and live counts must diverge.
+  ValidityOptions options;
+  options.goal_directed_search = false;
+  ValidityChecker checker(db_.catalog(), &db_.state(), options);
+  auto report = checker.Check(Bind("select * from bt0, bt1, bt2 "
+                                   "where bt0.k = bt1.k and bt1.k = bt2.k"),
+                              Views({"pair01", "all2"}));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().valid);
+  const optimizer::Memo& memo = checker.memo_for_testing();
+  EXPECT_EQ(report.value().memo_groups, memo.num_groups());
+  EXPECT_EQ(report.value().memo_exprs, memo.num_exprs());
+  // The pin has teeth only if unification actually killed something.
+  EXPECT_GT(memo.num_exprs(), memo.num_live_exprs());
+}
+
+TEST_F(ValidityEngineTest, GoalDirectedStopsWithZeroExpansionOnVerbatimView) {
+  // The query IS an authorization view: hash-cons unification alone proves
+  // the root, so the goal-directed search must not expand at all.
+  ValidityReport report =
+      Check("select * from grades where student-id = '11'", {"mygrades"});
+  EXPECT_TRUE(report.valid);
+  EXPECT_TRUE(report.unconditional);
+  EXPECT_EQ(report.expansion_passes, 0u);
+}
+
+TEST_F(ValidityEngineTest, GoalDirectedFastRejectsUnprovableQuery) {
+  // No view is marked anywhere, so no inference rule can ever produce a
+  // mark: the goal-directed search rejects without expanding.
+  ValidityReport report = Check("select * from grades", {});
+  EXPECT_FALSE(report.valid);
+  EXPECT_EQ(report.expansion_passes, 0u);
+
+  // The exhaustive reference still expands (and still rejects).
+  ValidityOptions exhaustive;
+  exhaustive.goal_directed_search = false;
+  ValidityReport full = Check("select * from grades", {}, exhaustive);
+  EXPECT_FALSE(full.valid);
+  EXPECT_GT(full.expansion_passes, 0u);
+}
+
 TEST_F(ValidityEngineTest, PruningKeepsConstraintConnectedViews) {
   // A registration view matters for a grades query when a grades view
   // joins registered (closure through views).
