@@ -14,7 +14,9 @@ loose (2.0x): the gate exists to catch algorithmic cliffs (accidental
 O(n^2), a dropped cache, serial fallback), not 10% jitter. Benchmarks
 missing from the baseline are reported but never fail the gate; a results
 file that matches fewer than --min-matches baseline entries fails it,
-because an empty comparison would otherwise read as a pass.
+because an empty comparison would otherwise read as a pass. --require NAME
+(repeatable) fails the gate unless NAME was actually compared — pinning a
+benchmark so it cannot silently vanish from the sweep or the baseline.
 
 Exit codes: 0 ok, 1 regression (or too few matches), 2 usage/IO error.
 """
@@ -57,6 +59,10 @@ def main():
     ap.add_argument("--min-matches", type=int, default=1,
                     help="fail unless at least this many benchmarks were "
                          "compared (default: %(default)s)")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless this benchmark name was compared "
+                         "against the baseline (repeatable)")
     args = ap.parse_args()
 
     if args.tolerance <= 0:
@@ -71,6 +77,7 @@ def main():
 
     name_re = re.compile(args.only) if args.only else None
     compared = 0
+    compared_names = set()
     regressions = []
     unmatched = []
     for entry in results:
@@ -82,6 +89,7 @@ def main():
             unmatched.append(name)
             continue
         compared += 1
+        compared_names.add(name)
         ratio = entry["ns_per_op"] / base["ns_per_op"]
         verdict = "REGRESSED" if ratio > args.tolerance else "ok"
         print(f"{verdict:>9}  {name}: {entry['ns_per_op']:.0f} ns/op "
@@ -94,6 +102,12 @@ def main():
 
     print(f"\ncompared {compared} benchmark(s), "
           f"{len(regressions)} regression(s), tolerance {args.tolerance}x")
+    missing = [n for n in args.require if n not in compared_names]
+    if missing:
+        print(f"error: required benchmark(s) not compared: "
+              f"{', '.join(missing)} — absent from the results or the "
+              f"baseline", file=sys.stderr)
+        return 1
     if compared < args.min_matches:
         print(f"error: only {compared} benchmark(s) matched the baseline "
               f"(need {args.min_matches}); gate cannot pass vacuously",

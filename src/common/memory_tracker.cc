@@ -1,0 +1,35 @@
+#include "common/memory_tracker.h"
+
+#include <string>
+
+#include "common/fault_injection.h"
+
+namespace fgac::common {
+
+Status MemoryTracker::Charge(uint64_t n) {
+  Status injected = FGAC_FAULT_CHECK("memory.charge");
+  if (!injected.ok()) {
+    denied_.fetch_add(1, std::memory_order_relaxed);
+    return injected;
+  }
+  uint64_t total = used_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.hard_limit_bytes > 0 && total > limits_.hard_limit_bytes) {
+    used_.fetch_sub(n, std::memory_order_relaxed);
+    denied_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "global memory limit of " +
+        std::to_string(limits_.hard_limit_bytes) + " bytes exceeded (" +
+        std::to_string(total) + " bytes in use)");
+  }
+  uint64_t seen = high_water_.load(std::memory_order_relaxed);
+  while (total > seen && !high_water_.compare_exchange_weak(
+                             seen, total, std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void MemoryTracker::Release(uint64_t n) {
+  used_.fetch_sub(n, std::memory_order_relaxed);
+}
+
+}  // namespace fgac::common

@@ -31,6 +31,16 @@ QueryGuard::QueryGuard(const QueryLimits& limits, const QueryGuard* parent)
                               : parent_->deadline_;
     has_deadline_ = true;
   }
+  // Children account against the same global budget (own release though:
+  // a probe's build state dies with the probe, not with the query).
+  if (parent_ != nullptr) tracker_ = parent_->tracker_;
+}
+
+QueryGuard::~QueryGuard() {
+  if (tracker_ != nullptr) {
+    uint64_t n = tracker_charged_.load(std::memory_order_relaxed);
+    if (n > 0) tracker_->Release(n);
+  }
 }
 
 bool QueryGuard::cancelled() const {
@@ -63,6 +73,10 @@ Status QueryGuard::ChargeRows(uint64_t n) {
 }
 
 Status QueryGuard::ChargeBytes(uint64_t n) {
+  if (tracker_ != nullptr) {
+    FGAC_RETURN_NOT_OK(tracker_->Charge(n));
+    tracker_charged_.fetch_add(n, std::memory_order_relaxed);
+  }
   uint64_t total = bytes_.fetch_add(n, std::memory_order_relaxed) + n;
   if (limits_.max_memory_bytes > 0 && total > limits_.max_memory_bytes) {
     return Status::ResourceExhausted(

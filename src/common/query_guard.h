@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "common/memory_tracker.h"
 #include "common/status.h"
 
 namespace fgac::common {
@@ -64,6 +65,7 @@ class QueryGuard {
   QueryGuard() : QueryGuard(QueryLimits{}) {}
   explicit QueryGuard(const QueryLimits& limits,
                       const QueryGuard* parent = nullptr);
+  ~QueryGuard();
   QueryGuard(const QueryGuard&) = delete;
   QueryGuard& operator=(const QueryGuard&) = delete;
 
@@ -91,7 +93,17 @@ class QueryGuard {
   Status ChargeRows(uint64_t n);
 
   /// Charges `n` bytes of materialized state against the memory budget.
+  /// When a MemoryTracker is attached (directly or inherited from the
+  /// parent), the bytes are also charged globally — and released en bloc
+  /// when this guard is destroyed, so query-lifetime state never outlives
+  /// the query in the global account.
   Status ChargeBytes(uint64_t n);
+
+  /// Attaches the process-wide memory account. Not thread-safe against
+  /// concurrent Charge; attach before execution starts. Children created
+  /// after attachment inherit it.
+  void set_memory_tracker(MemoryTracker* tracker) { tracker_ = tracker; }
+  MemoryTracker* memory_tracker() const { return tracker_; }
 
   uint64_t rows_charged() const {
     return rows_.load(std::memory_order_relaxed);
@@ -109,6 +121,9 @@ class QueryGuard {
   std::shared_ptr<std::atomic<bool>> external_cancel_;
   std::atomic<uint64_t> rows_{0};
   std::atomic<uint64_t> bytes_{0};
+  MemoryTracker* tracker_ = nullptr;
+  /// Bytes successfully forwarded to tracker_; released on destruction.
+  std::atomic<uint64_t> tracker_charged_{0};
 };
 
 /// Guards are optional throughout the engine: a null guard means "no

@@ -39,6 +39,12 @@ enum class StatusCode {
   /// An internal invariant failed; the engine degraded instead of
   /// aborting the process.
   kInternal,
+  /// The system refused the query at admission: the server is at capacity
+  /// (wait queue full, or global memory pressure). Unlike
+  /// kResourceExhausted — the query itself blew its budget — this is a
+  /// statement about the server, and the message carries a "retry after
+  /// Nms" hint (see exec::RetryAfterHintMs).
+  kOverloaded,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotAuthorized").
@@ -92,6 +98,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

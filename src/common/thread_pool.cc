@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace fgac::common {
 
@@ -143,10 +144,35 @@ void ThreadPool::WorkerLoop(size_t self) {
   }
 }
 
+namespace {
+
+/// Size requested via ConfigureShared before the shared pool's creation.
+/// 0 = no request; fall through to FGAC_THREADS, then the hardware default.
+std::atomic<size_t> g_shared_pool_request{0};
+
+size_t ResolveSharedPoolSize() {
+  size_t requested = g_shared_pool_request.load(std::memory_order_relaxed);
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("FGAC_THREADS")) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 1024) {
+      return static_cast<size_t>(v);
+    }
+  }
+  return std::max<size_t>(4, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool* pool = new ThreadPool(
-      std::max<size_t>(4, std::thread::hardware_concurrency()));
+  static ThreadPool* pool = new ThreadPool(ResolveSharedPoolSize());
   return *pool;
+}
+
+void ThreadPool::ConfigureShared(size_t n) {
+  if (n == 0) return;
+  g_shared_pool_request.store(n, std::memory_order_relaxed);
 }
 
 }  // namespace fgac::common

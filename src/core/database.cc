@@ -96,8 +96,17 @@ Database::Database() : Database(DefaultOptions()) {}
 
 Database::Database(DatabaseOptions options)
     : options_(std::move(options)),
+      tracker_(options_.memory),
       cache_(options_.validity_cache_capacity),
       tracer_(options_.trace_retain_spans) {
+  // Applies only on first use process-wide (the pool is shared); later
+  // databases inherit whatever size the first one resolved.
+  common::ThreadPool::ConfigureShared(options_.shared_pool_threads);
+  // Attach the global memory account before any table exists so every
+  // columnar snapshot — system tables included — is charged.
+  state_.SetMemoryTracker(&tracker_);
+  admission_ = std::make_unique<exec::AdmissionController>(
+      options_.admission.Resolved(), &tracker_);
   // Let execution-time distinct elimination see primary keys.
   options_.exec_expand.table_pk_slots =
       [this](const std::string& table) -> std::vector<int> {
@@ -179,6 +188,10 @@ void Database::FinishAudit(common::AuditEvent* ev, const Status& st,
       ev->verdict = "ok";
     } else if (st.code() == StatusCode::kNotAuthorized) {
       ev->verdict = "rejected";
+    } else if (st.code() == StatusCode::kOverloaded) {
+      // Load shedding is not an error in the query: the audit trail must
+      // distinguish "we refused under load" from "it failed".
+      ev->verdict = "shed";
     } else {
       ev->verdict = "error";
     }
@@ -244,10 +257,15 @@ Result<Relation> Database::RunPlan(const PlanPtr& plan,
   FGAC_RETURN_NOT_OK(common::GuardCheck(guard));
   size_t threads = ctx.exec_parallelism() != 0 ? ctx.exec_parallelism()
                                                : options_.parallelism;
+  // Session identity keys the scheduler's weighted round-robin: every DAG
+  // this query fans out shares the session's fair-dispatch bucket.
+  exec::DagOptions dag_opts;
+  dag_opts.session_key = std::hash<std::string>{}(ctx.session_id());
+  dag_opts.weight = ctx.scheduler_weight();
   if (!options_.optimize_execution) {
     if (stats != nullptr) stats->SetExecutedPlan(plan);
     return exec::ParallelExecutePlan(plan, state_, threads, guard, stats,
-                                     trace);
+                                     trace, dag_opts);
   }
   auto row_count = [this](const std::string& table) -> double {
     const storage::TableData* t = state_.GetTable(table);
@@ -258,7 +276,7 @@ Result<Relation> Database::RunPlan(const PlanPtr& plan,
       optimizer::Optimize(plan, options_.exec_expand, row_count));
   if (stats != nullptr) stats->SetExecutedPlan(best.plan);
   return exec::ParallelExecutePlan(best.plan, state_, threads, guard, stats,
-                                   trace);
+                                   trace, dag_opts);
 }
 
 std::string Database::ExportMetricsJson() {
@@ -297,6 +315,31 @@ std::string Database::ExportMetricsJson() {
       .Set(static_cast<int64_t>(sched.pipelines_completed()));
   metrics_.gauge("scheduler.pipelines_cancelled")
       .Set(static_cast<int64_t>(sched.pipelines_cancelled()));
+  metrics_.gauge("scheduler.fair_queue_depth")
+      .Set(static_cast<int64_t>(sched.fair_queue_depth()));
+  metrics_.gauge("scheduler.fair_sessions_active")
+      .Set(static_cast<int64_t>(sched.fair_sessions_active()));
+  metrics_.gauge("memory.used").Set(static_cast<int64_t>(tracker_.used()));
+  metrics_.gauge("memory.high_water")
+      .Set(static_cast<int64_t>(tracker_.high_water()));
+  metrics_.gauge("memory.charges_denied")
+      .Set(static_cast<int64_t>(tracker_.charges_denied()));
+  metrics_.gauge("admission.admitted")
+      .Set(static_cast<int64_t>(admission_->admitted()));
+  metrics_.gauge("admission.shed_queue_full")
+      .Set(static_cast<int64_t>(admission_->shed_queue_full()));
+  metrics_.gauge("admission.shed_memory")
+      .Set(static_cast<int64_t>(admission_->shed_memory()));
+  metrics_.gauge("admission.rejected_deadline")
+      .Set(static_cast<int64_t>(admission_->rejected_deadline()));
+  metrics_.gauge("admission.cancelled")
+      .Set(static_cast<int64_t>(admission_->cancelled()));
+  metrics_.gauge("admission.queue_depth")
+      .Set(static_cast<int64_t>(admission_->queue_depth()));
+  metrics_.gauge("admission.queue_depth_high_water")
+      .Set(static_cast<int64_t>(admission_->queue_depth_high_water()));
+  metrics_.gauge("admission.running")
+      .Set(static_cast<int64_t>(admission_->running()));
   for (const auto& [site, hits] :
        common::FaultInjector::Instance().AllHitCounts()) {
     metrics_.gauge("fault." + site).Set(hits);
@@ -371,6 +414,56 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
 
   FGAC_ASSIGN_OR_RETURN(PlanPtr plan, BindQuery(stmt, ctx));
 
+  // One guard spans validity checking and execution: database-default
+  // limits, optionally overridden per session, observing the session's
+  // cancel token when one is attached, charging materialized state into
+  // the process-wide memory account.
+  common::QueryLimits limits =
+      ctx.query_limits().has_value() ? *ctx.query_limits() : options_.limits;
+  common::QueryGuard guard(limits);
+  if (ctx.cancel_token() != nullptr) {
+    guard.AttachExternalCancel(ctx.cancel_token());
+  }
+  guard.set_memory_tracker(&tracker_);
+
+  // Guard charges land in the audit event on EVERY exit path — rejection,
+  // timeout, degradation, success — capturing what the statement cost.
+  struct GuardChargeCapture {
+    const common::QueryGuard& guard;
+    common::AuditEvent* ev;
+    ~GuardChargeCapture() {
+      if (ev != nullptr) {
+        ev->guard_rows = guard.rows_charged();
+        ev->guard_bytes = guard.bytes_charged();
+      }
+    }
+  } charge_capture{guard, audit};
+
+  // Admission control happens after binding (the cost estimate needs the
+  // plan's base tables) but BEFORE any heavy work and before the system-
+  // table lock: a queued query holding system_tables_mu_ while admitted
+  // queries block on it would deadlock the slot/lock pair. The ticket's
+  // scope spans validity checking and execution.
+  exec::AdmissionTicket admission_ticket;
+  {
+    exec::AdmissionRequest req;
+    if (limits.has_timeout()) req.deadline = Clock::now() + limits.timeout;
+    double cost = 0.0;
+    for (const std::string& t : CollectBaseTables(plan)) {
+      const storage::TableData* td = state_.GetTable(t);
+      if (td != nullptr) cost += static_cast<double>(td->num_rows());
+    }
+    req.cost = std::max(1.0, cost);
+    req.guard = &guard;
+    Status admitted = admission_->Admit(req, &admission_ticket);
+    if (!admitted.ok()) {
+      if (admitted.code() == StatusCode::kOverloaded) {
+        metrics_.counter("queries.shed").Increment();
+      }
+      return admitted;
+    }
+  }
+
   // Statements reading the fgac_ system tables re-materialize them first
   // and hold the refresh mutex through execution, so a concurrent
   // session's refresh cannot swap the rows out from under this scan (the
@@ -386,29 +479,6 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
     out.trace = profile->trace;
     out.exec_stats = profile->stats;
   }
-
-  // One guard spans validity checking and execution: database-default
-  // limits, optionally overridden per session, observing the session's
-  // cancel token when one is attached.
-  common::QueryLimits limits =
-      ctx.query_limits().has_value() ? *ctx.query_limits() : options_.limits;
-  common::QueryGuard guard(limits);
-  if (ctx.cancel_token() != nullptr) {
-    guard.AttachExternalCancel(ctx.cancel_token());
-  }
-
-  // Guard charges land in the audit event on EVERY exit path — rejection,
-  // timeout, degradation, success — capturing what the statement cost.
-  struct GuardChargeCapture {
-    const common::QueryGuard& guard;
-    common::AuditEvent* ev;
-    ~GuardChargeCapture() {
-      if (ev != nullptr) {
-        ev->guard_rows = guard.rows_charged();
-        ev->guard_bytes = guard.bytes_charged();
-      }
-    }
-  } charge_capture{guard, audit};
 
   PlanPtr to_run = plan;
   switch (ctx.mode()) {
@@ -461,6 +531,9 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
         ValidityChecker checker(catalog_, &state_, ResolvedValidityOptions());
         checker.set_guard(&guard);
         checker.set_trace(trace);
+        checker.set_dag_options(exec::DagOptions{
+            std::hash<std::string>{}(ctx.session_id()),
+            ctx.scheduler_weight()});
         Result<ValidityReport> verdict = [&] {
           // The span covers exactly the inference work; rule firings and
           // probe batches nest under it.

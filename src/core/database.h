@@ -9,6 +9,7 @@
 
 #include "catalog/catalog.h"
 #include "common/audit.h"
+#include "common/memory_tracker.h"
 #include "common/metrics.h"
 #include "common/query_guard.h"
 #include "common/result.h"
@@ -18,6 +19,7 @@
 #include "core/validity.h"
 #include "core/validity_cache.h"
 #include "core/validity_trace.h"
+#include "exec/admission.h"
 #include "exec/exec_stats.h"
 #include "sql/ast.h"
 #include "storage/database_state.h"
@@ -89,6 +91,19 @@ struct DatabaseOptions {
   common::AuditOptions audit;
   /// Bound on retained trace spans (oldest evicted beyond this).
   size_t trace_retain_spans = common::Tracer::kDefaultRetainSpans;
+  /// Process-wide memory budget charged at the real allocation points
+  /// (chunk materialization, hash-join builds, columnar snapshots, memo
+  /// expansion). soft_limit trips admission-time shedding; hard_limit
+  /// aborts the charging query with kResourceExhausted. 0 = unlimited.
+  common::MemoryTracker::Limits memory;
+  /// Admission control in front of the scheduler: bounded deadline-aware
+  /// wait queue, load shedding with retry-after hints. Disabled by default
+  /// (max_concurrent = 0 admits everything immediately).
+  exec::AdmissionOptions admission;
+  /// Size of the shared worker pool, applied once at first Database
+  /// construction (the pool is process-wide). 0 = FGAC_THREADS env var,
+  /// falling back to max(4, hardware_concurrency).
+  size_t shared_pool_threads = 0;
 };
 
 /// The embedded database facade tying every subsystem together: SQL in,
@@ -139,6 +154,16 @@ class Database {
   /// profiling (cheap relaxed atomics).
   common::MetricsRegistry& metrics() { return metrics_; }
   const common::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The process-wide memory accountant behind DatabaseOptions::memory.
+  /// Every QueryGuard created by Execute() charges into it.
+  common::MemoryTracker& memory_tracker() { return tracker_; }
+  const common::MemoryTracker& memory_tracker() const { return tracker_; }
+
+  /// Admission controller gating SELECT execution (see
+  /// DatabaseOptions::admission).
+  exec::AdmissionController& admission() { return *admission_; }
+  const exec::AdmissionController& admission() const { return *admission_; }
 
   /// Refreshes the export-time gauges (validity-cache occupancy, shared
   /// thread-pool stats, fault-injection hit counts, audit/trace counters)
@@ -226,6 +251,10 @@ class Database {
   Status CheckForeignKeys(const std::string& table, const Row& row) const;
 
   DatabaseOptions options_;
+  /// Declared before state_: TableData destructors release their columnar
+  /// snapshot charges into the tracker, so it must outlive the storage.
+  common::MemoryTracker tracker_;
+  std::unique_ptr<exec::AdmissionController> admission_;
   catalog::Catalog catalog_;
   storage::DatabaseState state_;
   ValidityCache cache_;

@@ -61,6 +61,15 @@ class SessionContext {
   size_t exec_parallelism() const { return exec_parallelism_; }
   void set_exec_parallelism(size_t n) { exec_parallelism_ = n; }
 
+  /// Weight of this session in the scheduler's weighted round-robin over
+  /// sessions' ready task sets: a weight-3 session is granted ~3x the
+  /// worker bandwidth of a weight-1 session while both have work queued.
+  /// Clamped to >= 1.
+  uint32_t scheduler_weight() const { return scheduler_weight_; }
+  void set_scheduler_weight(uint32_t w) {
+    scheduler_weight_ = w == 0 ? 1 : w;
+  }
+
   /// Per-session override of the database's default QueryLimits (deadline,
   /// row/memory budgets, degradation policy). Unset = inherit.
   const std::optional<common::QueryLimits>& query_limits() const {
@@ -111,6 +120,7 @@ class SessionContext {
   std::map<std::string, Value> params_;
   EnforcementMode mode_ = EnforcementMode::kNonTruman;
   size_t exec_parallelism_ = 0;
+  uint32_t scheduler_weight_ = 1;
   std::optional<common::QueryLimits> query_limits_;
   std::shared_ptr<std::atomic<bool>> cancel_token_;
   bool profile_ = false;

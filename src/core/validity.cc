@@ -74,7 +74,8 @@ std::vector<char> RunNonEmptinessProbes(const std::vector<PlanPtr>& plans,
                                         const storage::DatabaseState& state,
                                         size_t parallelism,
                                         const common::QueryLimits& limits,
-                                        const common::QueryGuard* parent) {
+                                        const common::QueryGuard* parent,
+                                        const exec::DagOptions& dag_opts) {
   std::vector<char> nonempty(plans.size(), 0);
   auto run_one = [&plans, &state, &nonempty, &limits, parent](size_t i) {
     Status injected = FGAC_FAULT_CHECK("validity.probe");
@@ -102,7 +103,8 @@ std::vector<char> RunNonEmptinessProbes(const std::vector<PlanPtr>& plans,
   // The returned status is always OK by construction (probe tasks swallow
   // their own errors); discard it rather than plumb an impossible failure.
   Status probe_status = exec::PipelineScheduler::Shared().RunDag(
-      std::move(dag), /*guard=*/nullptr, /*trace=*/nullptr);
+      std::move(dag), /*guard=*/nullptr, /*trace=*/nullptr,
+      /*started=*/nullptr, dag_opts);
   (void)probe_status;
   return nonempty;
 }
@@ -231,7 +233,8 @@ std::vector<char> ValidityChecker::RunProbeBatch(
   common::ScopedSpan probe_span(span_ctx_, "validity.probe_batch");
   std::vector<char> nonempty =
       RunNonEmptinessProbes(plans, *state_, options_.probe_parallelism,
-                            options_.probe_limits, check_guard_.get());
+                            options_.probe_limits, check_guard_.get(),
+                            dag_opts_);
   if (probe_span.active()) {
     size_t hits = 0;
     for (char hit : nonempty) hits += hit ? 1 : 0;
@@ -1343,6 +1346,7 @@ Result<ValidityReport> ValidityChecker::Check(
   // Probes derive per-probe child guards from it.
   common::QueryLimits check_limits;
   check_limits.timeout = options_.check_timeout;
+  check_limits.max_memory_bytes = options_.check_max_memory_bytes;
   check_guard_ =
       std::make_unique<common::QueryGuard>(check_limits, parent_guard_);
   probe_status_ = Status::OK();
@@ -1383,13 +1387,26 @@ Result<ValidityReport> ValidityChecker::Check(
   // the whole search, not just its first sweep.
   optimizer::ExpandOptions expand = options_.expand;
   bool stopped_early = false;
-  auto run_expand = [&]() {
+  // Every expansion charges its newly created expressions against the
+  // whole-check guard (per-expression approximation of node + group-list
+  // overhead) — and through it the global MemoryTracker when attached —
+  // so a runaway memo surfaces as kResourceExhausted that the caller can
+  // degrade per policy instead of silently eating the process.
+  constexpr uint64_t kApproxMemoExprBytes = 160;
+  auto run_expand = [&]() -> Status {
+    size_t exprs_before = memo_.num_exprs();
     optimizer::ExpandStats stats = optimizer::ExpandMemo(&memo_, expand);
     report.expansion_passes += stats.passes;
     report.groups_pruned += stats.groups_pruned;
     report.exprs_skipped += stats.exprs_skipped;
     report.frontier_depth = std::max(report.frontier_depth, stats.frontier_depth);
     stopped_early = stopped_early || stats.stopped_early;
+    uint64_t added = memo_.num_exprs() - exprs_before;
+    if (added > 0) {
+      FGAC_RETURN_NOT_OK(
+          check_guard_->ChargeBytes(added * kApproxMemoExprBytes));
+    }
+    return Status::OK();
   };
   // True iff any (canonical) group carries a conditional mark. Every
   // inference rule derives new marks from existing ones (U1 seeds at view
@@ -1425,23 +1442,26 @@ Result<ValidityReport> ValidityChecker::Check(
         }
       }
       expand.should_stop = [this]() {
+        // Abort expansion batches early on cancel/deadline; the blown
+        // budget itself is re-raised by the Check() after expansion.
+        if (!check_guard_->Check().ok()) return true;
         PropagateValidity(nullptr);
         return memo_.IsValidU(memo_.Find(root_));
       };
       if (memo_.IsValidU(memo_.Find(root_)) || !any_valid_c()) {
         skip_inference = true;
       } else {
-        run_expand();
+        FGAC_RETURN_NOT_OK(run_expand());
       }
     } else {
-      run_expand();
+      FGAC_RETURN_NOT_OK(run_expand());
     }
   } else {
     // Basic rules: only the query is expanded; view DAGs are unified
     // unexpanded (Section 5.6.2). A final subsumption-only pass adds the
     // σ-from-weaker-σ derivations of Section 5.6.1 (these extend the query
     // DAG with references to the view nodes, not the view DAGs themselves).
-    run_expand();
+    FGAC_RETURN_NOT_OK(run_expand());
     FGAC_RETURN_NOT_OK(insert_views());
     optimizer::ExpandOptions subsumption_only;
     subsumption_only.enable_select_merge = false;
@@ -1491,7 +1511,7 @@ Result<ValidityReport> ValidityChecker::Check(
       }
       // Newly derived expressions (U3 cores, factored projections,
       // introduced joins) may enable further equivalence rules.
-      if (changed) run_expand();
+      if (changed) FGAC_RETURN_NOT_OK(run_expand());
       PropagateValidity(&changed);
       GroupId root = memo_.Find(root_);
       if (!changed || memo_.IsValidU(root)) break;

@@ -14,6 +14,7 @@
 #include "common/trace.h"
 #include "core/auth_view.h"
 #include "core/validity_trace.h"
+#include "exec/scheduler.h"
 #include "optimizer/memo.h"
 #include "optimizer/rules.h"
 #include "storage/database_state.h"
@@ -78,6 +79,13 @@ struct ValidityOptions {
   /// LIMIT-1 query). A probe tripping its own limits merely counts as
   /// empty — sound, since fewer conditional markings only reject more.
   common::QueryLimits probe_limits;
+  /// Byte budget for the check's memo expansion (each ExpandMemo call
+  /// charges its new expressions at an approximate per-expression
+  /// footprint against the whole-check guard — and through it the global
+  /// MemoryTracker when one is attached). 0 = unlimited. Exceeding it
+  /// aborts Check() with kResourceExhausted, which the Database degrades
+  /// per DegradePolicy before giving up.
+  uint64_t check_max_memory_bytes = 0;
 };
 
 /// Outcome of a validity test plus diagnostics for the benchmarks.
@@ -147,6 +155,11 @@ class ValidityChecker {
   /// "validity.probe_batch" span in the context's tracer, parented under
   /// the caller's "validity.check" span. Borrowed; must outlive Check().
   void set_span_context(const common::TraceContext* ctx) { span_ctx_ = ctx; }
+
+  /// Session identity for fair dispatch of probe batches on the shared
+  /// scheduler (probes compete with executing queries for workers; the
+  /// submitting session should pay for them). Default: anonymous bucket.
+  void set_dag_options(const exec::DagOptions& opts) { dag_opts_ = opts; }
 
   /// Tests whether `query` (a bound, normalized plan) can be answered using
   /// only the information in `views` (already instantiated for the session).
@@ -265,6 +278,7 @@ class ValidityChecker {
   Status probe_status_;
   ValidityTrace* trace_ = nullptr;
   const common::TraceContext* span_ctx_ = nullptr;
+  exec::DagOptions dag_opts_;
 };
 
 }  // namespace fgac::core

@@ -68,7 +68,7 @@ bool IsParallelizable(const PlanPtr& plan,
 Result<storage::Relation> ParallelExecutePlan(
     const PlanPtr& plan, const storage::DatabaseState& state,
     size_t num_threads, common::QueryGuard* guard, ExecStats* stats,
-    const common::TraceContext* trace) {
+    const common::TraceContext* trace, const DagOptions& dag_opts) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   // Both serial paths (explicit n<=1 and the not-decomposable fallback)
   // funnel through here so the trace always shows where the plan actually
@@ -79,7 +79,8 @@ Result<storage::Relation> ParallelExecutePlan(
     return ExecutePlan(plan, state, guard, stats);
   };
   if (num_threads <= 1 || !ShouldPipeline(plan)) return run_serial();
-  return ExecutePlanPipelined(plan, state, num_threads, guard, stats, trace);
+  return ExecutePlanPipelined(plan, state, num_threads, guard, stats, trace,
+                              dag_opts);
 }
 
 }  // namespace fgac::exec

@@ -7,6 +7,7 @@
 #include "common/query_guard.h"
 #include "common/result.h"
 #include "common/trace.h"
+#include "exec/scheduler.h"
 #include "storage/database_state.h"
 #include "storage/relation.h"
 
@@ -64,10 +65,15 @@ bool IsParallelizable(const algebra::PlanPtr& plan,
 /// back to the serial executor, all parented under the caller's span — so
 /// a Perfetto view of a query shows exactly which part of the plan ran
 /// where.
+///
+/// `dag_opts` names the submitting session for the scheduler's weighted
+/// round-robin (see DagOptions); the default is the shared anonymous
+/// bucket.
 Result<storage::Relation> ParallelExecutePlan(
     const algebra::PlanPtr& plan, const storage::DatabaseState& state,
     size_t num_threads, common::QueryGuard* guard = nullptr,
-    ExecStats* stats = nullptr, const common::TraceContext* trace = nullptr);
+    ExecStats* stats = nullptr, const common::TraceContext* trace = nullptr,
+    const DagOptions& dag_opts = DagOptions{});
 
 }  // namespace fgac::exec
 

@@ -604,7 +604,7 @@ const algebra::Plan* PipelineSourceNode(const PlanPtr& plan) {
 Result<storage::Relation> ExecutePlanPipelined(
     const PlanPtr& plan, const storage::DatabaseState& state,
     size_t num_threads, common::QueryGuard* guard, ExecStats* stats,
-    const common::TraceContext* trace) {
+    const common::TraceContext* trace, const DagOptions& dag_opts) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   num_threads = std::max<size_t>(1, num_threads);
 
@@ -619,7 +619,7 @@ Result<storage::Relation> ExecutePlanPipelined(
 
   std::vector<char> started;
   Status dag_status = PipelineScheduler::Shared().RunDag(
-      std::move(dag.sets), guard, trace, &started);
+      std::move(dag.sets), guard, trace, &started, dag_opts);
 
   if (stats != nullptr) {
     for (size_t i = 0; i < dag.seeds.size(); ++i) {

@@ -7,6 +7,7 @@
 #include "common/query_guard.h"
 #include "common/result.h"
 #include "common/trace.h"
+#include "exec/scheduler.h"
 #include "storage/database_state.h"
 #include "storage/relation.h"
 
@@ -51,7 +52,8 @@ const algebra::Plan* PipelineSourceNode(const algebra::PlanPtr& plan);
 Result<storage::Relation> ExecutePlanPipelined(
     const algebra::PlanPtr& plan, const storage::DatabaseState& state,
     size_t num_threads, common::QueryGuard* guard = nullptr,
-    ExecStats* stats = nullptr, const common::TraceContext* trace = nullptr);
+    ExecStats* stats = nullptr, const common::TraceContext* trace = nullptr,
+    const DagOptions& dag_opts = DagOptions{});
 
 }  // namespace fgac::exec
 

@@ -8,6 +8,61 @@
 
 namespace fgac::exec {
 
+void FairTaskQueue::Push(uint64_t session, uint32_t weight,
+                         std::function<void()> task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionQueue& q = sessions_[session];
+  q.weight = std::max<uint32_t>(1, weight);
+  q.tasks.push_back(std::move(task));
+  ++size_;
+  if (!q.in_rotation) {
+    q.in_rotation = true;
+    q.credits = 0;  // fresh visit starts with a full grant
+    rotation_.push_back(session);
+  }
+}
+
+bool FairTaskQueue::Pop(std::function<void()>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!rotation_.empty()) {
+    uint64_t key = rotation_.front();
+    auto it = sessions_.find(key);
+    if (it == sessions_.end() || it->second.tasks.empty()) {
+      // Visit exhausted between Pops (tasks drained without re-Push).
+      rotation_.pop_front();
+      if (it != sessions_.end()) sessions_.erase(it);
+      continue;
+    }
+    SessionQueue& q = it->second;
+    if (q.credits == 0) q.credits = q.weight;
+    *out = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    --size_;
+    if (--q.credits == 0 || q.tasks.empty()) {
+      // Grant spent (or nothing left): rotate to the next session.
+      rotation_.pop_front();
+      q.credits = 0;
+      if (q.tasks.empty()) {
+        sessions_.erase(it);
+      } else {
+        rotation_.push_back(key);
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+size_t FairTaskQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+size_t FairTaskQueue::sessions_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
 /// Shared state of one in-flight DAG. Heap-allocated and shared_ptr-held by
 /// every dispatched task so nothing dangles regardless of completion order;
 /// the caller's RunDag frame is the last owner standing.
@@ -28,6 +83,8 @@ struct PipelineScheduler::DagRun {
   /// dispatch and are cancelled without starting.
   std::atomic<bool> abort{false};
   common::QueryGuard* guard = nullptr;
+  /// Fair-dispatch identity of the submitting session.
+  DagOptions opts;
   common::TraceContext trace;  // copied: valid for the workers' lifetime
   std::mutex mu;
   std::condition_variable done;
@@ -37,7 +94,8 @@ struct PipelineScheduler::DagRun {
 Status PipelineScheduler::RunDag(std::vector<PipelineTaskSet> sets,
                                  common::QueryGuard* guard,
                                  const common::TraceContext* trace,
-                                 std::vector<char>* started) {
+                                 std::vector<char>* started,
+                                 const DagOptions& opts) {
   if (sets.empty()) return Status::OK();
   const size_t n = sets.size();
   for (size_t s = 0; s < n; ++s) {
@@ -65,6 +123,7 @@ Status PipelineScheduler::RunDag(std::vector<PipelineTaskSet> sets,
     for (size_t d : set.deps) run->dependents[d].push_back(s);
   }
   run->guard = guard;
+  run->opts = opts;
   if (trace != nullptr) run->trace = *trace;
   run->sets_remaining = n;
   dags_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -111,9 +170,19 @@ void PipelineScheduler::DispatchSet(const std::shared_ptr<DagRun>& run,
     return;
   }
   tasks_dispatched_.fetch_add(tasks, std::memory_order_relaxed);
+  // Ready tasks are parked in the per-session WRR queue; what goes to the
+  // pool is an equal number of interchangeable drain tokens. Each token
+  // runs whichever task the fair queue releases next, so sessions share
+  // worker bandwidth by weight no matter whose DAG enqueued first.
   for (size_t t = 0; t < tasks; ++t) {
-    common::ThreadPool::Shared().Submit(
-        [this, run, s, t] { RunTask(run, s, t); });
+    fair_queue_.Push(r.opts.session_key, r.opts.weight,
+                     [this, run, s, t] { RunTask(run, s, t); });
+  }
+  for (size_t t = 0; t < tasks; ++t) {
+    common::ThreadPool::Shared().Submit([this] {
+      std::function<void()> task;
+      if (fair_queue_.Pop(&task)) task();
+    });
   }
 }
 

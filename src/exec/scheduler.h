@@ -5,10 +5,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/query_guard.h"
@@ -38,6 +40,50 @@ struct PipelineTaskSet {
   /// Human label for the pipeline-level "exec.pipeline" span detail
   /// ("scan(grades)", "build(Join)", "probe_batch").
   std::string label;
+};
+
+/// Submitting-session identity for fair dispatch. DAGs carrying the same
+/// session_key share one weighted-round-robin bucket; weight is the number
+/// of ready tasks the bucket may release per rotation visit (so a weight-3
+/// session gets ~3x the dispatch bandwidth of a weight-1 session while
+/// both have work queued).
+struct DagOptions {
+  /// 0 = anonymous: all anonymous DAGs share one bucket.
+  uint64_t session_key = 0;
+  uint32_t weight = 1;
+};
+
+/// Weighted-round-robin multiplexer of ready tasks across sessions — the
+/// fairness core of the PipelineScheduler, standalone so its dispatch
+/// order is unit-testable without a thread pool. Push enqueues a ready
+/// task under its session; Pop releases tasks in WRR order: each rotation
+/// visit grants a session up to `weight` consecutive tasks, then moves to
+/// the next session with work. One session flooding the queue therefore
+/// delays its own tasks, not other sessions'.
+///
+/// Thread-safe; Pop returns false only when empty.
+class FairTaskQueue {
+ public:
+  void Push(uint64_t session, uint32_t weight, std::function<void()> task);
+  bool Pop(std::function<void()>* out);
+  size_t size() const;
+  /// Sessions currently holding ready tasks.
+  size_t sessions_active() const;
+
+ private:
+  struct SessionQueue {
+    std::deque<std::function<void()>> tasks;
+    uint32_t weight = 1;
+    /// Tasks still grantable in the current rotation visit.
+    uint32_t credits = 0;
+    bool in_rotation = false;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, SessionQueue> sessions_;
+  /// Visit order; the front session is the current grantee.
+  std::deque<uint64_t> rotation_;
+  size_t size_ = 0;
 };
 
 /// Schedules pipeline DAGs from any number of concurrent queries onto the
@@ -76,9 +122,15 @@ class PipelineScheduler {
   /// Fault sites: "scheduler.dispatch" fires once per set at dispatch
   /// time; "pipeline.run" (and the legacy "threadpool.dispatch") fire in
   /// each task before its body.
+  ///
+  /// `opts` names the submitting session for fair dispatch: ready tasks
+  /// enter a per-session weighted-round-robin queue and the pool drains
+  /// them in WRR order, so concurrent sessions share workers by weight
+  /// instead of pool-level FIFO arrival order.
   Status RunDag(std::vector<PipelineTaskSet> sets, common::QueryGuard* guard,
                 const common::TraceContext* trace,
-                std::vector<char>* started = nullptr);
+                std::vector<char>* started = nullptr,
+                const DagOptions& opts = DagOptions{});
 
   uint64_t dags_executed() const {
     return dags_executed_.load(std::memory_order_relaxed);
@@ -95,6 +147,12 @@ class PipelineScheduler {
     return pipelines_cancelled_.load(std::memory_order_relaxed);
   }
 
+  /// Ready tasks currently parked in the fair queue (claimed by a pool
+  /// worker but not yet run ≙ 0 when quiesced).
+  size_t fair_queue_depth() const { return fair_queue_.size(); }
+  /// Sessions with ready tasks queued right now.
+  size_t fair_sessions_active() const { return fair_queue_.sessions_active(); }
+
   /// Process-wide scheduler over ThreadPool::Shared().
   static PipelineScheduler& Shared();
 
@@ -109,6 +167,7 @@ class PipelineScheduler {
   std::atomic<uint64_t> tasks_dispatched_{0};
   std::atomic<uint64_t> pipelines_completed_{0};
   std::atomic<uint64_t> pipelines_cancelled_{0};
+  FairTaskQueue fair_queue_;
 };
 
 }  // namespace fgac::exec

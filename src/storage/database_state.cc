@@ -2,11 +2,17 @@
 
 namespace fgac::storage {
 
+void DatabaseState::SetMemoryTracker(common::MemoryTracker* tracker) {
+  tracker_ = tracker;
+  for (auto& [name, data] : tables_) data.set_memory_tracker(tracker);
+}
+
 Status DatabaseState::CreateTable(const std::string& name, size_t num_columns) {
   if (HasTable(name)) {
     return Status::CatalogError("table data for '" + name + "' already exists");
   }
-  tables_.emplace(name, TableData(num_columns));
+  auto it = tables_.emplace(name, TableData(num_columns)).first;
+  it->second.set_memory_tracker(tracker_);
   ++structural_version_;
   return Status::OK();
 }

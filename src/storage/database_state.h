@@ -22,6 +22,11 @@ class DatabaseState {
   DatabaseState(DatabaseState&&) = default;
   DatabaseState& operator=(DatabaseState&&) = default;
 
+  /// Registers every table's columnar-snapshot rebuild with the global
+  /// memory account (existing tables and those created later). Pass
+  /// nullptr to detach. Not thread-safe against concurrent scans.
+  void SetMemoryTracker(common::MemoryTracker* tracker);
+
   Status CreateTable(const std::string& name, size_t num_columns);
   Status DropTable(const std::string& name);
   bool HasTable(const std::string& name) const;
@@ -43,6 +48,7 @@ class DatabaseState {
 
  private:
   std::map<std::string, TableData> tables_;
+  common::MemoryTracker* tracker_ = nullptr;
   /// Structural changes; absorbs the version of dropped tables so the
   /// aggregate never repeats a previously observed value.
   uint64_t structural_version_ = 0;

@@ -6,6 +6,12 @@
 
 namespace fgac::storage {
 
+TableData::~TableData() {
+  if (tracker_ != nullptr && snapshot_charged_ > 0) {
+    tracker_->Release(snapshot_charged_);
+  }
+}
+
 void TableData::MoveFrom(TableData&& other) noexcept {
   num_columns_ = other.num_columns_;
   rows_ = std::move(other.rows_);
@@ -13,6 +19,11 @@ void TableData::MoveFrom(TableData&& other) noexcept {
   columns_ = std::move(other.columns_);
   columns_dirty_.store(other.columns_dirty_.load(std::memory_order_acquire),
                        std::memory_order_release);
+  tracker_ = other.tracker_;
+  snapshot_charged_ = other.snapshot_charged_;
+  // The moved-from table no longer owns the snapshot's charge.
+  other.tracker_ = nullptr;
+  other.snapshot_charged_ = 0;
 }
 
 void TableData::InsertRows(std::vector<Row> rows) {
@@ -40,6 +51,17 @@ Status TableData::EnsureColumnsBuilt() const {
   std::lock_guard<std::mutex> lock(columns_mutex_);
   if (!columns_dirty_.load(std::memory_order_relaxed)) return Status::OK();
   FGAC_FAULT_POINT("storage.rebuild");
+  if (tracker_ != nullptr) {
+    // Swap the snapshot's global charge before materializing: release the
+    // stale snapshot's footprint, charge the new one. Denial fails the
+    // scan and keeps the snapshot dirty — the rebuild retries later.
+    uint64_t bytes =
+        rows_.size() * num_columns_ * static_cast<uint64_t>(sizeof(Value));
+    if (snapshot_charged_ > 0) tracker_->Release(snapshot_charged_);
+    snapshot_charged_ = 0;
+    FGAC_RETURN_NOT_OK(tracker_->Charge(bytes));
+    snapshot_charged_ = bytes;
+  }
   columns_.assign(num_columns_, exec::ColumnVector());
   for (exec::ColumnVector& c : columns_) c.Reserve(rows_.size());
   for (const Row& r : rows_) {

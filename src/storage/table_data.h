@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/value.h"
@@ -51,6 +52,16 @@ class TableData {
   }
   TableData(const TableData&) = delete;
   TableData& operator=(const TableData&) = delete;
+  ~TableData();
+
+  /// Accounts the columnar snapshot against the process-wide budget: each
+  /// rebuild charges the snapshot's approximate footprint (releasing the
+  /// previous snapshot's) and a rebuild the tracker denies fails the scan
+  /// with kResourceExhausted, leaving the snapshot dirty for retry once
+  /// pressure drains. Attach before concurrent scans start.
+  void set_memory_tracker(common::MemoryTracker* tracker) {
+    tracker_ = tracker;
+  }
 
   size_t num_columns() const { return num_columns_; }
   const std::vector<Row>& rows() const { return rows_; }
@@ -107,6 +118,10 @@ class TableData {
   mutable std::mutex columns_mutex_;
   mutable std::vector<exec::ColumnVector> columns_;
   mutable std::atomic<bool> columns_dirty_{true};
+  common::MemoryTracker* tracker_ = nullptr;
+  /// Bytes charged to tracker_ for the live snapshot (guarded by
+  /// columns_mutex_ like the snapshot itself).
+  mutable uint64_t snapshot_charged_ = 0;
 };
 
 }  // namespace fgac::storage
