@@ -1,0 +1,274 @@
+// Experiment E17 — steady-state PREPARE/EXECUTE through the server core.
+//
+// The paper's Section 5.6 observation, taken to a multi-session server:
+// for prepared statements the validity test (and the Truman rewrite) can
+// be computed once and reused, so steady-state enforced execution should
+// cost about what unenforced execution costs. This bench drives the full
+// stack — ConnectionManager sessions, the per-session prepared registry,
+// and the sharded per-principal StatementCache — in a closed loop of
+// N sessions x M principals, and reports throughput plus p50/p95/p99
+// (cross-checked against the database's own metrics histograms).
+//
+// Protocol:
+//   1. PREPARE one parameterized statement per session (restricted to the
+//      principal's own rows, so the Non-Truman check accepts it);
+//   2. warm-up EXECUTE round: populates verdicts/rewrites in the
+//      StatementCache (every later execution is a cache hit);
+//   3. measured closed loop per enforcement mode (none / Truman /
+//      Non-Truman), 8 session threads cycling EXECUTE arguments;
+//   4. emit per-mode p50/p95/p99 + qps, and the enforced/unenforced
+//      overhead ratio.
+//
+// Self-gates (exit 1): every measured execution must succeed; the
+// steady-state loops must actually hit the statement cache (hit rate
+// > 90%); enforced steady state must stay within 2x of unenforced (a
+// loose tripwire for total cache failure — the tight regression gate is
+// bench/check_regression.py --require prepared_steady_state_p99 against
+// the seed baseline, which CI enforces on every PR).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_report.h"
+#include "bench/workload.h"
+#include "common/metrics.h"
+#include "core/database.h"
+#include "server/connection_manager.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using fgac::bench::EmitJsonLine;
+using fgac::bench::LoadScaledUniversity;
+using fgac::bench::UniversityScale;
+using fgac::core::Database;
+using fgac::core::DatabaseOptions;
+using fgac::core::EnforcementMode;
+using fgac::server::ConnectionManager;
+using fgac::server::Session;
+
+constexpr int kSessions = 8;
+constexpr int kPrincipals = 4;
+constexpr int kItersPerSession = 200;
+constexpr int kCourses = 8;  // EXECUTE argument rotation
+
+std::unique_ptr<Database> MakeDb() {
+  auto db = std::make_unique<Database>();
+  UniversityScale scale;
+  scale.students = 2000;
+  scale.courses = 40;
+  LoadScaledUniversity(db.get(), scale);
+  // mygrades: the principal's own grades, the view that makes the bench
+  // statement provably valid under Non-Truman and the Truman policy for
+  // the grades table.
+  if (!db->ExecuteAsAdmin(
+             "create authorization view mygrades as "
+             "select student-id, course-id, grade from grades "
+             "where student-id = $user-id")
+           .ok() ||
+      !db->catalog().SetTrumanView("grades", "mygrades").ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    std::exit(1);
+  }
+  for (int p = 0; p < kPrincipals; ++p) {
+    std::string user = "s" + std::to_string(p);
+    if (!db->ExecuteAsAdmin("grant select on mygrades to " + user).ok()) {
+      std::fprintf(stderr, "grant failed for %s\n", user.c_str());
+      std::exit(1);
+    }
+  }
+  return db;
+}
+
+double PercentileUs(std::vector<uint64_t> us, double p) {
+  if (us.empty()) return 0;
+  std::sort(us.begin(), us.end());
+  size_t idx = static_cast<size_t>(p / 100.0 * static_cast<double>(us.size()));
+  return static_cast<double>(us[std::min(idx, us.size() - 1)]);
+}
+
+struct ModeResult {
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double mean_us = 0;
+  double qps = 0;
+  uint64_t executed = 0;
+  int errors = 0;
+};
+
+/// Closed loop: kSessions threads, session i runs as principal i %
+/// kPrincipals, each re-EXECUTEs its prepared statement kItersPerSession
+/// times cycling through kCourses arguments.
+ModeResult RunClosedLoop(Database* db, EnforcementMode mode) {
+  ConnectionManager cm(*db);
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int i = 0; i < kSessions; ++i) {
+    auto s = cm.Open("s" + std::to_string(i % kPrincipals), mode);
+    auto p = s->Execute(
+        "prepare q as select grade from grades "
+        "where student-id = $user-id and course-id = $1");
+    if (!p.ok()) {
+      std::fprintf(stderr, "prepare failed: %s\n",
+                   p.status().ToString().c_str());
+      std::exit(1);
+    }
+    sessions.push_back(std::move(s));
+  }
+  auto arg = [](int j) {
+    return "execute q ('c" + std::to_string(j % kCourses) + "')";
+  };
+  // Warm-up: one pass over every (session, argument) pair fills the
+  // statement cache, so the measured loop is pure steady state.
+  for (auto& s : sessions) {
+    for (int j = 0; j < kCourses; ++j) {
+      auto r = s->Execute(arg(j));
+      if (!r.ok()) {
+        std::fprintf(stderr, "warm-up failed: %s\n",
+                     r.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+
+  std::mutex mu;
+  std::vector<uint64_t> all_us;
+  std::atomic<int> errors{0};
+  Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      std::vector<uint64_t> local_us;
+      local_us.reserve(kItersPerSession);
+      for (int j = 0; j < kItersPerSession; ++j) {
+        Clock::time_point q0 = Clock::now();
+        auto r = sessions[static_cast<size_t>(i)]->Execute(arg(j));
+        Clock::time_point q1 = Clock::now();
+        if (!r.ok()) {
+          std::fprintf(stderr, "execute failed: %s\n",
+                       r.status().ToString().c_str());
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        local_us.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(q1 - q0)
+                .count()));
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      all_us.insert(all_us.end(), local_us.begin(), local_us.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double wall_s = std::chrono::duration_cast<std::chrono::duration<double>>(
+                      Clock::now() - t0)
+                      .count();
+  ModeResult res;
+  res.executed = all_us.size();
+  res.errors = errors.load();
+  res.p50_us = PercentileUs(all_us, 50.0);
+  res.p95_us = PercentileUs(all_us, 95.0);
+  res.p99_us = PercentileUs(all_us, 99.0);
+  for (uint64_t v : all_us) res.mean_us += static_cast<double>(v);
+  if (!all_us.empty()) res.mean_us /= static_cast<double>(all_us.size());
+  res.qps = wall_s > 0 ? static_cast<double>(res.executed) / wall_s : 0;
+  cm.CloseAll();
+  return res;
+}
+
+void EmitMode(const std::string& name, const ModeResult& r) {
+  char extra[200];
+  std::snprintf(extra, sizeof(extra),
+                ",\"p50_us\":%.1f,\"p95_us\":%.1f,\"qps\":%.1f,"
+                "\"executed\":%llu",
+                r.p50_us, r.p95_us, r.qps,
+                static_cast<unsigned long long>(r.executed));
+  EmitJsonLine(name, r.p99_us * 1000.0, /*rows_per_sec=*/0.0, extra);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Accepts (and ignores) Google-Benchmark-style flags so run_all.sh can
+  // pass one GBENCH_FLAGS to every binary.
+  (void)argc;
+  (void)argv;
+  std::unique_ptr<Database> db = MakeDb();
+
+  ModeResult none = RunClosedLoop(db.get(), EnforcementMode::kNone);
+  EmitMode("prepared_unenforced_p99", none);
+  std::printf("unenforced:  mean %.0fus p50 %.0fus p99 %.0fus (%.0f qps)\n",
+              none.mean_us, none.p50_us, none.p99_us, none.qps);
+
+  ModeResult truman = RunClosedLoop(db.get(), EnforcementMode::kTruman);
+  EmitMode("prepared_truman_p99", truman);
+  std::printf("truman:      mean %.0fus p50 %.0fus p99 %.0fus (%.0f qps)\n",
+              truman.mean_us, truman.p50_us, truman.p99_us, truman.qps);
+
+  uint64_t hits_before = db->statement_cache().hits();
+  uint64_t misses_before = db->statement_cache().misses();
+  ModeResult nontruman = RunClosedLoop(db.get(), EnforcementMode::kNonTruman);
+  EmitMode("prepared_steady_state_p99", nontruman);
+  std::printf("non-truman:  mean %.0fus p50 %.0fus p99 %.0fus (%.0f qps)\n",
+              nontruman.mean_us, nontruman.p50_us, nontruman.p99_us,
+              nontruman.qps);
+
+  double overhead =
+      none.mean_us > 0 ? nontruman.mean_us / none.mean_us : 0;
+  char extra[96];
+  std::snprintf(extra, sizeof(extra), ",\"overhead_ratio\":%.3f", overhead);
+  EmitJsonLine("prepared_enforced_overhead", nontruman.mean_us * 1000.0, 0.0,
+               extra);
+  std::printf("enforced/unenforced overhead: %.2fx\n", overhead);
+
+  // Cross-check against the engine's own histogram (the metrics pipeline
+  // CI dashboards would scrape).
+  fgac::common::MetricsSnapshot snap = db->metrics().Snapshot();
+  auto hist = snap.histograms.find("prepared.execute_us");
+  if (hist != snap.histograms.end()) {
+    std::printf("metrics histogram prepared.execute_us: count %llu "
+                "p50 %lluus p95 %lluus p99 %lluus\n",
+                static_cast<unsigned long long>(hist->second.count),
+                static_cast<unsigned long long>(hist->second.p50),
+                static_cast<unsigned long long>(hist->second.p95),
+                static_cast<unsigned long long>(hist->second.p99));
+  }
+
+  // Self-gates.
+  int failures = 0;
+  if (none.errors + truman.errors + nontruman.errors > 0) {
+    std::fprintf(stderr, "GATE: %d executions failed\n",
+                 none.errors + truman.errors + nontruman.errors);
+    ++failures;
+  }
+  uint64_t hits = db->statement_cache().hits() - hits_before;
+  uint64_t misses = db->statement_cache().misses() - misses_before;
+  double hit_rate = hits + misses > 0
+                        ? static_cast<double>(hits) /
+                              static_cast<double>(hits + misses)
+                        : 0;
+  if (hit_rate < 0.9) {
+    std::fprintf(stderr,
+                 "GATE: steady-state statement-cache hit rate %.2f < 0.9 "
+                 "(%llu hits / %llu misses)\n",
+                 hit_rate, static_cast<unsigned long long>(hits),
+                 static_cast<unsigned long long>(misses));
+    ++failures;
+  }
+  if (none.mean_us > 0 && nontruman.mean_us > 2.0 * none.mean_us) {
+    std::fprintf(stderr,
+                 "GATE: enforced steady state %.0fus > 2x unenforced %.0fus\n",
+                 nontruman.mean_us, none.mean_us);
+    ++failures;
+  }
+  std::printf("statement cache: hit rate %.3f over the measured loop\n",
+              hit_rate);
+  return failures == 0 ? 0 : 1;
+}

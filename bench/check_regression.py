@@ -63,6 +63,9 @@ def main():
                     metavar="NAME",
                     help="fail unless this benchmark name was compared "
                          "against the baseline (repeatable)")
+    ap.add_argument("--markdown-summary", default="", metavar="PATH",
+                    help="also write the comparison as a GitHub-flavored "
+                         "markdown delta table (for $GITHUB_STEP_SUMMARY)")
     args = ap.parse_args()
 
     if args.tolerance <= 0:
@@ -80,6 +83,7 @@ def main():
     compared_names = set()
     regressions = []
     unmatched = []
+    rows = []
     for entry in results:
         name = entry["name"]
         if name_re and not name_re.search(name):
@@ -94,6 +98,8 @@ def main():
         verdict = "REGRESSED" if ratio > args.tolerance else "ok"
         print(f"{verdict:>9}  {name}: {entry['ns_per_op']:.0f} ns/op "
               f"vs baseline {base['ns_per_op']:.0f} ({ratio:.2f}x)")
+        rows.append((name, entry["ns_per_op"], base["ns_per_op"], ratio,
+                     verdict))
         if ratio > args.tolerance:
             regressions.append((name, ratio))
 
@@ -102,6 +108,19 @@ def main():
 
     print(f"\ncompared {compared} benchmark(s), "
           f"{len(regressions)} regression(s), tolerance {args.tolerance}x")
+    if args.markdown_summary:
+        with open(args.markdown_summary, "w") as f:
+            f.write("### Bench gate vs seed baseline "
+                    f"(tolerance {args.tolerance}x)\n\n")
+            f.write("| benchmark | ns/op | baseline | delta | verdict |\n")
+            f.write("|---|---:|---:|---:|---|\n")
+            for name, ns, base_ns, ratio, verdict in rows:
+                delta = (ratio - 1.0) * 100.0
+                mark = ":x:" if verdict == "REGRESSED" else ":white_check_mark:"
+                f.write(f"| `{name}` | {ns:,.0f} | {base_ns:,.0f} "
+                        f"| {delta:+.1f}% | {mark} {verdict} |\n")
+            for name in unmatched:
+                f.write(f"| `{name}` | — | — | — | no baseline |\n")
     missing = [n for n in args.require if n not in compared_names]
     if missing:
         print(f"error: required benchmark(s) not compared: "

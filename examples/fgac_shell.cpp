@@ -11,9 +11,12 @@
 //   \tables  \views  \grants <user>
 //   \help  \quit
 //
-// Everything else is SQL, '; '-terminated statements. On startup, an
-// optional script file is executed as the administrator (handy for loading
-// a schema + policies before experimenting).
+// Everything else is SQL, '; '-terminated statements — including
+// PREPARE name AS <select> / EXECUTE name (args) / DEALLOCATE, which run
+// against the shell's server::Session (prepared statements are
+// per-session; \user opens a fresh session and drops them). On startup,
+// an optional script file is executed as the administrator (handy for
+// loading a schema + policies before experimenting).
 
 #include <cstdio>
 #include <fstream>
@@ -22,12 +25,15 @@
 #include <string>
 
 #include "core/database.h"
+#include "server/connection_manager.h"
 
 namespace {
 
 using fgac::core::Database;
 using fgac::core::EnforcementMode;
 using fgac::core::SessionContext;
+using fgac::server::ConnectionManager;
+using fgac::server::Session;
 
 void PrintHelp() {
   std::printf(
@@ -42,10 +48,15 @@ void PrintHelp() {
       "  \\grants <user>          list views available to a user\n"
       "  \\help                   this text\n"
       "  \\quit                   exit\n"
-      "anything else: SQL, ';'-terminated. Try: explain select ...\n");
+      "anything else: SQL, ';'-terminated. Try: explain select ...\n"
+      "prepared statements: prepare q as select ... where x = $1;\n"
+      "                     execute q ('value');   deallocate q;\n"
+      "(\\user opens a fresh session, dropping prepared statements)\n");
 }
 
-bool HandleMeta(Database& db, SessionContext& ctx, const std::string& line) {
+bool HandleMeta(Database& db, ConnectionManager& cm,
+                std::shared_ptr<Session>& session, const std::string& line) {
+  SessionContext& ctx = session->context();
   std::istringstream in(line);
   std::string cmd;
   in >> cmd;
@@ -60,11 +71,14 @@ bool HandleMeta(Database& db, SessionContext& ctx, const std::string& line) {
       std::printf("usage: \\user <name>\n");
       return true;
     }
+    // Prepared statements are per-session: switching principals means a
+    // fresh session (and registry), exactly like reconnecting.
     EnforcementMode mode = ctx.mode();
-    ctx = SessionContext(name);
-    ctx.set_mode(mode);
-    std::printf("now user '%s' (mode %s)\n", name.c_str(),
-                fgac::core::EnforcementModeName(mode));
+    cm.Close(session->id());
+    session = cm.Open(name, mode);
+    std::printf("now user '%s' (mode %s, session %s)\n", name.c_str(),
+                fgac::core::EnforcementModeName(mode),
+                session->id().c_str());
   } else if (cmd == "\\param") {
     std::string name, value;
     in >> name >> value;
@@ -135,8 +149,8 @@ bool HandleMeta(Database& db, SessionContext& ctx, const std::string& line) {
   return true;
 }
 
-void RunSql(Database& db, const SessionContext& ctx, const std::string& sql) {
-  auto result = db.Execute(sql, ctx);
+void RunSql(Session& session, const std::string& sql) {
+  auto result = session.Execute(sql);
   if (!result.ok()) {
     std::printf("!! %s\n", result.status().ToString().c_str());
     return;
@@ -179,18 +193,19 @@ int main(int argc, char** argv) {
     std::printf("loaded %s\n", argv[1]);
   }
 
-  SessionContext ctx("admin");
-  ctx.set_mode(EnforcementMode::kNone);
+  ConnectionManager cm(db);
+  std::shared_ptr<Session> session = cm.Open("admin");
   std::printf("fgac shell — \\help for help. You are 'admin' (mode none).\n");
 
   std::string pending;
   std::string line;
   while (true) {
-    std::printf(pending.empty() ? "%s> " : "%s.. ", ctx.user().c_str());
+    std::printf(pending.empty() ? "%s> " : "%s.. ",
+                session->context().user().c_str());
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
     if (pending.empty() && !line.empty() && line[0] == '\\') {
-      HandleMeta(db, ctx, line);
+      HandleMeta(db, cm, session, line);
       continue;
     }
     pending += line + "\n";
@@ -205,7 +220,7 @@ int main(int argc, char** argv) {
       pending.erase(pending.begin());
     }
     if (sql.find_first_not_of(" \t\n") == std::string::npos) continue;
-    RunSql(db, ctx, sql);
+    RunSql(*session, sql);
   }
   return 0;
 }

@@ -83,6 +83,9 @@ Result<ScalarPtr> Binder::BindExpr(const sql::ExprPtr& expr, const Scope& scope)
     case sql::ExprKind::kParam: {
       auto it = options_.params.find(expr->param_name);
       if (it == options_.params.end()) {
+        if (options_.defer_unbound_params) {
+          return MakeAccessParamScalar(expr->param_name);
+        }
         return Status::BindError("unbound parameter $" + expr->param_name);
       }
       return MakeLiteralScalar(it->second);

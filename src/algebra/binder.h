@@ -31,6 +31,12 @@ class Binder {
     /// binding access-pattern authorization views for the validity engine).
     /// When false, an unbound `$$` parameter is an error.
     bool allow_access_params = false;
+    /// When true, a `$` parameter absent from `params` binds to a
+    /// kAccessParam scalar instead of failing — the PREPARE path, which
+    /// binds the statement once with its placeholders held open and
+    /// substitutes concrete values per EXECUTE (BindPlanParams). Session
+    /// parameters present in `params` still substitute normally.
+    bool defer_unbound_params = false;
   };
 
   Binder(const catalog::Catalog& catalog, Options options)

@@ -1,6 +1,7 @@
 #include "algebra/plan.h"
 
 #include <cassert>
+#include <set>
 
 namespace fgac::algebra {
 
@@ -264,6 +265,55 @@ bool PlanHasAccessParam(const PlanPtr& plan) {
     if (PlanHasAccessParam(child)) return true;
   }
   return false;
+}
+
+PlanPtr BindPlanParams(const PlanPtr& plan,
+                       const std::map<std::string, Value>& bindings) {
+  if (plan == nullptr) return nullptr;
+  auto bind_scalar = [&bindings](const ScalarPtr& s) {
+    ScalarPtr out = s;
+    for (const auto& [name, value] : bindings) {
+      out = BindAccessParam(out, name, value);
+    }
+    return out;
+  };
+  auto copy = std::make_shared<Plan>(*plan);
+  for (ScalarPtr& p : copy->predicates) p = bind_scalar(p);
+  for (ScalarPtr& x : copy->exprs) x = bind_scalar(x);
+  for (ScalarPtr& g : copy->group_by) g = bind_scalar(g);
+  for (AggExpr& a : copy->aggs) a.arg = bind_scalar(a.arg);
+  for (SortItem& s : copy->sort_items) s.expr = bind_scalar(s.expr);
+  for (PlanPtr& c : copy->children) c = BindPlanParams(c, bindings);
+  return copy;
+}
+
+namespace {
+
+void CollectScalarParams(const ScalarPtr& s, std::set<std::string>* out) {
+  if (s == nullptr) return;
+  if (s->kind == ScalarKind::kAccessParam) out->insert(s->param);
+  CollectScalarParams(s->left, out);
+  CollectScalarParams(s->right, out);
+  CollectScalarParams(s->operand, out);
+  for (const ScalarPtr& e : s->in_list) CollectScalarParams(e, out);
+}
+
+void CollectPlanParamsInto(const PlanPtr& plan, std::set<std::string>* out) {
+  if (plan == nullptr) return;
+  for (const ScalarPtr& p : plan->predicates) CollectScalarParams(p, out);
+  for (const ScalarPtr& e : plan->exprs) CollectScalarParams(e, out);
+  for (const ScalarPtr& g : plan->group_by) CollectScalarParams(g, out);
+  for (const AggExpr& a : plan->aggs) CollectScalarParams(a.arg, out);
+  for (const SortItem& s : plan->sort_items) CollectScalarParams(s.expr, out);
+  for (const PlanPtr& c : plan->children) CollectPlanParamsInto(c, out);
+}
+
+}  // namespace
+
+std::vector<std::string> CollectPlanParams(const PlanPtr& plan) {
+  std::set<std::string> names;
+  CollectPlanParamsInto(plan, &names);
+  return std::vector<std::string>(names.begin(), names.end());
 }
 
 }  // namespace fgac::algebra

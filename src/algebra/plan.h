@@ -2,6 +2,7 @@
 #define FGAC_ALGEBRA_PLAN_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -95,6 +96,17 @@ std::string PlanToString(const PlanPtr& plan, int indent = 0);
 
 /// True if any scalar in the plan tree contains a $$ access parameter.
 bool PlanHasAccessParam(const PlanPtr& plan);
+
+/// Binds every $$ access parameter named in `bindings` to its concrete
+/// value, returning a fresh tree (shared scalar subtrees without params are
+/// reused). This is how a parameterized plan — bound once at PREPARE or
+/// view-instantiation time — is specialized per execution; parameters not
+/// named in `bindings` survive for a later pass.
+PlanPtr BindPlanParams(const PlanPtr& plan,
+                       const std::map<std::string, Value>& bindings);
+
+/// Collects the distinct access-parameter names remaining in the tree.
+std::vector<std::string> CollectPlanParams(const PlanPtr& plan);
 
 }  // namespace fgac::algebra
 

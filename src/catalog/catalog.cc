@@ -43,6 +43,7 @@ Status Catalog::AddView(ViewDefinition view) {
   }
   std::string name = view.name;
   views_.emplace(std::move(name), std::move(view));
+  BumpPolicyEpoch();
   return Status::OK();
 }
 
@@ -50,6 +51,7 @@ Status Catalog::DropView(const std::string& name) {
   if (views_.erase(name) == 0) {
     return Status::CatalogError("view '" + name + "' does not exist");
   }
+  BumpPolicyEpoch();
   return Status::OK();
 }
 
@@ -111,6 +113,7 @@ Principal* Catalog::GetOrCreatePrincipal(const std::string& name) {
     Principal p;
     p.name = name;
     it = principals_.emplace(name, std::move(p)).first;
+    BumpPolicyEpoch();
   }
   return &it->second;
 }
@@ -127,6 +130,7 @@ Status Catalog::GrantView(const std::string& view_name,
     return Status::CatalogError("view '" + view_name + "' does not exist");
   }
   GetOrCreatePrincipal(principal)->granted_views.insert(view_name);
+  BumpPolicyEpoch();
   return Status::OK();
 }
 
@@ -137,6 +141,7 @@ Status Catalog::RevokeView(const std::string& view_name,
     return Status::CatalogError("'" + principal + "' holds no direct grant on '" +
                                 view_name + "'");
   }
+  BumpPolicyEpoch();
   return Status::OK();
 }
 
@@ -145,6 +150,7 @@ Status Catalog::GrantRole(const std::string& role,
   Principal* r = GetOrCreatePrincipal(role);
   r->is_role = true;
   GetOrCreatePrincipal(principal)->roles.insert(role);
+  BumpPolicyEpoch();
   return Status::OK();
 }
 
@@ -199,6 +205,7 @@ Status Catalog::SetTrumanView(const std::string& table,
     return Status::CatalogError("view '" + view_name + "' does not exist");
   }
   truman_views_[table] = view_name;
+  BumpPolicyEpoch();
   return Status::OK();
 }
 

@@ -1,6 +1,8 @@
 #ifndef FGAC_CATALOG_CATALOG_H_
 #define FGAC_CATALOG_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -79,6 +81,25 @@ class Catalog {
   /// Returns the Truman view name for `table`, or empty string if none.
   const std::string& TrumanViewFor(const std::string& table) const;
 
+  // --- Policy epoch --------------------------------------------------------
+  /// Monotonic counter covering every authorization-relevant mutation:
+  /// view DDL, grants/revokes, role membership, Truman-view bindings and
+  /// principal creation. Cached enforcement decisions (validity verdicts,
+  /// rewritten plans) carry the epoch they were computed under and are
+  /// discarded on mismatch — fail-closed, so a verdict can never outlive
+  /// the policy that produced it. Distinct from the Database's
+  /// catalog_version, which also advances on table DDL that cannot change
+  /// an authorization decision by itself.
+  uint64_t policy_epoch() const {
+    return policy_epoch_.load(std::memory_order_acquire);
+  }
+  /// Called by every mutator above; public so engine paths that edit
+  /// principals through GetOrCreatePrincipal() (e.g. AUTHORIZE) can record
+  /// the change.
+  void BumpPolicyEpoch() {
+    policy_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
  private:
   void CollectRolesInto(const std::string& name,
                         std::vector<const Principal*>* out) const;
@@ -88,6 +109,7 @@ class Catalog {
   std::vector<InclusionDependency> constraints_;
   std::map<std::string, Principal> principals_;
   std::map<std::string, std::string> truman_views_;
+  std::atomic<uint64_t> policy_epoch_{1};
 };
 
 }  // namespace fgac::catalog

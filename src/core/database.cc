@@ -98,6 +98,7 @@ Database::Database(DatabaseOptions options)
     : options_(std::move(options)),
       tracker_(options_.memory),
       cache_(options_.validity_cache_capacity),
+      stmt_cache_(options_.statement_cache_capacity),
       tracer_(options_.trace_retain_spans) {
   // Applies only on first use process-wide (the pool is shared); later
   // databases inherit whatever size the first one resolved.
@@ -236,6 +237,15 @@ Result<ExecResult> Database::ExecuteStmt(const sql::Stmt& stmt,
       return ApplyAuthorize(static_cast<const sql::AuthorizeStmt&>(stmt));
     case sql::StmtKind::kDrop:
       return ApplyDrop(static_cast<const sql::DropStmt&>(stmt));
+    case sql::StmtKind::kPrepare:
+    case sql::StmtKind::kExecute:
+    case sql::StmtKind::kDeallocate:
+      // Prepared-statement state is per connection; the embedded facade has
+      // none. Sessions from server::ConnectionManager route these to
+      // Prepare() / ExecutePrepared() / their own registries.
+      return Status::InvalidArgument(
+          "prepared statements require a connection session "
+          "(server::ConnectionManager)");
   }
   return Status::NotImplemented("unsupported statement kind");
 }
@@ -298,6 +308,18 @@ std::string Database::ExportMetricsJson() {
   metrics_.gauge("validity_cache.misses").Set(cache_.misses());
   metrics_.gauge("validity_cache.evictions").Set(cache_.evictions());
   metrics_.gauge("validity_cache.entries").Set(cache_.size());
+  metrics_.gauge("statement_cache.hits")
+      .Set(static_cast<int64_t>(stmt_cache_.hits()));
+  metrics_.gauge("statement_cache.misses")
+      .Set(static_cast<int64_t>(stmt_cache_.misses()));
+  metrics_.gauge("statement_cache.evictions")
+      .Set(static_cast<int64_t>(stmt_cache_.evictions()));
+  metrics_.gauge("statement_cache.invalidations")
+      .Set(static_cast<int64_t>(stmt_cache_.invalidations()));
+  metrics_.gauge("statement_cache.collisions")
+      .Set(static_cast<int64_t>(stmt_cache_.collisions()));
+  metrics_.gauge("statement_cache.entries")
+      .Set(static_cast<int64_t>(stmt_cache_.size()));
   common::ThreadPool& pool = common::ThreadPool::Shared();
   metrics_.gauge("thread_pool.tasks_run").Set(pool.tasks_run());
   metrics_.gauge("thread_pool.queue_depth_high_water")
@@ -365,6 +387,15 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
                                                const SessionContext& ctx,
                                                QueryProfile* profile,
                                                common::AuditEvent* audit) {
+  FGAC_ASSIGN_OR_RETURN(PlanPtr plan, BindQuery(stmt, ctx));
+  return RunSelect(plan, ctx, profile, audit, /*prep=*/nullptr);
+}
+
+Result<ExecResult> Database::RunSelect(const PlanPtr& plan,
+                                       const SessionContext& ctx,
+                                       QueryProfile* profile,
+                                       common::AuditEvent* audit,
+                                       const PreparedRun* prep) {
   using Clock = std::chrono::steady_clock;
   auto elapsed_ns = [](Clock::time_point t0) -> uint64_t {
     return static_cast<uint64_t>(
@@ -411,8 +442,6 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
     tctx = &query_ctx;
     if (audit != nullptr) audit->trace_id = root_ctx.trace_id;
   }
-
-  FGAC_ASSIGN_OR_RETURN(PlanPtr plan, BindQuery(stmt, ctx));
 
   // One guard spans validity checking and execution: database-default
   // limits, optionally overridden per session, observing the session's
@@ -486,10 +515,32 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
       if (audit != nullptr) audit->verdict = "none";
       break;
     case EnforcementMode::kTruman: {
-      common::ScopedSpan rewrite_span(tctx, "truman.rewrite");
-      FGAC_ASSIGN_OR_RETURN(PlanPtr rewritten,
-                            TrumanRewrite(plan, catalog_, ctx));
-      to_run = algebra::NormalizePlan(rewritten);
+      if (prep != nullptr) {
+        // Prepared fast path: the rewrite replaces base tables with
+        // session-instantiated policy views and is independent of the
+        // EXECUTE arguments, so the PARAMETERIZED rewritten plan is cached
+        // per (principal, statement, session params) and only the cheap
+        // placeholder substitution runs per call.
+        StatementCache::Key key{ctx.user(), prep->stmt_fp, *prep->text,
+                                catalog_version(), policy_epoch()};
+        PlanPtr rewritten = stmt_cache_.LookupTrumanPlan(key, prep->params_fp);
+        if (rewritten == nullptr) {
+          common::ScopedSpan rewrite_span(tctx, "truman.rewrite");
+          FGAC_ASSIGN_OR_RETURN(
+              PlanPtr raw, TrumanRewrite(*prep->parameterized, catalog_, ctx));
+          rewritten = algebra::NormalizePlan(raw);
+          stmt_cache_.InsertTrumanPlan(key, prep->params_fp, rewritten);
+        }
+        to_run = prep->bindings->empty()
+                     ? rewritten
+                     : algebra::NormalizePlan(
+                           algebra::BindPlanParams(rewritten, *prep->bindings));
+      } else {
+        common::ScopedSpan rewrite_span(tctx, "truman.rewrite");
+        FGAC_ASSIGN_OR_RETURN(PlanPtr rewritten,
+                              TrumanRewrite(plan, catalog_, ctx));
+        to_run = algebra::NormalizePlan(rewritten);
+      }
       if (audit != nullptr) audit->verdict = "truman";
       break;
     }
@@ -497,26 +548,47 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
       auto validity_t0 = Clock::now();
       // The cache key must cover everything the verdict depends on: the
       // bound plan AND the full session parameterization (a $term or
-      // $user-location change re-instantiates the views).
-      uint64_t fp = algebra::PlanFingerprint(plan);
-      for (const auto& [name, value] : ctx.params()) {
-        fp = fp * 1099511628211ULL ^ std::hash<std::string>()(name);
-        fp = fp * 1099511628211ULL ^ value.Hash();
+      // $user-location change re-instantiates the views). Ad-hoc queries
+      // consult the ValidityCache under a fingerprint of the concrete
+      // plan; prepared executions consult the sharded StatementCache
+      // under (parameterized-statement fingerprint, params+arguments
+      // fingerprint) so the per-call key computation is a few multiplies
+      // instead of a plan-tree walk. Both carry catalog version + policy
+      // epoch and fail closed on either changing.
+      uint64_t fp = 0;
+      if (prep == nullptr) {
+        fp = algebra::PlanFingerprint(plan);
+        for (const auto& [name, value] : ctx.params()) {
+          fp = fp * 1099511628211ULL ^ std::hash<std::string>()(name);
+          fp = fp * 1099511628211ULL ^ value.Hash();
+        }
       }
-      const ValidityReport* cached =
-          options_.enable_validity_cache
-              ? cache_.Lookup(ctx.user(), fp, catalog_version_, data_version())
-              : nullptr;
-      if (cached != nullptr) {
-        out.validity = *cached;
+      auto stmt_key = [&]() -> StatementCache::Key {
+        return StatementCache::Key{ctx.user(), prep->stmt_fp, *prep->text,
+                                   catalog_version(), policy_epoch()};
+      };
+      ValidityReport cached_report;
+      bool cached = false;
+      if (options_.enable_validity_cache) {
+        cached = prep != nullptr
+                     ? stmt_cache_.LookupVerdict(stmt_key(), prep->exec_fp,
+                                                 data_version(),
+                                                 &cached_report)
+                     : cache_.Lookup(ctx.user(), fp, catalog_version(),
+                                     policy_epoch(), data_version(),
+                                     &cached_report);
+      }
+      if (cached) {
+        out.validity = std::move(cached_report);
         out.validity_from_cache = true;
         metrics_.counter("validity.cache_hits").Increment();
         if (trace != nullptr) {
           ValidityTraceEvent e;
           e.kind = ValidityTraceEvent::Kind::kCacheHit;
-          e.valid = cached->valid;
-          e.unconditional = cached->unconditional;
-          e.detail = cached->valid ? cached->justification : cached->reason;
+          e.valid = out.validity.valid;
+          e.unconditional = out.validity.unconditional;
+          e.detail = out.validity.valid ? out.validity.justification
+                                        : out.validity.reason;
           trace->Add(std::move(e));
         }
       } else {
@@ -594,8 +666,13 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
         if (out.validity.probe_budget_exhausted) {
           metrics_.counter("validity.probe_budget_exhausted").Increment();
         } else if (options_.enable_validity_cache) {
-          cache_.Insert(ctx.user(), fp, catalog_version_, data_version(),
-                        out.validity);
+          if (prep != nullptr) {
+            stmt_cache_.InsertVerdict(stmt_key(), prep->exec_fp,
+                                      data_version(), out.validity);
+          } else {
+            cache_.Insert(ctx.user(), fp, catalog_version(), policy_epoch(),
+                          data_version(), out.validity);
+          }
         }
       }
       uint64_t validity_ns = elapsed_ns(validity_t0);
@@ -639,6 +716,192 @@ Result<ExecResult> Database::ExecuteSelectImpl(const sql::SelectStmt& stmt,
   named.mutable_rows() = std::move(out.relation.mutable_rows());
   out.relation = std::move(named);
   return out;
+}
+
+namespace {
+
+/// FNV fingerprint of the session parameterization (name -> value, in the
+/// map's sorted order) — the cache dimension that captures $user-id-style
+/// session parameters feeding view instantiation.
+uint64_t SessionParamsFingerprint(const SessionContext& ctx) {
+  uint64_t fp = 1469598103934665603ULL;
+  for (const auto& [name, value] : ctx.params()) {
+    fp = fp * 1099511628211ULL ^ std::hash<std::string>()(name);
+    fp = fp * 1099511628211ULL ^ value.Hash();
+  }
+  return fp;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<PreparedStatement>> Database::Prepare(
+    const sql::PrepareStmt& stmt, const SessionContext& ctx) {
+  auto t0 = std::chrono::steady_clock::now();
+  common::AuditEvent ev = StartAudit(ctx, sql::StmtToSql(stmt));
+  auto run = [&]() -> Result<std::shared_ptr<PreparedStatement>> {
+    auto prep = std::make_shared<PreparedStatement>();
+    prep->name = stmt.name;
+    prep->select = stmt.select;
+    prep->text = sql::SelectToSql(*stmt.select);
+    algebra::Binder::Options options;
+    options.params = ctx.params();
+    options.defer_unbound_params = true;
+    algebra::Binder binder(catalog_, options);
+    FGAC_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelect(*stmt.select));
+    // Placeholders must be exactly $1..$n: positional EXECUTE arguments
+    // have no way to address a gap, and a non-numeric leftover is an
+    // ordinary unbound parameter the ad-hoc path would also reject.
+    std::vector<std::string> open = algebra::CollectPlanParams(plan);
+    std::set<unsigned long> numbers;
+    for (const std::string& name : open) {
+      if (name.empty() ||
+          name.find_first_not_of("0123456789") != std::string::npos) {
+        return Status::BindError("unbound parameter $" + name +
+                                 " in PREPARE (placeholders are $1..$n)");
+      }
+      numbers.insert(std::stoul(name));
+    }
+    unsigned long expect = 1;
+    for (unsigned long n : numbers) {
+      if (n != expect) {
+        return Status::InvalidArgument(
+            "PREPARE placeholders must be numbered contiguously from $1; "
+            "missing $" + std::to_string(expect));
+      }
+      ++expect;
+    }
+    prep->placeholders.reserve(numbers.size());
+    for (unsigned long n = 1; n <= numbers.size(); ++n) {
+      prep->placeholders.push_back(std::to_string(n));
+    }
+    prep->plan = plan;
+    prep->plan_fp = algebra::PlanFingerprint(plan);
+    prep->catalog_version = catalog_version();
+    prep->policy_epoch = policy_epoch();
+    prep->session_params_fp = SessionParamsFingerprint(ctx);
+    metrics_.counter("prepared.prepares").Increment();
+    return prep;
+  };
+  Result<std::shared_ptr<PreparedStatement>> r = run();
+  FinishAudit(&ev, r.ok() ? Status::OK() : r.status(), 0, t0);
+  return r;
+}
+
+Result<ExecResult> Database::ExecutePrepared(
+    const std::shared_ptr<PreparedStatement>& prep,
+    const std::vector<sql::ExprPtr>& args, const SessionContext& ctx) {
+  if (prep == nullptr) {
+    return Status::InvalidArgument("null prepared statement");
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  std::string text = "EXECUTE " + prep->name;
+  if (!args.empty()) {
+    text += " (";
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) text += ", ";
+      text += sql::ExprToSql(args[i]);
+    }
+    text += ")";
+  }
+  common::AuditEvent ev = StartAudit(ctx, text);
+  Result<ExecResult> r = [&] {
+    if (!ctx.profile()) {
+      return ExecutePreparedImpl(*prep, args, ctx, nullptr, &ev);
+    }
+    QueryProfile profile;
+    return ExecutePreparedImpl(*prep, args, ctx, &profile, &ev);
+  }();
+  uint64_t us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  metrics_.histogram("prepared.execute_us").Record(us);
+  if (r.ok()) {
+    FinishAudit(&ev, Status::OK(),
+                static_cast<int64_t>(r.value().relation.num_rows()), t0);
+  } else {
+    FinishAudit(&ev, r.status(), 0, t0);
+  }
+  return r;
+}
+
+Result<ExecResult> Database::ExecutePreparedImpl(
+    PreparedStatement& prep, const std::vector<sql::ExprPtr>& args,
+    const SessionContext& ctx, QueryProfile* profile,
+    common::AuditEvent* audit) {
+  metrics_.counter("prepared.executes").Increment();
+  if (args.size() != prep.placeholders.size()) {
+    return Status::InvalidArgument(
+        "prepared statement '" + prep.name + "' takes " +
+        std::to_string(prep.placeholders.size()) + " argument(s), got " +
+        std::to_string(args.size()));
+  }
+  // Arguments are constant expressions (literals, session $parameters,
+  // arithmetic over them): bind them against an empty scope and fold.
+  static const TableSchema kEmptySchema("", {});
+  std::map<std::string, Value> bindings;
+  uint64_t params_fp = SessionParamsFingerprint(ctx);
+  uint64_t exec_fp = params_fp;
+  for (size_t i = 0; i < args.size(); ++i) {
+    FGAC_ASSIGN_OR_RETURN(
+        algebra::ScalarPtr scalar,
+        algebra::Binder::BindOverTable(args[i], kEmptySchema, ctx.params()));
+    Row empty;
+    FGAC_ASSIGN_OR_RETURN(Value v, algebra::EvalScalar(scalar, empty));
+    exec_fp = exec_fp * 1099511628211ULL ^ v.Hash();
+    bindings[prep.placeholders[i]] = std::move(v);
+  }
+
+  // Revalidate the bind-state cache: any catalog / policy / session-param
+  // change since the last execution forces a rebind (fail-closed; the
+  // verdict and rewrite caches key on the versions too, so their stale
+  // entries die with it).
+  PlanPtr parameterized;
+  uint64_t stmt_fp = 0;
+  {
+    std::lock_guard<std::mutex> lock(prep.mu);
+    uint64_t cv = catalog_version();
+    uint64_t pe = policy_epoch();
+    if (prep.plan == nullptr || prep.catalog_version != cv ||
+        prep.policy_epoch != pe || prep.session_params_fp != params_fp) {
+      algebra::Binder::Options options;
+      options.params = ctx.params();
+      options.defer_unbound_params = true;
+      algebra::Binder binder(catalog_, options);
+      FGAC_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelect(*prep.select));
+      prep.plan = std::move(plan);
+      prep.plan_fp = algebra::PlanFingerprint(prep.plan);
+      prep.catalog_version = cv;
+      prep.policy_epoch = pe;
+      prep.session_params_fp = params_fp;
+      metrics_.counter("prepared.rebinds").Increment();
+    }
+    parameterized = prep.plan;
+    stmt_fp = prep.plan_fp;
+  }
+
+  PlanPtr concrete =
+      bindings.empty()
+          ? parameterized
+          : algebra::NormalizePlan(
+                algebra::BindPlanParams(parameterized, bindings));
+
+  PreparedRun run;
+  run.stmt_fp = stmt_fp;
+  run.params_fp = params_fp;
+  run.exec_fp = exec_fp;
+  run.text = &prep.text;
+  run.parameterized = &parameterized;
+  run.bindings = &bindings;
+  return RunSelect(concrete, ctx, profile, audit, &run);
+}
+
+void Database::AuditSessionStatement(const SessionContext& ctx,
+                                     const std::string& statement,
+                                     const Status& st) {
+  auto t0 = std::chrono::steady_clock::now();
+  common::AuditEvent ev = StartAudit(ctx, statement);
+  FinishAudit(&ev, st, 0, t0);
 }
 
 Result<ExecResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt,
@@ -1138,6 +1401,9 @@ Result<ExecResult> Database::ApplyAuthorize(const sql::AuthorizeStmt& stmt) {
   std::string grantee = stmt.grantee.empty() ? "public" : stmt.grantee;
   catalog_.GetOrCreatePrincipal(grantee)->update_authorizations.push_back(
       std::move(rule));
+  // The principal mutation happened outside the catalog's own setters;
+  // record it so cached update-authorization decisions cannot go stale.
+  catalog_.BumpPolicyEpoch();
   ++catalog_version_;
   ExecResult out;
   out.message = "authorization rule added on " + stmt.table;

@@ -1,11 +1,14 @@
 #ifndef FGAC_CORE_DATABASE_H_
 #define FGAC_CORE_DATABASE_H_
 
+#include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "common/audit.h"
@@ -15,6 +18,7 @@
 #include "common/result.h"
 #include "common/trace.h"
 #include "core/session_context.h"
+#include "core/statement_cache.h"
 #include "core/update_auth.h"
 #include "core/validity.h"
 #include "core/validity_cache.h"
@@ -85,6 +89,9 @@ struct DatabaseOptions {
   common::QueryLimits limits;
   /// Bound on the validity cache (LRU-evicted beyond this many verdicts).
   size_t validity_cache_capacity = ValidityCache::kDefaultMaxEntries;
+  /// Bound on the prepared-statement enforcement cache (split across its
+  /// shards; LRU-evicted per shard beyond this).
+  size_t statement_cache_capacity = StatementCache::kDefaultMaxEntries;
   /// Security audit log configuration (ring size, sink file, fsync policy).
   /// Enabled by default: every statement executed through Execute /
   /// ExecuteAsAdmin / ExecuteScript emits one AuditEvent.
@@ -131,6 +138,30 @@ class Database {
   Result<ValidityReport> CheckQueryValidity(std::string_view sql,
                                             const SessionContext& ctx);
 
+  /// PREPARE: binds `stmt`'s body under `ctx` with positional placeholders
+  /// ($1..$n) held open, validates that they are numbered contiguously
+  /// from 1, and returns the handle. Registry ownership is the caller's —
+  /// server sessions keep their own name -> statement maps, which is what
+  /// scopes EXECUTE to the preparing session. Audited as one statement.
+  Result<std::shared_ptr<PreparedStatement>> Prepare(
+      const sql::PrepareStmt& stmt, const SessionContext& ctx);
+
+  /// EXECUTE: evaluates the argument expressions (constants and session
+  /// parameters only), substitutes them into the prepared plan, and runs
+  /// the full enforcement pipeline with the statement-cache fast path: a
+  /// steady-state re-execution skips the Truman rewriter / validity
+  /// checker entirely. Audited as one statement.
+  Result<ExecResult> ExecutePrepared(
+      const std::shared_ptr<PreparedStatement>& prep,
+      const std::vector<sql::ExprPtr>& args, const SessionContext& ctx);
+
+  /// Appends an audit event for a statement resolved entirely in the
+  /// server session layer (DEALLOCATE, EXECUTE of an unknown name): every
+  /// statement a session accepts leaves exactly one audit record, whether
+  /// or not it reached the engine.
+  void AuditSessionStatement(const SessionContext& ctx,
+                             const std::string& statement, const Status& st);
+
   /// Verifies that every declared inclusion dependency and foreign key
   /// holds on the current data (useful after bulk loads).
   Status VerifyConstraints() const;
@@ -142,7 +173,14 @@ class Database {
   const storage::DatabaseState& state() const { return state_; }
   DatabaseOptions& options() { return options_; }
   ValidityCache& validity_cache() { return cache_; }
-  uint64_t catalog_version() const { return catalog_version_; }
+  StatementCache& statement_cache() { return stmt_cache_; }
+  uint64_t catalog_version() const {
+    return catalog_version_.load(std::memory_order_acquire);
+  }
+  /// The catalog's policy epoch (see catalog::Catalog::policy_epoch):
+  /// advances on any view / grant / role / Truman-binding / principal
+  /// change and fail-closed-invalidates every cached enforcement decision.
+  uint64_t policy_epoch() const { return catalog_.policy_epoch(); }
   /// Data version used for ValidityCache invalidation. Derived from the
   /// storage layer's per-table mutation counters, so direct TableData
   /// writers (bench/test seeding) are covered — not only DML routed
@@ -203,6 +241,36 @@ class Database {
                                        const SessionContext& ctx,
                                        QueryProfile* profile,
                                        common::AuditEvent* audit);
+
+  /// Identity of one prepared execution inside RunSelect: the cache keys
+  /// (statement fingerprint; session-parameter and parameter+argument
+  /// fingerprints) plus the parameterized plan and the argument bindings,
+  /// so the Truman branch can rewrite once per (principal, statement,
+  /// session params) and specialize per call. Null for ad-hoc queries.
+  struct PreparedRun {
+    uint64_t stmt_fp = 0;
+    uint64_t params_fp = 0;
+    uint64_t exec_fp = 0;
+    const std::string* text = nullptr;
+    const algebra::PlanPtr* parameterized = nullptr;
+    const std::map<std::string, Value>* bindings = nullptr;
+  };
+
+  /// The post-bind SELECT pipeline: guard + admission, then the
+  /// enforcement switch (None / Truman / Non-Truman with caching), then
+  /// optimized parallel execution. `plan` is fully concrete (no open
+  /// placeholders).
+  Result<ExecResult> RunSelect(const algebra::PlanPtr& plan,
+                               const SessionContext& ctx,
+                               QueryProfile* profile,
+                               common::AuditEvent* audit,
+                               const PreparedRun* prep);
+
+  Result<ExecResult> ExecutePreparedImpl(PreparedStatement& prep,
+                                         const std::vector<sql::ExprPtr>& args,
+                                         const SessionContext& ctx,
+                                         QueryProfile* profile,
+                                         common::AuditEvent* audit);
   Result<ExecResult> ExecuteInsert(const sql::InsertStmt& stmt,
                                    const SessionContext& ctx);
   Result<ExecResult> ExecuteUpdate(const sql::UpdateStmt& stmt,
@@ -258,7 +326,10 @@ class Database {
   catalog::Catalog catalog_;
   storage::DatabaseState state_;
   ValidityCache cache_;
-  uint64_t catalog_version_ = 1;
+  StatementCache stmt_cache_;
+  /// Atomic: advanced by DDL on one session while others read it for
+  /// cache-freshness checks.
+  std::atomic<uint64_t> catalog_version_{1};
   common::MetricsRegistry metrics_;
   common::Tracer tracer_;
   /// Constructed after BootstrapSystemTables so bootstrap DDL is not

@@ -1,0 +1,176 @@
+#include "core/statement_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace fgac::core {
+
+StatementCache::StatementCache(size_t max_entries) {
+  size_t total = max_entries == 0 ? 1 : max_entries;
+  max_per_shard_ = std::max<size_t>(1, total / kShards);
+}
+
+uint64_t StatementCache::EntryKey(const std::string& user,
+                                  uint64_t stmt_fp) const {
+  // FNV-mix the principal into the plan fingerprint; the text tiebreak
+  // makes residual collisions harmless (a miss, never a wrong reuse).
+  uint64_t h = std::hash<std::string>()(user);
+  return (h * 1099511628211ULL) ^ stmt_fp;
+}
+
+StatementCache::Shard& StatementCache::ShardFor(uint64_t entry_key) {
+  // The low bits of the FNV product are well mixed; kShards is a power of
+  // two.
+  return shards_[entry_key & (kShards - 1)];
+}
+
+StatementCache::Entry* StatementCache::FindFresh(Shard& shard,
+                                                 uint64_t entry_key,
+                                                 const Key& key) {
+  auto it = shard.entries.find(entry_key);
+  if (it == shard.entries.end()) return nullptr;
+  Entry& entry = it->second;
+  if (entry.catalog_version != key.catalog_version ||
+      entry.policy_epoch != key.policy_epoch) {
+    // Fail-closed: anything cached under an older policy state is
+    // discarded wholesale and enforcement re-runs from scratch.
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    shard.lru.erase(entry.lru_pos);
+    shard.entries.erase(it);
+    return nullptr;
+  }
+  if (entry.text != key.text) {
+    collisions_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru_pos);
+  return &entry;
+}
+
+StatementCache::Entry& StatementCache::UpsertEntry(Shard& shard,
+                                                   uint64_t entry_key,
+                                                   const Key& key) {
+  auto it = shard.entries.find(entry_key);
+  if (it != shard.entries.end()) {
+    Entry& entry = it->second;
+    if (entry.catalog_version != key.catalog_version ||
+        entry.policy_epoch != key.policy_epoch || entry.text != key.text) {
+      // Stale epoch or a fingerprint collision: start the entry over
+      // rather than mixing variants computed under different premises.
+      entry.truman_plans.clear();
+      entry.verdicts.clear();
+      entry.text = key.text;
+      entry.catalog_version = key.catalog_version;
+      entry.policy_epoch = key.policy_epoch;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru_pos);
+    return entry;
+  }
+  while (shard.entries.size() >= max_per_shard_) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(entry_key);
+  Entry& entry = shard.entries[entry_key];
+  entry.text = key.text;
+  entry.catalog_version = key.catalog_version;
+  entry.policy_epoch = key.policy_epoch;
+  entry.lru_pos = shard.lru.begin();
+  return entry;
+}
+
+algebra::PlanPtr StatementCache::LookupTrumanPlan(const Key& key,
+                                                 uint64_t params_fp) {
+  uint64_t ek = EntryKey(key.user, key.stmt_fp);
+  Shard& shard = ShardFor(ek);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* entry = FindFresh(shard, ek, key);
+  if (entry != nullptr) {
+    auto it = entry->truman_plans.find(params_fp);
+    if (it != entry->truman_plans.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void StatementCache::InsertTrumanPlan(const Key& key, uint64_t params_fp,
+                                      algebra::PlanPtr plan) {
+  uint64_t ek = EntryKey(key.user, key.stmt_fp);
+  Shard& shard = ShardFor(ek);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry& entry = UpsertEntry(shard, ek, key);
+  if (entry.truman_plans.size() >= kMaxVariants &&
+      entry.truman_plans.find(params_fp) == entry.truman_plans.end()) {
+    entry.truman_plans.erase(entry.truman_plans.begin());
+  }
+  entry.truman_plans[params_fp] = std::move(plan);
+}
+
+bool StatementCache::LookupVerdict(const Key& key, uint64_t exec_fp,
+                                   uint64_t data_version,
+                                   ValidityReport* out) {
+  uint64_t ek = EntryKey(key.user, key.stmt_fp);
+  Shard& shard = ShardFor(ek);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* entry = FindFresh(shard, ek, key);
+  if (entry != nullptr) {
+    auto it = entry->verdicts.find(exec_fp);
+    if (it != entry->verdicts.end()) {
+      const CachedVerdict& v = it->second;
+      // Same rule as ValidityCache: only unconditionally-valid verdicts
+      // survive data changes; conditional verdicts and rejections hinge on
+      // the rows present when they were computed.
+      bool data_sensitive = !v.report.valid || !v.report.unconditional;
+      if (data_sensitive && v.data_version != data_version) {
+        entry->verdicts.erase(it);
+      } else {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (out != nullptr) *out = v.report;
+        return true;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void StatementCache::InsertVerdict(const Key& key, uint64_t exec_fp,
+                                   uint64_t data_version,
+                                   ValidityReport report) {
+  if (report.probe_budget_exhausted) return;  // sound once, never cached
+  uint64_t ek = EntryKey(key.user, key.stmt_fp);
+  Shard& shard = ShardFor(ek);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry& entry = UpsertEntry(shard, ek, key);
+  if (entry.verdicts.size() >= kMaxVariants &&
+      entry.verdicts.find(exec_fp) == entry.verdicts.end()) {
+    entry.verdicts.erase(entry.verdicts.begin());
+  }
+  CachedVerdict v;
+  v.report = std::move(report);
+  v.data_version = data_version;
+  entry.verdicts[exec_fp] = std::move(v);
+}
+
+void StatementCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+    shard.lru.clear();
+  }
+}
+
+size_t StatementCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace fgac::core

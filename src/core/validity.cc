@@ -109,27 +109,6 @@ std::vector<char> RunNonEmptinessProbes(const std::vector<PlanPtr>& plans,
   return nonempty;
 }
 
-/// Binds every $$ parameter in a plan to concrete values.
-PlanPtr BindPlanAccessParams(const PlanPtr& plan,
-                             const std::map<std::string, Value>& bindings) {
-  if (plan == nullptr) return nullptr;
-  auto bind_scalar = [&bindings](const ScalarPtr& s) {
-    ScalarPtr out = s;
-    for (const auto& [name, value] : bindings) {
-      out = algebra::BindAccessParam(out, name, value);
-    }
-    return out;
-  };
-  auto copy = std::make_shared<algebra::Plan>(*plan);
-  for (ScalarPtr& p : copy->predicates) p = bind_scalar(p);
-  for (ScalarPtr& x : copy->exprs) x = bind_scalar(x);
-  for (ScalarPtr& g : copy->group_by) g = bind_scalar(g);
-  for (algebra::AggExpr& a : copy->aggs) a.arg = bind_scalar(a.arg);
-  for (algebra::SortItem& s : copy->sort_items) s.expr = bind_scalar(s.expr);
-  for (PlanPtr& c : copy->children) c = BindPlanAccessParams(c, bindings);
-  return copy;
-}
-
 /// Collects distinct literal values appearing in comparison atoms anywhere
 /// in the plan (candidates for $$ instantiation, Section 6).
 void CollectPlanLiterals(const PlanPtr& plan, std::vector<Value>* out) {
@@ -1034,7 +1013,7 @@ Status ValidityChecker::InsertAccessPatternInstantiations(
       bindings[view.access_parameters[i]] = literals[idx[i]];
     }
     PlanPtr bound =
-        algebra::NormalizePlan(BindPlanAccessParams(view.plan, bindings));
+        algebra::NormalizePlan(algebra::BindPlanParams(view.plan, bindings));
     if (!algebra::PlanHasAccessParam(bound)) {
       GroupId g = memo_.InsertPlan(bound);
       MarkU(g, "U1 ($$-instantiation of view '" + view.name + "')");

@@ -16,41 +16,45 @@ void ValidityCache::Erase(
   entries_.erase(it);
 }
 
-const ValidityReport* ValidityCache::Lookup(const std::string& user,
-                                            uint64_t plan_fp,
-                                            uint64_t catalog_version,
-                                            uint64_t data_version) {
+bool ValidityCache::Lookup(const std::string& user, uint64_t plan_fp,
+                           uint64_t catalog_version, uint64_t policy_epoch,
+                           uint64_t data_version, ValidityReport* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(MakeKey(user, plan_fp));
   if (it == entries_.end()) {
     ++misses_;
-    return nullptr;
+    return false;
   }
   Entry& entry = it->second;
-  if (entry.catalog_version != catalog_version) {
+  if (entry.catalog_version != catalog_version ||
+      entry.policy_epoch != policy_epoch) {
     Erase(it);
     ++misses_;
-    return nullptr;
+    return false;
   }
   bool data_sensitive =
       !entry.report.valid || !entry.report.unconditional;
   if (data_sensitive && entry.data_version != data_version) {
     Erase(it);
     ++misses_;
-    return nullptr;
+    return false;
   }
   lru_.splice(lru_.begin(), lru_, entry.lru_pos);
   ++hits_;
-  return &entry.report;
+  if (out != nullptr) *out = entry.report;
+  return true;
 }
 
 void ValidityCache::Insert(const std::string& user, uint64_t plan_fp,
-                           uint64_t catalog_version, uint64_t data_version,
-                           ValidityReport report) {
+                           uint64_t catalog_version, uint64_t policy_epoch,
+                           uint64_t data_version, ValidityReport report) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string key = MakeKey(user, plan_fp);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.report = std::move(report);
     it->second.catalog_version = catalog_version;
+    it->second.policy_epoch = policy_epoch;
     it->second.data_version = data_version;
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return;
@@ -64,6 +68,7 @@ void ValidityCache::Insert(const std::string& user, uint64_t plan_fp,
   Entry entry;
   entry.report = std::move(report);
   entry.catalog_version = catalog_version;
+  entry.policy_epoch = policy_epoch;
   entry.data_version = data_version;
   entry.lru_pos = lru_.begin();
   entries_[std::move(key)] = std::move(entry);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -19,17 +20,23 @@ namespace fgac::core {
 /// with different parameters keys differently — matching the paper's
 /// "cheap test used each time the query is executed".
 ///
-/// Invalidation: unconditional verdicts depend only on the authorization
-/// catalog (views, grants, constraints) and are dropped when
-/// `catalog_version` advances. Conditional verdicts additionally depend on
-/// the database state ("assuming no underlying data on which it depends
-/// changes during the session") and are dropped when `data_version`
-/// advances. Rejections are cached like conditional verdicts (new data
-/// could make a query conditionally valid).
+/// Invalidation: every verdict depends on the authorization state and is
+/// dropped when either `catalog_version` (relation DDL) or `policy_epoch`
+/// (view / grant / role / Truman-binding changes, tracked by the catalog
+/// itself) advances — fail-closed: a mismatch re-runs the full check.
+/// Conditional verdicts additionally depend on the database state
+/// ("assuming no underlying data on which it depends changes during the
+/// session") and are dropped when `data_version` advances. Rejections are
+/// cached like conditional verdicts (new data could make a query
+/// conditionally valid).
 ///
 /// Capacity is bounded: at most `max_entries` verdicts are kept, evicting
 /// least-recently-used ones — unique-query traffic (the adversarial case)
 /// cycles the cache instead of growing it without bound.
+///
+/// Thread safety: all operations lock an internal mutex — concurrent
+/// sessions share one cache. Lookup therefore returns the report BY VALUE;
+/// a pointer into the map would dangle the moment another session inserts.
 class ValidityCache {
  public:
   static constexpr size_t kDefaultMaxEntries = 4096;
@@ -37,31 +44,46 @@ class ValidityCache {
   explicit ValidityCache(size_t max_entries = kDefaultMaxEntries)
       : max_entries_(max_entries == 0 ? 1 : max_entries) {}
 
-  /// Looks up a cached verdict; returns nullptr on miss or a stale entry.
-  /// A hit refreshes the entry's recency. The pointer is invalidated by
-  /// the next Insert/Clear.
-  const ValidityReport* Lookup(const std::string& user, uint64_t plan_fp,
-                               uint64_t catalog_version, uint64_t data_version);
+  /// Looks up a cached verdict; false on miss or a stale entry (stale
+  /// entries are erased). A hit refreshes the entry's recency and copies
+  /// the report into `*out`.
+  bool Lookup(const std::string& user, uint64_t plan_fp,
+              uint64_t catalog_version, uint64_t policy_epoch,
+              uint64_t data_version, ValidityReport* out);
 
   void Insert(const std::string& user, uint64_t plan_fp,
-              uint64_t catalog_version, uint64_t data_version,
-              ValidityReport report);
+              uint64_t catalog_version, uint64_t policy_epoch,
+              uint64_t data_version, ValidityReport report);
 
   void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     entries_.clear();
     lru_.clear();
   }
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
   size_t max_entries() const { return max_entries_; }
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
+  size_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  size_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
   /// Entries dropped to respect max_entries (stale drops not counted).
-  size_t evictions() const { return evictions_; }
+  size_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
 
  private:
   struct Entry {
     ValidityReport report;
     uint64_t catalog_version = 0;
+    uint64_t policy_epoch = 0;
     uint64_t data_version = 0;
     /// Position in lru_ (front = most recently used).
     std::list<std::string>::iterator lru_pos;
@@ -70,6 +92,7 @@ class ValidityCache {
   void Erase(std::unordered_map<std::string, Entry>::iterator it);
 
   size_t max_entries_;
+  mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;
   size_t hits_ = 0;

@@ -1,0 +1,163 @@
+#ifndef FGAC_SERVER_CONNECTION_MANAGER_H_
+#define FGAC_SERVER_CONNECTION_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+#include "core/session_context.h"
+#include "core/statement_cache.h"
+
+namespace fgac::server {
+
+class ConnectionManager;
+
+/// One client connection to the database: a SessionContext (principal,
+/// enforcement mode, session parameters, cancel token) plus the session's
+/// prepared-statement registry. Statements flow through Execute(), which
+/// recognizes PREPARE / EXECUTE / DEALLOCATE and routes everything else to
+/// Database::Execute verbatim.
+///
+/// Thread model: Execute() may be called from any thread; concurrent
+/// statements on one session are allowed (each runs independently).
+/// Interrupt() sets the session's cancel token, unwinding every in-flight
+/// statement with kCancelled; the token is replaced lazily so statements
+/// issued after the interrupt run normally. Close() marks the session
+/// closed (new statements fail with kCancelled), cancels in-flight work,
+/// and blocks until it has drained.
+///
+/// Prepared statements are per-session: EXECUTE of a name prepared by a
+/// different session is rejected — the registry is the session's, not the
+/// server's. The registry holds shared_ptrs, so DEALLOCATE during an
+/// in-flight EXECUTE of the same name just drops the registry entry; the
+/// execution keeps its reference and drains cleanly.
+class Session {
+ public:
+  ~Session();
+
+  const std::string& id() const { return id_; }
+
+  /// The session's context. Mutations (SetParam, set_mode, limits) are the
+  /// caller's responsibility to sequence against in-flight statements.
+  core::SessionContext& context() { return ctx_; }
+  const core::SessionContext& context() const { return ctx_; }
+
+  /// Parses and runs one statement. PREPARE / EXECUTE / DEALLOCATE are
+  /// handled here against the session registry; everything else goes to
+  /// the database unchanged.
+  Result<core::ExecResult> Execute(std::string_view sql);
+
+  /// Cancels every statement currently executing on this session.
+  void Interrupt();
+
+  /// Marks the session closed, cancels in-flight statements, and waits for
+  /// them to drain. Idempotent. Prepared statements are released.
+  void Close();
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Statements currently executing (for tests / monitoring).
+  uint64_t in_flight() const {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
+  /// Names of live prepared statements, sorted.
+  std::vector<std::string> PreparedNames() const;
+
+ private:
+  friend class ConnectionManager;
+  Session(core::Database& db, std::string id, std::string user,
+          core::EnforcementMode mode);
+
+  /// Claims an execution slot and the cancel token for one statement;
+  /// fails if the session is closed.
+  Result<std::shared_ptr<std::atomic<bool>>> BeginStatement();
+  void EndStatement();
+
+  Result<core::ExecResult> RunPrepare(const sql::PrepareStmt& stmt,
+                                      const core::SessionContext& ctx);
+  Result<core::ExecResult> RunExecute(const sql::ExecuteStmt& stmt,
+                                      const core::SessionContext& ctx);
+  Result<core::ExecResult> RunDeallocate(const sql::DeallocateStmt& stmt,
+                                         const core::SessionContext& ctx);
+
+  core::Database& db_;
+  const std::string id_;
+  core::SessionContext ctx_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_;
+  std::map<std::string, std::shared_ptr<core::PreparedStatement>> prepared_;
+  /// Token observed by in-flight statements. Replaced (not cleared) after
+  /// an interrupt so the flag flip only reaches statements that were
+  /// running when Interrupt() was called.
+  std::shared_ptr<std::atomic<bool>> cancel_;
+  bool interrupted_ = false;
+
+  std::atomic<uint64_t> in_flight_{0};
+  std::atomic<bool> closed_{false};
+};
+
+/// Owns the server's sessions: open/lookup/interrupt/close by connection
+/// id. Modeled on an embedded database's connection manager — sessions are
+/// handed out as shared_ptrs so a closing manager never invalidates a
+/// handle a client thread still holds.
+class ConnectionManager {
+ public:
+  explicit ConnectionManager(core::Database& db) : db_(db) {}
+  ~ConnectionManager() { CloseAll(); }
+
+  ConnectionManager(const ConnectionManager&) = delete;
+  ConnectionManager& operator=(const ConnectionManager&) = delete;
+
+  /// Opens a session for `user` under `mode`; the returned session is
+  /// registered under its id() ("conn-1", "conn-2", ...).
+  std::shared_ptr<Session> Open(
+      const std::string& user,
+      core::EnforcementMode mode = core::EnforcementMode::kNone);
+
+  /// nullptr if unknown or already closed.
+  std::shared_ptr<Session> Get(const std::string& id) const;
+
+  /// Cancels in-flight statements on the session; false if unknown.
+  bool Interrupt(const std::string& id);
+
+  /// Closes and unregisters the session; blocks until its in-flight
+  /// statements drain. False if unknown.
+  bool Close(const std::string& id);
+
+  /// Closes every session (drains each).
+  void CloseAll();
+
+  size_t active_sessions() const;
+  uint64_t sessions_opened() const {
+    return opened_.load(std::memory_order_relaxed);
+  }
+  uint64_t sessions_closed() const {
+    return closed_.load(std::memory_order_relaxed);
+  }
+  uint64_t interrupts() const {
+    return interrupts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  core::Database& db_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint64_t> opened_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> interrupts_{0};
+};
+
+}  // namespace fgac::server
+
+#endif  // FGAC_SERVER_CONNECTION_MANAGER_H_

@@ -145,6 +145,9 @@ enum class StmtKind {
   kAuthorize,
   kDrop,
   kExplain,
+  kPrepare,
+  kExecute,
+  kDeallocate,
 };
 
 /// Base class for parsed statements; downcast via `kind()`.
@@ -303,6 +306,32 @@ class ExplainStmt : public Stmt {
   ExplainStmt() : Stmt(StmtKind::kExplain) {}
   std::shared_ptr<const SelectStmt> select;
   bool analyze = false;
+};
+
+/// PREPARE name AS <select>. The statement body may reference positional
+/// placeholders $1..$n (lexed as parameters named "1".."n"); they are bound
+/// into the plan once and instantiated per EXECUTE.
+class PrepareStmt : public Stmt {
+ public:
+  PrepareStmt() : Stmt(StmtKind::kPrepare) {}
+  std::string name;
+  std::shared_ptr<const SelectStmt> select;
+};
+
+/// EXECUTE name or EXECUTE name (arg, ...). Arguments are constant
+/// expressions; argument i supplies placeholder $i+1.
+class ExecuteStmt : public Stmt {
+ public:
+  ExecuteStmt() : Stmt(StmtKind::kExecute) {}
+  std::string name;
+  std::vector<ExprPtr> args;
+};
+
+/// DEALLOCATE name (or DEALLOCATE ALL).
+class DeallocateStmt : public Stmt {
+ public:
+  DeallocateStmt() : Stmt(StmtKind::kDeallocate) {}
+  std::string name;  // empty = ALL
 };
 
 class AuthorizeStmt : public Stmt {

@@ -134,6 +134,9 @@ Result<StmtPtr> Parser::Statement() {
   if (CheckKeyword("authorize")) return Authorize();
   if (CheckKeyword("drop")) return Drop();
   if (CheckKeyword("explain")) return Explain();
+  if (CheckKeyword("prepare")) return Prepare();
+  if (CheckKeyword("execute")) return ExecutePrepared();
+  if (CheckKeyword("deallocate")) return Deallocate();
   return ErrorHere("expected a statement");
 }
 
@@ -499,6 +502,51 @@ Result<StmtPtr> Parser::Explain() {
   if (MatchKeyword("analyze")) stmt->analyze = true;
   FGAC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, Select());
   stmt->select = std::shared_ptr<const SelectStmt>(sel.release());
+  return StmtPtr(stmt.release());
+}
+
+Result<StmtPtr> Parser::Prepare() {
+  FGAC_RETURN_NOT_OK(ExpectKeyword("prepare"));
+  auto stmt = std::make_unique<PrepareStmt>();
+  if (!Check(TokenKind::kIdentifier)) {
+    return ErrorHere("expected prepared-statement name");
+  }
+  stmt->name = Advance().text;
+  FGAC_RETURN_NOT_OK(ExpectKeyword("as"));
+  FGAC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, Select());
+  stmt->select = std::shared_ptr<const SelectStmt>(sel.release());
+  return StmtPtr(stmt.release());
+}
+
+Result<StmtPtr> Parser::ExecutePrepared() {
+  FGAC_RETURN_NOT_OK(ExpectKeyword("execute"));
+  auto stmt = std::make_unique<ExecuteStmt>();
+  if (!Check(TokenKind::kIdentifier)) {
+    return ErrorHere("expected prepared-statement name");
+  }
+  stmt->name = Advance().text;
+  if (Match(TokenKind::kLParen)) {
+    if (!Check(TokenKind::kRParen)) {
+      do {
+        FGAC_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        stmt->args.push_back(std::move(arg));
+      } while (Match(TokenKind::kComma));
+    }
+    FGAC_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+  }
+  return StmtPtr(stmt.release());
+}
+
+Result<StmtPtr> Parser::Deallocate() {
+  FGAC_RETURN_NOT_OK(ExpectKeyword("deallocate"));
+  auto stmt = std::make_unique<DeallocateStmt>();
+  if (MatchKeyword("all")) {
+    return StmtPtr(stmt.release());  // name stays empty = ALL
+  }
+  if (!Check(TokenKind::kIdentifier)) {
+    return ErrorHere("expected prepared-statement name or ALL");
+  }
+  stmt->name = Advance().text;
   return StmtPtr(stmt.release());
 }
 

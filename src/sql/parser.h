@@ -61,6 +61,9 @@ class Parser {
   Result<StmtPtr> Authorize();
   Result<StmtPtr> Drop();
   Result<StmtPtr> Explain();
+  Result<StmtPtr> Prepare();
+  Result<StmtPtr> ExecutePrepared();
+  Result<StmtPtr> Deallocate();
 
   Result<SelectItem> ParseSelectItem();
   Result<TableRefPtr> ParseTableRef();

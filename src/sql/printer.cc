@@ -244,6 +244,27 @@ std::string StmtToSql(const Stmt& stmt) {
       return (s.analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ") +
              SelectToSql(*s.select);
     }
+    case StmtKind::kPrepare: {
+      const auto& s = static_cast<const PrepareStmt&>(stmt);
+      return "PREPARE " + s.name + " AS " + SelectToSql(*s.select);
+    }
+    case StmtKind::kExecute: {
+      const auto& s = static_cast<const ExecuteStmt&>(stmt);
+      std::string out = "EXECUTE " + s.name;
+      if (!s.args.empty()) {
+        out += " (";
+        for (size_t i = 0; i < s.args.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += ExprToSql(s.args[i]);
+        }
+        out += ")";
+      }
+      return out;
+    }
+    case StmtKind::kDeallocate: {
+      const auto& s = static_cast<const DeallocateStmt&>(stmt);
+      return s.name.empty() ? "DEALLOCATE ALL" : "DEALLOCATE " + s.name;
+    }
     case StmtKind::kAuthorize: {
       const auto& s = static_cast<const AuthorizeStmt&>(stmt);
       std::string out = "AUTHORIZE ";

@@ -36,7 +36,7 @@ const char* TokenKindName(TokenKind kind) {
 }
 
 bool IsKeyword(const std::string& word) {
-  static const std::array<const char*, 64> kKeywords = {
+  static const std::array<const char*, 67> kKeywords = {
       "select",   "from",      "where",     "group",     "by",
       "having",   "order",     "asc",       "desc",      "limit",
       "distinct", "as",        "and",       "or",        "not",
@@ -50,6 +50,7 @@ bool IsKeyword(const std::string& word) {
       "boolean",  "drop",      "inclusion", "dependency","constraint",
       "count",    "sum",       "avg",       "min",       "max",
       "union",    "all",     "revoke",    "explain",   "analyze",
+      "prepare",  "execute",   "deallocate",
   };
   return std::find_if(kKeywords.begin(), kKeywords.end(), [&](const char* k) {
            return word == k;

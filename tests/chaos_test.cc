@@ -71,6 +71,7 @@ TEST(ChaosTest, EightClientSweepFailsClosedOnly) {
   // nothing is dropped.
   opts.audit.ring_capacity = 1u << 14;
   opts.audit.retain_events = 1u << 15;
+  fgac::testing::ApplyNightlyArtifactOptions(&opts, "chaos_test");
   Database db(opts);
   SetupUniversity(&db);
   CreateUniversityViews(&db);
@@ -193,6 +194,8 @@ TEST(ChaosTest, EightClientSweepFailsClosedOnly) {
   // The sweep must actually have exercised the engine, not just shed
   // everything at the door.
   EXPECT_GT(successes.load(), 0u);
+
+  fgac::testing::DumpMetricsArtifact(&db, "chaos_test");
 }
 
 }  // namespace

@@ -407,14 +407,14 @@ TEST(ValidityCacheLruTest, RecentlyUsedEntrySurvivesEviction) {
   core::ValidityReport report;
   report.valid = true;
   report.unconditional = true;
-  cache.Insert("u", 1, 1, 1, report);
-  cache.Insert("u", 2, 1, 1, report);
+  cache.Insert("u", 1, 1, 1, 1, report);
+  cache.Insert("u", 2, 1, 1, 1, report);
   // Touch 1 so 2 becomes the LRU victim.
-  EXPECT_NE(cache.Lookup("u", 1, 1, 1), nullptr);
-  cache.Insert("u", 3, 1, 1, report);
-  EXPECT_NE(cache.Lookup("u", 1, 1, 1), nullptr);
-  EXPECT_EQ(cache.Lookup("u", 2, 1, 1), nullptr);
-  EXPECT_NE(cache.Lookup("u", 3, 1, 1), nullptr);
+  EXPECT_TRUE(cache.Lookup("u", 1, 1, 1, 1, nullptr));
+  cache.Insert("u", 3, 1, 1, 1, report);
+  EXPECT_TRUE(cache.Lookup("u", 1, 1, 1, 1, nullptr));
+  EXPECT_FALSE(cache.Lookup("u", 2, 1, 1, 1, nullptr));
+  EXPECT_TRUE(cache.Lookup("u", 3, 1, 1, 1, nullptr));
   EXPECT_EQ(cache.evictions(), 1u);
 }
 

@@ -153,6 +153,37 @@ TEST(ParserTest, GrantAndAuthorize) {
   EXPECT_EQ(a->grantee, "alice");
 }
 
+TEST(ParserTest, PreparedStatements) {
+  auto stmt = MustStmt("prepare q as select grade from grades "
+                       "where course-id = $1 and student-id = $user-id");
+  ASSERT_NE(stmt, nullptr);
+  auto* p = static_cast<const PrepareStmt*>(stmt.get());
+  EXPECT_EQ(p->kind(), StmtKind::kPrepare);
+  EXPECT_EQ(p->name, "q");
+  ASSERT_NE(p->select, nullptr);
+
+  auto exec = MustStmt("execute q ('cs101', 2)");
+  ASSERT_NE(exec, nullptr);
+  auto* e = static_cast<const ExecuteStmt*>(exec.get());
+  EXPECT_EQ(e->name, "q");
+  EXPECT_EQ(e->args.size(), 2u);
+  // No-argument EXECUTE omits the parens.
+  auto* e0 = static_cast<const ExecuteStmt*>(MustStmt("execute q").get());
+  EXPECT_EQ(e0->args.size(), 0u);
+
+  auto* d = static_cast<const DeallocateStmt*>(
+      MustStmt("deallocate q").get());
+  EXPECT_EQ(d->name, "q");
+  auto* all = static_cast<const DeallocateStmt*>(
+      MustStmt("deallocate all").get());
+  EXPECT_TRUE(all->name.empty());
+
+  EXPECT_FALSE(Parser::ParseStatement("prepare q select 1").ok());
+  EXPECT_FALSE(Parser::ParseStatement("prepare as select 1").ok());
+  EXPECT_FALSE(Parser::ParseStatement("execute q (1,").ok());
+  EXPECT_FALSE(Parser::ParseStatement("deallocate").ok());
+}
+
 TEST(ParserTest, RejectsNestedSubqueries) {
   // The paper's Section 5 assumption, surfaced as NotImplemented.
   auto r = Parser::ParseStatement("select * from (select * from t)");

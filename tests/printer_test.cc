@@ -63,6 +63,15 @@ TEST(PrinterTest, DropAndExplain) {
   CheckRoundTrip("explain select a from t where b = 1 order by 1 limit 3");
 }
 
+TEST(PrinterTest, PreparedStatements) {
+  CheckRoundTrip("prepare q as select grade from grades "
+                 "where course-id = $1 and student-id = $user-id");
+  CheckRoundTrip("execute q ('cs101', 2)");
+  CheckRoundTrip("execute q");
+  CheckRoundTrip("deallocate q");
+  CheckRoundTrip("deallocate all");
+}
+
 TEST(PrinterTest, SelectWithEverything) {
   CheckRoundTrip(
       "select distinct t.a as x, count(*) from t join u on t.k = u.k "

@@ -1,5 +1,8 @@
 #include "tests/test_util.h"
 
+#include <cstdlib>
+#include <fstream>
+
 #include <gtest/gtest.h>
 
 namespace fgac::testing {
@@ -116,6 +119,30 @@ storage::Relation MustQueryAdmin(core::Database* db, const std::string& sql) {
   core::SessionContext admin("admin");
   admin.set_mode(core::EnforcementMode::kNone);
   return MustQuery(db, sql, admin);
+}
+
+namespace {
+
+const char* NightlyArtifactDir() {
+  const char* dir = std::getenv("FGAC_NIGHTLY_ARTIFACT_DIR");
+  return dir != nullptr && dir[0] != '\0' ? dir : nullptr;
+}
+
+}  // namespace
+
+void ApplyNightlyArtifactOptions(core::DatabaseOptions* opts,
+                                 const std::string& tag) {
+  if (const char* dir = NightlyArtifactDir()) {
+    opts->audit.sink_path = std::string(dir) + "/" + tag + "_audit.jsonl";
+  }
+}
+
+void DumpMetricsArtifact(core::Database* db, const std::string& tag) {
+  if (const char* dir = NightlyArtifactDir()) {
+    db->audit_log().Flush();
+    std::ofstream out(std::string(dir) + "/" + tag + "_metrics.json");
+    out << db->ExportMetricsJson() << "\n";
+  }
 }
 
 }  // namespace fgac::testing

@@ -52,6 +52,17 @@ storage::Relation MustQuery(core::Database* db, const std::string& sql,
 /// Admin-mode query helper.
 storage::Relation MustQueryAdmin(core::Database* db, const std::string& sql);
 
+/// Nightly-CI artifact hooks, both no-ops unless $FGAC_NIGHTLY_ARTIFACT_DIR
+/// is set. ApplyNightlyArtifactOptions points the database's audit
+/// JSON-lines sink at <dir>/<tag>_audit.jsonl; DumpMetricsArtifact writes
+/// the database's metrics snapshot to <dir>/<tag>_metrics.json. The
+/// nightly workflow uploads the directory when a stress suite fails, so
+/// the per-statement audit trail and the final counters travel with the
+/// failure.
+void ApplyNightlyArtifactOptions(core::DatabaseOptions* opts,
+                                 const std::string& tag);
+void DumpMetricsArtifact(core::Database* db, const std::string& tag);
+
 }  // namespace fgac::testing
 
 #endif  // FGAC_TESTS_TEST_UTIL_H_

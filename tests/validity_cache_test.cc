@@ -25,41 +25,59 @@ ValidityReport Accepted(bool unconditional) {
   return r;
 }
 
+// Lookup helper for the (user, plan_fp, catalog_version, policy_epoch,
+// data_version) signature; returns whether the lookup hit.
+bool Hit(ValidityCache& cache, const std::string& user, uint64_t fp,
+         uint64_t cv, uint64_t pe, uint64_t dv,
+         ValidityReport* out = nullptr) {
+  return cache.Lookup(user, fp, cv, pe, dv, out);
+}
+
 TEST(ValidityCacheTest, HitAfterInsert) {
   ValidityCache cache;
-  EXPECT_EQ(cache.Lookup("u", 1, 1, 1), nullptr);
-  cache.Insert("u", 1, 1, 1, Accepted(true));
-  const ValidityReport* hit = cache.Lookup("u", 1, 1, 1);
-  ASSERT_NE(hit, nullptr);
-  EXPECT_TRUE(hit->valid);
+  EXPECT_FALSE(Hit(cache, "u", 1, 1, 1, 1));
+  cache.Insert("u", 1, 1, 1, 1, Accepted(true));
+  ValidityReport report;
+  ASSERT_TRUE(Hit(cache, "u", 1, 1, 1, 1, &report));
+  EXPECT_TRUE(report.valid);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
 }
 
 TEST(ValidityCacheTest, KeyedByUserAndPlan) {
   ValidityCache cache;
-  cache.Insert("u", 1, 1, 1, Accepted(true));
-  EXPECT_EQ(cache.Lookup("v", 1, 1, 1), nullptr);
-  EXPECT_EQ(cache.Lookup("u", 2, 1, 1), nullptr);
+  cache.Insert("u", 1, 1, 1, 1, Accepted(true));
+  EXPECT_FALSE(Hit(cache, "v", 1, 1, 1, 1));
+  EXPECT_FALSE(Hit(cache, "u", 2, 1, 1, 1));
 }
 
 TEST(ValidityCacheTest, CatalogVersionInvalidatesEverything) {
   ValidityCache cache;
-  cache.Insert("u", 1, 1, 1, Accepted(true));
-  EXPECT_EQ(cache.Lookup("u", 1, 2, 1), nullptr);
+  cache.Insert("u", 1, 1, 1, 1, Accepted(true));
+  EXPECT_FALSE(Hit(cache, "u", 1, 2, 1, 1));
+}
+
+TEST(ValidityCacheTest, PolicyEpochInvalidatesEverything) {
+  // Even an unconditional acceptance dies when the policy epoch advances:
+  // the authorization views it was judged against may have narrowed.
+  ValidityCache cache;
+  cache.Insert("u", 1, 1, 1, 1, Accepted(true));
+  EXPECT_FALSE(Hit(cache, "u", 1, 1, 2, 1));
+  // The stale entry was erased, not just skipped.
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 TEST(ValidityCacheTest, DataVersionInvalidatesConditionalOnly) {
   ValidityCache cache;
-  cache.Insert("u", 1, 1, 1, Accepted(true));        // unconditional
-  cache.Insert("u", 2, 1, 1, Accepted(false));       // conditional
+  cache.Insert("u", 1, 1, 1, 1, Accepted(true));        // unconditional
+  cache.Insert("u", 2, 1, 1, 1, Accepted(false));       // conditional
   ValidityReport rejected;
   rejected.valid = false;
-  cache.Insert("u", 3, 1, 1, rejected);              // rejection
+  cache.Insert("u", 3, 1, 1, 1, rejected);              // rejection
   // Data changed: unconditional verdicts survive, conditional/rejections die.
-  EXPECT_NE(cache.Lookup("u", 1, 1, 2), nullptr);
-  EXPECT_EQ(cache.Lookup("u", 2, 1, 2), nullptr);
-  EXPECT_EQ(cache.Lookup("u", 3, 1, 2), nullptr);
+  EXPECT_TRUE(Hit(cache, "u", 1, 1, 1, 2));
+  EXPECT_FALSE(Hit(cache, "u", 2, 1, 1, 2));
+  EXPECT_FALSE(Hit(cache, "u", 3, 1, 1, 2));
 }
 
 class DatabaseCacheTest : public ::testing::Test {
