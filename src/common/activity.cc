@@ -1,0 +1,188 @@
+#include "common/activity.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fgac::common {
+
+using activity_internal::SessionRec;
+
+const char* StatementPhaseName(StatementPhase phase) {
+  switch (phase) {
+    case StatementPhase::kQueued:
+      return "queued";
+    case StatementPhase::kValidity:
+      return "validity";
+    case StatementPhase::kRewrite:
+      return "rewrite";
+    case StatementPhase::kExec:
+      return "exec";
+    case StatementPhase::kFinished:
+      return "finished";
+  }
+  return "unknown";
+}
+
+StatementActivity::StatementActivity(uint64_t seq, std::string session_id,
+                                     std::string user, std::string statement,
+                                     std::shared_ptr<SessionRec> session)
+    : seq_(seq),
+      session_id_(std::move(session_id)),
+      user_(std::move(user)),
+      statement_(std::move(statement)),
+      started_(std::chrono::steady_clock::now()),
+      session_(std::move(session)) {}
+
+void StatementActivity::NoteCacheHit() {
+  if (session_ != nullptr) {
+    session_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+uint64_t StatementActivity::elapsed_us() const {
+  auto d = std::chrono::steady_clock::now() - started_;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+void ActivityRegistry::OpenSession(const std::string& session_id,
+                                   const std::string& user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<SessionRec>& rec = sessions_[session_id];
+  if (rec == nullptr) {
+    rec = std::make_shared<SessionRec>();
+    rec->session_id = session_id;
+    rec->user = user;
+  }
+  rec->explicit_open = true;
+}
+
+void ActivityRegistry::CloseSession(const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(session_id);
+}
+
+std::shared_ptr<StatementActivity> ActivityRegistry::BeginStatement(
+    const std::string& session_id, const std::string& user,
+    const std::string& statement) {
+  uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::string text = statement.size() > kMaxStatementBytes
+                         ? statement.substr(0, kMaxStatementBytes)
+                         : statement;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<SessionRec>& rec = sessions_[session_id];
+  if (rec == nullptr) {
+    // Implicit session: a bare SessionContext ran a statement without a
+    // server connection. Dropped again when its last statement ends.
+    rec = std::make_shared<SessionRec>();
+    rec->session_id = session_id;
+    rec->user = user;
+  }
+  rec->in_flight.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<StatementActivity> activity(
+      new StatementActivity(seq, session_id, user, std::move(text), rec));
+  statements_[seq] = activity;
+  return activity;
+}
+
+void ActivityRegistry::EndStatement(
+    const std::shared_ptr<StatementActivity>& activity) {
+  if (activity == nullptr) return;
+  activity->set_phase(StatementPhase::kFinished);
+  std::lock_guard<std::mutex> lock(mu_);
+  statements_.erase(activity->seq());
+  std::shared_ptr<SessionRec>& rec = activity->session_;
+  if (rec != nullptr) {
+    rec->statements_run.fetch_add(1, std::memory_order_relaxed);
+    if (rec->in_flight.fetch_sub(1, std::memory_order_relaxed) == 1 &&
+        !rec->explicit_open) {
+      auto it = sessions_.find(activity->session_id());
+      if (it != sessions_.end() && it->second == rec) sessions_.erase(it);
+    }
+  }
+}
+
+std::vector<SessionActivitySnapshot> ActivityRegistry::SnapshotSessions()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionActivitySnapshot> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, rec] : sessions_) {
+    SessionActivitySnapshot s;
+    s.session_id = id;
+    s.user = rec->user;
+    s.in_flight = rec->in_flight.load(std::memory_order_relaxed);
+    s.active = s.in_flight > 0;
+    s.statements_run = rec->statements_run.load(std::memory_order_relaxed);
+    s.cache_hits = rec->cache_hits.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  // "Current statement" = the oldest in-flight statement per session
+  // (lowest seq — seqs are begin-ordered).
+  for (const auto& [seq, stmt] : statements_) {
+    for (SessionActivitySnapshot& s : out) {
+      if (s.session_id == stmt->session_id() &&
+          s.current_statement.empty()) {
+        s.current_statement = stmt->statement();
+        s.current_elapsed_us = stmt->elapsed_us();
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<StatementActivitySnapshot> ActivityRegistry::SnapshotStatements()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StatementActivitySnapshot> out;
+  out.reserve(statements_.size());
+  for (const auto& [seq, stmt] : statements_) {
+    StatementActivitySnapshot s;
+    s.seq = seq;
+    s.session_id = stmt->session_id();
+    s.user = stmt->user();
+    s.statement = stmt->statement();
+    s.phase = stmt->phase();
+    s.elapsed_us = stmt->elapsed_us();
+    s.admission_wait_us = stmt->admission_wait_us();
+    s.guard_rows = stmt->guard_rows();
+    s.guard_bytes = stmt->guard_bytes();
+    const DagProgress& p = stmt->progress();
+    s.pipelines_total = p.sets_total.load(std::memory_order_relaxed);
+    s.pipelines_done = p.sets_done.load(std::memory_order_relaxed);
+    s.queue_wait_us = p.queue_wait_us.load(std::memory_order_relaxed);
+    s.run_us = p.run_us.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<StatementActivity>>
+ActivityRegistry::SnapshotHandles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<StatementActivity>> out;
+  out.reserve(statements_.size());
+  for (const auto& [seq, stmt] : statements_) out.push_back(stmt);
+  return out;
+}
+
+uint64_t ActivityRegistry::sessions_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+uint64_t ActivityRegistry::statements_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return statements_.size();
+}
+
+uint64_t ActivityRegistry::MaxStatementElapsedUs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t max_us = 0;
+  for (const auto& [seq, stmt] : statements_) {
+    max_us = std::max(max_us, stmt->elapsed_us());
+  }
+  return max_us;
+}
+
+}  // namespace fgac::common

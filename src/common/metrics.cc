@@ -1,7 +1,9 @@
 #include "common/metrics.h"
 
 #include <bit>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 
 #include "common/strings.h"
@@ -25,55 +27,198 @@ uint64_t BucketLower(size_t i) {
   return 1ull << (i - 1);
 }
 
-void AppendJsonKey(std::string* out, const std::string& name) {
-  out->push_back('"');
-  AppendJsonEscaped(out, name);
-  out->append("\":");
-}
-
-}  // namespace
-
-void Histogram::Record(uint64_t v) {
-  buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(v, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-}
-
-uint64_t Histogram::ApproxPercentile(double p) const {
-  // Read the buckets once; the total is derived from the same reads so a
-  // concurrent Record() cannot push the target rank past the scanned mass.
-  std::array<uint64_t, kBuckets> copy;
+/// Percentile estimate over an already-copied bucket array: the target
+/// rank's bucket is located exactly, then the value is linearly
+/// interpolated within the bucket's [2^(i-1), 2^i) range under a
+/// uniform-samples assumption.
+uint64_t PercentileFromBuckets(
+    const std::array<uint64_t, Histogram::kBuckets>& buckets, double p) {
   uint64_t total = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    copy[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += copy[i];
-  }
+  for (uint64_t b : buckets) total += b;
   if (total == 0) return 0;
   if (p < 0) p = 0;
   if (p > 100) p = 100;
   uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
   if (rank >= total) rank = total - 1;
   uint64_t seen = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    if (copy[i] == 0) continue;
-    if (seen + copy[i] > rank) {
-      // Linear interpolation within the bucket (samples assumed uniform
-      // over [lower, upper]): rank_in_bucket 0 of a c-sample bucket maps
-      // to lower + width*1/c, the last rank to upper — so p50/p95/p99 in
-      // the export move smoothly instead of jumping between power-of-two
-      // bucket bounds.
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] > rank) {
       uint64_t lower = BucketLower(i);
       uint64_t upper = BucketUpper(i);
       uint64_t rank_in_bucket = rank - seen;
       double fraction = static_cast<double>(rank_in_bucket + 1) /
-                        static_cast<double>(copy[i]);
+                        static_cast<double>(buckets[i]);
       return lower + static_cast<uint64_t>(std::llround(
                          static_cast<double>(upper - lower) * fraction));
     }
-    seen += copy[i];
+    seen += buckets[i];
   }
-  return BucketUpper(kBuckets - 1);
+  return BucketUpper(Histogram::kBuckets - 1);
 }
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  out->push_back('"');
+  AppendJsonEscaped(out, name);
+  out->append("\":");
+}
+
+// --- Prometheus exposition helpers -----------------------------------------
+
+/// Maps a dotted metric name to the stable Prometheus namespace: "fgac_"
+/// prefix, every character outside [a-zA-Z0-9_] replaced by '_'.
+std::string PromName(const std::string& dotted) {
+  std::string out = "fgac_";
+  out.reserve(out.size() + dotted.size());
+  for (char c : dotted) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendPromType(std::string* out, const std::string& name,
+                    const char* type) {
+  out->append("# TYPE ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+void AppendPromLine(std::string* out, const std::string& name,
+                    const std::string& labels, uint64_t value) {
+  out->append(name);
+  out->append(labels);
+  out->push_back(' ');
+  out->append(std::to_string(value));
+  out->push_back('\n');
+}
+
+void AppendPromLineF(std::string* out, const std::string& name,
+                     const std::string& labels, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out->append(name);
+  out->append(labels);
+  out->push_back(' ');
+  out->append(buf);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+// --- MetricWindow ----------------------------------------------------------
+
+uint64_t MetricWindow::EpochNow() {
+  auto since = std::chrono::steady_clock::now().time_since_epoch();
+  uint64_t secs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(since).count());
+  return secs / kEpochSeconds;
+}
+
+// --- Counter ---------------------------------------------------------------
+
+void Counter::IncrementAtEpoch(uint64_t n, uint64_t epoch) {
+  // Cumulative first, then the window slot with release order: a reader
+  // that observes the slot update (acquire) is guaranteed to also observe
+  // the cumulative update, which keeps windowed <= cumulative.
+  v_.fetch_add(n, std::memory_order_relaxed);
+  Slot& slot = ring_[epoch % MetricWindow::kRing];
+  uint64_t cur = slot.epoch.load(std::memory_order_acquire);
+  if (cur != epoch) {
+    // First write of a new epoch claims the slot; the winner zeroes the
+    // stale value. Updates racing the takeover may be dropped from the
+    // window sums (never from the cumulative value).
+    if (slot.epoch.compare_exchange_strong(cur, epoch,
+                                           std::memory_order_acq_rel)) {
+      slot.v.store(0, std::memory_order_relaxed);
+    }
+  }
+  slot.v.fetch_add(n, std::memory_order_release);
+}
+
+std::array<uint64_t, MetricWindow::kCount> Counter::WindowedAtEpoch(
+    uint64_t epoch) const {
+  std::array<uint64_t, MetricWindow::kCount> out{};
+  for (size_t i = 0; i < MetricWindow::kRing; ++i) {
+    uint64_t e = ring_[i].epoch.load(std::memory_order_acquire);
+    if (e == MetricWindow::kNoEpoch || e > epoch) continue;
+    uint64_t age = epoch - e;  // 0 = the current epoch
+    if (age >= MetricWindow::kEpochs.back()) continue;
+    uint64_t v = ring_[i].v.load(std::memory_order_acquire);
+    for (size_t w = 0; w < MetricWindow::kCount; ++w) {
+      if (age < MetricWindow::kEpochs[w]) out[w] += v;
+    }
+  }
+  return out;
+}
+
+// --- Histogram -------------------------------------------------------------
+
+void Histogram::RecordAtEpoch(uint64_t v, uint64_t epoch) {
+  buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+
+  Slot& slot = ring_[epoch % MetricWindow::kRing];
+  uint64_t cur = slot.epoch.load(std::memory_order_acquire);
+  if (cur != epoch) {
+    if (slot.epoch.compare_exchange_strong(cur, epoch,
+                                           std::memory_order_acq_rel)) {
+      for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+      slot.sum.store(0, std::memory_order_relaxed);
+      slot.count.store(0, std::memory_order_relaxed);
+    }
+  }
+  slot.buckets[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  slot.sum.fetch_add(v, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_release);
+}
+
+uint64_t Histogram::ApproxPercentile(double p) const {
+  // Read the buckets once; the total is derived from the same reads so a
+  // concurrent Record() cannot push the target rank past the scanned mass.
+  std::array<uint64_t, kBuckets> copy;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    copy[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return PercentileFromBuckets(copy, p);
+}
+
+std::array<Histogram::WindowValue, MetricWindow::kCount>
+Histogram::WindowedAtEpoch(uint64_t epoch) const {
+  std::array<std::array<uint64_t, kBuckets>, MetricWindow::kCount> merged{};
+  std::array<WindowValue, MetricWindow::kCount> out{};
+  for (size_t i = 0; i < MetricWindow::kRing; ++i) {
+    const Slot& slot = ring_[i];
+    uint64_t e = slot.epoch.load(std::memory_order_acquire);
+    if (e == MetricWindow::kNoEpoch || e > epoch) continue;
+    uint64_t age = epoch - e;
+    if (age >= MetricWindow::kEpochs.back()) continue;
+    uint64_t count = slot.count.load(std::memory_order_acquire);
+    uint64_t sum = slot.sum.load(std::memory_order_relaxed);
+    std::array<uint64_t, kBuckets> copy;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      copy[b] = slot.buckets[b].load(std::memory_order_relaxed);
+    }
+    for (size_t w = 0; w < MetricWindow::kCount; ++w) {
+      if (age >= MetricWindow::kEpochs[w]) continue;
+      out[w].count += count;
+      out[w].sum += sum;
+      for (size_t b = 0; b < kBuckets; ++b) merged[w][b] += copy[b];
+    }
+  }
+  for (size_t w = 0; w < MetricWindow::kCount; ++w) {
+    out[w].p50 = PercentileFromBuckets(merged[w], 50);
+    out[w].p95 = PercentileFromBuckets(merged[w], 95);
+    out[w].p99 = PercentileFromBuckets(merged[w], 99);
+  }
+  return out;
+}
+
+// --- MetricsRegistry -------------------------------------------------------
 
 MetricsRegistry::Shard& MetricsRegistry::ShardFor(std::string_view name) {
   return shards_[std::hash<std::string_view>()(name) % kShards];
@@ -105,9 +250,13 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
+  uint64_t epoch = MetricWindow::EpochNow();
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (const auto& [name, c] : shard.counters) {
+      // Window sums are read before the cumulative value so the exported
+      // windowed <= cumulative invariant holds under concurrent updates.
+      snap.counter_windows[name] = c->WindowedAtEpoch(epoch);
       snap.counters[name] = c->value();
     }
     for (const auto& [name, g] : shard.gauges) {
@@ -115,6 +264,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     }
     for (const auto& [name, h] : shard.histograms) {
       MetricsSnapshot::HistogramValue hv;
+      hv.windows = h->WindowedAtEpoch(epoch);
       hv.count = h->count();
       hv.sum = h->sum();
       hv.p50 = h->ApproxPercentile(50);
@@ -156,9 +306,90 @@ std::string MetricsSnapshot::ToJson() const {
            ",\"sum\":" + std::to_string(h.sum) +
            ",\"p50\":" + std::to_string(h.p50) +
            ",\"p95\":" + std::to_string(h.p95) +
-           ",\"p99\":" + std::to_string(h.p99) + "}";
+           ",\"p99\":" + std::to_string(h.p99);
+    for (size_t w = 0; w < MetricWindow::kCount; ++w) {
+      out += ",\"w";
+      out += MetricWindow::kNames[w];
+      out += "\":{\"count\":" + std::to_string(h.windows[w].count) +
+             ",\"p50\":" + std::to_string(h.windows[w].p50) +
+             ",\"p95\":" + std::to_string(h.windows[w].p95) +
+             ",\"p99\":" + std::to_string(h.windows[w].p99) + "}";
+    }
+    out += "}";
+  }
+  out += "},\"windows\":{";
+  for (size_t w = 0; w < MetricWindow::kCount; ++w) {
+    if (w != 0) out.push_back(',');
+    out.push_back('"');
+    out += MetricWindow::kNames[w];
+    out += "\":{";
+    first = true;
+    for (const auto& [name, values] : counter_windows) {
+      if (!first) out.push_back(',');
+      first = false;
+      AppendJsonKey(&out, name);
+      out += std::to_string(values[w]);
+    }
+    out += "}";
   }
   out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, v] : counters) {
+    std::string prom = PromName(name);
+    AppendPromType(&out, prom + "_total", "counter");
+    AppendPromLine(&out, prom + "_total", "", v);
+    auto windows = counter_windows.find(name);
+    if (windows != counter_windows.end()) {
+      // Per-window rate in events/second: count in window / window width.
+      AppendPromType(&out, prom + "_rate", "gauge");
+      for (size_t w = 0; w < MetricWindow::kCount; ++w) {
+        double seconds = static_cast<double>(MetricWindow::kEpochs[w]) *
+                         static_cast<double>(MetricWindow::kEpochSeconds);
+        std::string labels = "{window=\"";
+        labels += MetricWindow::kNames[w];
+        labels += "\"}";
+        AppendPromLineF(&out, prom + "_rate", labels,
+                        static_cast<double>(windows->second[w]) / seconds);
+      }
+    }
+  }
+  for (const auto& [name, v] : gauges) {
+    std::string prom = PromName(name);
+    AppendPromType(&out, prom, "gauge");
+    out.append(prom);
+    out.push_back(' ');
+    out.append(std::to_string(v));
+    out.push_back('\n');
+  }
+  for (const auto& [name, h] : histograms) {
+    std::string prom = PromName(name);
+    AppendPromType(&out, prom, "summary");
+    AppendPromLine(&out, prom, "{quantile=\"0.5\"}", h.p50);
+    AppendPromLine(&out, prom, "{quantile=\"0.95\"}", h.p95);
+    AppendPromLine(&out, prom, "{quantile=\"0.99\"}", h.p99);
+    AppendPromLine(&out, prom + "_sum", "", h.sum);
+    AppendPromLine(&out, prom + "_count", "", h.count);
+    AppendPromType(&out, prom + "_windowed", "gauge");
+    AppendPromType(&out, prom + "_windowed_count", "gauge");
+    for (size_t w = 0; w < MetricWindow::kCount; ++w) {
+      std::string window = "window=\"";
+      window += MetricWindow::kNames[w];
+      window += "\"";
+      AppendPromLine(&out, prom + "_windowed",
+                     "{" + window + ",quantile=\"0.5\"}", h.windows[w].p50);
+      AppendPromLine(&out, prom + "_windowed",
+                     "{" + window + ",quantile=\"0.95\"}", h.windows[w].p95);
+      AppendPromLine(&out, prom + "_windowed",
+                     "{" + window + ",quantile=\"0.99\"}", h.windows[w].p99);
+      AppendPromLine(&out, prom + "_windowed_count", "{" + window + "}",
+                     h.windows[w].count);
+    }
+  }
   return out;
 }
 

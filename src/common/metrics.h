@@ -13,16 +13,66 @@
 
 namespace fgac::common {
 
+/// Sliding-window layout shared by every windowed metric: time is sliced
+/// into fixed 5-second epochs and each metric keeps the last kRing epochs
+/// in a ring indexed by epoch % kRing. The exported windows (10s / 1m /
+/// 5m) are sums over the most recent 2 / 12 / 60 epochs, so a "window"
+/// value is exact at epoch granularity, not at sub-epoch granularity.
+///
+/// Ring slots are claimed lazily by writers: the first Record/Increment of
+/// a new epoch CAS-claims the slot (epoch % kRing) and zeroes the stale
+/// value it held. Writers racing the takeover may land an update in the
+/// value being zeroed — such samples drop out of the *window* sums only;
+/// the cumulative value is updated first and is always exact. Windowed
+/// sums are therefore never larger than the cumulative value.
+struct MetricWindow {
+  static constexpr uint64_t kEpochSeconds = 5;
+  static constexpr size_t kRing = 64;
+  static constexpr size_t kCount = 3;
+  /// Window widths in epochs: 10s, 1m, 5m.
+  static constexpr std::array<uint64_t, kCount> kEpochs = {2, 12, 60};
+  static constexpr std::array<const char*, kCount> kNames = {"10s", "1m",
+                                                             "5m"};
+  static constexpr uint64_t kNoEpoch = ~0ull;
+
+  /// The current epoch number (steady clock; process-relative).
+  static uint64_t EpochNow();
+};
+
 /// Monotonic counter. All mutators are relaxed atomic RMWs, so concurrent
 /// increments from every morsel worker are lock-free and never tear; a
-/// reader always sees some whole value that was actually written.
+/// reader always sees some whole value that was actually written. Each
+/// increment is additionally recorded into the current 5-second epoch of
+/// the window ring (see MetricWindow for the slot-takeover semantics).
 class Counter {
  public:
-  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment(uint64_t n = 1) {
+    IncrementAtEpoch(n, MetricWindow::EpochNow());
+  }
+  /// Deterministic-epoch seam for tests; the normal path derives the epoch
+  /// from the steady clock.
+  void IncrementAtEpoch(uint64_t n, uint64_t epoch);
+
   uint64_t value() const { return v_.load(std::memory_order_relaxed); }
 
+  /// Sum over each window ending at the current epoch, one pass over the
+  /// ring — so the 10s value is computed from a subset of the slots the 1m
+  /// value uses, and windowed[10s] <= windowed[1m] <= windowed[5m] <=
+  /// value() holds even against concurrent increments.
+  std::array<uint64_t, MetricWindow::kCount> Windowed() const {
+    return WindowedAtEpoch(MetricWindow::EpochNow());
+  }
+  std::array<uint64_t, MetricWindow::kCount> WindowedAtEpoch(
+      uint64_t epoch) const;
+
  private:
+  struct Slot {
+    std::atomic<uint64_t> epoch{MetricWindow::kNoEpoch};
+    std::atomic<uint64_t> v{0};
+  };
+
   std::atomic<uint64_t> v_{0};
+  std::array<Slot, MetricWindow::kRing> ring_{};
 };
 
 /// Point-in-time signed value (queue depths, cache sizes).
@@ -49,12 +99,25 @@ class Gauge {
 /// atomic, so Record() is wait-free and snapshots read consistent whole
 /// values per slot (count/sum/buckets are not mutually atomic — a snapshot
 /// taken mid-update may be one sample ahead in one slot, which is fine for
-/// monitoring and exact once writers quiesce).
+/// monitoring and exact once writers quiesce). Samples are additionally
+/// recorded into the window ring, so windowed p50/p95/p99 over the last
+/// 10s / 1m / 5m are available next to the cumulative percentiles.
 class Histogram {
  public:
   static constexpr size_t kBuckets = 64;
 
-  void Record(uint64_t v);
+  /// Cumulative-plus-windowed view of one window's worth of samples.
+  struct WindowValue {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+  };
+
+  void Record(uint64_t v) { RecordAtEpoch(v, MetricWindow::EpochNow()); }
+  /// Deterministic-epoch seam for tests.
+  void RecordAtEpoch(uint64_t v, uint64_t epoch);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -68,10 +131,25 @@ class Histogram {
   /// latencies, not power-of-two bucket edges.
   uint64_t ApproxPercentile(double p) const;
 
+  /// Merged-bucket percentiles per window, one pass over the ring.
+  std::array<WindowValue, MetricWindow::kCount> Windowed() const {
+    return WindowedAtEpoch(MetricWindow::EpochNow());
+  }
+  std::array<WindowValue, MetricWindow::kCount> WindowedAtEpoch(
+      uint64_t epoch) const;
+
  private:
+  struct Slot {
+    std::atomic<uint64_t> epoch{MetricWindow::kNoEpoch};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+  };
+
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::array<Slot, MetricWindow::kRing> ring_{};
 };
 
 /// One consistent-enough copy of every registered metric, decoupled from
@@ -85,12 +163,23 @@ struct MetricsSnapshot {
     uint64_t p95 = 0;
     uint64_t p99 = 0;
     std::array<uint64_t, Histogram::kBuckets> buckets{};
+    std::array<Histogram::WindowValue, MetricWindow::kCount> windows{};
   };
   std::map<std::string, uint64_t> counters;
+  std::map<std::string, std::array<uint64_t, MetricWindow::kCount>>
+      counter_windows;
   std::map<std::string, int64_t> gauges;
   std::map<std::string, HistogramValue> histograms;
 
   std::string ToJson() const;
+
+  /// Prometheus text exposition (text/plain; version=0.0.4). Dotted metric
+  /// names map to a stable flat namespace: "exec.run_us" becomes
+  /// fgac_exec_run_us; counters gain the conventional _total suffix;
+  /// histograms export as summaries (quantile-labeled lines plus _sum and
+  /// _count); windowed values carry a window="10s|1m|5m" label on
+  /// *_windowed / *_rate series.
+  std::string ToPrometheus() const;
 };
 
 /// Process-light metrics registry: named counters / gauges / histograms,
@@ -114,6 +203,7 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
 
   std::string ToJson() const { return Snapshot().ToJson(); }
+  std::string ToPrometheus() const { return Snapshot().ToPrometheus(); }
 
  private:
   static constexpr size_t kShards = 8;

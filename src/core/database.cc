@@ -90,6 +90,38 @@ common::AuditEvent StartAudit(const SessionContext& ctx,
   return ev;
 }
 
+/// The statement currently executing on this thread, for the enforcement
+/// pipeline to stamp phases / progress into without threading a handle
+/// through every signature. Set by ActivityScope; a nested statement
+/// (EXPLAIN ANALYZE running its subject) shares the outer record.
+thread_local common::StatementActivity* g_current_activity = nullptr;
+
+/// RAII registration of one statement in the activity registry.
+class ActivityScope {
+ public:
+  ActivityScope(common::ActivityRegistry& registry, const SessionContext& ctx,
+                const std::string& statement)
+      : registry_(registry) {
+    if (g_current_activity == nullptr) {
+      activity_ =
+          registry_.BeginStatement(ctx.session_id(), ctx.user(), statement);
+      g_current_activity = activity_.get();
+    }
+  }
+  ~ActivityScope() {
+    if (activity_ != nullptr) {
+      registry_.EndStatement(activity_);
+      g_current_activity = nullptr;
+    }
+  }
+  ActivityScope(const ActivityScope&) = delete;
+  ActivityScope& operator=(const ActivityScope&) = delete;
+
+ private:
+  common::ActivityRegistry& registry_;
+  std::shared_ptr<common::StatementActivity> activity_;
+};
+
 }  // namespace
 
 Database::Database() : Database(DefaultOptions()) {}
@@ -123,12 +155,51 @@ Database::Database(DatabaseOptions options)
   BootstrapSystemTables();
   audit_ = std::make_unique<common::AuditLog>(options_.audit);
   system_tables_ready_ = true;
+  // The stall watchdog starts last: its probes and stall callback touch the
+  // audit log and admission controller, which now both exist.
+  watchdog_ =
+      std::make_unique<Watchdog>(options_.watchdog, &activity_, &metrics_);
+  watchdog_->AddProbe("watchdog.scheduler_queue_depth", [] {
+    return static_cast<int64_t>(
+        exec::PipelineScheduler::Shared().fair_queue_depth());
+  });
+  watchdog_->AddProbe("watchdog.admission_queue_depth", [this] {
+    return static_cast<int64_t>(admission_->queue_depth());
+  });
+  watchdog_->AddProbe("watchdog.admission_running", [this] {
+    return static_cast<int64_t>(admission_->running());
+  });
+  watchdog_->set_on_stall([this](
+                              const common::StatementActivitySnapshot& snap,
+                              const std::string& reason) {
+    if (audit_ == nullptr || !audit_->enabled()) return;
+    common::AuditEvent ev;
+    ev.user = snap.user;
+    ev.session = snap.session_id;
+    ev.mode = "watchdog";
+    ev.statement = snap.statement;
+    ev.statement_hash = common::AuditStatementHash(snap.statement);
+    ev.verdict = "stalled";
+    ev.rules = reason;
+    ev.duration_us = static_cast<int64_t>(snap.elapsed_us);
+    ev.guard_rows = snap.guard_rows;
+    ev.guard_bytes = snap.guard_bytes;
+    ev.status = "in_flight";
+    audit_->Append(std::move(ev));
+  });
+  watchdog_->Start();
+}
+
+Database::~Database() {
+  // Join the sampler before any member it reads is torn down.
+  if (watchdog_ != nullptr) watchdog_->Stop();
 }
 
 Result<ExecResult> Database::Execute(std::string_view sql,
                                      const SessionContext& ctx) {
   auto t0 = std::chrono::steady_clock::now();
   common::AuditEvent ev = StartAudit(ctx, std::string(sql));
+  ActivityScope activity_scope(activity_, ctx, ev.statement);
   Result<sql::StmtPtr> stmt = sql::Parser::ParseStatement(sql);
   if (!stmt.ok()) {
     FinishAudit(&ev, stmt.status(), 0, t0);
@@ -272,6 +343,9 @@ Result<Relation> Database::RunPlan(const PlanPtr& plan,
   exec::DagOptions dag_opts;
   dag_opts.session_key = std::hash<std::string>{}(ctx.session_id());
   dag_opts.weight = ctx.scheduler_weight();
+  if (g_current_activity != nullptr) {
+    dag_opts.progress = &g_current_activity->progress();
+  }
   if (!options_.optimize_execution) {
     if (stats != nullptr) stats->SetExecutedPlan(plan);
     return exec::ParallelExecutePlan(plan, state_, threads, guard, stats,
@@ -289,9 +363,9 @@ Result<Relation> Database::RunPlan(const PlanPtr& plan,
                                    trace, dag_opts);
 }
 
-std::string Database::ExportMetricsJson() {
+void Database::RefreshExportGauges() {
   // Pull-model stats live in their owning subsystems; mirror them into
-  // gauges at export time so one JSON document covers everything.
+  // gauges at export time so one document covers everything.
   if (audit_ != nullptr) {
     metrics_.gauge("audit.events_emitted")
         .Set(static_cast<int64_t>(audit_->events_emitted()));
@@ -362,11 +436,42 @@ std::string Database::ExportMetricsJson() {
       .Set(static_cast<int64_t>(admission_->queue_depth_high_water()));
   metrics_.gauge("admission.running")
       .Set(static_cast<int64_t>(admission_->running()));
+  metrics_.gauge("memory.soft_limit")
+      .Set(static_cast<int64_t>(tracker_.limits().soft_limit_bytes));
+  metrics_.gauge("memory.hard_limit")
+      .Set(static_cast<int64_t>(tracker_.limits().hard_limit_bytes));
+  metrics_.gauge("admission.queue_wait_us")
+      .Set(static_cast<int64_t>(admission_->total_queue_wait_us()));
+  metrics_.gauge("scheduler.task_queue_wait_us")
+      .Set(static_cast<int64_t>(sched.total_task_queue_wait_us()));
+  metrics_.gauge("scheduler.task_run_us")
+      .Set(static_cast<int64_t>(sched.total_task_run_us()));
+  metrics_.gauge("sessions.open")
+      .Set(static_cast<int64_t>(activity_.sessions_open()));
+  metrics_.gauge("sessions.statements_active")
+      .Set(static_cast<int64_t>(activity_.statements_active()));
+  metrics_.gauge("sessions.statements_begun")
+      .Set(static_cast<int64_t>(activity_.statements_begun()));
+  metrics_.gauge("slow_query.captured")
+      .Set(static_cast<int64_t>(slow_log_.captured()));
   for (const auto& [site, hits] :
        common::FaultInjector::Instance().AllHitCounts()) {
     metrics_.gauge("fault." + site).Set(hits);
   }
+  // One watchdog pass guarantees the watchdog.* family (samples, stall
+  // counters, depth probes, in-flight gauges) is present and current in
+  // every export, even before the background thread's first tick.
+  if (watchdog_ != nullptr) watchdog_->SampleOnce();
+}
+
+std::string Database::ExportMetricsJson() {
+  RefreshExportGauges();
   return metrics_.ToJson();
+}
+
+std::string Database::ExportMetricsPrometheus() {
+  RefreshExportGauges();
+  return metrics_.ToPrometheus();
 }
 
 ValidityOptions Database::ResolvedValidityOptions() const {
@@ -396,6 +501,23 @@ Result<ExecResult> Database::RunSelect(const PlanPtr& plan,
                                        QueryProfile* profile,
                                        common::AuditEvent* audit,
                                        const PreparedRun* prep) {
+  auto t0 = std::chrono::steady_clock::now();
+  Result<ExecResult> r = RunSelectImpl(plan, ctx, profile, audit, prep);
+  uint64_t duration_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  // Capture runs on every exit path — rejections and guard trips are often
+  // exactly the statements worth a postmortem.
+  MaybeCaptureSlowQuery(ctx, profile, audit, r, duration_us);
+  return r;
+}
+
+Result<ExecResult> Database::RunSelectImpl(const PlanPtr& plan,
+                                           const SessionContext& ctx,
+                                           QueryProfile* profile,
+                                           common::AuditEvent* audit,
+                                           const PreparedRun* prep) {
   using Clock = std::chrono::steady_clock;
   auto elapsed_ns = [](Clock::time_point t0) -> uint64_t {
     return static_cast<uint64_t>(
@@ -404,6 +526,7 @@ Result<ExecResult> Database::RunSelect(const PlanPtr& plan,
             .count());
   };
   metrics_.counter("queries.select").Increment();
+  common::StatementActivity* act = g_current_activity;
   ValidityTrace* trace = nullptr;
   exec::ExecStats* stats = nullptr;
   if (profile != nullptr) {
@@ -449,6 +572,11 @@ Result<ExecResult> Database::RunSelect(const PlanPtr& plan,
   // the process-wide memory account.
   common::QueryLimits limits =
       ctx.query_limits().has_value() ? *ctx.query_limits() : options_.limits;
+  if (act != nullptr && limits.has_timeout()) {
+    act->set_deadline_us(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(limits.timeout)
+            .count()));
+  }
   common::QueryGuard guard(limits);
   if (ctx.cancel_token() != nullptr) {
     guard.AttachExternalCancel(ctx.cancel_token());
@@ -460,13 +588,17 @@ Result<ExecResult> Database::RunSelect(const PlanPtr& plan,
   struct GuardChargeCapture {
     const common::QueryGuard& guard;
     common::AuditEvent* ev;
+    common::StatementActivity* act;
     ~GuardChargeCapture() {
       if (ev != nullptr) {
         ev->guard_rows = guard.rows_charged();
         ev->guard_bytes = guard.bytes_charged();
       }
+      if (act != nullptr) {
+        act->StampGuard(guard.rows_charged(), guard.bytes_charged());
+      }
     }
-  } charge_capture{guard, audit};
+  } charge_capture{guard, audit, act};
 
   // Admission control happens after binding (the cost estimate needs the
   // plan's base tables) but BEFORE any heavy work and before the system-
@@ -484,7 +616,11 @@ Result<ExecResult> Database::RunSelect(const PlanPtr& plan,
     }
     req.cost = std::max(1.0, cost);
     req.guard = &guard;
+    auto admit_t0 = Clock::now();
     Status admitted = admission_->Admit(req, &admission_ticket);
+    if (act != nullptr) {
+      act->set_admission_wait_us(elapsed_ns(admit_t0) / 1000);
+    }
     if (!admitted.ok()) {
       if (admitted.code() == StatusCode::kOverloaded) {
         metrics_.counter("queries.shed").Increment();
@@ -500,7 +636,7 @@ Result<ExecResult> Database::RunSelect(const PlanPtr& plan,
   std::unique_lock<std::mutex> system_lock;
   if (TouchesSystemTables(plan)) {
     system_lock = std::unique_lock<std::mutex>(system_tables_mu_);
-    RefreshSystemTables();
+    FGAC_RETURN_NOT_OK(RefreshSystemTables());
   }
 
   ExecResult out;
@@ -515,6 +651,7 @@ Result<ExecResult> Database::RunSelect(const PlanPtr& plan,
       if (audit != nullptr) audit->verdict = "none";
       break;
     case EnforcementMode::kTruman: {
+      if (act != nullptr) act->set_phase(common::StatementPhase::kRewrite);
       if (prep != nullptr) {
         // Prepared fast path: the rewrite replaces base tables with
         // session-instantiated policy views and is independent of the
@@ -524,6 +661,8 @@ Result<ExecResult> Database::RunSelect(const PlanPtr& plan,
         StatementCache::Key key{ctx.user(), prep->stmt_fp, *prep->text,
                                 catalog_version(), policy_epoch()};
         PlanPtr rewritten = stmt_cache_.LookupTrumanPlan(key, prep->params_fp);
+        out.truman_plan_from_cache = rewritten != nullptr;
+        if (out.truman_plan_from_cache && act != nullptr) act->NoteCacheHit();
         if (rewritten == nullptr) {
           common::ScopedSpan rewrite_span(tctx, "truman.rewrite");
           FGAC_ASSIGN_OR_RETURN(
@@ -545,6 +684,7 @@ Result<ExecResult> Database::RunSelect(const PlanPtr& plan,
       break;
     }
     case EnforcementMode::kNonTruman: {
+      if (act != nullptr) act->set_phase(common::StatementPhase::kValidity);
       auto validity_t0 = Clock::now();
       // The cache key must cover everything the verdict depends on: the
       // bound plan AND the full session parameterization (a $term or
@@ -581,6 +721,7 @@ Result<ExecResult> Database::RunSelect(const PlanPtr& plan,
       if (cached) {
         out.validity = std::move(cached_report);
         out.validity_from_cache = true;
+        if (prep != nullptr && act != nullptr) act->NoteCacheHit();
         metrics_.counter("validity.cache_hits").Increment();
         if (trace != nullptr) {
           ValidityTraceEvent e;
@@ -605,7 +746,8 @@ Result<ExecResult> Database::RunSelect(const PlanPtr& plan,
         checker.set_trace(trace);
         checker.set_dag_options(exec::DagOptions{
             std::hash<std::string>{}(ctx.session_id()),
-            ctx.scheduler_weight()});
+            ctx.scheduler_weight(),
+            act != nullptr ? &act->progress() : nullptr});
         Result<ValidityReport> verdict = [&] {
           // The span covers exactly the inference work; rule firings and
           // probe batches nest under it.
@@ -696,6 +838,12 @@ Result<ExecResult> Database::RunSelect(const PlanPtr& plan,
     }
   }
 
+  if (act != nullptr) {
+    // Stamp the charges accumulated so far (validity probes) before the
+    // phase flips — the watchdog's progress tuple sees both move together.
+    act->StampGuard(guard.rows_charged(), guard.bytes_charged());
+    act->set_phase(common::StatementPhase::kExec);
+  }
   auto exec_t0 = Clock::now();
   Result<Relation> ran = [&] {
     common::ScopedSpan exec_span(tctx, "exec");
@@ -718,6 +866,78 @@ Result<ExecResult> Database::RunSelect(const PlanPtr& plan,
   return out;
 }
 
+void Database::MaybeCaptureSlowQuery(const SessionContext& ctx,
+                                     QueryProfile* profile,
+                                     const common::AuditEvent* audit,
+                                     const Result<ExecResult>& r,
+                                     uint64_t duration_us) {
+  if (!slow_log_.enabled()) return;
+  common::StatementActivity* act = g_current_activity;
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+  if (act != nullptr) {
+    // GuardChargeCapture stamped the final charges on RunSelectImpl exit.
+    rows = act->guard_rows();
+    bytes = act->guard_bytes();
+  } else if (audit != nullptr) {
+    rows = audit->guard_rows;
+    bytes = audit->guard_bytes;
+  }
+  if (!slow_log_.ShouldCapture(duration_us, rows, bytes)) return;
+  metrics_.counter("slow_query.captures").Increment();
+  SlowQueryRecord rec;
+  rec.user = ctx.user();
+  rec.session = ctx.session_id();
+  if (act != nullptr) {
+    rec.statement = act->statement();
+  } else if (audit != nullptr) {
+    rec.statement = audit->statement;
+  }
+  if (audit != nullptr) rec.verdict = audit->verdict;
+  rec.status = r.ok() ? "ok" : AuditStatusName(r.status().code());
+  rec.duration_us = duration_us;
+  if (profile != nullptr && profile->stats != nullptr) {
+    rec.validity_us = profile->stats->validity_nanos() / 1000;
+    rec.exec_us = profile->stats->exec_nanos() / 1000;
+  }
+  if (act != nullptr) {
+    const common::DagProgress& p = act->progress();
+    rec.queue_wait_us = p.queue_wait_us.load(std::memory_order_relaxed);
+    rec.run_us = p.run_us.load(std::memory_order_relaxed);
+    rec.admission_wait_us = act->admission_wait_us();
+  }
+  rec.guard_rows = rows;
+  rec.guard_bytes = bytes;
+  if (profile != nullptr && profile->trace != nullptr &&
+      !profile->trace->events().empty()) {
+    rec.trace_text = profile->trace->ToText();
+  }
+  if (profile != nullptr && profile->stats != nullptr &&
+      profile->stats->executed_plan() != nullptr) {
+    rec.stats_text = profile->stats->Render();
+  }
+  if (audit_ != nullptr && audit_->enabled()) {
+    // The durable copy: the JSON-lines audit sink carries the capture even
+    // after the in-memory ring rolls over.
+    common::AuditEvent ev;
+    ev.user = rec.user;
+    ev.session = rec.session;
+    ev.mode = EnforcementModeName(ctx.mode());
+    ev.statement = rec.statement;
+    ev.statement_hash = common::AuditStatementHash(rec.statement);
+    ev.verdict = "slow_query";
+    ev.rules = "slow query: " + std::to_string(duration_us) +
+               "us, guard rows " + std::to_string(rows) + ", guard bytes " +
+               std::to_string(bytes);
+    ev.duration_us = static_cast<int64_t>(duration_us);
+    ev.guard_rows = rows;
+    ev.guard_bytes = bytes;
+    ev.status = rec.status;
+    audit_->Append(std::move(ev));
+  }
+  slow_log_.Add(std::move(rec));
+}
+
 namespace {
 
 /// FNV fingerprint of the session parameterization (name -> value, in the
@@ -738,6 +958,7 @@ Result<std::shared_ptr<PreparedStatement>> Database::Prepare(
     const sql::PrepareStmt& stmt, const SessionContext& ctx) {
   auto t0 = std::chrono::steady_clock::now();
   common::AuditEvent ev = StartAudit(ctx, sql::StmtToSql(stmt));
+  ActivityScope activity_scope(activity_, ctx, ev.statement);
   auto run = [&]() -> Result<std::shared_ptr<PreparedStatement>> {
     auto prep = std::make_shared<PreparedStatement>();
     prep->name = stmt.name;
@@ -804,6 +1025,7 @@ Result<ExecResult> Database::ExecutePrepared(
     text += ")";
   }
   common::AuditEvent ev = StartAudit(ctx, text);
+  ActivityScope activity_scope(activity_, ctx, text);
   Result<ExecResult> r = [&] {
     if (!ctx.profile()) {
       return ExecutePreparedImpl(*prep, args, ctx, nullptr, &ev);
@@ -904,9 +1126,131 @@ void Database::AuditSessionStatement(const SessionContext& ctx,
   FinishAudit(&ev, st, 0, t0);
 }
 
+void Database::AppendAnalyzeReport(std::string* text,
+                                   const SessionContext& ctx,
+                                   const Result<ExecResult>& run,
+                                   const QueryProfile& profile) const {
+  if (run.ok()) {
+    const ExecResult& res = run.value();
+    if (ctx.mode() == EnforcementMode::kNonTruman) {
+      if (res.degraded_to_truman) {
+        *text += "validity: DEGRADED (" + res.validity.reason + ")\n";
+      } else {
+        *text += std::string("validity: ") +
+                 (res.validity.unconditional ? "unconditionally"
+                                             : "conditionally") +
+                 " valid via " + res.validity.justification +
+                 (res.validity_from_cache ? " [cached verdict]" : "") +
+                 (res.validity.probe_budget_exhausted
+                      ? " [probe budget exhausted]"
+                      : "") +
+                 "\n";
+      }
+    }
+    *text += "result: " + std::to_string(res.relation.num_rows()) +
+             " row(s)\n";
+  } else {
+    *text += "validity: REJECTED (" + std::string(run.status().message()) +
+             ")\n";
+  }
+  if (profile.stats != nullptr && profile.stats->executed_plan() != nullptr) {
+    *text += profile.stats->Render();
+  }
+  if (profile.trace != nullptr && !profile.trace->events().empty()) {
+    *text += "validity trace:\n" + profile.trace->ToText();
+  }
+}
+
+ExecResult Database::ExplainTextResult(const std::string& text) {
+  ExecResult out;
+  out.relation = storage::Relation({"explain"});
+  std::string line;
+  for (char c : text) {
+    if (c == '\n') {
+      out.relation.AddRow({Value::String(line)});
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  if (!line.empty()) out.relation.AddRow({Value::String(line)});
+  return out;
+}
+
+Result<ExecResult> Database::ExplainPrepared(
+    const sql::ExplainStmt& stmt,
+    const std::shared_ptr<PreparedStatement>& prep,
+    const SessionContext& ctx) {
+  if (stmt.execute == nullptr) {
+    return Status::InvalidArgument("not an EXPLAIN EXECUTE statement");
+  }
+  if (prep == nullptr) {
+    return Status::InvalidArgument("unknown prepared statement '" +
+                                   stmt.execute->name + "'");
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  common::AuditEvent ev = StartAudit(ctx, sql::StmtToSql(stmt));
+  ActivityScope activity_scope(activity_, ctx, ev.statement);
+  auto run_all = [&]() -> Result<ExecResult> {
+    std::string text = "prepared statement: " + prep->name + "\n";
+    Result<ExecResult> run = ExecResult{};
+    QueryProfile profile;
+    if (stmt.analyze) {
+      // Run first so the report reflects this call's bind state (a catalog
+      // or policy change rebinds inside ExecutePreparedImpl).
+      run = ExecutePreparedImpl(*prep, stmt.execute->args, ctx, &profile, &ev);
+      if (!run.ok() && run.status().code() != StatusCode::kNotAuthorized) {
+        return run.status();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(prep->mu);
+      if (prep->plan != nullptr) {
+        text += "parameterized plan:\n" + algebra::PlanToString(prep->plan);
+      }
+    }
+    if (stmt.analyze) {
+      // Cache provenance: which enforcement work the statement cache
+      // skipped for THIS call.
+      if (run.ok()) {
+        if (ctx.mode() == EnforcementMode::kTruman) {
+          text += std::string("truman rewrite: ") +
+                  (run.value().truman_plan_from_cache
+                       ? "statement-cache hit"
+                       : "rewritten this call") +
+                  "\n";
+        } else if (ctx.mode() == EnforcementMode::kNonTruman &&
+                   !run.value().degraded_to_truman) {
+          text += std::string("verdict source: ") +
+                  (run.value().validity_from_cache ? "statement-cache hit"
+                                                   : "validity checker") +
+                  "\n";
+        }
+      }
+      AppendAnalyzeReport(&text, ctx, run, profile);
+    }
+    return ExplainTextResult(text);
+  };
+  Result<ExecResult> r = run_all();
+  if (r.ok()) {
+    FinishAudit(&ev, Status::OK(),
+                static_cast<int64_t>(r.value().relation.num_rows()), t0);
+  } else {
+    FinishAudit(&ev, r.status(), 0, t0);
+  }
+  return r;
+}
+
 Result<ExecResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt,
                                             const SessionContext& ctx,
                                             common::AuditEvent* audit) {
+  if (stmt.execute != nullptr) {
+    // EXPLAIN EXECUTE names a prepared statement, and registries are per
+    // connection — only a server session can resolve the name.
+    return Status::InvalidArgument(
+        "EXPLAIN EXECUTE requires a connection session "
+        "(server::ConnectionManager)");
+  }
   FGAC_ASSIGN_OR_RETURN(PlanPtr plan, BindQuery(*stmt.select, ctx));
   std::string text = "canonical plan:\n" + algebra::PlanToString(plan);
 
@@ -934,35 +1278,7 @@ Result<ExecResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt,
     if (!run.ok() && run.status().code() != StatusCode::kNotAuthorized) {
       return run.status();
     }
-    if (run.ok()) {
-      const ExecResult& res = run.value();
-      if (ctx.mode() == EnforcementMode::kNonTruman) {
-        if (res.degraded_to_truman) {
-          text += "validity: DEGRADED (" + res.validity.reason + ")\n";
-        } else {
-          text += std::string("validity: ") +
-                  (res.validity.unconditional ? "unconditionally"
-                                              : "conditionally") +
-                  " valid via " + res.validity.justification +
-                  (res.validity_from_cache ? " [cached verdict]" : "") +
-                  (res.validity.probe_budget_exhausted
-                       ? " [probe budget exhausted]"
-                       : "") +
-                  "\n";
-        }
-      }
-      text += "result: " + std::to_string(res.relation.num_rows()) +
-              " row(s)\n";
-    } else {
-      text += "validity: REJECTED (" + std::string(run.status().message()) +
-              ")\n";
-    }
-    if (profile.stats != nullptr && profile.stats->executed_plan() != nullptr) {
-      text += profile.stats->Render();
-    }
-    if (profile.trace != nullptr && !profile.trace->events().empty()) {
-      text += "validity trace:\n" + profile.trace->ToText();
-    }
+    AppendAnalyzeReport(&text, ctx, run, profile);
   } else if (ctx.mode() == EnforcementMode::kNonTruman) {
     FGAC_ASSIGN_OR_RETURN(std::vector<InstantiatedView> views,
                           InstantiateAvailableViews(catalog_, ctx));
@@ -986,19 +1302,7 @@ Result<ExecResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt,
             algebra::PlanToString(algebra::NormalizePlan(rewritten));
   }
 
-  ExecResult out;
-  out.relation = storage::Relation({"explain"});
-  std::string line;
-  for (char c : text) {
-    if (c == '\n') {
-      out.relation.AddRow({Value::String(line)});
-      line.clear();
-    } else {
-      line += c;
-    }
-  }
-  if (!line.empty()) out.relation.AddRow({Value::String(line)});
-  return out;
+  return ExplainTextResult(text);
 }
 
 Status Database::CheckRowConstraints(const TableSchema& schema,
@@ -1443,18 +1747,61 @@ void Database::BootstrapSystemTables() {
       trace_id bigint, span_id bigint, parent_id bigint, span_name varchar,
       user_name varchar, detail varchar, start_us bigint, duration_us bigint,
       thread_id bigint);
+    create table fgac_sessions (
+      session_id varchar, user_name varchar, active boolean,
+      in_flight bigint, statements_run bigint, cache_hits bigint,
+      current_statement varchar, current_elapsed_us bigint);
+    create table fgac_activity (
+      seq bigint, session_id varchar, user_name varchar, statement varchar,
+      phase varchar, elapsed_us bigint, admission_wait_us bigint,
+      guard_rows bigint, guard_bytes bigint, pipelines_total bigint,
+      pipelines_done bigint, queue_wait_us bigint, run_us bigint);
+    create table fgac_slow_queries (
+      seq bigint, at_ms bigint, user_name varchar, session_id varchar,
+      statement varchar, verdict varchar, status varchar,
+      duration_us bigint, validity_us bigint, exec_us bigint,
+      queue_wait_us bigint, run_us bigint, admission_wait_us bigint,
+      guard_rows bigint, guard_bytes bigint, trace varchar, stats varchar);
+    create table fgac_statement_cache (
+      shard bigint, entries bigint, hits bigint, misses bigint,
+      evictions bigint, invalidations bigint, collisions bigint);
     create authorization view fgac_my_audit as
       select * from fgac_audit where user_name = $user-id;
     create authorization view fgac_my_spans as
       select * from fgac_spans where user_name = $user-id;
+    create authorization view fgac_my_sessions as
+      select * from fgac_sessions where user_name = $user-id;
+    create authorization view fgac_my_activity as
+      select * from fgac_activity where user_name = $user-id;
+    create authorization view fgac_my_slow_queries as
+      select * from fgac_slow_queries where user_name = $user-id;
     create authorization view fgac_audit_all as select * from fgac_audit;
     create authorization view fgac_spans_all as select * from fgac_spans;
+    create authorization view fgac_sessions_all as
+      select * from fgac_sessions;
+    create authorization view fgac_activity_all as
+      select * from fgac_activity;
+    create authorization view fgac_slow_queries_all as
+      select * from fgac_slow_queries;
+    create authorization view fgac_statement_cache_all as
+      select * from fgac_statement_cache;
     grant select on fgac_my_audit to public;
     grant select on fgac_my_spans to public;
+    grant select on fgac_my_sessions to public;
+    grant select on fgac_my_activity to public;
+    grant select on fgac_my_slow_queries to public;
     grant select on fgac_audit_all to admin;
     grant select on fgac_spans_all to admin;
+    grant select on fgac_sessions_all to admin;
+    grant select on fgac_activity_all to admin;
+    grant select on fgac_slow_queries_all to admin;
+    grant select on fgac_statement_cache_all to admin;
     grant select on fgac_audit_all to auditor;
     grant select on fgac_spans_all to auditor;
+    grant select on fgac_sessions_all to auditor;
+    grant select on fgac_activity_all to auditor;
+    grant select on fgac_slow_queries_all to auditor;
+    grant select on fgac_statement_cache_all to auditor;
   )sql";
   Result<std::vector<sql::StmtPtr>> stmts =
       sql::Parser::ParseScript(kBootstrap);
@@ -1470,12 +1817,20 @@ void Database::BootstrapSystemTables() {
     }
   }
   // Truman mode transparently narrows bare `select * from fgac_audit` to
-  // the session user's own rows.
+  // the session user's own rows. fgac_statement_cache deliberately has NO
+  // Truman view: its rows carry no user dimension, so non-admin access
+  // fails rather than leaking cross-principal cache behavior.
   (void)catalog_.SetTrumanView("fgac_audit", "fgac_my_audit");
   (void)catalog_.SetTrumanView("fgac_spans", "fgac_my_spans");
+  (void)catalog_.SetTrumanView("fgac_sessions", "fgac_my_sessions");
+  (void)catalog_.SetTrumanView("fgac_activity", "fgac_my_activity");
+  (void)catalog_.SetTrumanView("fgac_slow_queries", "fgac_my_slow_queries");
 }
 
-void Database::RefreshSystemTables() {
+Status Database::RefreshSystemTables() {
+  // Fault site for introspection tests: a statement reading an fgac_ table
+  // sees the refresh fail cleanly instead of scanning stale rows.
+  FGAC_FAULT_POINT("introspect.snapshot");
   if (audit_ != nullptr) {
     // Drain the ring first so the table reflects everything emitted before
     // this statement started.
@@ -1528,6 +1883,98 @@ void Database::RefreshSystemTables() {
     }
     spans_table->ReplaceAllRows(std::move(rows));
   }
+  storage::TableData* sessions_table =
+      state_.GetMutableTable("fgac_sessions");
+  if (sessions_table != nullptr) {
+    std::vector<Row> rows;
+    for (const common::SessionActivitySnapshot& s :
+         activity_.SnapshotSessions()) {
+      Row r;
+      r.reserve(8);
+      r.push_back(Value::String(s.session_id));
+      r.push_back(Value::String(s.user));
+      r.push_back(Value::Bool(s.active));
+      r.push_back(Value::Int(static_cast<int64_t>(s.in_flight)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.statements_run)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.cache_hits)));
+      r.push_back(Value::String(s.current_statement));
+      r.push_back(Value::Int(static_cast<int64_t>(s.current_elapsed_us)));
+      rows.push_back(std::move(r));
+    }
+    sessions_table->ReplaceAllRows(std::move(rows));
+  }
+  storage::TableData* activity_table =
+      state_.GetMutableTable("fgac_activity");
+  if (activity_table != nullptr) {
+    std::vector<Row> rows;
+    for (const common::StatementActivitySnapshot& s :
+         activity_.SnapshotStatements()) {
+      Row r;
+      r.reserve(13);
+      r.push_back(Value::Int(static_cast<int64_t>(s.seq)));
+      r.push_back(Value::String(s.session_id));
+      r.push_back(Value::String(s.user));
+      r.push_back(Value::String(s.statement));
+      r.push_back(Value::String(common::StatementPhaseName(s.phase)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.elapsed_us)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.admission_wait_us)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.guard_rows)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.guard_bytes)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.pipelines_total)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.pipelines_done)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.queue_wait_us)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.run_us)));
+      rows.push_back(std::move(r));
+    }
+    activity_table->ReplaceAllRows(std::move(rows));
+  }
+  storage::TableData* slow_table =
+      state_.GetMutableTable("fgac_slow_queries");
+  if (slow_table != nullptr) {
+    std::vector<Row> rows;
+    for (const SlowQueryRecord& s : slow_log_.Snapshot()) {
+      Row r;
+      r.reserve(17);
+      r.push_back(Value::Int(static_cast<int64_t>(s.seq)));
+      r.push_back(Value::Int(s.wall_ms));
+      r.push_back(Value::String(s.user));
+      r.push_back(Value::String(s.session));
+      r.push_back(Value::String(s.statement));
+      r.push_back(Value::String(s.verdict));
+      r.push_back(Value::String(s.status));
+      r.push_back(Value::Int(static_cast<int64_t>(s.duration_us)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.validity_us)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.exec_us)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.queue_wait_us)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.run_us)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.admission_wait_us)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.guard_rows)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.guard_bytes)));
+      r.push_back(Value::String(s.trace_text));
+      r.push_back(Value::String(s.stats_text));
+      rows.push_back(std::move(r));
+    }
+    slow_table->ReplaceAllRows(std::move(rows));
+  }
+  storage::TableData* cache_table =
+      state_.GetMutableTable("fgac_statement_cache");
+  if (cache_table != nullptr) {
+    std::vector<Row> rows;
+    for (const StatementCache::ShardStats& s : stmt_cache_.SnapshotShards()) {
+      Row r;
+      r.reserve(7);
+      r.push_back(Value::Int(static_cast<int64_t>(s.shard)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.entries)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.hits)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.misses)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.evictions)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.invalidations)));
+      r.push_back(Value::Int(static_cast<int64_t>(s.collisions)));
+      rows.push_back(std::move(r));
+    }
+    cache_table->ReplaceAllRows(std::move(rows));
+  }
+  return Status::OK();
 }
 
 Result<ValidityReport> Database::CheckQueryValidity(std::string_view sql,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/activity.h"
 #include "common/audit.h"
 #include "common/memory_tracker.h"
 #include "common/metrics.h"
@@ -18,11 +19,13 @@
 #include "common/result.h"
 #include "common/trace.h"
 #include "core/session_context.h"
+#include "core/slow_query_log.h"
 #include "core/statement_cache.h"
 #include "core/update_auth.h"
 #include "core/validity.h"
 #include "core/validity_cache.h"
 #include "core/validity_trace.h"
+#include "core/watchdog.h"
 #include "exec/admission.h"
 #include "exec/exec_stats.h"
 #include "sql/ast.h"
@@ -42,6 +45,9 @@ struct ExecResult {
   ValidityReport validity;
   /// True when the validity verdict came from the prepared-statement cache.
   bool validity_from_cache = false;
+  /// True when the Truman-rewritten plan of a prepared execution came from
+  /// the statement cache (the rewriter did not run for this call).
+  bool truman_plan_from_cache = false;
   /// True when the Non-Truman validity test blew its budget and the answer
   /// was produced by the Truman rewriter instead (DegradePolicy::kTruman):
   /// the result is sound but FILTERED — it may reflect only the data the
@@ -111,6 +117,14 @@ struct DatabaseOptions {
   /// construction (the pool is process-wide). 0 = FGAC_THREADS env var,
   /// falling back to max(4, hardware_concurrency).
   size_t shared_pool_threads = 0;
+  /// Slow-query log thresholds (OR-ed) and ring capacity; statements
+  /// crossing any threshold are captured into fgac_slow_queries and
+  /// re-emitted on the audit sink with verdict "slow_query".
+  SlowQueryOptions slow_query;
+  /// Stall watchdog: background sampler raising watchdog.* gauges and
+  /// "stalled" audit events for statements that exceed N x their deadline
+  /// without observable progress.
+  WatchdogOptions watchdog;
 };
 
 /// The embedded database facade tying every subsystem together: SQL in,
@@ -120,6 +134,8 @@ class Database {
  public:
   Database();
   explicit Database(DatabaseOptions options);
+  /// Joins the watchdog thread before any subsystem it samples dies.
+  ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -154,6 +170,19 @@ class Database {
   Result<ExecResult> ExecutePrepared(
       const std::shared_ptr<PreparedStatement>& prep,
       const std::vector<sql::ExprPtr>& args, const SessionContext& ctx);
+
+  /// EXPLAIN [ANALYZE] EXECUTE <name>(args): renders the prepared
+  /// statement's parameterized plan, and with ANALYZE actually runs the
+  /// execution (full enforcement + statement-cache fast path) and
+  /// annotates the output with cache provenance — whether the Truman plan
+  /// or validity verdict came from the statement cache — plus per-operator
+  /// stats and the validity trace. `prep` is the session's registered
+  /// statement for stmt.execute->name; resolution is the caller's job
+  /// because registries are per connection.
+  Result<ExecResult> ExplainPrepared(
+      const sql::ExplainStmt& stmt,
+      const std::shared_ptr<PreparedStatement>& prep,
+      const SessionContext& ctx);
 
   /// Appends an audit event for a statement resolved entirely in the
   /// server session layer (DEALLOCATE, EXECUTE of an unknown name): every
@@ -208,6 +237,28 @@ class Database {
   /// and returns the whole registry as one JSON object.
   std::string ExportMetricsJson();
 
+  /// Same gauge refresh, rendered in Prometheus text exposition format
+  /// (counters as _total + windowed _rate gauges, histograms as summaries
+  /// with windowed quantiles).
+  std::string ExportMetricsPrometheus();
+
+  /// Live session / statement registry behind fgac_sessions and
+  /// fgac_activity. The server's ConnectionManager opens and closes
+  /// explicit session records; bare SessionContexts appear implicitly
+  /// while they have statements in flight.
+  common::ActivityRegistry& activity() { return activity_; }
+  const common::ActivityRegistry& activity() const { return activity_; }
+
+  /// Captures behind fgac_slow_queries (see DatabaseOptions::slow_query).
+  SlowQueryLog& slow_query_log() { return slow_log_; }
+  const SlowQueryLog& slow_query_log() const { return slow_log_; }
+
+  /// The stall watchdog (see DatabaseOptions::watchdog). Tests that want
+  /// deterministic sampling construct with watchdog.enabled = false and
+  /// call watchdog().SampleOnce() directly.
+  Watchdog& watchdog() { return *watchdog_; }
+  const Watchdog& watchdog() const { return *watchdog_; }
+
   /// The security audit log: one event per executed statement, also served
   /// as the FGAC-governed `fgac_audit` system table.
   common::AuditLog& audit_log() { return *audit_; }
@@ -259,12 +310,26 @@ class Database {
   /// The post-bind SELECT pipeline: guard + admission, then the
   /// enforcement switch (None / Truman / Non-Truman with caching), then
   /// optimized parallel execution. `plan` is fully concrete (no open
-  /// placeholders).
+  /// placeholders). RunSelect wraps RunSelectImpl with wall-clock timing
+  /// and the slow-query capture on every exit path.
   Result<ExecResult> RunSelect(const algebra::PlanPtr& plan,
                                const SessionContext& ctx,
                                QueryProfile* profile,
                                common::AuditEvent* audit,
                                const PreparedRun* prep);
+  Result<ExecResult> RunSelectImpl(const algebra::PlanPtr& plan,
+                                   const SessionContext& ctx,
+                                   QueryProfile* profile,
+                                   common::AuditEvent* audit,
+                                   const PreparedRun* prep);
+
+  /// Slow-query log admission for one finished statement (no-op unless a
+  /// threshold tripped). Also re-emits the capture as an audit event with
+  /// verdict "slow_query".
+  void MaybeCaptureSlowQuery(const SessionContext& ctx, QueryProfile* profile,
+                             const common::AuditEvent* audit,
+                             const Result<ExecResult>& r,
+                             uint64_t duration_us);
 
   Result<ExecResult> ExecutePreparedImpl(PreparedStatement& prep,
                                          const std::vector<sql::ExprPtr>& args,
@@ -284,6 +349,13 @@ class Database {
   Result<ExecResult> ExecuteExplain(const sql::ExplainStmt& stmt,
                                     const SessionContext& ctx,
                                     common::AuditEvent* audit);
+  /// Appends the EXPLAIN ANALYZE report (validity verdict / rejection,
+  /// row count, per-operator stats, validity trace) for a completed run.
+  void AppendAnalyzeReport(std::string* text, const SessionContext& ctx,
+                           const Result<ExecResult>& run,
+                           const QueryProfile& profile) const;
+  /// Splits the rendered EXPLAIN text into the single-column result shape.
+  static ExecResult ExplainTextResult(const std::string& text);
   Result<ExecResult> ApplyAuthorize(const sql::AuthorizeStmt& stmt);
   Result<ExecResult> ApplyDrop(const sql::DropStmt& stmt);
 
@@ -301,14 +373,22 @@ class Database {
   void FinishAudit(common::AuditEvent* ev, const Status& st, int64_t rows_out,
                    std::chrono::steady_clock::time_point t0);
 
-  /// Creates the fgac_audit / fgac_spans tables, their per-user and
-  /// admin/auditor authorization views, grants and Truman views. Runs once
-  /// in the constructor, before auditing starts.
+  /// Creates the fgac_ system tables (audit, spans, sessions, activity,
+  /// slow queries, statement cache), their per-user and admin/auditor
+  /// authorization views, grants and Truman views. Runs once in the
+  /// constructor, before auditing starts.
   void BootstrapSystemTables();
 
-  /// Re-materializes fgac_audit / fgac_spans from the audit log's retained
-  /// tail and the tracer's span buffer. Caller holds system_tables_mu_.
-  void RefreshSystemTables();
+  /// Re-materializes the fgac_ system tables from their live sources (the
+  /// audit log's retained tail, the tracer's span buffer, the activity
+  /// registry, the slow-query ring, the statement-cache shards). Caller
+  /// holds system_tables_mu_. Fails only under fault injection
+  /// ("introspect.snapshot").
+  Status RefreshSystemTables();
+
+  /// Mirrors pull-model subsystem stats into export-time gauges (shared by
+  /// the JSON and Prometheus exports).
+  void RefreshExportGauges();
 
   /// Validity options with the probe-parallelism default (0) resolved to
   /// this database's `parallelism` knob.
@@ -332,6 +412,10 @@ class Database {
   std::atomic<uint64_t> catalog_version_{1};
   common::MetricsRegistry metrics_;
   common::Tracer tracer_;
+  /// Sessions + in-flight statements (fgac_sessions / fgac_activity).
+  common::ActivityRegistry activity_;
+  /// Slow-statement ring (fgac_slow_queries).
+  SlowQueryLog slow_log_{options_.slow_query};
   /// Constructed after BootstrapSystemTables so bootstrap DDL is not
   /// audited; null only during construction.
   std::unique_ptr<common::AuditLog> audit_;
@@ -341,6 +425,9 @@ class Database {
   std::mutex system_tables_mu_;
   /// Flips on after bootstrap; from then on fgac_ objects are read-only.
   bool system_tables_ready_ = false;
+  /// Declared last: the watchdog thread samples activity_ / metrics_ /
+  /// admission_ and must be stopped (destroyed) before any of them.
+  std::unique_ptr<Watchdog> watchdog_;
 };
 
 }  // namespace fgac::core

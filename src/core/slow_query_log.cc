@@ -1,0 +1,24 @@
+#include "core/slow_query_log.h"
+
+#include <chrono>
+#include <utility>
+
+namespace fgac::core {
+
+void SlowQueryLog::Add(SlowQueryRecord record) {
+  record.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  record.seq = ++next_seq_;
+  ring_.push_back(std::move(record));
+  while (ring_.size() > options_.retain) ring_.pop_front();
+  captured_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQueryRecord>(ring_.begin(), ring_.end());
+}
+
+}  // namespace fgac::core

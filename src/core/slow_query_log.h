@@ -1,0 +1,104 @@
+#ifndef FGAC_CORE_SLOW_QUERY_LOG_H_
+#define FGAC_CORE_SLOW_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fgac::core {
+
+/// When a finished statement is captured by the slow-query log. Thresholds
+/// are OR-ed: crossing any enabled one captures the statement. A zero
+/// threshold disables that criterion; all-zero disables the log.
+struct SlowQueryOptions {
+  /// Wall time from enforcement start to completion, microseconds.
+  uint64_t latency_threshold_us = 1'000'000;
+  /// Guard charges at completion (rows / bytes); 0 = disabled.
+  uint64_t guard_rows_threshold = 0;
+  uint64_t guard_bytes_threshold = 0;
+  /// Ring capacity; the oldest capture is dropped when full.
+  size_t retain = 256;
+};
+
+/// One captured slow statement — the row shape of fgac_slow_queries.
+struct SlowQueryRecord {
+  uint64_t seq = 0;
+  int64_t wall_ms = 0;  // capture time, unix epoch milliseconds
+  std::string user;
+  std::string session;
+  std::string statement;
+  std::string verdict;  // enforcement verdict of the run, if any
+  std::string status;   // "ok" or the failure code
+  uint64_t duration_us = 0;
+  uint64_t validity_us = 0;
+  uint64_t exec_us = 0;
+  uint64_t queue_wait_us = 0;  // pipeline fair-queue wait (attributed)
+  uint64_t run_us = 0;         // pipeline task run time (attributed)
+  uint64_t admission_wait_us = 0;
+  uint64_t guard_rows = 0;
+  uint64_t guard_bytes = 0;
+  std::string trace_text;  // ValidityTrace::ToText(), when traced
+  std::string stats_text;  // ExecStats::Render(), when profiled
+};
+
+/// Bounded in-memory ring of slow-statement captures behind the
+/// fgac_slow_queries system table. Capture happens on the statement
+/// completion path under one mutex — cheap relative to a statement that
+/// was, by definition, slow. The same capture is also emitted as an audit
+/// event (verdict "slow_query") by the Database, so the JSON-lines audit
+/// sink carries the durable copy.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(const SlowQueryOptions& options)
+      : options_(options) {}
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  const SlowQueryOptions& options() const { return options_; }
+
+  bool enabled() const {
+    return options_.latency_threshold_us > 0 ||
+           options_.guard_rows_threshold > 0 ||
+           options_.guard_bytes_threshold > 0;
+  }
+
+  /// True when a statement with these completion stats crosses any enabled
+  /// threshold.
+  bool ShouldCapture(uint64_t duration_us, uint64_t guard_rows,
+                     uint64_t guard_bytes) const {
+    if (options_.latency_threshold_us > 0 &&
+        duration_us >= options_.latency_threshold_us) {
+      return true;
+    }
+    if (options_.guard_rows_threshold > 0 &&
+        guard_rows >= options_.guard_rows_threshold) {
+      return true;
+    }
+    return options_.guard_bytes_threshold > 0 &&
+           guard_bytes >= options_.guard_bytes_threshold;
+  }
+
+  /// Stamps seq + wall_ms and appends, dropping the oldest entry beyond
+  /// the retain bound.
+  void Add(SlowQueryRecord record);
+
+  std::vector<SlowQueryRecord> Snapshot() const;
+
+  uint64_t captured() const {
+    return captured_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const SlowQueryOptions options_;
+  mutable std::mutex mu_;
+  std::deque<SlowQueryRecord> ring_;
+  std::atomic<uint64_t> captured_{0};
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace fgac::core
+
+#endif  // FGAC_CORE_SLOW_QUERY_LOG_H_

@@ -35,12 +35,14 @@ StatementCache::Entry* StatementCache::FindFresh(Shard& shard,
     // Fail-closed: anything cached under an older policy state is
     // discarded wholesale and enforcement re-runs from scratch.
     invalidations_.fetch_add(1, std::memory_order_relaxed);
+    shard.invalidations.fetch_add(1, std::memory_order_relaxed);
     shard.lru.erase(entry.lru_pos);
     shard.entries.erase(it);
     return nullptr;
   }
   if (entry.text != key.text) {
     collisions_.fetch_add(1, std::memory_order_relaxed);
+    shard.collisions.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru_pos);
@@ -70,6 +72,7 @@ StatementCache::Entry& StatementCache::UpsertEntry(Shard& shard,
     shard.entries.erase(shard.lru.back());
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
   shard.lru.push_front(entry_key);
   Entry& entry = shard.entries[entry_key];
@@ -90,10 +93,12 @@ algebra::PlanPtr StatementCache::LookupTrumanPlan(const Key& key,
     auto it = entry->truman_plans.find(params_fp);
     if (it != entry->truman_plans.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
   return nullptr;
 }
 
@@ -129,12 +134,14 @@ bool StatementCache::LookupVerdict(const Key& key, uint64_t exec_fp,
         entry->verdicts.erase(it);
       } else {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
         if (out != nullptr) *out = v.report;
         return true;
       }
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
@@ -162,6 +169,26 @@ void StatementCache::Clear() {
     shard.entries.clear();
     shard.lru.clear();
   }
+}
+
+std::vector<StatementCache::ShardStats> StatementCache::SnapshotShards()
+    const {
+  std::vector<ShardStats> out;
+  out.reserve(kShards);
+  for (size_t i = 0; i < kShards; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ShardStats s;
+    s.shard = i;
+    s.entries = shard.entries.size();
+    s.hits = shard.hits.load(std::memory_order_relaxed);
+    s.misses = shard.misses.load(std::memory_order_relaxed);
+    s.evictions = shard.evictions.load(std::memory_order_relaxed);
+    s.invalidations = shard.invalidations.load(std::memory_order_relaxed);
+    s.collisions = shard.collisions.load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
+  return out;
 }
 
 size_t StatementCache::size() const {

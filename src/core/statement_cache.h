@@ -124,6 +124,20 @@ class StatementCache {
     return collisions_.load(std::memory_order_relaxed);
   }
 
+  /// Per-shard counters behind the fgac_statement_cache system table: the
+  /// same events as the global counters, attributed to the shard whose
+  /// mutex was held when they happened.
+  struct ShardStats {
+    size_t shard = 0;
+    size_t entries = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+    uint64_t collisions = 0;
+  };
+  std::vector<ShardStats> SnapshotShards() const;
+
  private:
   struct CachedVerdict {
     ValidityReport report;
@@ -143,6 +157,11 @@ class StatementCache {
     mutable std::mutex mu;
     std::unordered_map<uint64_t, Entry> entries;
     std::list<uint64_t> lru;  // front = most recently used
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> invalidations{0};
+    std::atomic<uint64_t> collisions{0};
   };
 
   /// Shard + entry-map key for (user, stmt_fp).

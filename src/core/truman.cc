@@ -16,7 +16,19 @@ Result<PlanPtr> TrumanRewrite(const PlanPtr& plan,
 
   if (plan->kind == PlanKind::kGet) {
     const std::string& view_name = catalog.TrumanViewFor(plan->table);
-    if (view_name.empty()) return plan;
+    if (view_name.empty()) {
+      // User tables without a policy view run as written (Truman narrowing
+      // is opt-in per table). Engine-owned fgac_ tables are the exception:
+      // one without a policy view has no per-user projection at all (e.g.
+      // fgac_statement_cache), so Truman access fails instead of leaking
+      // cross-principal state; admin and auditor read the _all views
+      // outside Truman mode.
+      if (plan->table.rfind("fgac_", 0) == 0) {
+        return Status::NotAuthorized("system table '" + plan->table +
+                                     "' has no Truman policy view");
+      }
+      return plan;
+    }
     const catalog::ViewDefinition* view = catalog.GetView(view_name);
     if (view == nullptr) {
       return Status::CatalogError("Truman view '" + view_name +

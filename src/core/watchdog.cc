@@ -1,0 +1,120 @@
+#include "core/watchdog.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace fgac::core {
+
+void Watchdog::Start() {
+  if (!options_.enabled || thread_.joinable()) return;
+  thread_ = std::thread([this] { Main(); });
+}
+
+void Watchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::Main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+    wake_.wait_for(lock, options_.interval, [this] { return stop_; });
+  }
+}
+
+void Watchdog::SampleOnce() {
+  std::lock_guard<std::mutex> sample_lock(sample_mu_);
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  metrics_->counter("watchdog.samples").Increment();
+
+  for (const auto& [gauge, probe] : probes_) {
+    metrics_->gauge(gauge).Set(probe());
+  }
+
+  std::vector<std::shared_ptr<common::StatementActivity>> handles =
+      activity_->SnapshotHandles();
+  metrics_->gauge("watchdog.statements_in_flight")
+      .Set(static_cast<int64_t>(handles.size()));
+
+  uint64_t max_elapsed_us = 0;
+  uint64_t stalled_now = 0;
+  std::map<uint64_t, ProgressMark> next_marks;
+  for (const auto& stmt : handles) {
+    uint64_t elapsed_us = stmt->elapsed_us();
+    max_elapsed_us = std::max(max_elapsed_us, elapsed_us);
+
+    ProgressMark mark;
+    mark.phase = static_cast<uint32_t>(stmt->phase());
+    const common::DagProgress& p = stmt->progress();
+    mark.sets_done = p.sets_done.load(std::memory_order_relaxed);
+    mark.guard_rows = stmt->guard_rows();
+    mark.guard_bytes = stmt->guard_bytes();
+    mark.admission_wait_us = stmt->admission_wait_us();
+
+    uint64_t deadline_us = stmt->deadline_us();
+    uint64_t threshold_us =
+        deadline_us > 0
+            ? static_cast<uint64_t>(options_.deadline_factor *
+                                    static_cast<double>(deadline_us))
+            : static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      options_.no_deadline_stall)
+                      .count());
+
+    auto prev = marks_.find(stmt->seq());
+    bool no_progress =
+        prev != marks_.end() && prev->second.phase == mark.phase &&
+        prev->second.sets_done == mark.sets_done &&
+        prev->second.guard_rows == mark.guard_rows &&
+        prev->second.guard_bytes == mark.guard_bytes &&
+        prev->second.admission_wait_us == mark.admission_wait_us;
+    mark.stalled = threshold_us > 0 && elapsed_us > threshold_us &&
+                   no_progress;
+    if (mark.stalled) {
+      ++stalled_now;
+      if (stmt->TryMarkStalled()) {
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        metrics_->counter("watchdog.stalls_detected").Increment();
+        if (on_stall_) {
+          common::StatementActivitySnapshot snap;
+          snap.seq = stmt->seq();
+          snap.session_id = stmt->session_id();
+          snap.user = stmt->user();
+          snap.statement = stmt->statement();
+          snap.phase = stmt->phase();
+          snap.elapsed_us = elapsed_us;
+          snap.admission_wait_us = mark.admission_wait_us;
+          snap.guard_rows = mark.guard_rows;
+          snap.guard_bytes = mark.guard_bytes;
+          snap.pipelines_total =
+              p.sets_total.load(std::memory_order_relaxed);
+          snap.pipelines_done = mark.sets_done;
+          snap.queue_wait_us =
+              p.queue_wait_us.load(std::memory_order_relaxed);
+          snap.run_us = p.run_us.load(std::memory_order_relaxed);
+          on_stall_(snap,
+                    "no progress after " + std::to_string(elapsed_us) +
+                        "us (stall threshold " +
+                        std::to_string(threshold_us) + "us, phase " +
+                        common::StatementPhaseName(stmt->phase()) + ")");
+        }
+      }
+    }
+    next_marks[stmt->seq()] = mark;
+  }
+  marks_ = std::move(next_marks);  // finished statements drop out
+
+  metrics_->gauge("watchdog.max_statement_elapsed_us")
+      .Set(static_cast<int64_t>(max_elapsed_us));
+  metrics_->gauge("watchdog.stalled_statements")
+      .Set(static_cast<int64_t>(stalled_now));
+}
+
+}  // namespace fgac::core

@@ -143,6 +143,19 @@ Status AdmissionController::Admit(const AdmissionRequest& request,
   auto self = std::make_shared<Waiter>();
   self->cost = request.cost;
   queue_.push_back(self);
+  Clock::time_point enqueued_at = Clock::now();
+  // Every exit from the wait loop below accounts the time spent queued.
+  struct WaitAccounting {
+    AdmissionController* c;
+    Clock::time_point t0;
+    ~WaitAccounting() {
+      uint64_t us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - t0)
+              .count());
+      c->queue_wait_us_.fetch_add(us, std::memory_order_relaxed);
+    }
+  } wait_accounting{this, enqueued_at};
   uint64_t depth = 0;
   for (const auto& w : queue_) {
     if (w->state == WaitState::kWaiting) ++depth;

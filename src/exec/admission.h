@@ -152,6 +152,12 @@ class AdmissionController {
   uint64_t queue_depth_high_water() const {
     return queue_high_water_.load(std::memory_order_relaxed);
   }
+  /// Total wall-time requests spent in the wait queue (all exits: admitted,
+  /// shed, expired, cancelled) — the admission side of the queue-wait vs
+  /// run attribution surfaced by fgac_activity and the watchdog.
+  uint64_t total_queue_wait_us() const {
+    return queue_wait_us_.load(std::memory_order_relaxed);
+  }
   size_t queue_depth() const;
   size_t running() const { return running_.load(std::memory_order_relaxed); }
 
@@ -190,6 +196,7 @@ class AdmissionController {
   std::atomic<uint64_t> rejected_deadline_{0};
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> queue_high_water_{0};
+  std::atomic<uint64_t> queue_wait_us_{0};
 };
 
 /// Parses the "retry after <n>ms" hint out of a kOverloaded status message.

@@ -1,6 +1,7 @@
 #include "exec/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/fault_injection.h"
@@ -127,6 +128,9 @@ Status PipelineScheduler::RunDag(std::vector<PipelineTaskSet> sets,
   if (trace != nullptr) run->trace = *trace;
   run->sets_remaining = n;
   dags_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (opts.progress != nullptr) {
+    opts.progress->sets_total.fetch_add(n, std::memory_order_relaxed);
+  }
 
   for (size_t s = 0; s < n; ++s) {
     if (run->sets[s].deps.empty()) DispatchSet(run, s);
@@ -175,8 +179,21 @@ void PipelineScheduler::DispatchSet(const std::shared_ptr<DagRun>& run,
   // runs whichever task the fair queue releases next, so sessions share
   // worker bandwidth by weight no matter whose DAG enqueued first.
   for (size_t t = 0; t < tasks; ++t) {
+    // Push-to-Pop delta is the task's fair-queue wait; attributed to the
+    // DAG's progress record (fgac_activity) and the scheduler totals.
+    auto pushed = std::chrono::steady_clock::now();
     fair_queue_.Push(r.opts.session_key, r.opts.weight,
-                     [this, run, s, t] { RunTask(run, s, t); });
+                     [this, run, s, t, pushed] {
+                       auto waited =
+                           std::chrono::steady_clock::now() - pushed;
+                       NoteTaskWait(
+                           *run,
+                           static_cast<uint64_t>(
+                               std::chrono::duration_cast<
+                                   std::chrono::microseconds>(waited)
+                                   .count()));
+                       RunTask(run, s, t);
+                     });
   }
   for (size_t t = 0; t < tasks; ++t) {
     common::ThreadPool::Shared().Submit([this] {
@@ -197,10 +214,16 @@ void PipelineScheduler::RunTask(const std::shared_ptr<DagRun>& run, size_t s,
     common::ScopedSpan span(tctx, set.task_span);
     span.set_detail("worker=" + std::to_string(t));
     if (!r.abort.load(std::memory_order_acquire)) {
+      auto t0 = std::chrono::steady_clock::now();
       Status injected = FGAC_FAULT_CHECK("threadpool.dispatch");
       if (injected.ok()) injected = FGAC_FAULT_CHECK("pipeline.run");
       if (injected.ok()) injected = common::GuardCheck(r.guard);
       status = injected.ok() ? set.tasks[t](t) : std::move(injected);
+      auto ran_for = std::chrono::steady_clock::now() - t0;
+      NoteTaskRun(r, static_cast<uint64_t>(
+                         std::chrono::duration_cast<std::chrono::microseconds>(
+                             ran_for)
+                             .count()));
     }
     // else: a peer already failed while this task sat queued; drain as a
     // clean no-op (the DAG's status comes from the actual failure).
@@ -236,6 +259,11 @@ void PipelineScheduler::FinishSet(const std::shared_ptr<DagRun>& run, size_t s,
     r.trace.tracer->Record(std::move(span));
   }
   r.started[s] = ran ? 1 : 0;
+  if (r.opts.progress != nullptr) {
+    // Settled (ran or cancelled) — fgac_activity's pipelines_done reaches
+    // pipelines_total exactly when the DAG has drained.
+    r.opts.progress->sets_done.fetch_add(1, std::memory_order_relaxed);
+  }
   for (size_t d : r.dependents[s]) {
     if (r.deps_left[d].fetch_sub(1, std::memory_order_acq_rel) == 1) {
       DispatchSet(run, d);
@@ -243,6 +271,20 @@ void PipelineScheduler::FinishSet(const std::shared_ptr<DagRun>& run, size_t s,
   }
   std::lock_guard<std::mutex> lock(r.mu);
   if (--r.sets_remaining == 0) r.done.notify_all();
+}
+
+void PipelineScheduler::NoteTaskWait(DagRun& run, uint64_t us) {
+  task_queue_wait_us_.fetch_add(us, std::memory_order_relaxed);
+  if (run.opts.progress != nullptr) {
+    run.opts.progress->queue_wait_us.fetch_add(us, std::memory_order_relaxed);
+  }
+}
+
+void PipelineScheduler::NoteTaskRun(DagRun& run, uint64_t us) {
+  task_run_us_.fetch_add(us, std::memory_order_relaxed);
+  if (run.opts.progress != nullptr) {
+    run.opts.progress->run_us.fetch_add(us, std::memory_order_relaxed);
+  }
 }
 
 PipelineScheduler& PipelineScheduler::Shared() {

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/activity.h"
 #include "common/query_guard.h"
 #include "common/status.h"
 #include "common/trace.h"
@@ -51,6 +52,11 @@ struct DagOptions {
   /// 0 = anonymous: all anonymous DAGs share one bucket.
   uint64_t session_key = 0;
   uint32_t weight = 1;
+  /// When non-null, the scheduler publishes live progress here: pipeline
+  /// sets dispatched/settled plus per-task wall-time attributed to fair
+  /// queue wait vs run. Must outlive RunDag (the statement's
+  /// StatementActivity owns it in practice).
+  common::DagProgress* progress = nullptr;
 };
 
 /// Weighted-round-robin multiplexer of ready tasks across sessions — the
@@ -147,6 +153,15 @@ class PipelineScheduler {
     return pipelines_cancelled_.load(std::memory_order_relaxed);
   }
 
+  /// Cumulative per-task wall-time split: fair-queue wait (Push to Pop)
+  /// vs task-body run time, across every DAG this scheduler executed.
+  uint64_t total_task_queue_wait_us() const {
+    return task_queue_wait_us_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_task_run_us() const {
+    return task_run_us_.load(std::memory_order_relaxed);
+  }
+
   /// Ready tasks currently parked in the fair queue (claimed by a pool
   /// worker but not yet run ≙ 0 when quiesced).
   size_t fair_queue_depth() const { return fair_queue_.size(); }
@@ -162,11 +177,15 @@ class PipelineScheduler {
   void DispatchSet(const std::shared_ptr<DagRun>& run, size_t s);
   void RunTask(const std::shared_ptr<DagRun>& run, size_t s, size_t t);
   void FinishSet(const std::shared_ptr<DagRun>& run, size_t s, bool ran);
+  void NoteTaskWait(DagRun& run, uint64_t us);
+  void NoteTaskRun(DagRun& run, uint64_t us);
 
   std::atomic<uint64_t> dags_executed_{0};
   std::atomic<uint64_t> tasks_dispatched_{0};
   std::atomic<uint64_t> pipelines_completed_{0};
   std::atomic<uint64_t> pipelines_cancelled_{0};
+  std::atomic<uint64_t> task_queue_wait_us_{0};
+  std::atomic<uint64_t> task_run_us_{0};
   FairTaskQueue fair_queue_;
 };
 

@@ -16,6 +16,9 @@ Session::Session(core::Database& db, std::string id, std::string user,
   ctx_.set_session_id(id_);
   ctx_.set_mode(mode);
   cancel_ = std::make_shared<std::atomic<bool>>(false);
+  // Explicit registration: the session shows in fgac_sessions for its
+  // whole lifetime, idle included, until Close() deregisters it.
+  db_.activity().OpenSession(id_, ctx_.user());
 }
 
 Session::~Session() { Close(); }
@@ -74,6 +77,25 @@ Result<ExecResult> Session::Execute(std::string_view sql) {
     case sql::StmtKind::kDeallocate:
       return RunDeallocate(static_cast<const sql::DeallocateStmt&>(stmt),
                            ctx);
+    case sql::StmtKind::kExplain: {
+      const auto& ex = static_cast<const sql::ExplainStmt&>(stmt);
+      if (ex.execute == nullptr) return db_.Execute(sql, ctx);
+      // EXPLAIN [ANALYZE] EXECUTE resolves against THIS session's registry
+      // (same scoping as EXECUTE itself).
+      std::shared_ptr<core::PreparedStatement> prep;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = prepared_.find(ex.execute->name);
+        if (it != prepared_.end()) prep = it->second;
+      }
+      if (prep == nullptr) {
+        Status st = Status::InvalidArgument("unknown prepared statement '" +
+                                            ex.execute->name + "'");
+        db_.AuditSessionStatement(ctx, sql::StmtToSql(stmt), st);
+        return st;
+      }
+      return db_.ExplainPrepared(ex, prep, ctx);
+    }
     default:
       return db_.Execute(sql, ctx);
   }
@@ -148,6 +170,9 @@ void Session::Close() {
     return in_flight_.load(std::memory_order_acquire) == 0;
   });
   prepared_.clear();
+  // After the drain: every statement has left the registry, so the session
+  // record disappears cleanly (ids are never reused).
+  db_.activity().CloseSession(id_);
 }
 
 std::vector<std::string> Session::PreparedNames() const {

@@ -301,10 +301,16 @@ class RevokeStmt : public Stmt {
 /// EXPLAIN <select>: returns the canonical and optimized plans as text.
 /// EXPLAIN ANALYZE additionally executes the query and annotates the plan
 /// with per-operator row/chunk/time counters plus the validity trace.
+class ExecuteStmt;
+
 class ExplainStmt : public Stmt {
  public:
   ExplainStmt() : Stmt(StmtKind::kExplain) {}
+  /// Exactly one of `select` / `execute` is set: EXPLAIN [ANALYZE] of a
+  /// SELECT, or of a prepared statement (EXPLAIN ANALYZE EXECUTE name(...),
+  /// resolved against the connection session's registry).
   std::shared_ptr<const SelectStmt> select;
+  std::shared_ptr<const ExecuteStmt> execute;
   bool analyze = false;
 };
 

@@ -500,6 +500,14 @@ Result<StmtPtr> Parser::Explain() {
   FGAC_RETURN_NOT_OK(ExpectKeyword("explain"));
   auto stmt = std::make_unique<ExplainStmt>();
   if (MatchKeyword("analyze")) stmt->analyze = true;
+  if (CheckKeyword("execute")) {
+    // EXPLAIN [ANALYZE] EXECUTE name(args): explain a prepared statement
+    // (resolved against the connection session's registry at run time).
+    FGAC_ASSIGN_OR_RETURN(StmtPtr exec, ExecutePrepared());
+    stmt->execute = std::shared_ptr<const ExecuteStmt>(
+        static_cast<const ExecuteStmt*>(exec.release()));
+    return StmtPtr(stmt.release());
+  }
   FGAC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, Select());
   stmt->select = std::shared_ptr<const SelectStmt>(sel.release());
   return StmtPtr(stmt.release());

@@ -241,8 +241,9 @@ std::string StmtToSql(const Stmt& stmt) {
     }
     case StmtKind::kExplain: {
       const auto& s = static_cast<const ExplainStmt&>(stmt);
-      return (s.analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ") +
-             SelectToSql(*s.select);
+      std::string head = s.analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ";
+      if (s.execute != nullptr) return head + StmtToSql(*s.execute);
+      return head + SelectToSql(*s.select);
     }
     case StmtKind::kPrepare: {
       const auto& s = static_cast<const PrepareStmt&>(stmt);

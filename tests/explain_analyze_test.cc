@@ -12,6 +12,7 @@
 #include "core/database.h"
 #include "core/validity_trace.h"
 #include "exec/exec_stats.h"
+#include "server/connection_manager.h"
 #include "tests/test_util.h"
 
 namespace fgac {
@@ -294,6 +295,113 @@ TEST_F(ExplainAnalyzeTest, ExplainWithoutAnalyzeIsUnchanged) {
   EXPECT_NE(text.find("witness rewriting"), std::string::npos);
   EXPECT_EQ(text.find("execution:"), std::string::npos);
   EXPECT_EQ(text.find("validity trace:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE EXECUTE: profiling a prepared execution
+// ---------------------------------------------------------------------------
+
+/// Rows of a Session-level EXPLAIN joined into one text blob.
+std::string SessionExplainText(server::Session* session,
+                               const std::string& sql) {
+  auto r = session->Execute(sql);
+  EXPECT_TRUE(r.ok()) << sql << ": " << r.status().message();
+  if (!r.ok()) return "";
+  std::string text;
+  for (const auto& row : r.value().relation.rows()) {
+    text += row[0].string_value() + "\n";
+  }
+  return text;
+}
+
+TEST_F(ExplainAnalyzeTest, ExplainAnalyzeExecuteShowsTrumanCacheProvenance) {
+  Grant("mygrades", "11");
+  ASSERT_TRUE(db_.catalog().SetTrumanView("grades", "mygrades").ok());
+  server::ConnectionManager cm(db_);
+  auto s = cm.Open("11", EnforcementMode::kTruman);
+  ASSERT_TRUE(
+      s->Execute("prepare g as select grade from grades "
+                 "where course-id = $1")
+          .ok());
+  // First profiled execution: the Truman rewrite happens on this call and
+  // the report says so.
+  std::string first = SessionExplainText(s.get(),
+                                         "explain analyze execute g ('cs101')");
+  EXPECT_NE(first.find("prepared statement: g"), std::string::npos) << first;
+  EXPECT_NE(first.find("parameterized plan:"), std::string::npos);
+  EXPECT_NE(first.find("truman rewrite: rewritten this call"),
+            std::string::npos)
+      << first;
+  EXPECT_NE(first.find("result: 1 row(s)"), std::string::npos) << first;
+  // Second profiled execution reuses the cached parameterized plan — the
+  // provenance line flips to a statement-cache hit, and the profile still
+  // covers a real run.
+  std::string second = SessionExplainText(
+      s.get(), "explain analyze execute g ('cs101')");
+  EXPECT_NE(second.find("truman rewrite: statement-cache hit"),
+            std::string::npos)
+      << second;
+  EXPECT_NE(second.find("result: 1 row(s)"), std::string::npos);
+  cm.CloseAll();
+}
+
+TEST_F(ExplainAnalyzeTest, ExplainAnalyzeExecuteShowsVerdictProvenance) {
+  Grant("mygrades", "11");
+  server::ConnectionManager cm(db_);
+  auto s = cm.Open("11", EnforcementMode::kNonTruman);
+  ASSERT_TRUE(
+      s->Execute("prepare g as select grade from grades "
+                 "where student-id = $user-id and course-id = $1")
+          .ok());
+  std::string first = SessionExplainText(s.get(),
+                                         "explain analyze execute g ('cs101')");
+  EXPECT_NE(first.find("verdict source: validity checker"), std::string::npos)
+      << first;
+  std::string second = SessionExplainText(
+      s.get(), "explain analyze execute g ('cs101')");
+  EXPECT_NE(second.find("verdict source: statement-cache hit"),
+            std::string::npos)
+      << second;
+  // The analyze report carries the per-operator stats of the profiled run.
+  EXPECT_NE(second.find("result: 1 row(s)"), std::string::npos) << second;
+  cm.CloseAll();
+}
+
+TEST_F(ExplainAnalyzeTest, ExplainExecuteWithoutAnalyzeShowsPlanOnly) {
+  Grant("mygrades", "11");
+  server::ConnectionManager cm(db_);
+  auto s = cm.Open("11", EnforcementMode::kNonTruman);
+  ASSERT_TRUE(
+      s->Execute("prepare g as select grade from grades "
+                 "where student-id = $user-id")
+          .ok());
+  // Run once so the parameterized plan exists in the registry entry.
+  ASSERT_TRUE(s->Execute("execute g").ok());
+  std::string text = SessionExplainText(s.get(), "explain execute g");
+  EXPECT_NE(text.find("prepared statement: g"), std::string::npos);
+  EXPECT_NE(text.find("parameterized plan:"), std::string::npos);
+  // No execution, no provenance, no profile.
+  EXPECT_EQ(text.find("result:"), std::string::npos) << text;
+  EXPECT_EQ(text.find("verdict source:"), std::string::npos);
+  cm.CloseAll();
+}
+
+TEST_F(ExplainAnalyzeTest, ExplainExecuteErrors) {
+  // Outside a connection session there is no prepared-statement registry.
+  SessionContext ctx("11");
+  auto adhoc = db_.Execute("explain analyze execute g ('cs101')", ctx);
+  ASSERT_FALSE(adhoc.ok());
+  EXPECT_EQ(adhoc.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(adhoc.status().ToString().find("connection session"),
+            std::string::npos);
+  // Through a session, an unknown name is reported as such.
+  server::ConnectionManager cm(db_);
+  auto s = cm.Open("11", EnforcementMode::kNonTruman);
+  auto unknown = s->Execute("explain analyze execute nosuch");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().ToString().find("unknown prepared statement"),
+            std::string::npos);
+  cm.CloseAll();
 }
 
 }  // namespace

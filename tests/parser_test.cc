@@ -184,6 +184,35 @@ TEST(ParserTest, PreparedStatements) {
   EXPECT_FALSE(Parser::ParseStatement("deallocate").ok());
 }
 
+TEST(ParserTest, ExplainExecuteComposesWithPreparedStatements) {
+  auto stmt = MustStmt("explain analyze execute q ('cs101', 2)");
+  ASSERT_NE(stmt, nullptr);
+  auto* ex = static_cast<const ExplainStmt*>(stmt.get());
+  EXPECT_EQ(ex->kind(), StmtKind::kExplain);
+  EXPECT_TRUE(ex->analyze);
+  EXPECT_EQ(ex->select, nullptr);
+  ASSERT_NE(ex->execute, nullptr);
+  EXPECT_EQ(ex->execute->name, "q");
+  EXPECT_EQ(ex->execute->args.size(), 2u);
+  // The printed form re-parses to the same statement.
+  std::string printed = StmtToSql(*stmt);
+  EXPECT_EQ(printed, "EXPLAIN ANALYZE EXECUTE q ('cs101', 2)");
+  auto again = MustStmt(printed);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(StmtToSql(*again), printed);
+
+  auto plain_stmt = MustStmt("explain execute q");
+  ASSERT_NE(plain_stmt, nullptr);
+  auto* plain = static_cast<const ExplainStmt*>(plain_stmt.get());
+  EXPECT_FALSE(plain->analyze);
+  ASSERT_NE(plain->execute, nullptr);
+  EXPECT_EQ(plain->execute->args.size(), 0u);
+  EXPECT_EQ(StmtToSql(*plain), "EXPLAIN EXECUTE q");
+
+  EXPECT_FALSE(Parser::ParseStatement("explain analyze execute").ok());
+  EXPECT_FALSE(Parser::ParseStatement("explain execute q (1,").ok());
+}
+
 TEST(ParserTest, RejectsNestedSubqueries) {
   // The paper's Section 5 assumption, surfaced as NotImplemented.
   auto r = Parser::ParseStatement("select * from (select * from t)");
